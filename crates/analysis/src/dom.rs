@@ -1,0 +1,212 @@
+//! Dominator tree, via the Cooper–Harvey–Kennedy iterative algorithm
+//! ("A Simple, Fast Dominance Algorithm").
+
+use crate::cfg::Cfg;
+use lp_ir::{BlockId, Function};
+
+/// Dominator tree for one function. Unreachable blocks have no dominator
+/// information.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`None` for entry / unreachable).
+    idom: Vec<Option<BlockId>>,
+    /// DFS pre/post numbering of the dominator tree for O(1) dominance
+    /// queries.
+    pre: Vec<u32>,
+    post: Vec<u32>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree.
+    #[must_use]
+    pub fn new(func: &Function, cfg: &Cfg) -> DomTree {
+        let n = func.blocks.len();
+        let rpo = cfg.rpo();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if !rpo.is_empty() {
+            idom[BlockId::ENTRY.index()] = Some(BlockId::ENTRY);
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &b in rpo.iter().skip(1) {
+                    let mut new_idom: Option<BlockId> = None;
+                    for &p in cfg.preds(b) {
+                        if idom[p.index()].is_none() {
+                            continue; // unreachable or not yet processed
+                        }
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, cfg, cur, p),
+                        });
+                    }
+                    if let Some(ni) = new_idom {
+                        if idom[b.index()] != Some(ni) {
+                            idom[b.index()] = Some(ni);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Entry's idom is conventionally itself during the fixpoint;
+            // expose it as None (roots have no immediate dominator).
+            idom[BlockId::ENTRY.index()] = None;
+        }
+
+        // Build children lists and DFS-number the dominator tree.
+        let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (b, d) in idom.iter().enumerate() {
+            if let Some(d) = d {
+                children[d.index()].push(BlockId(b as u32));
+            }
+        }
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut clock = 1u32;
+        if n > 0 && cfg.is_reachable(BlockId::ENTRY) {
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+            pre[BlockId::ENTRY.index()] = clock;
+            clock += 1;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                let cs = &children[b.index()];
+                if *next < cs.len() {
+                    let c = cs[*next];
+                    *next += 1;
+                    pre[c.index()] = clock;
+                    clock += 1;
+                    stack.push((c, 0));
+                } else {
+                    post[b.index()] = clock;
+                    clock += 1;
+                    stack.pop();
+                }
+            }
+        }
+        DomTree { idom, pre, post }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry block and
+    /// unreachable blocks).
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive: every reachable
+    /// block dominates itself). Unreachable blocks dominate nothing and are
+    /// dominated by nothing.
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let (pa, pb) = (self.pre[a.index()], self.pre[b.index()]);
+        if pa == 0 || pb == 0 {
+            return false;
+        }
+        pa <= pb && self.post[a.index()] >= self.post[b.index()]
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    #[must_use]
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
+    // Walk up the current idom approximation using RPO indices.
+    let index = |x: BlockId| cfg.rpo_index(x).expect("reachable");
+    while a != b {
+        while index(a) > index(b) {
+            a = idom[a.index()].expect("idom set");
+        }
+        while index(b) > index(a) {
+            b = idom[b.index()].expect("idom set");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::Type;
+
+    /// entry -> (a | b) -> join -> (loop back to a? no) ret. Plus a loop:
+    /// entry -> header; header -> body -> header; header -> exit.
+    fn loop_fn() -> Function {
+        let mut fb = FunctionBuilder::new("l", &[Type::I64], Type::I64);
+        let n = fb.param(0);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(lp_ir::IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let f = loop_fn();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let (entry, header, body, exit) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(header), Some(entry));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(dom.dominates(header, header));
+        assert!(!dom.dominates(body, exit));
+        assert!(dom.strictly_dominates(entry, exit));
+        assert!(!dom.strictly_dominates(header, header));
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_entry_only() {
+        let mut fb = FunctionBuilder::new("d", &[Type::I1], Type::Void);
+        let a = fb.create_block("a");
+        let b = fb.create_block("b");
+        let j = fb.create_block("j");
+        let cond = fb.param(0);
+        fb.cond_br(cond, a, b);
+        fb.switch_to(a);
+        fb.br(j);
+        fb.switch_to(b);
+        fb.br(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        let f = fb.finish().unwrap();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert_eq!(dom.idom(j), Some(BlockId::ENTRY));
+        assert!(!dom.dominates(a, j));
+        assert!(!dom.dominates(b, j));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_dominators() {
+        let mut fb = FunctionBuilder::new("u", &[], Type::Void);
+        let dead = fb.create_block("dead");
+        fb.ret(None);
+        fb.switch_to(dead);
+        fb.ret(None);
+        let f = fb.finish().unwrap();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert_eq!(dom.idom(dead), None);
+        assert!(!dom.dominates(BlockId::ENTRY, dead));
+        assert!(!dom.dominates(dead, BlockId::ENTRY));
+    }
+}

@@ -1,0 +1,135 @@
+//! Human-readable dumps of the compile-time analysis results — what LLVM
+//! would print under `-debug-only=loopapalooza`. Used by the `lpstudy`
+//! CLI's `--analyze` mode and handy in tests.
+
+use crate::classify::LcdClass;
+use crate::scev::ScevClass;
+use crate::{FunctionAnalysis, ModuleAnalysis};
+use lp_ir::{Function, Module};
+use std::fmt::Write;
+
+/// Renders the loop forest and register-LCD classification of one
+/// function.
+#[must_use]
+pub fn dump_function(func: &Function, analysis: &FunctionAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fn @{}:", func.name);
+    if analysis.loops.is_empty() {
+        let _ = writeln!(out, "  (no loops)");
+        return out;
+    }
+    for (lid, lp) in analysis.loops.iter() {
+        let header = lp_ir::printer::block_label(func, lp.header);
+        let canon = if lp.is_canonical() { "canonical" } else { "NON-CANONICAL" };
+        let _ = writeln!(
+            out,
+            "  {lid} header={header} depth={} blocks={} {canon}",
+            lp.depth,
+            lp.blocks.len()
+        );
+        let lcds = &analysis.lcds[lid.index()];
+        if lcds.phis.is_empty() {
+            let _ = writeln!(out, "    (no header phis)");
+        }
+        for (phi, class) in &lcds.phis {
+            let desc = match class {
+                LcdClass::Computable(ScevClass::Induction) => {
+                    "computable: induction variable (SCEV add-recurrence)".to_string()
+                }
+                LcdClass::Computable(ScevClass::Mutual) => {
+                    "computable: mutual induction / polynomial chain".to_string()
+                }
+                LcdClass::Computable(ScevClass::NonComputable) => {
+                    unreachable!("computable class cannot wrap NonComputable")
+                }
+                LcdClass::Reduction(op) => format!("reduction accumulator ({op})"),
+                LcdClass::NonComputable => "NON-COMPUTABLE register LCD".to_string(),
+            };
+            let _ = writeln!(out, "    {phi}: {desc}");
+        }
+    }
+    out
+}
+
+/// Renders the whole module's analysis, function by function, plus the
+/// call graph's purity verdicts.
+#[must_use]
+pub fn dump_module(module: &Module, analysis: &ModuleAnalysis) -> String {
+    let mut out = String::new();
+    for (fid, func) in module.iter_functions() {
+        out.push_str(&dump_function(func, analysis.function(fid)));
+        let purity = match analysis.callgraph.purity(fid) {
+            crate::Purity::Pure => "pure",
+            crate::Purity::Impure => "impure",
+        };
+        let ts = if analysis.callgraph.calls_non_thread_safe(fid) {
+            ", calls non-thread-safe builtins"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  [{purity}{ts}]");
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_module;
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{IcmpPred, Type};
+
+    #[test]
+    fn dump_mentions_each_classification() {
+        let mut m = Module::new("d");
+        let mut fb = FunctionBuilder::new("main", &[Type::Ptr], Type::I64);
+        let base = fb.param(0);
+        let n = fb.const_i64(10);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64); // induction
+        let s = fb.phi(Type::I64); // reduction (sum of loads)
+        let x = fb.phi(Type::I64); // non-computable (loaded)
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let a = fb.gep(base, x, 8, 0);
+        let v = fb.load(Type::I64, a);
+        let s2 = fb.add(s, v);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.add_phi_incoming(s, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(s, body, s2);
+        fb.add_phi_incoming(x, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(x, body, v);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(s));
+        m.add_function(fb.finish().unwrap());
+        let analysis = analyze_module(&m);
+        let text = dump_module(&m, &analysis);
+        assert!(text.contains("induction variable"), "{text}");
+        assert!(text.contains("reduction accumulator"), "{text}");
+        assert!(text.contains("NON-COMPUTABLE"), "{text}");
+        assert!(text.contains("canonical"), "{text}");
+        assert!(text.contains("[pure]"), "{text}");
+    }
+
+    #[test]
+    fn dump_handles_loop_free_functions() {
+        let mut m = Module::new("d");
+        let mut fb = FunctionBuilder::new("main", &[], Type::Void);
+        fb.ret(None);
+        m.add_function(fb.finish().unwrap());
+        let analysis = analyze_module(&m);
+        let text = dump_module(&m, &analysis);
+        assert!(text.contains("(no loops)"));
+    }
+}

@@ -1,0 +1,189 @@
+//! SSA dominance verification.
+//!
+//! Complements `lp_ir::verify_module` (which checks structure and types)
+//! with the def-dominates-use property that requires a dominator tree:
+//!
+//! - for a normal use, the defining instruction must precede the use in
+//!   the same block or its block must strictly dominate the use's block;
+//! - for a phi incoming `(pred, v)`, the definition of `v` must dominate
+//!   the *end of the predecessor block*.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use lp_ir::{BlockId, Function, Inst, IrError, Module, ValueId, ValueKind};
+
+fn def_site(func: &Function, v: ValueId) -> Option<(BlockId, usize)> {
+    match func.value(v) {
+        ValueKind::Inst(iid) => {
+            let data = func.inst(*iid);
+            let pos = func
+                .block(data.block)
+                .insts
+                .iter()
+                .position(|x| x == iid)
+                .expect("instruction listed in its block");
+            Some((data.block, pos))
+        }
+        _ => None, // params/constants dominate everything
+    }
+}
+
+fn check_use(
+    func: &Function,
+    dom: &DomTree,
+    use_block: BlockId,
+    use_pos: usize,
+    v: ValueId,
+) -> Result<(), IrError> {
+    let Some((def_block, def_pos)) = def_site(func, v) else {
+        return Ok(());
+    };
+    let ok = if def_block == use_block {
+        def_pos < use_pos
+    } else {
+        dom.strictly_dominates(def_block, use_block)
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(IrError::Invalid(format!(
+            "function {}: use of {v} in block {use_block} not dominated by its definition",
+            func.name
+        )))
+    }
+}
+
+/// Verifies the SSA dominance property for one function.
+///
+/// # Errors
+/// Returns [`IrError::Invalid`] describing the first violating use.
+pub fn verify_ssa_function(func: &Function) -> Result<(), IrError> {
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(func, &cfg);
+    for bid in func.block_ids() {
+        if !cfg.is_reachable(bid) {
+            continue;
+        }
+        let block = func.block(bid);
+        for (pos, &iid) in block.insts.iter().enumerate() {
+            let data = func.inst(iid);
+            if let Inst::Phi { incomings, .. } = &data.inst {
+                for (pred, v) in incomings {
+                    // Must dominate the end of the predecessor block.
+                    if !cfg.is_reachable(*pred) {
+                        continue;
+                    }
+                    let end_pos = func.block(*pred).insts.len();
+                    check_use(func, &dom, *pred, end_pos, *v)?;
+                }
+            } else {
+                for v in data.inst.operands() {
+                    check_use(func, &dom, bid, pos, v)?;
+                }
+            }
+        }
+        // Terminator uses occur at the end of the block.
+        let end_pos = block.insts.len();
+        if let lp_ir::Term::CondBr { cond, .. } = &block.term {
+            check_use(func, &dom, bid, end_pos, *cond)?;
+        }
+        if let lp_ir::Term::Ret(Some(v)) = &block.term {
+            check_use(func, &dom, bid, end_pos, *v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Verifies the SSA dominance property for every function of a module.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_ssa(module: &Module) -> Result<(), IrError> {
+    for (_, func) in module.iter_functions() {
+        verify_ssa_function(func)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{IcmpPred, Type};
+
+    #[test]
+    fn valid_loop_passes() {
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Type::I64);
+        let n = fb.param(0);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let f = fb.finish().unwrap();
+        assert!(verify_ssa_function(&f).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_across_branches_fails() {
+        // entry -> (a | b) -> join; `x` defined only in `a` but used in
+        // join — not dominated.
+        let mut fb = FunctionBuilder::new("bad", &[Type::I1], Type::I64);
+        let a = fb.create_block("a");
+        let b = fb.create_block("b");
+        let join = fb.create_block("join");
+        let cond = fb.param(0);
+        fb.cond_br(cond, a, b);
+        fb.switch_to(a);
+        let one = fb.const_i64(1);
+        let x = fb.add(one, one);
+        fb.br(join);
+        fb.switch_to(b);
+        fb.br(join);
+        fb.switch_to(join);
+        let y = fb.add(x, one);
+        fb.ret(Some(y));
+        let f = fb.finish().unwrap();
+        // Structurally fine...
+        assert!(lp_ir::verify_function(&f, None).is_ok());
+        // ...but violates dominance.
+        assert!(verify_ssa_function(&f).is_err());
+    }
+
+    #[test]
+    fn phi_incoming_checked_at_predecessor_end() {
+        // Valid: the latch value is defined in the body and flows into the
+        // header phi along the body->header edge.
+        let mut fb = FunctionBuilder::new("f", &[Type::I1], Type::I64);
+        let l = fb.create_block("l");
+        let exit = fb.create_block("exit");
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        fb.br(l);
+        fb.switch_to(l);
+        let p = fb.phi(Type::I64);
+        let p2 = fb.add(p, one);
+        fb.add_phi_incoming(p, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(p, l, p2);
+        let c = fb.param(0);
+        fb.cond_br(c, l, exit);
+        fb.switch_to(exit);
+        fb.ret(Some(p2));
+        let f = fb.finish().unwrap();
+        assert!(verify_ssa_function(&f).is_ok());
+    }
+
+    use lp_ir::BlockId;
+}

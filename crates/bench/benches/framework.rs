@@ -1,0 +1,133 @@
+//! Criterion performance benches for the framework itself — the paper's
+//! claim that compile-time filtering keeps run-time tracking overheads
+//! low enough "to scale to large applications" (§III-A), measured on this
+//! implementation:
+//!
+//! - raw interpretation throughput (no instrumentation sink),
+//! - full profiling throughput (conflict tracking + predictors),
+//! - evaluator cost per `(model, config)` row,
+//! - predictor-bank throughput,
+//! - conflict tracking with and without the cactus-stack filter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lp_analysis::analyze_module;
+use lp_interp::{Machine, MachineConfig, NullSink};
+use lp_predict::HybridPredictor;
+use lp_runtime::{evaluate, paper_rows, profile_module_with, ProfilerOptions};
+use lp_suite::Scale;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    for name in ["181.mcf", "171.swim", "eembc.matrix01"] {
+        let module = lp_suite::find(name).unwrap().build(Scale::Test);
+        let mut sink = NullSink;
+        let cost = Machine::new(&module, &mut sink).run(&[]).unwrap().cost;
+        group.throughput(Throughput::Elements(cost));
+        group.bench_with_input(BenchmarkId::new("run", name), &module, |b, m| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                Machine::new(m, &mut sink).run(&[]).unwrap().cost
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiler");
+    for name in ["181.mcf", "171.swim"] {
+        let module = lp_suite::find(name).unwrap().build(Scale::Test);
+        let analysis = analyze_module(&module);
+        let mut sink = NullSink;
+        let cost = Machine::new(&module, &mut sink).run(&[]).unwrap().cost;
+        group.throughput(Throughput::Elements(cost));
+        for cactus in [true, false] {
+            let label = if cactus { "cactus" } else { "flat-stack" };
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &(&module, &analysis),
+                |b, (m, a)| {
+                    b.iter(|| {
+                        profile_module_with(
+                            m,
+                            a,
+                            &[],
+                            MachineConfig::default(),
+                            ProfilerOptions {
+                                cactus_stack: cactus,
+                            },
+                        )
+                        .unwrap()
+                        .0
+                        .total_cost
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let module = lp_suite::find("456.hmmer").unwrap().build(Scale::Test);
+    let analysis = analyze_module(&module);
+    let (profile, _) = profile_module_with(
+        &module,
+        &analysis,
+        &[],
+        MachineConfig::default(),
+        ProfilerOptions::default(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("evaluator");
+    group.bench_function("all_14_paper_rows", |b| {
+        b.iter(|| {
+            paper_rows()
+                .into_iter()
+                .map(|(m, cfg)| evaluate(&profile, m, cfg).speedup)
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let stream: Vec<u64> = (0..8192u64)
+        .scan(0u64, |x, i| {
+            *x += if i % 64 == 0 { 17 } else { 3 };
+            Some(*x)
+        })
+        .collect();
+    let mut group = c.benchmark_group("predictors");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("hybrid_observe", |b| {
+        b.iter(|| {
+            let mut h = HybridPredictor::new();
+            let mut hits = 0u64;
+            for &v in &stream {
+                hits += u64::from(h.observe(v));
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let module = lp_suite::find("403.gcc").unwrap().build(Scale::Test);
+    let mut group = c.benchmark_group("compile_time");
+    group.bench_function("analyze_module", |b| {
+        b.iter(|| analyze_module(&module).functions.len());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_profiler,
+    bench_evaluator,
+    bench_predictors,
+    bench_analysis
+);
+criterion_main!(benches);

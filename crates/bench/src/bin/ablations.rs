@@ -1,0 +1,167 @@
+//! Ablations for the design choices called out in DESIGN.md:
+//!
+//! 1. **Cactus-stack filter** (§II-E): profile call-heavy suites with and
+//!    without treating per-iteration frames as iteration-local, showing
+//!    how much loop-level parallelism the structural call-stack hazard
+//!    destroys on a conventional stack.
+//! 2. **HELIX vs classic DOACROSS**: combine synchronization deltas by
+//!    per-LCD sync points (HELIX) vs one sync point from the last producer
+//!    to the first consumer (classic DOACROSS), quantifying the benefit
+//!    of generalized DOACROSS.
+//! 3. **Hybrid vs individual value predictors** on the suite's traced
+//!    register-LCD streams (dep2 sensitivity, §III-C).
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin ablations [test|small|default]
+//! ```
+
+use lp_analysis::analyze_module;
+use lp_interp::MachineConfig;
+use lp_runtime::{
+    evaluate_with, geomean, profile_module_with, EvalOptions, ProfilerOptions,
+};
+use lp_suite::{Scale, SuiteId};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        None | Some("default") => Scale::Default,
+        Some("small") => Scale::Small,
+        Some("test") => Scale::Test,
+        Some(other) => {
+            eprintln!("unknown scale {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    // ---- 1. cactus-stack filter --------------------------------------
+    println!("Ablation 1 — cactus-stack frame filter (PDOALL reduc1-dep2-fn2)\n");
+    println!("{:<12} {:>12} {:>14}", "suite", "with cactus", "without cactus");
+    let (model, config) = lp_runtime::best_pdoall();
+    for suite in [SuiteId::Eembc, SuiteId::Cint2000] {
+        let mut with = Vec::new();
+        let mut without = Vec::new();
+        for b in lp_suite::suite(suite) {
+            let module = b.build(scale);
+            let analysis = analyze_module(&module);
+            for (cactus, out) in [(true, &mut with), (false, &mut without)] {
+                let (profile, _) = profile_module_with(
+                    &module,
+                    &analysis,
+                    &[],
+                    MachineConfig::default(),
+                    ProfilerOptions {
+                        cactus_stack: cactus,
+                    },
+                )
+                .expect("benchmark runs");
+                out.push(evaluate_with(&profile, model, config, EvalOptions::default()).speedup);
+            }
+        }
+        println!(
+            "{:<12} {:>11.2}x {:>13.2}x",
+            suite.label(),
+            geomean(&with),
+            geomean(&without)
+        );
+    }
+    println!("\n=> without disjoint (cactus) stack frames, loops containing calls serialize");
+    println!("   on reused frame addresses — the structural hazard of paper §II-E.\n");
+
+    // ---- 2. HELIX (max) vs classic DOACROSS (sum) ---------------------
+    println!("Ablation 2 — HELIX per-LCD sync (max delta) vs DOACROSS chain (sum)\n");
+    println!("{:<12} {:>10} {:>12}", "suite", "HELIX", "DOACROSS");
+    let (hx_model, hx_config) = lp_runtime::best_helix();
+    for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
+        let mut helix = Vec::new();
+        let mut doacross = Vec::new();
+        for b in lp_suite::suite(suite) {
+            let module = b.build(scale);
+            let analysis = analyze_module(&module);
+            let (profile, _) = profile_module_with(
+                &module,
+                &analysis,
+                &[],
+                MachineConfig::default(),
+                ProfilerOptions::default(),
+            )
+            .expect("benchmark runs");
+            helix.push(
+                evaluate_with(&profile, hx_model, hx_config, EvalOptions::default()).speedup,
+            );
+            doacross.push(
+                evaluate_with(
+                    &profile,
+                    hx_model,
+                    hx_config,
+                    EvalOptions {
+                        doacross_single_sync: true,
+                        ..EvalOptions::default()
+                    },
+                )
+                .speedup,
+            );
+        }
+        println!(
+            "{:<12} {:>9.2}x {:>11.2}x",
+            suite.label(),
+            geomean(&helix),
+            geomean(&doacross)
+        );
+    }
+    println!("\n=> HELIX's per-LCD synchronization dominates a single DOACROSS sync point.\n");
+
+    // ---- 3. predictors ------------------------------------------------
+    println!("Ablation 3 — value predictor components on characteristic LCD streams\n");
+    use lp_predict::{Fcm, LastValue, Predictor, Stride, TwoDeltaStride};
+    let streams: [(&str, Vec<u64>); 4] = [
+        ("constant", vec![9; 512]),
+        ("strided", (0..512).map(|i| 40 + 3 * i).collect()),
+        (
+            "mostly-strided",
+            (0..512u64)
+                .scan(0u64, |x, i| {
+                    *x += if i % 64 == 0 { 17 } else { 3 };
+                    Some(*x)
+                })
+                .collect(),
+        ),
+        (
+            "chaotic",
+            (0..512u64)
+                .scan(0x2545F4914F6CDD1Du64, |x, _| {
+                    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    Some(*x >> 33)
+                })
+                .collect(),
+        ),
+    ];
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "stream", "last", "stride", "2delta", "fcm", "hybrid"
+    );
+    for (name, stream) in &streams {
+        let acc = |mut p: Box<dyn Predictor>| -> f64 {
+            let mut hits = 0usize;
+            for &v in stream {
+                if p.predict() == Some(v) {
+                    hits += 1;
+                }
+                p.update(v);
+            }
+            100.0 * hits as f64 / stream.len() as f64
+        };
+        let mut hybrid = lp_predict::HybridPredictor::new();
+        for &v in stream {
+            hybrid.observe(v);
+        }
+        println!(
+            "{:<16} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            name,
+            acc(Box::new(LastValue::new())),
+            acc(Box::new(Stride::new())),
+            acc(Box::new(TwoDeltaStride::new())),
+            acc(Box::new(Fcm::new())),
+            100.0 * hybrid.stats().accuracy(),
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 2: GEOMEAN limit speedups for the non-numeric suites
+//! (SPEC CINT2000 & CINT2006) under the 14 paper configurations.
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin fig2 [test|small|default]
+//! ```
+
+use lp_bench::{log_bar, run_suites, scale_from_args, suite_geomean_speedup};
+use lp_runtime::paper_rows;
+use lp_suite::SuiteId;
+
+fn main() {
+    let scale = scale_from_args();
+    let runs = run_suites(&[SuiteId::Cint2000, SuiteId::Cint2006], scale);
+    eprintln!();
+
+    println!("Figure 2 — GEOMEAN speedups, non-numeric benchmarks ({scale:?} scale)");
+    println!(
+        "{:<14} {:<18} {:>9} {:>9}   (log-scale bars: cint2006)",
+        "model", "config", "cint2000", "cint2006"
+    );
+    let rows = paper_rows();
+    let max = rows
+        .iter()
+        .map(|&(m, c)| suite_geomean_speedup(&runs, SuiteId::Cint2006, m, c))
+        .fold(1.0f64, f64::max);
+    for (model, config) in rows {
+        let s2000 = suite_geomean_speedup(&runs, SuiteId::Cint2000, model, config);
+        let s2006 = suite_geomean_speedup(&runs, SuiteId::Cint2006, model, config);
+        println!(
+            "{:<14} {:<18} {:>8.2}x {:>8.2}x   {}",
+            model.to_string(),
+            config.to_string(),
+            s2000,
+            s2006,
+            log_bar(s2006, max, 36)
+        );
+    }
+    println!("\npaper reference (Fig. 2): best HELIX reduc1-dep1-fn2 = 4.6x (2000) / 7.2x (2006)");
+}

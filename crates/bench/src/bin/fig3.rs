@@ -1,0 +1,43 @@
+//! Figure 3: GEOMEAN limit speedups for the numeric suites
+//! (EEMBC, SPEC CFP2000 & CFP2006) under the 14 paper configurations.
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin fig3 [test|small|default]
+//! ```
+
+use lp_bench::{log_bar, run_suites, scale_from_args, suite_geomean_speedup};
+use lp_runtime::paper_rows;
+use lp_suite::SuiteId;
+
+fn main() {
+    let scale = scale_from_args();
+    let suites = [SuiteId::Eembc, SuiteId::Cfp2000, SuiteId::Cfp2006];
+    let runs = run_suites(&suites, scale);
+    eprintln!();
+
+    println!("Figure 3 — GEOMEAN speedups, numeric benchmarks ({scale:?} scale)");
+    println!(
+        "{:<14} {:<18} {:>9} {:>9} {:>9}   (log-scale bars: cfp2000)",
+        "model", "config", "eembc", "cfp2000", "cfp2006"
+    );
+    let rows = paper_rows();
+    let max = rows
+        .iter()
+        .map(|&(m, c)| suite_geomean_speedup(&runs, SuiteId::Cfp2000, m, c))
+        .fold(1.0f64, f64::max);
+    for (model, config) in rows {
+        let eembc = suite_geomean_speedup(&runs, SuiteId::Eembc, model, config);
+        let cfp2000 = suite_geomean_speedup(&runs, SuiteId::Cfp2000, model, config);
+        let cfp2006 = suite_geomean_speedup(&runs, SuiteId::Cfp2006, model, config);
+        println!(
+            "{:<14} {:<18} {:>8.2}x {:>8.2}x {:>8.2}x   {}",
+            model.to_string(),
+            config.to_string(),
+            eembc,
+            cfp2000,
+            cfp2006,
+            log_bar(cfp2000, max, 36)
+        );
+    }
+    println!("\npaper reference (Fig. 3): best HELIX reduc1-dep1-fn2 = 21.6x-50.6x across numeric suites");
+}

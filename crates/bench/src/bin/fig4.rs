@@ -1,0 +1,70 @@
+//! Figure 4: per-benchmark speedups across all SPEC suites for the best
+//! realistic PDOALL (`reduc1-dep2-fn2`) and best HELIX (`reduc1-dep1-fn2`)
+//! configurations, with the winner marked.
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin fig4 [test|small|default]
+//! ```
+
+use lp_bench::{log_bar, run_suites, scale_from_args};
+use lp_runtime::{best_helix, best_pdoall, geomean};
+use lp_suite::SuiteId;
+
+fn main() {
+    let scale = scale_from_args();
+    let spec = [
+        SuiteId::Cint2000,
+        SuiteId::Cfp2000,
+        SuiteId::Cint2006,
+        SuiteId::Cfp2006,
+    ];
+    let runs = run_suites(&spec, scale);
+    eprintln!();
+
+    let (pd_model, pd_config) = best_pdoall();
+    let (hx_model, hx_config) = best_helix();
+
+    println!("Figure 4 — per-benchmark speedups, all SPEC ({scale:?} scale)");
+    println!(
+        "{:<18} {:>12} {:>12}  winner  (log-scale bar: winner)",
+        "benchmark", "PDOALL", "HELIX"
+    );
+    let mut pd_all = Vec::new();
+    let mut hx_all = Vec::new();
+    let max = runs
+        .iter()
+        .map(|r| {
+            r.study
+                .evaluate(hx_model, hx_config)
+                .speedup
+                .max(r.study.evaluate(pd_model, pd_config).speedup)
+        })
+        .fold(1.0f64, f64::max);
+    let mut pdoall_wins = 0usize;
+    for run in &runs {
+        let pd = run.study.evaluate(pd_model, pd_config).speedup;
+        let hx = run.study.evaluate(hx_model, hx_config).speedup;
+        pd_all.push(pd);
+        hx_all.push(hx);
+        let winner = if pd > hx { "PDOALL" } else { "HELIX" };
+        if pd > hx {
+            pdoall_wins += 1;
+        }
+        println!(
+            "{:<18} {:>11.2}x {:>11.2}x  {:<6}  {}",
+            run.name,
+            pd,
+            hx,
+            winner,
+            log_bar(pd.max(hx), max, 30)
+        );
+    }
+    println!(
+        "\nGEOMEAN: PDOALL {:.2}x, HELIX {:.2}x; PDOALL wins {} of {} benchmarks",
+        geomean(&pd_all),
+        geomean(&hx_all),
+        pdoall_wins,
+        runs.len()
+    );
+    println!("paper reference (Fig. 4): PDOALL wins on 179.art, 450.soplex, 482.sphinx3, 429.mcf");
+}

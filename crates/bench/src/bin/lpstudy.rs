@@ -1,0 +1,121 @@
+//! `lpstudy` — study your own kernel from the command line.
+//!
+//! Reads a textual-IR module (see `lp_ir::parser` for the format, or
+//! print any suite benchmark with `--dump`), runs the Loopapalooza
+//! pipeline, and reports per-configuration limit speedups plus per-loop
+//! detail for the headline configuration.
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin lpstudy -- path/to/kernel.lp
+//! cargo run --release -p lp-bench --bin lpstudy -- --dump 181.mcf   # print a benchmark as text
+//! cargo run --release -p lp-bench --bin lpstudy -- --bench 456.hmmer
+//! ```
+
+use loopapalooza::Study;
+use lp_runtime::{best_helix, paper_rows};
+use lp_suite::Scale;
+
+fn usage() -> ! {
+    eprintln!("usage: lpstudy <file.lp> | --bench <name> | --dump <name> | --analyze <file.lp|name>");
+    eprintln!("  <file.lp>        study a textual-IR module");
+    eprintln!("  --bench NAME     study a registered benchmark (e.g. 456.hmmer)");
+    eprintln!("  --dump NAME      print a registered benchmark as textual IR");
+    eprintln!("  --analyze WHAT   print the compile-time analysis (loops, LCD classes)");
+    std::process::exit(2);
+}
+
+fn load(what: &str) -> lp_ir::Module {
+    if let Some(bench) = lp_suite::find(what) {
+        return bench.build(Scale::Test);
+    }
+    let text = std::fs::read_to_string(what).unwrap_or_else(|e| {
+        eprintln!("{what:?} is neither a benchmark name nor a readable file: {e}");
+        std::process::exit(2);
+    });
+    lp_ir::parser::parse_module(&text).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let module = match args.first().map(String::as_str) {
+        Some("--dump") => {
+            let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let bench = lp_suite::find(name).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {name:?}; try one of:");
+                for b in lp_suite::registry() {
+                    eprintln!("  {}", b.name);
+                }
+                std::process::exit(2);
+            });
+            print!("{}", lp_ir::printer::print_module(&bench.build(Scale::Test)));
+            return;
+        }
+        Some("--analyze") => {
+            let what = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let module = load(what);
+            let analysis = lp_analysis::analyze_module(&module);
+            print!("{}", lp_analysis::dump_module(&module, &analysis));
+            return;
+        }
+        Some("--bench") => {
+            let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let bench = lp_suite::find(name).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {name:?}");
+                std::process::exit(2);
+            });
+            bench.build(Scale::Default)
+        }
+        Some(path) if !path.starts_with("--") => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            lp_ir::parser::parse_module(&text).unwrap_or_else(|e| {
+                eprintln!("parse error: {e}");
+                std::process::exit(1);
+            })
+        }
+        _ => usage(),
+    };
+
+    let study = Study::of(&module).unwrap_or_else(|e| {
+        eprintln!("study failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "program {} ran: result = {}, sequential cost = {} dynamic IR instructions\n",
+        module.name,
+        study.run_result().ret,
+        study.run_result().cost
+    );
+    println!("{:<14} {:<18} {:>9} {:>9}", "model", "config", "speedup", "coverage");
+    for r in study.paper_rows() {
+        println!(
+            "{:<14} {:<18} {:>8.2}x {:>8.1}%",
+            r.model.to_string(),
+            r.config.to_string(),
+            r.speedup,
+            r.coverage
+        );
+    }
+    let (model, config) = best_helix();
+    let report = study.evaluate(model, config);
+    println!("\nper-loop detail under {model} {config}:");
+    for lp in &report.loops {
+        println!(
+            "  {}@{} depth {} — {} instance(s), {} iteration(s), {:.2}x ({} parallel)",
+            lp.func_name,
+            lp.header,
+            lp.depth,
+            lp.instances,
+            lp.iterations,
+            lp.speedup(),
+            lp.parallel_instances
+        );
+    }
+    println!("\n{}", study.census());
+    let _ = paper_rows();
+}

@@ -1,0 +1,81 @@
+//! Core-count scaling curves — the bridge from the paper's
+//! infinite-resource limit study to the finite-core systems its related
+//! work reports against (HELIX-RC: 6.5× on 16 cores for CINT;
+//! SWARM/T4: 19× on 64 cores): evaluate the best HELIX and best PDOALL
+//! configurations with the core count bounded.
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin scaling [test|small|default]
+//! ```
+
+use lp_bench::{run_suites, scale_from_args, SuiteRun};
+use lp_runtime::{best_helix, best_pdoall, geomean, EvalOptions};
+use lp_suite::SuiteId;
+
+const CORES: [Option<u32>; 7] = [
+    Some(2),
+    Some(4),
+    Some(8),
+    Some(16),
+    Some(32),
+    Some(64),
+    None,
+];
+
+fn geomean_at(
+    runs: &[SuiteRun],
+    suite: SuiteId,
+    model: lp_runtime::ExecModel,
+    config: lp_runtime::Config,
+    cores: Option<u32>,
+) -> f64 {
+    let values: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.suite == suite)
+        .map(|r| {
+            lp_runtime::evaluate_with(
+                r.study.profile(),
+                model,
+                config,
+                EvalOptions {
+                    cores,
+                    ..EvalOptions::default()
+                },
+            )
+            .speedup
+        })
+        .collect();
+    geomean(&values)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let suites = SuiteId::all();
+    let runs = run_suites(&suites, scale);
+    eprintln!();
+
+    for (label, (model, config)) in [
+        ("best HELIX (reduc1-dep1-fn2)", best_helix()),
+        ("best PDOALL (reduc1-dep2-fn2)", best_pdoall()),
+    ] {
+        println!("GEOMEAN speedup vs core count — {label} ({scale:?} scale)");
+        print!("{:<10}", "suite");
+        for c in CORES {
+            match c {
+                Some(p) => print!(" {p:>7}"),
+                None => print!(" {:>7}", "inf"),
+            }
+        }
+        println!();
+        for suite in suites {
+            print!("{:<10}", suite.label());
+            for c in CORES {
+                print!(" {:>6.2}x", geomean_at(&runs, suite, model, config, c));
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("reference points from the paper's related work: HELIX-RC reached 6.5x");
+    println!("on 16 cores for SpecINT2006; SWARM/T4 19x on 64 cores (no frequent LCDs).");
+}

@@ -1,0 +1,31 @@
+//! Full-lattice sweep: every benchmark × every execution model × all 32
+//! configurations, exported as CSV for external plotting. The
+//! machine-readable superset of Figures 2–4.
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin sweep -- default > results/sweep.csv
+//! ```
+
+use lp_bench::{run_suites, scale_from_args};
+use lp_runtime::export::{report_header, report_row};
+use lp_runtime::{Config, ExecModel};
+use lp_suite::SuiteId;
+
+fn main() {
+    let scale = scale_from_args();
+    let runs = run_suites(&SuiteId::all(), scale);
+    eprintln!();
+
+    println!("{}", report_header());
+    let mut rows = 0usize;
+    for run in &runs {
+        for model in ExecModel::all() {
+            for config in Config::all() {
+                let report = run.study.evaluate(model, config);
+                println!("{}", report_row(&report));
+                rows += 1;
+            }
+        }
+    }
+    eprintln!("wrote {rows} rows ({} benchmarks x 3 models x 32 configs)", runs.len());
+}

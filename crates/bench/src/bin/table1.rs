@@ -1,0 +1,32 @@
+//! Table I: the ordering-constraint census — how many register LCDs are
+//! computable / reduction / predictable / unpredictable, how many loops
+//! carry frequent vs infrequent memory LCDs, and how many loops contain
+//! calls (the structural constraint), per suite and overall.
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin table1 [test|small|default]
+//! ```
+
+use lp_bench::{run_suites, scale_from_args};
+use lp_runtime::Census;
+use lp_suite::SuiteId;
+
+fn main() {
+    let scale = scale_from_args();
+    let runs = run_suites(&SuiteId::all(), scale);
+    eprintln!();
+
+    println!("Table I — ordering constraints and dependencies, quantified ({scale:?} scale)\n");
+    for suite in SuiteId::all() {
+        let census = Census::over(
+            runs.iter()
+                .filter(|r| r.suite == suite)
+                .map(|r| r.study.profile()),
+        );
+        println!("[{suite}]");
+        println!("{census}\n");
+    }
+    let total = Census::over(runs.iter().map(|r| r.study.profile()));
+    println!("[all suites]");
+    println!("{total}");
+}

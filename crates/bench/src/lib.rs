@@ -1,0 +1,150 @@
+//! # lp-bench — experiment regeneration harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I (ordering-constraint census) |
+//! | `table2` | Table II (configuration flags) |
+//! | `fig1` | Fig. 1 (execution-model timelines) |
+//! | `fig2` | Fig. 2 (GEOMEAN speedups, non-numeric) |
+//! | `fig3` | Fig. 3 (GEOMEAN speedups, numeric) |
+//! | `fig4` | Fig. 4 (per-benchmark best PDOALL vs best HELIX) |
+//! | `fig5` | Fig. 5 (dynamic coverage) |
+//! | `ablations` | DESIGN.md ablations (cactus stack, DOACROSS deltas, predictors) |
+//!
+//! Every binary accepts an optional scale argument (`test`, `small`,
+//! `default`); Criterion performance benches live in `benches/`.
+
+use loopapalooza::Study;
+use lp_suite::{Benchmark, Scale, SuiteId};
+
+/// One profiled benchmark.
+#[derive(Debug)]
+pub struct SuiteRun {
+    /// Benchmark name (e.g. `429.mcf`).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: SuiteId,
+    /// The profiled study, ready for evaluation.
+    pub study: Study,
+}
+
+/// Profiles the given benchmarks, reporting progress on stderr.
+///
+/// # Panics
+/// Panics if a benchmark fails to build or run — they are fixed program
+/// text, covered by the suite's tests.
+#[must_use]
+pub fn run_benchmarks(benchmarks: &[Benchmark], scale: Scale) -> Vec<SuiteRun> {
+    benchmarks
+        .iter()
+        .map(|b| {
+            eprint!("  profiling {:<20}\r", b.name);
+            let module = b.build(scale);
+            let study = Study::of(&module)
+                .unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
+            SuiteRun {
+                name: b.name,
+                suite: b.suite,
+                study,
+            }
+        })
+        .collect()
+}
+
+/// Profiles every benchmark of the given suites.
+#[must_use]
+pub fn run_suites(ids: &[SuiteId], scale: Scale) -> Vec<SuiteRun> {
+    let benchmarks: Vec<Benchmark> = lp_suite::registry()
+        .into_iter()
+        .filter(|b| ids.contains(&b.suite))
+        .collect();
+    run_benchmarks(&benchmarks, scale)
+}
+
+/// Parses the scale from the first CLI argument (default: `default`).
+///
+/// # Panics
+/// Exits the process with an error message on unknown values.
+#[must_use]
+pub fn scale_from_args() -> Scale {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("default") => Scale::Default,
+        Some("small") => Scale::Small,
+        Some("test") => Scale::Test,
+        Some(other) => {
+            eprintln!("unknown scale {other:?} (use test|small|default)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Renders a log-scale ASCII bar for a speedup figure (the figures in the
+/// paper use a logarithmic axis).
+#[must_use]
+pub fn log_bar(value: f64, max: f64, width: usize) -> String {
+    let v = value.max(1.0).ln();
+    let m = max.max(1.0 + 1e-9).ln();
+    let filled = ((v / m) * width as f64).round() as usize;
+    let mut bar = "#".repeat(filled.min(width));
+    if bar.is_empty() && value > 1.0 {
+        bar.push('#');
+    }
+    bar
+}
+
+/// Geometric-mean speedup of `runs` restricted to `suite` under one row.
+#[must_use]
+pub fn suite_geomean_speedup(
+    runs: &[SuiteRun],
+    suite: SuiteId,
+    model: lp_runtime::ExecModel,
+    config: lp_runtime::Config,
+) -> f64 {
+    let values: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.suite == suite)
+        .map(|r| r.study.evaluate(model, config).speedup)
+        .collect();
+    lp_runtime::geomean(&values)
+}
+
+/// Geometric-mean coverage of `runs` restricted to `suite` under one row.
+#[must_use]
+pub fn suite_geomean_coverage(
+    runs: &[SuiteRun],
+    suite: SuiteId,
+    model: lp_runtime::ExecModel,
+    config: lp_runtime::Config,
+) -> f64 {
+    let values: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.suite == suite)
+        .map(|r| r.study.evaluate(model, config).coverage.max(0.01))
+        .collect();
+    lp_runtime::geomean(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_bar_is_monotone() {
+        let short = log_bar(2.0, 100.0, 40).len();
+        let long = log_bar(50.0, 100.0, 40).len();
+        assert!(long > short);
+        assert!(log_bar(1.0, 100.0, 40).is_empty());
+        assert_eq!(log_bar(100.0, 100.0, 40).len(), 40);
+    }
+
+    #[test]
+    fn harness_runs_one_suite() {
+        let runs = run_suites(&[SuiteId::Eembc], Scale::Test);
+        assert_eq!(runs.len(), 10);
+        let (model, config) = lp_runtime::best_pdoall();
+        let gm = suite_geomean_speedup(&runs, SuiteId::Eembc, model, config);
+        assert!(gm >= 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! # Loopapalooza — a compiler-driven limit study of loop-level parallelism
+//!
+//! A from-scratch Rust reproduction of *"Loopapalooza: Investigating
+//! Limits of Loop-Level Parallelism with a Compiler-Driven Approach"*
+//! (Zaidi, Iordanou, Luján, Gabrielli — ISPASS 2021).
+//!
+//! This crate is the facade tying the subsystem crates together:
+//!
+//! - [`lp_ir`] — the SSA IR substrate (standing in for LLVM IR);
+//! - [`lp_analysis`] — the compile-time component (loops, SCEV,
+//!   reductions, purity);
+//! - [`lp_interp`] — deterministic execution with instrumentation
+//!   call-backs;
+//! - [`lp_predict`] — the four-way hybrid value predictor;
+//! - [`lp_runtime`] — the run-time component: dependence tracking, the
+//!   DOALL / Partial-DOALL / HELIX cost models, and the evaluator;
+//! - [`lp_suite`] — synthetic SPEC CPU2000/2006 and EEMBC stand-ins.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use loopapalooza::prelude::*;
+//!
+//! # fn main() -> Result<(), loopapalooza::Error> {
+//! // Pick a benchmark and profile it once...
+//! let bench = lp_suite::find("181.mcf").expect("registered benchmark");
+//! let module = bench.build(Scale::Test);
+//! let study = Study::of(&module)?;
+//!
+//! // ...then evaluate any (model, configuration) pair offline.
+//! let best = study.evaluate(ExecModel::Helix, "reduc1-dep1-fn2".parse().unwrap());
+//! assert!(best.speedup >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lp_analysis;
+pub use lp_interp;
+pub use lp_ir;
+pub use lp_predict;
+pub use lp_runtime;
+pub use lp_suite;
+
+use lp_analysis::ModuleAnalysis;
+use lp_interp::{MachineConfig, RunResult};
+use lp_ir::Module;
+use lp_runtime::{evaluate, Census, Config, EvalReport, ExecModel, Profile};
+use std::fmt;
+
+/// Commonly used items, re-exported for `use loopapalooza::prelude::*`.
+pub mod prelude {
+    pub use crate::{Error, Study};
+    pub use lp_ir::builder::FunctionBuilder;
+    pub use lp_ir::{Module, Type};
+    pub use lp_runtime::{
+        best_helix, best_pdoall, paper_rows, Config, DepMode, ExecModel, FnMode, ReducMode,
+    };
+    pub use lp_suite::{self, Scale, SuiteId};
+}
+
+/// Top-level error: anything the pipeline can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The module failed verification.
+    Ir(lp_ir::IrError),
+    /// Execution trapped or exhausted its budget.
+    Interp(lp_interp::InterpError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Ir(e) => write!(f, "ir error: {e}"),
+            Error::Interp(e) => write!(f, "interp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<lp_ir::IrError> for Error {
+    fn from(e: lp_ir::IrError) -> Error {
+        Error::Ir(e)
+    }
+}
+
+impl From<lp_interp::InterpError> for Error {
+    fn from(e: lp_interp::InterpError) -> Error {
+        Error::Interp(e)
+    }
+}
+
+/// One profiled program, ready for offline evaluation under any
+/// `(execution model, configuration)` pair.
+///
+/// Construction verifies the module, runs the compile-time analyses,
+/// executes the program once under the profiler (the expensive step), and
+/// keeps the [`Profile`]. Every subsequent [`Study::evaluate`] call is a
+/// cheap fold over the recorded region tree — exactly the paper's
+/// "single instrumented run, many configurations" workflow.
+#[derive(Debug)]
+pub struct Study {
+    analysis: ModuleAnalysis,
+    profile: Profile,
+    run: RunResult,
+}
+
+impl Study {
+    /// Verifies, analyzes, and profiles `module` (with no arguments and
+    /// default machine limits).
+    ///
+    /// # Errors
+    /// Returns [`Error::Ir`] for invalid modules and [`Error::Interp`]
+    /// for runtime traps.
+    pub fn of(module: &Module) -> Result<Study, Error> {
+        Study::with_config(module, MachineConfig::default())
+    }
+
+    /// As [`Study::of`] with explicit machine limits.
+    ///
+    /// # Errors
+    /// As [`Study::of`].
+    pub fn with_config(module: &Module, config: MachineConfig) -> Result<Study, Error> {
+        lp_ir::verify_module(module)?;
+        lp_analysis::verify_ssa(module)?;
+        let analysis = lp_analysis::analyze_module(module);
+        let (profile, run) = lp_runtime::profile_module(module, &analysis, &[], config)?;
+        Ok(Study {
+            analysis,
+            profile,
+            run,
+        })
+    }
+
+    /// Evaluates one `(model, config)` pair against the stored profile.
+    #[must_use]
+    pub fn evaluate(&self, model: ExecModel, config: Config) -> EvalReport {
+        evaluate(&self.profile, model, config)
+    }
+
+    /// Evaluates all 14 rows of the paper's Figures 2–3.
+    #[must_use]
+    pub fn paper_rows(&self) -> Vec<EvalReport> {
+        lp_runtime::paper_rows()
+            .into_iter()
+            .map(|(model, config)| self.evaluate(model, config))
+            .collect()
+    }
+
+    /// The recorded profile.
+    #[must_use]
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The compile-time analysis bundle.
+    #[must_use]
+    pub fn analysis(&self) -> &ModuleAnalysis {
+        &self.analysis
+    }
+
+    /// The sequential run result (return value, cost, captured output).
+    #[must_use]
+    pub fn run_result(&self) -> &RunResult {
+        &self.run
+    }
+
+    /// Table-I census for this program alone.
+    #[must_use]
+    pub fn census(&self) -> Census {
+        Census::over([&self.profile])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_runtime::{best_helix, best_pdoall};
+    use lp_suite::Scale;
+
+    #[test]
+    fn study_runs_a_benchmark_end_to_end() {
+        let bench = lp_suite::find("456.hmmer").unwrap();
+        let module = bench.build(Scale::Test);
+        let study = Study::of(&module).unwrap();
+        assert!(study.run_result().cost > 1000);
+        let rows = study.paper_rows();
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            assert!(r.speedup >= 0.999, "{}: {}", r.config, r.speedup);
+        }
+        let (m, c) = best_helix();
+        let hx = study.evaluate(m, c);
+        let (m, c) = best_pdoall();
+        let pd = study.evaluate(m, c);
+        assert!(hx.speedup > pd.speedup, "hmmer prefers HELIX");
+        let census = study.census();
+        assert!(census.executed_loops > 0);
+    }
+
+    #[test]
+    fn study_rejects_invalid_modules() {
+        let module = Module::new("empty"); // no main
+        assert!(matches!(Study::of(&module), Err(Error::Interp(_) | Error::Ir(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Error::Interp(lp_interp::InterpError::DivByZero);
+        assert!(e.to_string().contains("division"));
+    }
+}

@@ -1,0 +1,817 @@
+//! The interpreter core.
+
+use crate::events::EventSink;
+use crate::memory::Memory;
+use crate::value::Value;
+use crate::{InterpError, Result};
+use lp_ir::{
+    BinOp, BlockId, Builtin, Callee, CastKind, FcmpPred, FuncId, IcmpPred, Inst, Module, Term,
+    ValueId, ValueKind,
+};
+
+/// Resource limits and reproducibility knobs.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Maximum total dynamic IR cost before [`InterpError::FuelExhausted`].
+    pub max_cost: u64,
+    /// Maximum user-function call depth.
+    pub max_call_depth: u32,
+    /// Seed of the deterministic `rand` builtin.
+    pub rng_seed: u64,
+    /// Whether `print_*` builtins capture their output into
+    /// [`RunResult::output`] (capped at 10 000 lines) or discard it.
+    pub capture_output: bool,
+    /// Values whose definitions should be reported through
+    /// [`EventSink::value_defined`]. Loopapalooza registers the latch
+    /// incoming values of traced register LCDs here.
+    pub watched_values: Vec<(FuncId, ValueId)>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            max_cost: 2_000_000_000,
+            max_call_depth: 4096,
+            rng_seed: 0x5EED_1234_ABCD_0001,
+            capture_output: false,
+            watched_values: Vec::new(),
+        }
+    }
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Return value of the entry function.
+    pub ret: Value,
+    /// Total dynamic IR cost (the paper's sequential "time").
+    pub cost: u64,
+    /// Captured `print_*` output, if enabled.
+    pub output: Vec<String>,
+}
+
+/// An interpreter instance bound to a module and an event sink.
+///
+/// The machine is single-use per program run: construct, [`Machine::run`],
+/// inspect. Globals are laid out and initialized at construction.
+#[derive(Debug)]
+pub struct Machine<'a, S> {
+    module: &'a Module,
+    sink: &'a mut S,
+    config: MachineConfig,
+    memory: Memory,
+    global_bases: Vec<u64>,
+    cost: u64,
+    rng: u64,
+    output: Vec<String>,
+    depth: u32,
+    /// Per-function bitmap of watched value ids (empty vec = none).
+    watched: Vec<Vec<bool>>,
+}
+
+impl<'a, S: EventSink> Machine<'a, S> {
+    /// Creates a machine with default configuration.
+    ///
+    /// # Panics
+    /// Panics if global initializers are longer than their globals (the
+    /// module should have been verified).
+    #[must_use]
+    pub fn new(module: &'a Module, sink: &'a mut S) -> Machine<'a, S> {
+        Machine::with_config(module, sink, MachineConfig::default())
+    }
+
+    /// Creates a machine with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if global initializers are longer than their globals.
+    #[must_use]
+    pub fn with_config(
+        module: &'a Module,
+        sink: &'a mut S,
+        config: MachineConfig,
+    ) -> Machine<'a, S> {
+        let mut memory = Memory::new();
+        let mut global_bases = Vec::with_capacity(module.globals.len());
+        let mut base = crate::memory::GLOBAL_BASE;
+        for g in &module.globals {
+            assert!(
+                g.init.len() as u64 <= g.words,
+                "global {} initializer too long",
+                g.name
+            );
+            global_bases.push(base);
+            for (i, w) in g.init.iter().enumerate() {
+                memory
+                    .write(base + (i as u64) * 8, *w)
+                    .expect("global layout is aligned");
+            }
+            base += g.words.max(1) * 8;
+        }
+        let rng = config.rng_seed;
+        let mut watched: Vec<Vec<bool>> = vec![Vec::new(); module.functions.len()];
+        for (fid, vid) in &config.watched_values {
+            let func = module.function(*fid);
+            let map = &mut watched[fid.index()];
+            if map.is_empty() {
+                map.resize(func.values.len(), false);
+            }
+            map[vid.index()] = true;
+        }
+        Machine {
+            module,
+            sink,
+            config,
+            memory,
+            global_bases,
+            cost: 0,
+            rng,
+            output: Vec::new(),
+            depth: 0,
+            watched,
+        }
+    }
+
+    /// Runs `main` with the given arguments.
+    ///
+    /// # Errors
+    /// Propagates traps and resource-limit failures, or an
+    /// [`InterpError::TypeConfusion`] if the module has no `main`.
+    pub fn run(mut self, args: &[Value]) -> Result<RunResult> {
+        let entry = self
+            .module
+            .entry()
+            .map_err(|_| InterpError::TypeConfusion("missing main"))?;
+        let ret = self.call_function(entry, args)?;
+        Ok(RunResult {
+            ret,
+            cost: self.cost,
+            output: self.output,
+        })
+    }
+
+    /// Runs an arbitrary function by name (for tests and examples).
+    ///
+    /// # Errors
+    /// As [`Machine::run`].
+    pub fn run_function(mut self, name: &str, args: &[Value]) -> Result<RunResult> {
+        let fid = self
+            .module
+            .function_by_name(name)
+            .ok_or(InterpError::TypeConfusion("unknown function"))?;
+        let ret = self.call_function(fid, args)?;
+        Ok(RunResult {
+            ret,
+            cost: self.cost,
+            output: self.output,
+        })
+    }
+
+    /// Dynamic cost so far.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Address of a global (for constructing pointer arguments in tests).
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn global_base(&self, g: lp_ir::GlobalId) -> u64 {
+        self.global_bases[g.index()]
+    }
+
+    fn charge(&mut self, c: u64) -> Result<()> {
+        self.cost += c;
+        if self.cost > self.config.max_cost {
+            return Err(InterpError::FuelExhausted);
+        }
+        Ok(())
+    }
+
+    fn eval(&self, func: &lp_ir::Function, regs: &[Value], v: ValueId) -> Value {
+        match func.value(v) {
+            ValueKind::Param(_) | ValueKind::Inst(_) => regs[v.index()],
+            ValueKind::ConstInt(c) => Value::I(*c),
+            ValueKind::ConstFloat(c) => Value::F(*c),
+            ValueKind::ConstBool(b) => Value::B(*b),
+            ValueKind::ConstNull => Value::P(0),
+            ValueKind::GlobalAddr(g) => Value::P(self.global_bases[g.index()]),
+            ValueKind::FuncAddr(f) => Value::P(0xF000_0000_0000 | u64::from(f.0)),
+        }
+    }
+
+    fn call_function(&mut self, fid: FuncId, args: &[Value]) -> Result<Value> {
+        self.depth += 1;
+        if self.depth > self.config.max_call_depth {
+            return Err(InterpError::CallDepthExceeded);
+        }
+        let func = self.module.function(fid);
+        debug_assert_eq!(args.len(), func.params.len());
+        let mut regs: Vec<Value> = vec![Value::Unit; func.values.len()];
+        regs[..args.len()].copy_from_slice(args);
+        let frame_mark = self.memory.stack_top();
+        self.sink.func_entered(fid, frame_mark, self.cost);
+
+        let mut block = BlockId::ENTRY;
+        let mut prev: Option<BlockId> = None;
+        let ret = loop {
+            let cost = func.block_cost(block);
+            self.sink.block_entered(fid, block, cost, self.cost);
+
+            // Two-phase phi resolution (parallel-copy semantics). Phis are
+            // free (resolved on edges), so no cost is charged.
+            if let Some(pred) = prev {
+                let blk = func.block(block);
+                let mut updates: Vec<(ValueId, Value)> = Vec::new();
+                for &iid in &blk.insts {
+                    let data = func.inst(iid);
+                    let Inst::Phi { incomings, .. } = &data.inst else {
+                        break;
+                    };
+                    let (_, v) = incomings
+                        .iter()
+                        .find(|(b, _)| *b == pred)
+                        .expect("verified phi covers predecessors");
+                    updates.push((data.result, self.eval(func, &regs, *v)));
+                }
+                for (r, v) in updates {
+                    regs[r.index()] = v;
+                    self.sink.phi_resolved(fid, block, r, v, self.cost);
+                }
+            }
+
+            // Body, charged one cost unit per instruction so producer and
+            // consumer timestamps have instruction granularity. `func`
+            // borrows from the module (lifetime `'a`), not from `self`, so
+            // iterating it while mutating `self` is fine.
+            for &iid in &func.block(block).insts {
+                let data = func.inst(iid);
+                if data.inst.is_phi() {
+                    continue;
+                }
+                self.charge(1)?;
+                let result = self.exec_inst(fid, func, &mut regs, &data.inst)?;
+                regs[data.result.index()] = result;
+                let map = &self.watched[fid.index()];
+                if !map.is_empty() && map[data.result.index()] {
+                    self.sink.value_defined(fid, data.result, result, self.cost);
+                }
+            }
+
+            // Terminator (one cost unit).
+            self.charge(1)?;
+            match &func.block(block).term {
+                Term::Br(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Term::CondBr {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let c = self.eval(func, &regs, *cond).as_bool()?;
+                    prev = Some(block);
+                    block = if c { *then_blk } else { *else_blk };
+                }
+                Term::Ret(v) => {
+                    break match v {
+                        Some(v) => self.eval(func, &regs, *v),
+                        None => Value::Unit,
+                    };
+                }
+            }
+        };
+        self.memory.stack_release(frame_mark);
+        self.sink.func_exited(fid, self.cost);
+        self.depth -= 1;
+        Ok(ret)
+    }
+
+    fn exec_inst(
+        &mut self,
+        fid: FuncId,
+        func: &lp_ir::Function,
+        regs: &mut [Value],
+        inst: &Inst,
+    ) -> Result<Value> {
+        match inst {
+            Inst::Bin { op, lhs, rhs } => {
+                let l = self.eval(func, regs, *lhs);
+                let r = self.eval(func, regs, *rhs);
+                exec_bin(*op, l, r)
+            }
+            Inst::Icmp { pred, lhs, rhs } => {
+                let l = self.eval(func, regs, *lhs);
+                let r = self.eval(func, regs, *rhs);
+                let (l, r) = match (l, r) {
+                    (Value::P(a), Value::P(b)) => (a as i64, b as i64),
+                    (a, b) => (a.as_i64()?, b.as_i64()?),
+                };
+                Ok(Value::B(match pred {
+                    IcmpPred::Eq => l == r,
+                    IcmpPred::Ne => l != r,
+                    IcmpPred::Slt => l < r,
+                    IcmpPred::Sle => l <= r,
+                    IcmpPred::Sgt => l > r,
+                    IcmpPred::Sge => l >= r,
+                }))
+            }
+            Inst::Fcmp { pred, lhs, rhs } => {
+                let l = self.eval(func, regs, *lhs).as_f64()?;
+                let r = self.eval(func, regs, *rhs).as_f64()?;
+                Ok(Value::B(match pred {
+                    FcmpPred::Oeq => l == r,
+                    FcmpPred::One => l != r,
+                    FcmpPred::Olt => l < r,
+                    FcmpPred::Ole => l <= r,
+                    FcmpPred::Ogt => l > r,
+                    FcmpPred::Oge => l >= r,
+                }))
+            }
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let c = self.eval(func, regs, *cond).as_bool()?;
+                Ok(if c {
+                    self.eval(func, regs, *then_val)
+                } else {
+                    self.eval(func, regs, *else_val)
+                })
+            }
+            Inst::Cast { kind, val } => {
+                let v = self.eval(func, regs, *val);
+                Ok(match kind {
+                    CastKind::SiToFp => Value::F(v.as_i64()? as f64),
+                    CastKind::FpToSi => Value::I(v.as_f64()? as i64),
+                    CastKind::PtrToInt => Value::I(v.as_ptr()? as i64),
+                    CastKind::IntToPtr => Value::P(v.as_i64()? as u64),
+                    CastKind::BoolToInt => Value::I(i64::from(v.as_bool()?)),
+                })
+            }
+            Inst::Load { ty, addr } => {
+                let a = self.eval(func, regs, *addr).as_ptr()?;
+                let bits = self.memory.read(a)?;
+                self.sink.load(a, self.cost);
+                Ok(Value::from_bits(*ty, bits))
+            }
+            Inst::Store { val, addr } => {
+                let v = self.eval(func, regs, *val).to_bits()?;
+                let a = self.eval(func, regs, *addr).as_ptr()?;
+                self.memory.write(a, v)?;
+                self.sink.store(a, self.cost);
+                Ok(Value::Unit)
+            }
+            Inst::Gep {
+                base,
+                index,
+                scale,
+                offset,
+            } => {
+                let b = self.eval(func, regs, *base).as_ptr()?;
+                let i = self.eval(func, regs, *index).as_i64()?;
+                let addr = (b as i64)
+                    .wrapping_add(i.wrapping_mul(*scale))
+                    .wrapping_add(*offset) as u64;
+                Ok(Value::P(addr))
+            }
+            Inst::Alloca { words } => {
+                let base = self.memory.stack_alloc(u64::from(*words));
+                Ok(Value::P(base))
+            }
+            Inst::Call { callee, args } => {
+                let argv: Vec<Value> = args.iter().map(|a| self.eval(func, regs, *a)).collect();
+                match callee {
+                    Callee::Func(target) => self.call_function(*target, &argv),
+                    Callee::Builtin(b) => {
+                        self.sink.builtin_called(fid, *b, self.cost);
+                        self.exec_builtin(*b, &argv)
+                    }
+                }
+            }
+            Inst::Phi { .. } => unreachable!("phis handled at block entry"),
+        }
+    }
+
+    fn exec_builtin(&mut self, b: Builtin, args: &[Value]) -> Result<Value> {
+        match b {
+            Builtin::Malloc => {
+                let bytes = args[0].as_i64()?.max(0) as u64;
+                Ok(Value::P(self.memory.heap_alloc(bytes)))
+            }
+            Builtin::Free => Ok(Value::Unit),
+            Builtin::Memcpy => {
+                // Forward word copy: like C `memcpy`, overlapping
+                // dst/src ranges are not supported (no memmove variant).
+                let dst = args[0].as_ptr()?;
+                let src = args[1].as_ptr()?;
+                let bytes = args[2].as_i64()?.max(0) as u64;
+                for w in 0..bytes.div_ceil(8) {
+                    let bits = self.memory.read(src + w * 8)?;
+                    self.sink.load(src + w * 8, self.cost);
+                    self.memory.write(dst + w * 8, bits)?;
+                    self.sink.store(dst + w * 8, self.cost);
+                }
+                Ok(Value::Unit)
+            }
+            Builtin::Memset => {
+                let dst = args[0].as_ptr()?;
+                let word = args[1].as_i64()? as u64;
+                let bytes = args[2].as_i64()?.max(0) as u64;
+                for w in 0..bytes.div_ceil(8) {
+                    self.memory.write(dst + w * 8, word)?;
+                    self.sink.store(dst + w * 8, self.cost);
+                }
+                Ok(Value::Unit)
+            }
+            Builtin::PrintI64 => {
+                if self.config.capture_output && self.output.len() < 10_000 {
+                    self.output.push(args[0].as_i64()?.to_string());
+                }
+                Ok(Value::Unit)
+            }
+            Builtin::PrintF64 => {
+                if self.config.capture_output && self.output.len() < 10_000 {
+                    self.output.push(format!("{:?}", args[0].as_f64()?));
+                }
+                Ok(Value::Unit)
+            }
+            Builtin::Rand => {
+                self.rng = self
+                    .rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                Ok(Value::I((self.rng >> 33) as i64))
+            }
+            Builtin::Sqrt => {
+                let x = args[0].as_f64()?;
+                if x < 0.0 {
+                    return Err(InterpError::MathDomain("sqrt"));
+                }
+                Ok(Value::F(x.sqrt()))
+            }
+            Builtin::Sin => Ok(Value::F(args[0].as_f64()?.sin())),
+            Builtin::Cos => Ok(Value::F(args[0].as_f64()?.cos())),
+            Builtin::Exp => Ok(Value::F(args[0].as_f64()?.exp())),
+            Builtin::Log => {
+                let x = args[0].as_f64()?;
+                if x <= 0.0 {
+                    return Err(InterpError::MathDomain("log"));
+                }
+                Ok(Value::F(x.ln()))
+            }
+            Builtin::FAbs => Ok(Value::F(args[0].as_f64()?.abs())),
+            Builtin::Floor => Ok(Value::F(args[0].as_f64()?.floor())),
+            Builtin::Pow => Ok(Value::F(args[0].as_f64()?.powf(args[1].as_f64()?))),
+        }
+    }
+}
+
+fn exec_bin(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    if op.is_float() {
+        let (a, b) = (l.as_f64()?, r.as_f64()?);
+        return Ok(Value::F(match op {
+            BinOp::FAdd => a + b,
+            BinOp::FSub => a - b,
+            BinOp::FMul => a * b,
+            BinOp::FDiv => a / b,
+            BinOp::FMin => a.min(b),
+            BinOp::FMax => a.max(b),
+            _ => unreachable!(),
+        }));
+    }
+    let (a, b) = (l.as_i64()?, r.as_i64()?);
+    Ok(Value::I(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a.checked_div(b).unwrap_or(i64::MIN)
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a.checked_rem(b).unwrap_or(0)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::AShr => a.wrapping_shr(b as u32 & 63),
+        BinOp::SMin => a.min(b),
+        BinOp::SMax => a.max(b),
+        _ => unreachable!(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{CountingSink, NullSink};
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{Global, Type};
+
+    fn run_main(m: &Module, args: &[Value]) -> RunResult {
+        let mut sink = NullSink;
+        Machine::new(m, &mut sink).run(args).unwrap()
+    }
+
+    /// sum of 0..n via loop.
+    fn sum_module() -> Module {
+        let mut m = Module::new("sum");
+        let mut fb = FunctionBuilder::new("main", &[Type::I64], Type::I64);
+        let n = fb.param(0);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let s = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let s2 = fb.add(s, i);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.add_phi_incoming(s, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(s, body, s2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(s));
+        m.add_function(fb.finish().unwrap());
+        m
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let m = sum_module();
+        assert_eq!(run_main(&m, &[Value::I(10)]).ret, Value::I(45));
+        assert_eq!(run_main(&m, &[Value::I(0)]).ret, Value::I(0));
+    }
+
+    #[test]
+    fn cost_is_dynamic_ir_count() {
+        let m = sum_module();
+        let r0 = run_main(&m, &[Value::I(0)]);
+        let r10 = run_main(&m, &[Value::I(10)]);
+        let r20 = run_main(&m, &[Value::I(20)]);
+        // Each extra iteration costs the same (header + body).
+        assert_eq!(r20.cost - r10.cost, r10.cost - r0.cost);
+        assert!(r0.cost > 0);
+    }
+
+    #[test]
+    fn events_are_emitted() {
+        let mut m = Module::new("ev");
+        let g = m.add_global(Global::zeroed("buf", 4));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let p = fb.global_addr(g);
+        let x = fb.const_i64(5);
+        fb.store(x, p);
+        let y = fb.load(Type::I64, p);
+        fb.ret(Some(y));
+        m.add_function(fb.finish().unwrap());
+        let mut sink = CountingSink::default();
+        let r = Machine::new(&m, &mut sink).run(&[]).unwrap();
+        assert_eq!(r.ret, Value::I(5));
+        assert_eq!(sink.loads, 1);
+        assert_eq!(sink.stores, 1);
+        assert_eq!(sink.blocks, 1);
+        assert_eq!(sink.calls, 1); // main itself
+        assert_eq!(r.cost, sink.cost);
+    }
+
+    #[test]
+    fn globals_are_initialized() {
+        let mut m = Module::new("gi");
+        let g = m.add_global(Global::from_i64("tab", &[7, 8, 9]));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let p = fb.global_addr(g);
+        let two = fb.const_i64(2);
+        let a = fb.gep(p, two, 8, 0);
+        let v = fb.load(Type::I64, a);
+        fb.ret(Some(v));
+        m.add_function(fb.finish().unwrap());
+        assert_eq!(run_main(&m, &[]).ret, Value::I(9));
+    }
+
+    #[test]
+    fn user_calls_and_stack_frames() {
+        let mut m = Module::new("call");
+        // callee: alloca a slot, store arg, load it back doubled.
+        let mut fb = FunctionBuilder::new("twice", &[Type::I64], Type::I64);
+        let x = fb.param(0);
+        let slot = fb.alloca(1);
+        fb.store(x, slot);
+        let v = fb.load(Type::I64, slot);
+        let r = fb.add(v, v);
+        fb.ret(Some(r));
+        let twice = m.add_function(fb.finish().unwrap());
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let a = fb.const_i64(21);
+        let r = fb.call(twice, Type::I64, &[a]);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        assert_eq!(run_main(&m, &[]).ret, Value::I(42));
+    }
+
+    #[test]
+    fn builtins_work() {
+        let mut m = Module::new("b");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let sixty_four = fb.const_i64(64);
+        let p = fb.call_builtin(Builtin::Malloc, &[sixty_four]);
+        let x = fb.const_i64(-3);
+        fb.store(x, p);
+        let four = fb.const_f64(4.0);
+        let s = fb.call_builtin(Builtin::Sqrt, &[four]);
+        let si = fb.fptosi(s);
+        let v = fb.load(Type::I64, p);
+        let r = fb.add(si, v);
+        fb.call_builtin(Builtin::Free, &[p]);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        assert_eq!(run_main(&m, &[]).ret, Value::I(-1));
+    }
+
+    #[test]
+    fn rand_is_deterministic() {
+        let mut m = Module::new("r");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let a = fb.call_builtin(Builtin::Rand, &[]);
+        let b = fb.call_builtin(Builtin::Rand, &[]);
+        let r = fb.xor(a, b);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        let r1 = run_main(&m, &[]);
+        let r2 = run_main(&m, &[]);
+        assert_eq!(r1.ret, r2.ret);
+        assert_ne!(r1.ret, Value::I(0), "two draws should differ");
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut m = Module::new("d");
+        let mut fb = FunctionBuilder::new("main", &[Type::I64], Type::I64);
+        let x = fb.const_i64(1);
+        let n = fb.param(0);
+        let r = fb.sdiv(x, n);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        let mut sink = NullSink;
+        let e = Machine::new(&m, &mut sink).run(&[Value::I(0)]).unwrap_err();
+        assert_eq!(e, InterpError::DivByZero);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut m = Module::new("inf");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let l = fb.create_block("l");
+        fb.br(l);
+        fb.switch_to(l);
+        fb.br(l);
+        // No phis needed: infinite empty loop.
+        m.add_function(fb.finish().unwrap());
+        let mut sink = NullSink;
+        let cfg = MachineConfig {
+            max_cost: 1000,
+            ..MachineConfig::default()
+        };
+        let e = Machine::with_config(&m, &mut sink, cfg).run(&[]).unwrap_err();
+        assert_eq!(e, InterpError::FuelExhausted);
+    }
+
+    #[test]
+    fn output_capture() {
+        let mut m = Module::new("o");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let x = fb.const_i64(7);
+        fb.call_builtin(Builtin::PrintI64, &[x]);
+        fb.ret(Some(x));
+        m.add_function(fb.finish().unwrap());
+        let mut sink = NullSink;
+        let cfg = MachineConfig {
+            capture_output: true,
+            ..MachineConfig::default()
+        };
+        let r = Machine::with_config(&m, &mut sink, cfg).run(&[]).unwrap();
+        assert_eq!(r.output, vec!["7".to_string()]);
+    }
+
+    #[test]
+    fn phi_swap_has_parallel_copy_semantics() {
+        // a, b = b, a each iteration; after 3 iterations of swapping
+        // (1, 2) we get (2, 1).
+        let mut m = Module::new("swap");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let one = fb.const_i64(1);
+        let two = fb.const_i64(2);
+        let zero = fb.const_i64(0);
+        let three = fb.const_i64(3);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let a = fb.phi(Type::I64);
+        let b = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, three);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.add_phi_incoming(a, BlockId::ENTRY, one);
+        fb.add_phi_incoming(a, body, b); // a <- b
+        fb.add_phi_incoming(b, BlockId::ENTRY, two);
+        fb.add_phi_incoming(b, body, a); // b <- a (old a!)
+        fb.br(header);
+        fb.switch_to(exit);
+        let ten = fb.const_i64(10);
+        let hi = fb.mul(a, ten);
+        let r = fb.add(hi, b);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        // After odd number of swaps: a=2, b=1 -> 21.
+        assert_eq!(run_main(&m, &[]).ret, Value::I(21));
+    }
+
+    #[test]
+    fn memcpy_and_memset_move_words_and_emit_events() {
+        let mut m = Module::new("mm");
+        let src = m.add_global(Global::from_i64("src", &[1, 2, 3, 4]));
+        let dst = m.add_global(Global::zeroed("dst", 4));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let s = fb.global_addr(src);
+        let d = fb.global_addr(dst);
+        let bytes = fb.const_i64(32);
+        fb.call_builtin(Builtin::Memcpy, &[d, s, bytes]);
+        let word = fb.const_i64(9);
+        let half = fb.const_i64(16);
+        fb.call_builtin(Builtin::Memset, &[s, word, half]);
+        let two = fb.const_i64(2);
+        let a = fb.gep(d, two, 8, 0);
+        let v1 = fb.load(Type::I64, a); // dst[2] == 3 (copied)
+        let z = fb.const_i64(0);
+        let b = fb.gep(s, z, 8, 8);
+        let v2 = fb.load(Type::I64, b); // src[1] == 9 (memset)
+        let r = fb.mul(v1, v2);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        let mut sink = CountingSink::default();
+        let res = Machine::new(&m, &mut sink).run(&[]).unwrap();
+        assert_eq!(res.ret, Value::I(27));
+        // 4 memcpy loads + 2 explicit loads; 4 memcpy + 2 memset stores.
+        assert_eq!(sink.loads, 6);
+        assert_eq!(sink.stores, 6);
+        assert_eq!(sink.builtins, 2);
+    }
+
+    #[test]
+    fn call_depth_limit_trips_on_infinite_recursion() {
+        let mut m = Module::new("rec");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let r = fb.call(lp_ir::FuncId(0), Type::I64, &[]); // self-call
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        let mut sink = NullSink;
+        let cfg = MachineConfig {
+            max_call_depth: 64,
+            ..MachineConfig::default()
+        };
+        let e = Machine::with_config(&m, &mut sink, cfg).run(&[]).unwrap_err();
+        assert_eq!(e, InterpError::CallDepthExceeded);
+    }
+
+    #[test]
+    fn null_and_unaligned_accesses_trap() {
+        let mut m = Module::new("bad");
+        let mut fb = FunctionBuilder::new("main", &[Type::I64], Type::I64);
+        let x = fb.param(0);
+        let p = fb.cast(lp_ir::CastKind::IntToPtr, x);
+        let v = fb.load(Type::I64, p);
+        fb.ret(Some(v));
+        m.add_function(fb.finish().unwrap());
+        let run = |arg: i64| {
+            let mut sink = NullSink;
+            Machine::new(&m, &mut sink).run(&[Value::I(arg)]).unwrap_err()
+        };
+        assert_eq!(run(0), InterpError::NullDeref(0));
+        assert_eq!(run(0x1000_0004), InterpError::Unaligned(0x1000_0004));
+    }
+
+    use lp_ir::{BlockId, IcmpPred};
+}

@@ -1,0 +1,200 @@
+//! Flat, paged, word-granular memory.
+//!
+//! The address space is split into three regions so the run-time component
+//! can distinguish access classes:
+//!
+//! - **globals** at [`GLOBAL_BASE`] — statically laid out at machine
+//!   construction;
+//! - **heap** at [`HEAP_BASE`] — bump-allocated by `malloc` (free is a
+//!   no-op, as in many real allocators' fast paths; addresses are never
+//!   reused, which keeps heap conflict tracking exact);
+//! - **stack** at [`STACK_BASE`] — LIFO frames that *do* reuse addresses
+//!   across calls, which is precisely the structural call-stack hazard of
+//!   paper §II-E.
+//!
+//! All accesses are 8-byte words; unaligned or null-page accesses trap.
+
+use crate::{InterpError, Result};
+use std::collections::HashMap;
+
+/// Base address of the globals region.
+pub const GLOBAL_BASE: u64 = 0x1000_0000;
+/// Base address of the heap region.
+pub const HEAP_BASE: u64 = 0x4000_0000;
+/// Base address of the stack region.
+pub const STACK_BASE: u64 = 0x8000_0000;
+
+const PAGE_WORDS: usize = 512;
+const PAGE_BYTES: u64 = (PAGE_WORDS as u64) * 8;
+
+/// Paged word memory with region allocators.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    heap_top: u64,
+    stack_top: u64,
+}
+
+impl Memory {
+    /// An empty memory with both allocators at their region bases.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory {
+            pages: HashMap::new(),
+            heap_top: HEAP_BASE,
+            stack_top: STACK_BASE,
+        }
+    }
+
+    fn check(addr: u64) -> Result<()> {
+        if addr < 0x1000 {
+            return Err(InterpError::NullDeref(addr));
+        }
+        if !addr.is_multiple_of(8) {
+            return Err(InterpError::Unaligned(addr));
+        }
+        Ok(())
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    /// Traps on unaligned or null-page addresses. Unwritten words read as
+    /// zero.
+    pub fn read(&self, addr: u64) -> Result<u64> {
+        Self::check(addr)?;
+        let page = addr / PAGE_BYTES;
+        let slot = ((addr % PAGE_BYTES) / 8) as usize;
+        Ok(self.pages.get(&page).map_or(0, |p| p[slot]))
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Errors
+    /// Traps on unaligned or null-page addresses.
+    pub fn write(&mut self, addr: u64, word: u64) -> Result<()> {
+        Self::check(addr)?;
+        let page = addr / PAGE_BYTES;
+        let slot = ((addr % PAGE_BYTES) / 8) as usize;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]))[slot] = word;
+        Ok(())
+    }
+
+    /// Bump-allocates `bytes` on the heap (rounded up to whole words),
+    /// returning the base address. Zero-byte allocations return a unique,
+    /// valid address.
+    pub fn heap_alloc(&mut self, bytes: u64) -> u64 {
+        let words = bytes.div_ceil(8).max(1);
+        let base = self.heap_top;
+        self.heap_top += words * 8;
+        base
+    }
+
+    /// Current top of the stack region.
+    #[must_use]
+    pub fn stack_top(&self) -> u64 {
+        self.stack_top
+    }
+
+    /// Pushes `words` stack slots, returning the base address of the new
+    /// allocation. Used for `alloca`.
+    pub fn stack_alloc(&mut self, words: u64) -> u64 {
+        let base = self.stack_top;
+        self.stack_top += words * 8;
+        base
+    }
+
+    /// Pops the stack back to `mark` (a value previously returned by
+    /// [`Memory::stack_top`]). Addresses above the mark become reusable —
+    /// deliberately *without* clearing their contents, mirroring a real
+    /// call stack.
+    pub fn stack_release(&mut self, mark: u64) {
+        debug_assert!(mark <= self.stack_top);
+        self.stack_top = mark;
+    }
+
+    /// Returns which region an address belongs to.
+    #[must_use]
+    pub fn region_of(addr: u64) -> Region {
+        if addr >= STACK_BASE {
+            Region::Stack
+        } else if addr >= HEAP_BASE {
+            Region::Heap
+        } else {
+            Region::Global
+        }
+    }
+}
+
+/// Memory region classification (drives structural-hazard handling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Statically allocated module globals.
+    Global,
+    /// Bump-allocated heap.
+    Heap,
+    /// LIFO call-stack frames.
+    Stack,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new();
+        m.write(GLOBAL_BASE, 0xDEAD).unwrap();
+        assert_eq!(m.read(GLOBAL_BASE).unwrap(), 0xDEAD);
+        assert_eq!(m.read(GLOBAL_BASE + 8).unwrap(), 0, "unwritten reads zero");
+    }
+
+    #[test]
+    fn traps() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(0), Err(InterpError::NullDeref(0)));
+        assert_eq!(m.read(GLOBAL_BASE + 4), Err(InterpError::Unaligned(GLOBAL_BASE + 4)));
+        assert_eq!(m.write(12, 1), Err(InterpError::NullDeref(12)));
+    }
+
+    #[test]
+    fn heap_never_reuses() {
+        let mut m = Memory::new();
+        let a = m.heap_alloc(16);
+        let b = m.heap_alloc(0);
+        let c = m.heap_alloc(1);
+        assert!(a < b && b < c);
+        assert_eq!(a % 8, 0);
+    }
+
+    #[test]
+    fn stack_is_lifo_and_reuses_addresses() {
+        let mut m = Memory::new();
+        let mark = m.stack_top();
+        let a = m.stack_alloc(4);
+        m.write(a, 7).unwrap();
+        m.stack_release(mark);
+        let b = m.stack_alloc(4);
+        assert_eq!(a, b, "released stack slots are reused");
+        assert_eq!(m.read(b).unwrap(), 7, "contents are not cleared");
+    }
+
+    #[test]
+    fn regions() {
+        assert_eq!(Memory::region_of(GLOBAL_BASE), Region::Global);
+        assert_eq!(Memory::region_of(HEAP_BASE + 64), Region::Heap);
+        assert_eq!(Memory::region_of(STACK_BASE + 8), Region::Stack);
+    }
+
+    #[test]
+    fn cross_page_writes() {
+        let mut m = Memory::new();
+        let base = HEAP_BASE + PAGE_BYTES - 8;
+        m.write(base, 1).unwrap();
+        m.write(base + 8, 2).unwrap();
+        assert_eq!(m.read(base).unwrap(), 1);
+        assert_eq!(m.read(base + 8).unwrap(), 2);
+    }
+}

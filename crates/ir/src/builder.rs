@@ -1,0 +1,558 @@
+//! Ergonomic construction of [`Function`]s.
+//!
+//! The builder follows the usual "current block" model: create blocks up
+//! front, [`FunctionBuilder::switch_to`] one, append instructions, then set
+//! its terminator. Builder misuse (type confusion, inserting after a
+//! terminator) panics — these are programmer errors in benchmark-authoring
+//! code, not runtime conditions. [`FunctionBuilder::finish`] returns an error
+//! only for incomplete functions (missing terminators).
+
+use crate::function::{Block, BlockId, Function, InstData, InstId};
+use crate::inst::{BinOp, Builtin, Callee, CastKind, FcmpPred, IcmpPred, Inst, Term};
+use crate::module::{FuncId, GlobalId};
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+use crate::{IrError, Result};
+
+/// Incremental builder for a single [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    terminated: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function; the entry block exists and is current.
+    #[must_use]
+    pub fn new(name: impl Into<String>, params: &[Type], ret: Type) -> FunctionBuilder {
+        FunctionBuilder {
+            func: Function::new(name, params, ret),
+            current: BlockId::ENTRY,
+            terminated: vec![false],
+        }
+    }
+
+    /// The value of the `index`-th parameter.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn param(&self, index: usize) -> ValueId {
+        self.func.param_value(index)
+    }
+
+    /// The block currently being appended to.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Creates a new (empty, unterminated) block.
+    pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            insts: Vec::new(),
+            term: Term::Ret(None),
+            name: Some(name.into()),
+        });
+        self.terminated.push(false);
+        id
+    }
+
+    /// Creates a new block with a unique auto-generated label
+    /// (`prefix_N`). Useful for composable code generators that cannot
+    /// guarantee caller-chosen labels are unique.
+    pub fn fresh_block(&mut self, prefix: &str) -> BlockId {
+        let n = self.func.blocks.len();
+        self.create_block(format!("{prefix}_{n}"))
+    }
+
+    /// Makes `block` the insertion point.
+    ///
+    /// # Panics
+    /// Panics if the block is already terminated.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            !self.terminated[block.index()],
+            "cannot switch to terminated block {block}"
+        );
+        self.current = block;
+    }
+
+    fn new_value(&mut self, kind: ValueKind, ty: Type) -> ValueId {
+        let id = ValueId(self.func.values.len() as u32);
+        self.func.values.push(kind);
+        self.func.value_types.push(ty);
+        id
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    /// An `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.new_value(ValueKind::ConstInt(v), Type::I64)
+    }
+
+    /// An `f64` constant.
+    pub fn const_f64(&mut self, v: f64) -> ValueId {
+        self.new_value(ValueKind::ConstFloat(v), Type::F64)
+    }
+
+    /// A boolean constant.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.new_value(ValueKind::ConstBool(v), Type::I1)
+    }
+
+    /// The null pointer constant.
+    pub fn const_null(&mut self) -> ValueId {
+        self.new_value(ValueKind::ConstNull, Type::Ptr)
+    }
+
+    /// The address of a module global.
+    pub fn global_addr(&mut self, g: GlobalId) -> ValueId {
+        self.new_value(ValueKind::GlobalAddr(g), Type::Ptr)
+    }
+
+    /// The address of a function (an opaque token value).
+    pub fn func_addr(&mut self, f: FuncId) -> ValueId {
+        self.new_value(ValueKind::FuncAddr(f), Type::Ptr)
+    }
+
+    // ---- instruction insertion -------------------------------------------
+
+    fn push(&mut self, inst: Inst, ty: Type) -> ValueId {
+        assert!(
+            !self.terminated[self.current.index()],
+            "block {} already terminated",
+            self.current
+        );
+        let inst_id = InstId(self.func.insts.len() as u32);
+        let result = self.new_value(ValueKind::Inst(inst_id), ty);
+        self.func.insts.push(InstData {
+            inst,
+            block: self.current,
+            ty,
+            result,
+        });
+        self.func.blocks[self.current.index()].insts.push(inst_id);
+        result
+    }
+
+    fn expect_type(&self, v: ValueId, ty: Type, ctx: &str) {
+        assert_eq!(
+            self.func.value_type(v),
+            ty,
+            "{ctx}: operand {v} has type {} (expected {ty})",
+            self.func.value_type(v)
+        );
+    }
+
+    /// Generic binary operation.
+    pub fn bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = op.result_type();
+        self.expect_type(lhs, ty, op.mnemonic());
+        self.expect_type(rhs, ty, op.mnemonic());
+        self.push(Inst::Bin { op, lhs, rhs }, ty)
+    }
+
+    /// `lhs + rhs` (i64).
+    pub fn add(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs` (i64).
+    pub fn sub(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs` (i64).
+    pub fn mul(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// `lhs / rhs` (i64, signed).
+    pub fn sdiv(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::SDiv, lhs, rhs)
+    }
+
+    /// `lhs % rhs` (i64, signed).
+    pub fn srem(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::SRem, lhs, rhs)
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::And, lhs, rhs)
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Or, lhs, rhs)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Xor, lhs, rhs)
+    }
+
+    /// Shift left.
+    pub fn shl(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::Shl, lhs, rhs)
+    }
+
+    /// Arithmetic shift right.
+    pub fn ashr(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::AShr, lhs, rhs)
+    }
+
+    /// `lhs + rhs` (f64).
+    pub fn fadd(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::FAdd, lhs, rhs)
+    }
+
+    /// `lhs - rhs` (f64).
+    pub fn fsub(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::FSub, lhs, rhs)
+    }
+
+    /// `lhs * rhs` (f64).
+    pub fn fmul(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::FMul, lhs, rhs)
+    }
+
+    /// `lhs / rhs` (f64).
+    pub fn fdiv(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.bin(BinOp::FDiv, lhs, rhs)
+    }
+
+    /// Integer comparison producing `i1`.
+    pub fn icmp(&mut self, pred: IcmpPred, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let lt = self.func.value_type(lhs);
+        assert!(
+            lt.is_integral() && lt != Type::I1,
+            "icmp operands must be i64/ptr"
+        );
+        assert_eq!(lt, self.func.value_type(rhs), "icmp operand type mismatch");
+        self.push(Inst::Icmp { pred, lhs, rhs }, Type::I1)
+    }
+
+    /// Float comparison producing `i1`.
+    pub fn fcmp(&mut self, pred: FcmpPred, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.expect_type(lhs, Type::F64, "fcmp");
+        self.expect_type(rhs, Type::F64, "fcmp");
+        self.push(Inst::Fcmp { pred, lhs, rhs }, Type::I1)
+    }
+
+    /// `cond ? then_val : else_val`.
+    pub fn select(&mut self, cond: ValueId, then_val: ValueId, else_val: ValueId) -> ValueId {
+        self.expect_type(cond, Type::I1, "select");
+        let ty = self.func.value_type(then_val);
+        assert_eq!(
+            ty,
+            self.func.value_type(else_val),
+            "select arm type mismatch"
+        );
+        self.push(
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+            },
+            ty,
+        )
+    }
+
+    /// Value cast.
+    pub fn cast(&mut self, kind: CastKind, val: ValueId) -> ValueId {
+        self.expect_type(val, kind.operand_type(), kind.mnemonic());
+        self.push(Inst::Cast { kind, val }, kind.result_type())
+    }
+
+    /// `i64 -> f64`.
+    pub fn sitofp(&mut self, val: ValueId) -> ValueId {
+        self.cast(CastKind::SiToFp, val)
+    }
+
+    /// `f64 -> i64`.
+    pub fn fptosi(&mut self, val: ValueId) -> ValueId {
+        self.cast(CastKind::FpToSi, val)
+    }
+
+    /// Load one word of type `ty` from `addr`.
+    pub fn load(&mut self, ty: Type, addr: ValueId) -> ValueId {
+        assert!(ty.is_memory(), "load of non-memory type {ty}");
+        self.expect_type(addr, Type::Ptr, "load");
+        self.push(Inst::Load { ty, addr }, ty)
+    }
+
+    /// Store `val` to `addr`.
+    pub fn store(&mut self, val: ValueId, addr: ValueId) {
+        assert!(
+            self.func.value_type(val).is_memory(),
+            "store of non-memory type"
+        );
+        self.expect_type(addr, Type::Ptr, "store");
+        self.push(Inst::Store { val, addr }, Type::Void);
+    }
+
+    /// `base + index * scale + offset` (bytes). The workhorse for array
+    /// indexing: `gep(base, i, 8, 0)` addresses `base[i]` for word arrays.
+    pub fn gep(&mut self, base: ValueId, index: ValueId, scale: i64, offset: i64) -> ValueId {
+        self.expect_type(base, Type::Ptr, "gep");
+        self.expect_type(index, Type::I64, "gep");
+        self.push(
+            Inst::Gep {
+                base,
+                index,
+                scale,
+                offset,
+            },
+            Type::Ptr,
+        )
+    }
+
+    /// Stack-allocates `words` 8-byte slots in the current frame.
+    pub fn alloca(&mut self, words: u32) -> ValueId {
+        self.push(Inst::Alloca { words }, Type::Ptr)
+    }
+
+    /// Direct call to a user function. The declared `ret` type must match
+    /// the callee's signature (checked by the module verifier).
+    pub fn call(&mut self, callee: FuncId, ret: Type, args: &[ValueId]) -> ValueId {
+        self.push(
+            Inst::Call {
+                callee: Callee::Func(callee),
+                args: args.to_vec(),
+            },
+            ret,
+        )
+    }
+
+    /// Call to a builtin; argument and return types are checked here.
+    pub fn call_builtin(&mut self, builtin: Builtin, args: &[ValueId]) -> ValueId {
+        assert_eq!(
+            args.len(),
+            builtin.arity(),
+            "builtin {builtin} expects {} args",
+            builtin.arity()
+        );
+        for (arg, &ty) in args.iter().zip(builtin.param_types()) {
+            self.expect_type(*arg, ty, builtin.name());
+        }
+        self.push(
+            Inst::Call {
+                callee: Callee::Builtin(builtin),
+                args: args.to_vec(),
+            },
+            builtin.return_type(),
+        )
+    }
+
+    /// Creates a phi of type `ty` with no incomings yet; fill with
+    /// [`FunctionBuilder::add_phi_incoming`]. Must be created before any
+    /// non-phi instruction in the block (verified at `finish`).
+    pub fn phi(&mut self, ty: Type) -> ValueId {
+        self.push(
+            Inst::Phi {
+                ty,
+                incomings: Vec::new(),
+            },
+            ty,
+        )
+    }
+
+    /// Adds an incoming `(pred_block, value)` edge to a phi created by
+    /// [`FunctionBuilder::phi`].
+    ///
+    /// # Panics
+    /// Panics if `phi` is not a phi instruction result or on type mismatch.
+    pub fn add_phi_incoming(&mut self, phi: ValueId, pred: BlockId, value: ValueId) {
+        let ValueKind::Inst(inst_id) = *self.func.value(phi) else {
+            panic!("{phi} is not an instruction result");
+        };
+        let vty = self.func.value_type(value);
+        let data = &mut self.func.insts[inst_id.index()];
+        let Inst::Phi { ty, incomings } = &mut data.inst else {
+            panic!("{phi} is not a phi");
+        };
+        assert_eq!(*ty, vty, "phi incoming type mismatch");
+        incomings.push((pred, value));
+    }
+
+    // ---- terminators -----------------------------------------------------
+
+    fn terminate(&mut self, term: Term) {
+        let idx = self.current.index();
+        assert!(!self.terminated[idx], "block {} already terminated", self.current);
+        self.func.blocks[idx].term = term;
+        self.terminated[idx] = true;
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Term::Br(target));
+    }
+
+    /// Conditional branch on an `i1` value.
+    pub fn cond_br(&mut self, cond: ValueId, then_blk: BlockId, else_blk: BlockId) {
+        self.expect_type(cond, Type::I1, "condbr");
+        self.terminate(Term::CondBr {
+            cond,
+            then_blk,
+            else_blk,
+        });
+    }
+
+    /// Function return.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        if let Some(v) = value {
+            let ty = self.func.value_type(v);
+            assert_eq!(ty, self.func.ret, "return type mismatch");
+        } else {
+            assert_eq!(self.func.ret, Type::Void, "missing return value");
+        }
+        self.terminate(Term::Ret(value));
+    }
+
+    /// Finalizes the function.
+    ///
+    /// # Errors
+    /// Returns [`IrError::Invalid`] if any block lacks a terminator or a phi
+    /// appears after a non-phi instruction.
+    pub fn finish(self) -> Result<Function> {
+        for (i, done) in self.terminated.iter().enumerate() {
+            if !done {
+                let name = self.func.blocks[i]
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("b{i}"));
+                return Err(IrError::Invalid(format!(
+                    "block {name} in function {} has no terminator",
+                    self.func.name
+                )));
+            }
+        }
+        for block in &self.func.blocks {
+            let mut seen_non_phi = false;
+            for &iid in &block.insts {
+                let is_phi = self.func.inst(iid).inst.is_phi();
+                if is_phi && seen_non_phi {
+                    return Err(IrError::Invalid(format!(
+                        "phi after non-phi instruction in function {}",
+                        self.func.name
+                    )));
+                }
+                seen_non_phi |= !is_phi;
+            }
+        }
+        Ok(self.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `fn sum_to(n) { s = 0; for i in 0..n { s += i }; s }`.
+    fn sum_to() -> Function {
+        let mut fb = FunctionBuilder::new("sum_to", &[Type::I64], Type::I64);
+        let n = fb.param(0);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let s = fb.phi(Type::I64);
+        let cond = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(cond, body, exit);
+        fb.switch_to(body);
+        let s2 = fb.add(s, i);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.add_phi_incoming(s, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(s, body, s2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(s));
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_a_counted_loop() {
+        let f = sum_to();
+        assert_eq!(f.blocks.len(), 4);
+        assert!(crate::verify_function(&f, None).is_ok());
+    }
+
+    #[test]
+    fn finish_rejects_unterminated_block() {
+        let mut fb = FunctionBuilder::new("bad", &[], Type::Void);
+        let _orphan = fb.create_block("orphan");
+        fb.ret(None);
+        assert!(matches!(fb.finish(), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    fn finish_rejects_phi_after_non_phi() {
+        let mut fb = FunctionBuilder::new("bad", &[], Type::Void);
+        let loop_blk = fb.create_block("loop");
+        fb.br(loop_blk);
+        fb.switch_to(loop_blk);
+        let a = fb.const_i64(1);
+        let _x = fb.add(a, a);
+        let p = fb.phi(Type::I64);
+        fb.add_phi_incoming(p, BlockId::ENTRY, a);
+        fb.add_phi_incoming(p, loop_blk, p);
+        fb.br(loop_blk);
+        assert!(matches!(fb.finish(), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn inserting_after_terminator_panics() {
+        let mut fb = FunctionBuilder::new("bad", &[], Type::Void);
+        fb.ret(None);
+        let _ = fb.const_i64(0); // constants are fine...
+        let a = fb.const_i64(1);
+        let _ = fb.add(a, a); // ...but instructions are not.
+    }
+
+    #[test]
+    #[should_panic(expected = "operand")]
+    fn type_mismatch_panics() {
+        let mut fb = FunctionBuilder::new("bad", &[], Type::Void);
+        let i = fb.const_i64(1);
+        let f = fb.const_f64(1.0);
+        let _ = fb.add(i, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "return type mismatch")]
+    fn wrong_return_type_panics() {
+        let mut fb = FunctionBuilder::new("bad", &[], Type::I64);
+        let f = fb.const_f64(1.0);
+        fb.ret(Some(f));
+    }
+
+    #[test]
+    fn builtin_call_type_checks() {
+        let mut fb = FunctionBuilder::new("m", &[], Type::F64);
+        let x = fb.const_f64(2.0);
+        let r = fb.call_builtin(Builtin::Sqrt, &[x]);
+        fb.ret(Some(r));
+        let f = fb.finish().unwrap();
+        assert_eq!(f.value_type(r), Type::F64);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 args")]
+    fn builtin_arity_checked() {
+        let mut fb = FunctionBuilder::new("m", &[], Type::Void);
+        let _ = fb.call_builtin(Builtin::Sqrt, &[]);
+    }
+}

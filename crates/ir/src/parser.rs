@@ -1,0 +1,774 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! The format is line-oriented. Two passes per function: pass one allocates
+//! blocks and typed result values (so phis may reference forward
+//! definitions), pass two parses instruction payloads. Constants encountered
+//! as operands are appended to the value arena on first use.
+
+use crate::function::{Block, BlockId, Function, InstData, InstId};
+use crate::inst::{BinOp, Builtin, Callee, CastKind, FcmpPred, IcmpPred, Inst, Term};
+use crate::module::{FuncId, Global, GlobalId, Module};
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+use crate::{IrError, Result};
+use std::collections::HashMap;
+
+/// Parses a whole module.
+///
+/// ```
+/// let module = lp_ir::parser::parse_module(r#"
+/// module "demo"
+/// fn @main() -> i64 {
+/// entry:
+///   %x: i64 = add i64 40, i64 2
+///   ret %x
+/// }
+/// "#).unwrap();
+/// assert_eq!(module.functions.len(), 1);
+/// ```
+///
+/// # Errors
+/// Returns [`IrError::Parse`] with a 1-based line number on malformed input,
+/// or [`IrError::Invalid`] if the parsed module fails verification.
+pub fn parse_module(text: &str) -> Result<Module> {
+    let mut parser = Parser::new(text);
+    let module = parser.module()?;
+    crate::verify_module(&module)?;
+    Ok(module)
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+struct PErr {
+    message: String,
+}
+
+type PResult<T> = std::result::Result<T, PErr>;
+
+fn perr(message: impl Into<String>) -> PErr {
+    PErr {
+        message: message.into(),
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = match l.find("//") {
+                    Some(p) => &l[..p],
+                    None => l,
+                };
+                (i + 1, l.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).map(|(_, l)| *l)
+    }
+
+    fn line_no(&self) -> usize {
+        self.lines
+            .get(self.pos.min(self.lines.len().saturating_sub(1)))
+            .map_or(0, |(n, _)| *n)
+    }
+
+    fn next_line(&mut self) -> Option<&'a str> {
+        let l = self.peek()?;
+        self.pos += 1;
+        Some(l)
+    }
+
+    fn fail<T>(&self, e: PErr) -> Result<T> {
+        Err(IrError::Parse {
+            line: self.line_no(),
+            message: e.message,
+        })
+    }
+
+    fn module(&mut self) -> Result<Module> {
+        let Some(first) = self.next_line() else {
+            return self.fail(perr("empty input"));
+        };
+        let name = match first.strip_prefix("module ") {
+            Some(rest) => rest.trim().trim_matches('"').to_string(),
+            None => return self.fail(perr("expected `module \"name\"`")),
+        };
+        let mut module = Module::new(name);
+        // First collect global and function headers for symbol resolution.
+        // Functions may call functions defined later, so scan ahead for all
+        // `fn @name(...) -> ty` headers first.
+        let mut fn_sigs: HashMap<String, (Vec<Type>, Type)> = HashMap::new();
+        let mut fn_order: Vec<String> = Vec::new();
+        for (_, line) in &self.lines[self.pos..] {
+            if let Some(rest) = line.strip_prefix("fn @") {
+                match parse_fn_header(rest) {
+                    Ok((name, params, ret)) => {
+                        fn_order.push(name.clone());
+                        fn_sigs.insert(name, (params, ret));
+                    }
+                    Err(e) => return self.fail(e),
+                }
+            }
+        }
+        let fn_ids: HashMap<String, FuncId> = fn_order
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), FuncId(i as u32)))
+            .collect();
+
+        let mut global_ids: HashMap<String, GlobalId> = HashMap::new();
+        while let Some(line) = self.peek() {
+            if let Some(rest) = line.strip_prefix("global @") {
+                match parse_global(rest) {
+                    Ok(g) => {
+                        let name = g.name.clone();
+                        let id = module.add_global(g);
+                        global_ids.insert(name, id);
+                    }
+                    Err(e) => return self.fail(e),
+                }
+                self.pos += 1;
+            } else if line.starts_with("fn @") {
+                self.pos += 1; // consume header; body follows
+                let header = line.strip_prefix("fn @").unwrap();
+                let (name, params, ret) = match parse_fn_header(header) {
+                    Ok(h) => h,
+                    Err(e) => return self.fail(e),
+                };
+                let func = self.function_body(&name, &params, ret, &fn_ids, &fn_sigs, &global_ids)?;
+                module.add_function(func);
+            } else {
+                return self.fail(perr(format!("unexpected line: {line}")));
+            }
+        }
+        Ok(module)
+    }
+
+    /// Parses a function body up to and including the closing `}`.
+    fn function_body(
+        &mut self,
+        name: &str,
+        params: &[Type],
+        ret: Type,
+        fn_ids: &HashMap<String, FuncId>,
+        fn_sigs: &HashMap<String, (Vec<Type>, Type)>,
+        global_ids: &HashMap<String, GlobalId>,
+    ) -> Result<Function> {
+        // Collect the body lines.
+        let start = self.pos;
+        let mut end = None;
+        while let Some(line) = self.next_line() {
+            if line == "}" {
+                end = Some(self.pos - 1);
+                break;
+            }
+        }
+        let Some(end) = end else {
+            return self.fail(perr(format!("function {name}: missing closing brace")));
+        };
+        let body = &self.lines[start..end];
+
+        let mut func = Function::new(name, params, ret);
+        func.blocks.clear(); // re-create from labels
+
+        // Pass 1: blocks and named results.
+        let mut block_ids: HashMap<String, BlockId> = HashMap::new();
+        let mut value_ids: HashMap<String, ValueId> = HashMap::new();
+        for (i, &ty) in params.iter().enumerate() {
+            value_ids.insert(format!("v{i}"), ValueId(i as u32));
+            let _ = ty;
+        }
+        for (lineno, line) in body {
+            if let Some(label) = line.strip_suffix(':') {
+                if !is_ident(label) {
+                    return Err(IrError::Parse {
+                        line: *lineno,
+                        message: format!("bad block label {label:?}"),
+                    });
+                }
+                let id = BlockId(func.blocks.len() as u32);
+                if block_ids.insert(label.to_string(), id).is_some() {
+                    return Err(IrError::Parse {
+                        line: *lineno,
+                        message: format!("duplicate block label {label:?}"),
+                    });
+                }
+                func.blocks.push(Block {
+                    insts: Vec::new(),
+                    term: Term::Ret(None),
+                    name: Some(label.to_string()),
+                });
+            } else if let Some((def, _)) = line.split_once('=') {
+                // `%name: ty = ...`
+                let def = def.trim();
+                if let Some(rest) = def.strip_prefix('%') {
+                    let Some((vname, vty)) = rest.split_once(':') else {
+                        return Err(IrError::Parse {
+                            line: *lineno,
+                            message: "expected `%name: ty = ...`".to_string(),
+                        });
+                    };
+                    let vname = vname.trim();
+                    let Some(ty) = Type::from_text(vty.trim()) else {
+                        return Err(IrError::Parse {
+                            line: *lineno,
+                            message: format!("unknown type {:?}", vty.trim()),
+                        });
+                    };
+                    let id = ValueId(func.values.len() as u32);
+                    // Placeholder; patched in pass 2.
+                    func.values.push(ValueKind::ConstInt(0));
+                    func.value_types.push(ty);
+                    if value_ids.insert(vname.to_string(), id).is_some() {
+                        return Err(IrError::Parse {
+                            line: *lineno,
+                            message: format!("duplicate value %{vname}"),
+                        });
+                    }
+                }
+            }
+        }
+        if func.blocks.is_empty() {
+            return self.fail(perr(format!("function {name}: no blocks")));
+        }
+
+        // Pass 2: instructions and terminators.
+        let ctx = OperandCtx {
+            fn_ids,
+            fn_sigs,
+            global_ids,
+            block_ids: &block_ids,
+            value_ids: &value_ids,
+        };
+        let mut current: Option<BlockId> = None;
+        for (lineno, line) in body {
+            let result: PResult<()> = (|| {
+                if let Some(label) = line.strip_suffix(':') {
+                    current = Some(block_ids[label]);
+                    return Ok(());
+                }
+                let Some(block) = current else {
+                    return Err(perr("instruction before first block label"));
+                };
+                if let Some(term) = parse_terminator(line, &ctx, &mut func)? {
+                    func.blocks[block.index()].term = term;
+                    return Ok(());
+                }
+                let (result_name, payload) = split_def(line)?;
+                let inst_id = InstId(func.insts.len() as u32);
+                let (inst, ty) = parse_inst(payload, &ctx, &mut func)?;
+                let result = match result_name {
+                    Some(nm) => {
+                        let id = *ctx
+                            .value_ids
+                            .get(nm)
+                            .ok_or_else(|| perr(format!("unknown result %{nm}")))?;
+                        if func.value_types[id.index()] != ty {
+                            return Err(perr(format!(
+                                "declared type of %{nm} does not match instruction"
+                            )));
+                        }
+                        func.values[id.index()] = ValueKind::Inst(inst_id);
+                        id
+                    }
+                    None => {
+                        let id = ValueId(func.values.len() as u32);
+                        func.values.push(ValueKind::Inst(inst_id));
+                        func.value_types.push(Type::Void);
+                        id
+                    }
+                };
+                func.insts.push(InstData {
+                    inst,
+                    block,
+                    ty,
+                    result,
+                });
+                func.blocks[block.index()].insts.push(inst_id);
+                Ok(())
+            })();
+            if let Err(e) = result {
+                return Err(IrError::Parse {
+                    line: *lineno,
+                    message: e.message,
+                });
+            }
+        }
+        Ok(func)
+    }
+}
+
+struct OperandCtx<'a> {
+    fn_ids: &'a HashMap<String, FuncId>,
+    fn_sigs: &'a HashMap<String, (Vec<Type>, Type)>,
+    global_ids: &'a HashMap<String, GlobalId>,
+    block_ids: &'a HashMap<String, BlockId>,
+    value_ids: &'a HashMap<String, ValueId>,
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// `name(%v0: i64, ...) -> ty` (after `fn @`).
+fn parse_fn_header(text: &str) -> PResult<(String, Vec<Type>, Type)> {
+    let text = text.trim().trim_end_matches('{').trim();
+    let open = text.find('(').ok_or_else(|| perr("missing ( in fn header"))?;
+    let close = text.rfind(')').ok_or_else(|| perr("missing ) in fn header"))?;
+    let name = text[..open].trim().to_string();
+    if !is_ident(&name) {
+        return Err(perr(format!("bad function name {name:?}")));
+    }
+    let params_text = &text[open + 1..close];
+    let mut params = Vec::new();
+    if !params_text.trim().is_empty() {
+        for p in params_text.split(',') {
+            let (_, ty) = p
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| perr("bad parameter"))?;
+            let ty = Type::from_text(ty.trim()).ok_or_else(|| perr("bad parameter type"))?;
+            params.push(ty);
+        }
+    }
+    let ret_text = text[close + 1..]
+        .trim()
+        .strip_prefix("->")
+        .ok_or_else(|| perr("missing -> in fn header"))?
+        .trim();
+    let ret = Type::from_text(ret_text).ok_or_else(|| perr("bad return type"))?;
+    Ok((name, params, ret))
+}
+
+/// `name = words(8)` or `name = words(8) init [1, 2]` (after `global @`).
+fn parse_global(text: &str) -> PResult<Global> {
+    let (name, rest) = text.split_once('=').ok_or_else(|| perr("bad global"))?;
+    let name = name.trim().to_string();
+    let rest = rest.trim();
+    let rest = rest
+        .strip_prefix("words(")
+        .ok_or_else(|| perr("expected words(N)"))?;
+    let (words, rest) = rest.split_once(')').ok_or_else(|| perr("missing )"))?;
+    let words: u64 = words
+        .trim()
+        .parse()
+        .map_err(|_| perr("bad global word count"))?;
+    let rest = rest.trim();
+    let mut init = Vec::new();
+    if !rest.is_empty() {
+        let rest = rest
+            .strip_prefix("init")
+            .ok_or_else(|| perr("expected init [..]"))?
+            .trim()
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| perr("bad init list"))?;
+        for item in rest.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let w: u64 = item.parse().map_err(|_| perr("bad init word"))?;
+            init.push(w);
+        }
+        if init.len() as u64 > words {
+            return Err(perr("init longer than global"));
+        }
+    }
+    Ok(Global { name, words, init })
+}
+
+/// Splits `%name: ty = payload` into `(Some(name), payload)`, or returns
+/// `(None, line)` for value-less instructions.
+fn split_def(line: &str) -> PResult<(Option<&str>, &str)> {
+    if line.starts_with('%') {
+        let (def, payload) = line.split_once('=').ok_or_else(|| perr("missing ="))?;
+        let def = def.trim().strip_prefix('%').unwrap();
+        let (name, _) = def.split_once(':').ok_or_else(|| perr("missing type on def"))?;
+        Ok((Some(name.trim()), payload.trim()))
+    } else {
+        Ok((None, line))
+    }
+}
+
+/// Parses an operand, materializing constants in the arena.
+fn parse_operand(text: &str, ctx: &OperandCtx<'_>, func: &mut Function) -> PResult<ValueId> {
+    let text = text.trim();
+    if let Some(name) = text.strip_prefix('%') {
+        return ctx
+            .value_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| perr(format!("unknown value %{name}")));
+    }
+    let push = |func: &mut Function, kind: ValueKind, ty: Type| {
+        let id = ValueId(func.values.len() as u32);
+        func.values.push(kind);
+        func.value_types.push(ty);
+        id
+    };
+    if let Some(rest) = text.strip_prefix("i64 ") {
+        let v: i64 = rest.trim().parse().map_err(|_| perr("bad i64 literal"))?;
+        return Ok(push(func, ValueKind::ConstInt(v), Type::I64));
+    }
+    if let Some(rest) = text.strip_prefix("f64 ") {
+        let v: f64 = rest.trim().parse().map_err(|_| perr("bad f64 literal"))?;
+        return Ok(push(func, ValueKind::ConstFloat(v), Type::F64));
+    }
+    if let Some(rest) = text.strip_prefix("bool ") {
+        let v: bool = rest.trim().parse().map_err(|_| perr("bad bool literal"))?;
+        return Ok(push(func, ValueKind::ConstBool(v), Type::I1));
+    }
+    if text == "null" {
+        return Ok(push(func, ValueKind::ConstNull, Type::Ptr));
+    }
+    if let Some(rest) = text.strip_prefix("global @") {
+        let g = ctx
+            .global_ids
+            .get(rest.trim())
+            .ok_or_else(|| perr(format!("unknown global @{rest}")))?;
+        return Ok(push(func, ValueKind::GlobalAddr(*g), Type::Ptr));
+    }
+    if let Some(rest) = text.strip_prefix("fnaddr @") {
+        let f = ctx
+            .fn_ids
+            .get(rest.trim())
+            .ok_or_else(|| perr(format!("unknown function @{rest}")))?;
+        return Ok(push(func, ValueKind::FuncAddr(*f), Type::Ptr));
+    }
+    Err(perr(format!("bad operand {text:?}")))
+}
+
+/// Splits a comma-separated operand list, respecting no nesting (the format
+/// never nests commas inside operands except phi brackets, handled apart).
+fn split_commas(text: &str) -> Vec<&str> {
+    text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_terminator(
+    line: &str,
+    ctx: &OperandCtx<'_>,
+    func: &mut Function,
+) -> PResult<Option<Term>> {
+    if let Some(rest) = line.strip_prefix("br ") {
+        let blk = ctx
+            .block_ids
+            .get(rest.trim())
+            .ok_or_else(|| perr(format!("unknown block {rest}")))?;
+        return Ok(Some(Term::Br(*blk)));
+    }
+    if let Some(rest) = line.strip_prefix("condbr ") {
+        let parts = split_commas(rest);
+        if parts.len() != 3 {
+            return Err(perr("condbr needs cond, then, else"));
+        }
+        let cond = parse_operand(parts[0], ctx, func)?;
+        let then_blk = *ctx
+            .block_ids
+            .get(parts[1])
+            .ok_or_else(|| perr(format!("unknown block {}", parts[1])))?;
+        let else_blk = *ctx
+            .block_ids
+            .get(parts[2])
+            .ok_or_else(|| perr(format!("unknown block {}", parts[2])))?;
+        return Ok(Some(Term::CondBr {
+            cond,
+            then_blk,
+            else_blk,
+        }));
+    }
+    if line == "ret void" {
+        return Ok(Some(Term::Ret(None)));
+    }
+    if let Some(rest) = line.strip_prefix("ret ") {
+        let v = parse_operand(rest, ctx, func)?;
+        return Ok(Some(Term::Ret(Some(v))));
+    }
+    Ok(None)
+}
+
+/// Parses the payload after `%name: ty =` (or a bare `store`/`call`).
+fn parse_inst(payload: &str, ctx: &OperandCtx<'_>, func: &mut Function) -> PResult<(Inst, Type)> {
+    let (mnemonic, rest) = match payload.split_once(' ') {
+        Some((m, r)) => (m, r.trim()),
+        None => (payload, ""),
+    };
+    if let Some(op) = BinOp::from_mnemonic(mnemonic) {
+        let parts = split_commas(rest);
+        if parts.len() != 2 {
+            return Err(perr(format!("{mnemonic} needs two operands")));
+        }
+        let lhs = parse_operand(parts[0], ctx, func)?;
+        let rhs = parse_operand(parts[1], ctx, func)?;
+        return Ok((Inst::Bin { op, lhs, rhs }, op.result_type()));
+    }
+    if let Some(kind) = CastKind::from_mnemonic(mnemonic) {
+        let val = parse_operand(rest, ctx, func)?;
+        return Ok((Inst::Cast { kind, val }, kind.result_type()));
+    }
+    match mnemonic {
+        "icmp" => {
+            let (pred, rest) = rest.split_once(' ').ok_or_else(|| perr("icmp needs pred"))?;
+            let pred = IcmpPred::from_mnemonic(pred).ok_or_else(|| perr("bad icmp pred"))?;
+            let parts = split_commas(rest);
+            if parts.len() != 2 {
+                return Err(perr("icmp needs two operands"));
+            }
+            let lhs = parse_operand(parts[0], ctx, func)?;
+            let rhs = parse_operand(parts[1], ctx, func)?;
+            Ok((Inst::Icmp { pred, lhs, rhs }, Type::I1))
+        }
+        "fcmp" => {
+            let (pred, rest) = rest.split_once(' ').ok_or_else(|| perr("fcmp needs pred"))?;
+            let pred = FcmpPred::from_mnemonic(pred).ok_or_else(|| perr("bad fcmp pred"))?;
+            let parts = split_commas(rest);
+            if parts.len() != 2 {
+                return Err(perr("fcmp needs two operands"));
+            }
+            let lhs = parse_operand(parts[0], ctx, func)?;
+            let rhs = parse_operand(parts[1], ctx, func)?;
+            Ok((Inst::Fcmp { pred, lhs, rhs }, Type::I1))
+        }
+        "select" => {
+            let parts = split_commas(rest);
+            if parts.len() != 3 {
+                return Err(perr("select needs three operands"));
+            }
+            let cond = parse_operand(parts[0], ctx, func)?;
+            let then_val = parse_operand(parts[1], ctx, func)?;
+            let else_val = parse_operand(parts[2], ctx, func)?;
+            let ty = func.value_type(then_val);
+            Ok((
+                Inst::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                },
+                ty,
+            ))
+        }
+        "load" => {
+            let (ty, rest) = rest.split_once(',').ok_or_else(|| perr("load needs type"))?;
+            let ty = Type::from_text(ty.trim()).ok_or_else(|| perr("bad load type"))?;
+            let addr = parse_operand(rest, ctx, func)?;
+            Ok((Inst::Load { ty, addr }, ty))
+        }
+        "store" => {
+            let parts = split_commas(rest);
+            if parts.len() != 2 {
+                return Err(perr("store needs value, addr"));
+            }
+            let val = parse_operand(parts[0], ctx, func)?;
+            let addr = parse_operand(parts[1], ctx, func)?;
+            Ok((Inst::Store { val, addr }, Type::Void))
+        }
+        "gep" => {
+            // base, index, scale S, offset O
+            let parts = split_commas(rest);
+            if parts.len() != 4 {
+                return Err(perr("gep needs base, index, scale, offset"));
+            }
+            let base = parse_operand(parts[0], ctx, func)?;
+            let index = parse_operand(parts[1], ctx, func)?;
+            let scale: i64 = parts[2]
+                .strip_prefix("scale")
+                .ok_or_else(|| perr("missing scale"))?
+                .trim()
+                .parse()
+                .map_err(|_| perr("bad scale"))?;
+            let offset: i64 = parts[3]
+                .strip_prefix("offset")
+                .ok_or_else(|| perr("missing offset"))?
+                .trim()
+                .parse()
+                .map_err(|_| perr("bad offset"))?;
+            Ok((
+                Inst::Gep {
+                    base,
+                    index,
+                    scale,
+                    offset,
+                },
+                Type::Ptr,
+            ))
+        }
+        "alloca" => {
+            let words: u32 = rest.trim().parse().map_err(|_| perr("bad alloca size"))?;
+            Ok((Inst::Alloca { words }, Type::Ptr))
+        }
+        "call" => {
+            let open = rest.find('(').ok_or_else(|| perr("call needs ("))?;
+            let close = rest.rfind(')').ok_or_else(|| perr("call needs )"))?;
+            let target = rest[..open].trim();
+            let args_text = &rest[open + 1..close];
+            let ret_text = rest[close + 1..]
+                .trim()
+                .strip_prefix("->")
+                .ok_or_else(|| perr("call needs -> ty"))?
+                .trim();
+            let ret = Type::from_text(ret_text).ok_or_else(|| perr("bad call return type"))?;
+            let mut args = Vec::new();
+            for a in split_commas(args_text) {
+                args.push(parse_operand(a, ctx, func)?);
+            }
+            let callee = if let Some(bname) = target.strip_prefix("@!") {
+                let b = Builtin::from_name(bname).ok_or_else(|| perr("unknown builtin"))?;
+                Callee::Builtin(b)
+            } else if let Some(fname) = target.strip_prefix('@') {
+                let fid = ctx
+                    .fn_ids
+                    .get(fname)
+                    .ok_or_else(|| perr(format!("unknown function @{fname}")))?;
+                let (_, sig_ret) = &ctx.fn_sigs[fname];
+                if *sig_ret != ret {
+                    return Err(perr("call return type does not match signature"));
+                }
+                Callee::Func(*fid)
+            } else {
+                return Err(perr("bad call target"));
+            };
+            Ok((Inst::Call { callee, args }, ret))
+        }
+        "phi" => {
+            let (ty, rest) = rest.split_once(' ').ok_or_else(|| perr("phi needs type"))?;
+            let ty = Type::from_text(ty.trim()).ok_or_else(|| perr("bad phi type"))?;
+            let mut incomings = Vec::new();
+            let mut cursor = rest.trim();
+            while !cursor.is_empty() {
+                let open = cursor.find('[').ok_or_else(|| perr("phi needs [blk: val]"))?;
+                let close = cursor[open..]
+                    .find(']')
+                    .ok_or_else(|| perr("unclosed phi incoming"))?
+                    + open;
+                let item = &cursor[open + 1..close];
+                let (blk, val) = item.split_once(':').ok_or_else(|| perr("bad phi incoming"))?;
+                let blk = *ctx
+                    .block_ids
+                    .get(blk.trim())
+                    .ok_or_else(|| perr(format!("unknown block {}", blk.trim())))?;
+                let val = parse_operand(val, ctx, func)?;
+                incomings.push((blk, val));
+                cursor = cursor[close + 1..].trim_start_matches(',').trim();
+            }
+            Ok((Inst::Phi { ty, incomings }, ty))
+        }
+        other => Err(perr(format!("unknown instruction {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const LOOP_TEXT: &str = r#"
+module "demo"
+
+global @tab = words(3) init [5, 6, 7]
+
+fn @main() -> i64 {
+entry:
+  br header
+header:
+  %i: i64 = phi i64 [ entry: i64 0 ], [ body: %i2 ]
+  %s: i64 = phi i64 [ entry: i64 0 ], [ body: %s2 ]
+  %c: i1 = icmp slt %i, i64 3
+  condbr %c, body, exit
+body:
+  %a: ptr = gep global @tab, %i, scale 8, offset 0
+  %x: i64 = load i64, %a
+  %s2: i64 = add %s, %x
+  %i2: i64 = add %i, i64 1
+  br header
+exit:
+  ret %s
+}
+"#;
+
+    #[test]
+    fn parses_and_verifies_a_loop() {
+        let m = parse_module(LOOP_TEXT).unwrap();
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.globals.len(), 1);
+        let f = m.function(m.entry().unwrap());
+        assert_eq!(f.blocks.len(), 4);
+    }
+
+    #[test]
+    fn print_parse_fixpoint() {
+        let m1 = parse_module(LOOP_TEXT).unwrap();
+        let t1 = print_module(&m1);
+        let m2 = parse_module(&t1).unwrap();
+        let t2 = print_module(&m2);
+        assert_eq!(t1, t2, "printer/parser must reach a fixpoint");
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "module \"m\"\nfn @main() -> i64 {\nentry:\n  %x: i64 = bogus 1\n  ret %x\n}\n";
+        match parse_module(bad) {
+            Err(IrError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_value() {
+        let bad = "module \"m\"\nfn @main() -> i64 {\nentry:\n  ret %nope\n}\n";
+        assert!(parse_module(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_call_ret_mismatch() {
+        let bad = r#"
+module "m"
+fn @f() -> i64 {
+entry:
+  ret i64 0
+}
+fn @main() -> i64 {
+entry:
+  %x: f64 = call @f () -> f64
+  %y: i64 = fptosi %x
+  ret %y
+}
+"#;
+        assert!(parse_module(bad).is_err());
+    }
+
+    #[test]
+    fn parses_calls_builtins_and_void() {
+        let text = r#"
+module "m"
+fn @helper(%v0: i64) -> void {
+entry:
+  call @!print_i64 (%v0) -> void
+  ret void
+}
+fn @main() -> i64 {
+entry:
+  %p: ptr = call @!malloc (i64 64) -> ptr
+  store i64 7, %p
+  call @helper (i64 3) -> void
+  %x: i64 = load i64, %p
+  call @!free (%p) -> void
+  ret %x
+}
+"#;
+        let m = parse_module(text).unwrap();
+        let t1 = print_module(&m);
+        let m2 = parse_module(&t1).unwrap();
+        assert_eq!(t1, print_module(&m2));
+    }
+}

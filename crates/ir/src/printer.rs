@@ -1,0 +1,261 @@
+//! Textual IR output.
+//!
+//! The format round-trips through [`crate::parser`]. Every instruction
+//! prints its result type explicitly (`%v5: i64 = add ...`) so the parser
+//! can resolve forward references (phis) in two passes. Constants are
+//! printed inline as typed literals.
+
+use crate::function::{BlockId, Function};
+use crate::inst::{Callee, Inst, Term};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+use std::fmt::Write;
+
+/// Returns the label used for a block (its name, or `bN`).
+#[must_use]
+pub fn block_label(func: &Function, id: BlockId) -> String {
+    match &func.block(id).name {
+        Some(n) => n.clone(),
+        None => format!("b{}", id.0),
+    }
+}
+
+fn fmt_operand(func: &Function, module: Option<&Module>, v: ValueId) -> String {
+    match func.value(v) {
+        ValueKind::ConstInt(i) => format!("i64 {i}"),
+        ValueKind::ConstFloat(x) => {
+            // `{:?}` keeps a decimal point / exponent so the parser can
+            // distinguish float literals.
+            format!("f64 {x:?}")
+        }
+        ValueKind::ConstBool(b) => format!("bool {b}"),
+        ValueKind::ConstNull => "null".to_string(),
+        ValueKind::GlobalAddr(g) => match module {
+            Some(m) => format!("global @{}", m.global(*g).name),
+            None => format!("global #{}", g.0),
+        },
+        ValueKind::FuncAddr(f) => match module {
+            Some(m) => format!("fnaddr @{}", m.function(*f).name),
+            None => format!("fnaddr #{}", f.0),
+        },
+        ValueKind::Param(_) | ValueKind::Inst(_) => v.to_string(),
+    }
+}
+
+/// Prints a function to a string.
+#[must_use]
+pub fn print_function(func: &Function, module: Option<&Module>) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| format!("%v{i}: {ty}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "fn @{}({}) -> {} {{",
+        func.name,
+        params.join(", "),
+        func.ret
+    );
+    for bid in func.block_ids() {
+        let _ = writeln!(out, "{}:", block_label(func, bid));
+        let block = func.block(bid);
+        for &iid in &block.insts {
+            let data = func.inst(iid);
+            let op = |v: ValueId| fmt_operand(func, module, v);
+            let line = match &data.inst {
+                Inst::Bin { op: o, lhs, rhs } => {
+                    format!("{}: {} = {} {}, {}", data.result, data.ty, o, op(*lhs), op(*rhs))
+                }
+                Inst::Icmp { pred, lhs, rhs } => format!(
+                    "{}: {} = icmp {} {}, {}",
+                    data.result,
+                    data.ty,
+                    pred,
+                    op(*lhs),
+                    op(*rhs)
+                ),
+                Inst::Fcmp { pred, lhs, rhs } => format!(
+                    "{}: {} = fcmp {} {}, {}",
+                    data.result,
+                    data.ty,
+                    pred,
+                    op(*lhs),
+                    op(*rhs)
+                ),
+                Inst::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                } => format!(
+                    "{}: {} = select {}, {}, {}",
+                    data.result,
+                    data.ty,
+                    op(*cond),
+                    op(*then_val),
+                    op(*else_val)
+                ),
+                Inst::Cast { kind, val } => {
+                    format!("{}: {} = {} {}", data.result, data.ty, kind, op(*val))
+                }
+                Inst::Load { ty, addr } => {
+                    format!("{}: {} = load {}, {}", data.result, data.ty, ty, op(*addr))
+                }
+                Inst::Store { val, addr } => format!("store {}, {}", op(*val), op(*addr)),
+                Inst::Gep {
+                    base,
+                    index,
+                    scale,
+                    offset,
+                } => format!(
+                    "{}: {} = gep {}, {}, scale {}, offset {}",
+                    data.result,
+                    data.ty,
+                    op(*base),
+                    op(*index),
+                    scale,
+                    offset
+                ),
+                Inst::Alloca { words } => {
+                    format!("{}: {} = alloca {}", data.result, data.ty, words)
+                }
+                Inst::Call { callee, args } => {
+                    let args: Vec<String> = args.iter().map(|a| op(*a)).collect();
+                    let target = match (callee, module) {
+                        (Callee::Func(fid), Some(m)) => format!("@{}", m.function(*fid).name),
+                        (Callee::Func(fid), None) => format!("@#{}", fid.0),
+                        (Callee::Builtin(b), _) => format!("@!{b}"),
+                    };
+                    if data.ty == Type::Void {
+                        format!("call {} ({}) -> void", target, args.join(", "))
+                    } else {
+                        format!(
+                            "{}: {} = call {} ({}) -> {}",
+                            data.result,
+                            data.ty,
+                            target,
+                            args.join(", "),
+                            data.ty
+                        )
+                    }
+                }
+                Inst::Phi { ty, incomings } => {
+                    let inc: Vec<String> = incomings
+                        .iter()
+                        .map(|(b, v)| format!("[ {}: {} ]", block_label(func, *b), op(*v)))
+                        .collect();
+                    format!("{}: {} = phi {} {}", data.result, data.ty, ty, inc.join(", "))
+                }
+            };
+            let _ = writeln!(out, "  {line}");
+        }
+        let term = match &block.term {
+            Term::Br(t) => format!("br {}", block_label(func, *t)),
+            Term::CondBr {
+                cond,
+                then_blk,
+                else_blk,
+            } => format!(
+                "condbr {}, {}, {}",
+                fmt_operand(func, module, *cond),
+                block_label(func, *then_blk),
+                block_label(func, *else_blk)
+            ),
+            Term::Ret(None) => "ret void".to_string(),
+            Term::Ret(Some(v)) => format!("ret {}", fmt_operand(func, module, *v)),
+        };
+        let _ = writeln!(out, "  {term}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Prints a whole module to a string.
+#[must_use]
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", module.name);
+    let _ = writeln!(out);
+    for g in &module.globals {
+        if g.init.is_empty() {
+            let _ = writeln!(out, "global @{} = words({})", g.name, g.words);
+        } else {
+            let vals: Vec<String> = g.init.iter().map(|w| w.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "global @{} = words({}) init [{}]",
+                g.name,
+                g.words,
+                vals.join(", ")
+            );
+        }
+    }
+    if !module.globals.is_empty() {
+        let _ = writeln!(out);
+    }
+    for (_, f) in module.iter_functions() {
+        out.push_str(&print_function(f, Some(module)));
+        let _ = writeln!(out);
+    }
+    out
+}
+
+impl std::fmt::Display for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&print_module(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Builtin, IcmpPred};
+    use crate::Global;
+
+    #[test]
+    fn prints_a_loop() {
+        let mut m = Module::new("demo");
+        let g = m.add_global(Global::from_i64("tab", &[5, 6, 7]));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let n = fb.const_i64(3);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let base = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let s = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.gep(base, i, 8, 0);
+        let x = fb.load(Type::I64, addr);
+        let s2 = fb.add(s, x);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.add_phi_incoming(s, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(s, body, s2);
+        fb.br(header);
+        fb.switch_to(exit);
+        let xf = fb.sitofp(s);
+        let r = fb.call_builtin(Builtin::Sqrt, &[xf]);
+        let ri = fb.fptosi(r);
+        fb.ret(Some(ri));
+        m.add_function(fb.finish().unwrap());
+
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("global @tab = words(3) init [5, 6, 7]"));
+        assert!(text.contains("phi i64"));
+        assert!(text.contains("call @!sqrt"));
+        assert!(text.contains("condbr"));
+    }
+}

@@ -1,0 +1,476 @@
+//! IR cleanup transforms: constant folding, algebraic simplification, and
+//! dead-code elimination.
+//!
+//! The paper's compile-time component consumes IR "after [the compilation
+//! units] have been optimized (using -Ofast)" (§III-A) — classification
+//! quality and dynamic IR costs both assume cleaned-up code. These passes
+//! provide that preprocessing for IR assembled by hand or by generators:
+//!
+//! - [`fold_constants`] evaluates instructions whose operands are all
+//!   constants and forwards trivially simplifiable ones (`x+0`, `x*1`,
+//!   `select` on a constant condition, ...);
+//! - [`eliminate_dead_code`] removes side-effect-free instructions whose
+//!   results are never used;
+//! - [`simplify`] iterates both to a fixpoint.
+//!
+//! Arithmetic here must agree with `lp-interp`'s semantics; the workspace
+//! integration tests check that simplification never changes a program's
+//! observable result.
+//!
+//! Control flow is left untouched (no branch folding), so loop structure —
+//! what Loopapalooza studies — is never altered.
+
+use crate::function::{Function, InstId};
+use crate::inst::{BinOp, Callee, CastKind, FcmpPred, IcmpPred, Inst, Term};
+use crate::value::{ValueId, ValueKind};
+
+/// Statistics returned by [`simplify`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Instructions replaced by constants or forwarded operands.
+    pub folded: usize,
+    /// Dead instructions removed.
+    pub removed: usize,
+    /// Fixpoint iterations performed.
+    pub rounds: usize,
+}
+
+/// A compile-time constant operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Const {
+    I(i64),
+    F(f64),
+    B(bool),
+}
+
+fn const_of(func: &Function, v: ValueId) -> Option<Const> {
+    match func.value(v) {
+        ValueKind::ConstInt(c) => Some(Const::I(*c)),
+        ValueKind::ConstFloat(c) => Some(Const::F(*c)),
+        ValueKind::ConstBool(b) => Some(Const::B(*b)),
+        _ => None,
+    }
+}
+
+/// Replaces every use of `from` with `to` (operands, phi incomings,
+/// terminators).
+fn replace_uses(func: &mut Function, from: ValueId, to: ValueId) {
+    let swap = |v: &mut ValueId| {
+        if *v == from {
+            *v = to;
+        }
+    };
+    for data in &mut func.insts {
+        match &mut data.inst {
+            Inst::Bin { lhs, rhs, .. }
+            | Inst::Icmp { lhs, rhs, .. }
+            | Inst::Fcmp { lhs, rhs, .. } => {
+                swap(lhs);
+                swap(rhs);
+            }
+            Inst::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                swap(cond);
+                swap(then_val);
+                swap(else_val);
+            }
+            Inst::Cast { val, .. } => swap(val),
+            Inst::Load { addr, .. } => swap(addr),
+            Inst::Store { val, addr } => {
+                swap(val);
+                swap(addr);
+            }
+            Inst::Gep { base, index, .. } => {
+                swap(base);
+                swap(index);
+            }
+            Inst::Alloca { .. } => {}
+            Inst::Call { args, .. } => args.iter_mut().for_each(swap),
+            Inst::Phi { incomings, .. } => incomings.iter_mut().for_each(|(_, v)| swap(v)),
+        }
+    }
+    for block in &mut func.blocks {
+        match &mut block.term {
+            Term::CondBr { cond, .. } => swap(cond),
+            Term::Ret(Some(v)) => swap(v),
+            _ => {}
+        }
+    }
+}
+
+fn fold_bin(op: BinOp, l: Const, r: Const) -> Option<Const> {
+    if op.is_float() {
+        let (Const::F(a), Const::F(b)) = (l, r) else {
+            return None;
+        };
+        return Some(Const::F(match op {
+            BinOp::FAdd => a + b,
+            BinOp::FSub => a - b,
+            BinOp::FMul => a * b,
+            BinOp::FDiv => a / b,
+            BinOp::FMin => a.min(b),
+            BinOp::FMax => a.max(b),
+            _ => return None,
+        }));
+    }
+    let (Const::I(a), Const::I(b)) = (l, r) else {
+        return None;
+    };
+    Some(Const::I(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        // Division traps at run time; never fold it away.
+        BinOp::SDiv | BinOp::SRem => return None,
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::AShr => a.wrapping_shr(b as u32 & 63),
+        BinOp::SMin => a.min(b),
+        BinOp::SMax => a.max(b),
+        _ => return None,
+    }))
+}
+
+/// Algebraic identities that forward an existing operand instead of
+/// producing a constant: returns the value the result is equivalent to.
+///
+/// The float identities (`x + 0.0 -> x`, `x * 1.0 -> x`) follow fast-math
+/// semantics (they ignore signed zeros), matching the paper's `-Ofast`
+/// baseline — do not "fix" them to be IEEE-strict without also revisiting
+/// that parity.
+fn identity(op: BinOp, lhs: ValueId, rhs: ValueId, l: Option<Const>, r: Option<Const>) -> Option<ValueId> {
+    match op {
+        BinOp::Add | BinOp::Or | BinOp::Xor if r == Some(Const::I(0)) => return Some(lhs),
+        BinOp::Add | BinOp::Or | BinOp::Xor if l == Some(Const::I(0)) => return Some(rhs),
+        BinOp::Sub | BinOp::Shl | BinOp::AShr if r == Some(Const::I(0)) => return Some(lhs),
+        BinOp::Mul => {
+            if r == Some(Const::I(1)) {
+                return Some(lhs);
+            }
+            if l == Some(Const::I(1)) {
+                return Some(rhs);
+            }
+        }
+        BinOp::FAdd => {
+            if r == Some(Const::F(0.0)) {
+                return Some(lhs);
+            }
+            if l == Some(Const::F(0.0)) {
+                return Some(rhs);
+            }
+        }
+        BinOp::FMul => {
+            if r == Some(Const::F(1.0)) {
+                return Some(lhs);
+            }
+            if l == Some(Const::F(1.0)) {
+                return Some(rhs);
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+/// Folds constant and trivially simplifiable instructions. Returns the
+/// number of instructions eliminated.
+pub fn fold_constants(func: &mut Function) -> usize {
+    let mut folded = 0usize;
+    for bid in 0..func.blocks.len() {
+        let insts = func.blocks[bid].insts.clone();
+        let mut kept: Vec<InstId> = Vec::with_capacity(insts.len());
+        for iid in insts {
+            let data = func.inst(iid);
+            let result = data.result;
+            let new_kind: Option<Result<Const, ValueId>> = match &data.inst {
+                Inst::Bin { op, lhs, rhs } => {
+                    let (l, r) = (const_of(func, *lhs), const_of(func, *rhs));
+                    if let (Some(l), Some(r)) = (l, r) {
+                        fold_bin(*op, l, r).map(Ok)
+                    } else {
+                        identity(*op, *lhs, *rhs, l, r).map(Err)
+                    }
+                }
+                Inst::Icmp { pred, lhs, rhs } => {
+                    match (const_of(func, *lhs), const_of(func, *rhs)) {
+                        (Some(Const::I(a)), Some(Const::I(b))) => Some(Ok(Const::B(match pred {
+                            IcmpPred::Eq => a == b,
+                            IcmpPred::Ne => a != b,
+                            IcmpPred::Slt => a < b,
+                            IcmpPred::Sle => a <= b,
+                            IcmpPred::Sgt => a > b,
+                            IcmpPred::Sge => a >= b,
+                        }))),
+                        _ => None,
+                    }
+                }
+                Inst::Fcmp { pred, lhs, rhs } => {
+                    match (const_of(func, *lhs), const_of(func, *rhs)) {
+                        (Some(Const::F(a)), Some(Const::F(b))) => Some(Ok(Const::B(match pred {
+                            FcmpPred::Oeq => a == b,
+                            FcmpPred::One => a != b,
+                            FcmpPred::Olt => a < b,
+                            FcmpPred::Ole => a <= b,
+                            FcmpPred::Ogt => a > b,
+                            FcmpPred::Oge => a >= b,
+                        }))),
+                        _ => None,
+                    }
+                }
+                Inst::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                } => match const_of(func, *cond) {
+                    Some(Const::B(true)) => Some(Err(*then_val)),
+                    Some(Const::B(false)) => Some(Err(*else_val)),
+                    _ => None,
+                },
+                Inst::Cast { kind, val } => match (kind, const_of(func, *val)) {
+                    (CastKind::SiToFp, Some(Const::I(a))) => Some(Ok(Const::F(a as f64))),
+                    (CastKind::FpToSi, Some(Const::F(a))) => Some(Ok(Const::I(a as i64))),
+                    (CastKind::BoolToInt, Some(Const::B(b))) => {
+                        Some(Ok(Const::I(i64::from(b))))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            match new_kind {
+                Some(Ok(c)) => {
+                    func.values[result.index()] = match c {
+                        Const::I(v) => ValueKind::ConstInt(v),
+                        Const::F(v) => ValueKind::ConstFloat(v),
+                        Const::B(v) => ValueKind::ConstBool(v),
+                    };
+                    folded += 1;
+                }
+                Some(Err(alias)) => {
+                    replace_uses(func, result, alias);
+                    folded += 1;
+                }
+                None => kept.push(iid),
+            }
+        }
+        func.blocks[bid].insts = kept;
+    }
+    folded
+}
+
+/// Removes side-effect-free instructions whose results have no uses.
+/// Returns the number of instructions removed.
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    // Collect used values from live instructions and terminators.
+    let mut used = vec![false; func.values.len()];
+    for block in &func.blocks {
+        for &iid in &block.insts {
+            for op in func.inst(iid).inst.operands() {
+                used[op.index()] = true;
+            }
+        }
+        match &block.term {
+            Term::CondBr { cond, .. } => used[cond.index()] = true,
+            Term::Ret(Some(v)) => used[v.index()] = true,
+            _ => {}
+        }
+    }
+    let mut removed = 0usize;
+    for bid in 0..func.blocks.len() {
+        let insts = func.blocks[bid].insts.clone();
+        let kept: Vec<InstId> = insts
+            .into_iter()
+            .filter(|&iid| {
+                let data = func.inst(iid);
+                let side_effecting = match &data.inst {
+                    Inst::Store { .. } => true,
+                    Inst::Call { callee, .. } => match callee {
+                        Callee::Func(_) => true, // may write / recurse
+                        Callee::Builtin(b) => !b.is_pure(),
+                    },
+                    _ => false,
+                };
+                let keep = side_effecting || used[data.result.index()];
+                if !keep {
+                    removed += 1;
+                }
+                keep
+            })
+            .collect();
+        func.blocks[bid].insts = kept;
+    }
+    removed
+}
+
+/// Runs folding and DCE to a fixpoint over every function of a module.
+///
+/// ```
+/// use lp_ir::builder::FunctionBuilder;
+/// use lp_ir::{Module, Type};
+///
+/// let mut module = Module::new("demo");
+/// let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+/// let a = fb.const_i64(40);
+/// let b = fb.const_i64(2);
+/// let sum = fb.add(a, b);
+/// fb.ret(Some(sum));
+/// module.add_function(fb.finish().unwrap());
+///
+/// let stats = lp_ir::simplify(&mut module);
+/// assert_eq!(stats.folded, 1); // the add became the constant 42
+/// ```
+pub fn simplify(module: &mut crate::Module) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    for func in &mut module.functions {
+        loop {
+            let folded = fold_constants(func);
+            let removed = eliminate_dead_code(func);
+            stats.folded += folded;
+            stats.removed += removed;
+            stats.rounds += 1;
+            if folded == 0 && removed == 0 {
+                break;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{Module, Type};
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let a = fb.const_i64(6);
+        let b = fb.const_i64(7);
+        let c = fb.mul(a, b);
+        let d = fb.const_i64(0);
+        let e = fb.add(c, d); // identity: e == c
+        fb.ret(Some(e));
+        m.add_function(fb.finish().unwrap());
+        let stats = simplify(&mut m);
+        assert!(stats.folded >= 2, "{stats:?}");
+        crate::verify_module(&m).unwrap();
+        // main should now be a bare `ret` of a constant 42.
+        let f = m.function(m.entry().unwrap());
+        assert!(f.blocks[0].insts.is_empty(), "all instructions folded");
+        let Term::Ret(Some(v)) = &f.blocks[0].term else {
+            panic!()
+        };
+        assert_eq!(f.value(*v), &ValueKind::ConstInt(42));
+    }
+
+    #[test]
+    fn removes_dead_chains_but_keeps_effects() {
+        let mut m = Module::new("t");
+        let g = m.add_global(crate::Global::zeroed("g", 1));
+        let mut fb = FunctionBuilder::new("main", &[Type::I64], Type::I64);
+        let x = fb.param(0);
+        let dead1 = fb.mul(x, x);
+        let _dead2 = fb.add(dead1, x); // whole chain unused
+        let p = fb.global_addr(g);
+        fb.store(x, p); // side effect: must stay
+        fb.ret(Some(x));
+        m.add_function(fb.finish().unwrap());
+        let stats = simplify(&mut m);
+        assert_eq!(stats.removed, 2, "{stats:?}");
+        let f = m.function(m.entry().unwrap());
+        assert_eq!(f.blocks[0].insts.len(), 1, "only the store survives");
+        crate::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn select_on_constant_condition_forwards() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", &[Type::I64, Type::I64], Type::I64);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let t = fb.const_bool(true);
+        let s = fb.select(t, a, b);
+        let one = fb.const_i64(1);
+        let r = fb.add(s, one);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        simplify(&mut m);
+        crate::verify_module(&m).unwrap();
+        // The add must now consume the parameter directly.
+        let f = m.function(m.entry().unwrap());
+        let add = f.inst(*f.blocks[0].insts.last().unwrap());
+        let Inst::Bin { lhs, .. } = &add.inst else {
+            panic!()
+        };
+        assert_eq!(*lhs, f.param_value(0));
+    }
+
+    #[test]
+    fn never_folds_division_or_impure_calls() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let a = fb.const_i64(1);
+        let z = fb.const_i64(0);
+        let d = fb.sdiv(a, z); // traps at run time: must survive
+        fb.call_builtin(crate::Builtin::PrintI64, &[d]);
+        fb.ret(Some(d));
+        m.add_function(fb.finish().unwrap());
+        simplify(&mut m);
+        let f = m.function(m.entry().unwrap());
+        assert_eq!(f.blocks[0].insts.len(), 2, "sdiv and print both survive");
+    }
+
+    #[test]
+    fn pure_builtin_call_with_unused_result_is_dead() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let x = fb.const_f64(2.0);
+        let _unused = fb.call_builtin(crate::Builtin::Sqrt, &[x]);
+        let r = fb.const_i64(0);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        let stats = simplify(&mut m);
+        assert_eq!(stats.removed, 1);
+    }
+
+    #[test]
+    fn loops_survive_simplification() {
+        // A counted loop whose bound is constant must keep its structure
+        // (no branch folding).
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let n = fb.const_i64(10);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(crate::IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, crate::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        m.add_function(fb.finish().unwrap());
+        simplify(&mut m);
+        crate::verify_module(&m).unwrap();
+        let f = m.function(m.entry().unwrap());
+        assert_eq!(f.blocks.len(), 4, "CFG untouched");
+        assert!(matches!(
+            f.block(crate::BlockId(1)).term,
+            Term::CondBr { .. }
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! The (deliberately small) type system of the IR.
+//!
+//! Loopapalooza's analyses only need to distinguish integer, floating-point
+//! and pointer values; every memory cell is one 8-byte word. This mirrors the
+//! paper's use of `-Ofast`-optimized LLVM IR where the dynamic instruction
+//! count — not data-width microarchitecture detail — is the cost metric.
+
+use std::fmt;
+
+/// A first-class IR type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Type {
+    /// 1-bit boolean (comparison results, branch conditions).
+    I1,
+    /// 64-bit signed integer.
+    #[default]
+    I64,
+    /// 64-bit IEEE-754 floating point.
+    F64,
+    /// Byte-addressed pointer into the flat memory space.
+    Ptr,
+    /// The absence of a value (only valid as a function return type).
+    Void,
+}
+
+impl Type {
+    /// Returns `true` for types that may be stored to / loaded from memory.
+    ///
+    /// `I1` and `Void` are register-only artifacts of control flow.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, Type::I64 | Type::F64 | Type::Ptr)
+    }
+
+    /// Returns `true` if values of this type carry integer semantics
+    /// (including pointers, which are integers for address arithmetic).
+    #[must_use]
+    pub fn is_integral(self) -> bool {
+        matches!(self, Type::I1 | Type::I64 | Type::Ptr)
+    }
+
+    /// Returns `true` for the floating-point type.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        self == Type::F64
+    }
+
+    /// Size of a value of this type when stored in memory, in bytes.
+    ///
+    /// All memory types occupy one 8-byte word.
+    #[must_use]
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+            Type::I1 | Type::Void => 0,
+        }
+    }
+
+    /// Parses the textual form used by the printer (`i1`, `i64`, `f64`,
+    /// `ptr`, `void`).
+    #[must_use]
+    pub fn from_text(text: &str) -> Option<Type> {
+        match text {
+            "i1" => Some(Type::I1),
+            "i64" => Some(Type::I64),
+            "f64" => Some(Type::F64),
+            "ptr" => Some(Type::Ptr),
+            "void" => Some(Type::Void),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Type::I1 => "i1",
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+            Type::Void => "void",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for ty in [Type::I1, Type::I64, Type::F64, Type::Ptr, Type::Void] {
+            assert_eq!(Type::from_text(&ty.to_string()), Some(ty));
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_unknown() {
+        assert_eq!(Type::from_text("i32"), None);
+        assert_eq!(Type::from_text(""), None);
+    }
+
+    #[test]
+    fn memory_types_are_word_sized() {
+        assert_eq!(Type::I64.size_bytes(), 8);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::Ptr.size_bytes(), 8);
+        assert_eq!(Type::I1.size_bytes(), 0);
+        assert_eq!(Type::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Type::I64.is_integral());
+        assert!(Type::Ptr.is_integral());
+        assert!(Type::I1.is_integral());
+        assert!(!Type::F64.is_integral());
+        assert!(Type::F64.is_float());
+        assert!(Type::I64.is_memory());
+        assert!(!Type::Void.is_memory());
+        assert!(!Type::I1.is_memory());
+    }
+}

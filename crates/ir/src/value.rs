@@ -1,0 +1,95 @@
+//! SSA values.
+//!
+//! Every value in a function — parameters, constants, and instruction
+//! results — is identified by a dense [`ValueId`] indexing the function's
+//! value arena. Constants are function-local (not interned across
+//! functions), which keeps functions self-contained and serializable.
+
+use crate::function::InstId;
+use crate::module::{FuncId, GlobalId};
+use std::fmt;
+
+/// Dense index of an SSA value within a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// Returns the arena index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%v{}", self.0)
+    }
+}
+
+/// What a [`ValueId`] denotes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueKind {
+    /// The `index`-th formal parameter of the enclosing function.
+    Param(u32),
+    /// A 64-bit signed integer constant.
+    ConstInt(i64),
+    /// A 64-bit float constant.
+    ConstFloat(f64),
+    /// A boolean constant.
+    ConstBool(bool),
+    /// The null pointer.
+    ConstNull,
+    /// The address of a module global.
+    GlobalAddr(GlobalId),
+    /// The address of a function (for indirect-call-free code this is used
+    /// only as an opaque token value).
+    FuncAddr(FuncId),
+    /// The result of the given instruction.
+    Inst(InstId),
+}
+
+impl ValueKind {
+    /// Returns `true` if the value is a compile-time constant (including
+    /// global/function addresses, which are link-time constants).
+    #[must_use]
+    pub fn is_const(&self) -> bool {
+        !matches!(self, ValueKind::Param(_) | ValueKind::Inst(_))
+    }
+
+    /// Returns the defining instruction, if this value is an instruction
+    /// result.
+    #[must_use]
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            ValueKind::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_classification() {
+        assert!(ValueKind::ConstInt(3).is_const());
+        assert!(ValueKind::ConstFloat(1.5).is_const());
+        assert!(ValueKind::ConstNull.is_const());
+        assert!(ValueKind::GlobalAddr(GlobalId(0)).is_const());
+        assert!(!ValueKind::Param(0).is_const());
+        assert!(!ValueKind::Inst(InstId(0)).is_const());
+    }
+
+    #[test]
+    fn as_inst_extracts_defining_instruction() {
+        assert_eq!(ValueKind::Inst(InstId(7)).as_inst(), Some(InstId(7)));
+        assert_eq!(ValueKind::ConstInt(0).as_inst(), None);
+    }
+
+    #[test]
+    fn value_id_display() {
+        assert_eq!(ValueId(12).to_string(), "%v12");
+    }
+}

@@ -1,0 +1,391 @@
+//! Structural IR verification.
+//!
+//! Checks everything that does not require a dominator tree: operand/result
+//! types, phi placement and incoming-edge coverage, terminator targets,
+//! call signatures, and global references. SSA dominance ("every use is
+//! dominated by its def") is verified by `lp_analysis::verify_ssa`, which
+//! owns the dominator tree.
+
+use crate::function::{BlockId, Function};
+use crate::inst::{Callee, Inst, Term};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+use crate::{IrError, Result};
+
+fn err(func: &Function, msg: impl Into<String>) -> IrError {
+    IrError::Invalid(format!("function {}: {}", func.name, msg.into()))
+}
+
+fn check_value(func: &Function, v: ValueId) -> Result<()> {
+    if v.index() >= func.values.len() {
+        return Err(err(func, format!("dangling value {v}")));
+    }
+    Ok(())
+}
+
+fn check_block(func: &Function, b: BlockId) -> Result<()> {
+    if b.index() >= func.blocks.len() {
+        return Err(err(func, format!("dangling block {b}")));
+    }
+    Ok(())
+}
+
+/// Verifies one function. When `module` is provided, call signatures and
+/// global references are checked against it.
+///
+/// # Errors
+/// Returns [`IrError::Invalid`] describing the first violation found.
+pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<()> {
+    if func.blocks.is_empty() {
+        return Err(err(func, "no blocks"));
+    }
+    // Value arena sanity: params first, then results in arena order.
+    for (i, kind) in func.values.iter().enumerate() {
+        match kind {
+            ValueKind::Param(p) => {
+                if *p as usize >= func.params.len() {
+                    return Err(err(func, format!("value %v{i} references missing param")));
+                }
+                if func.value_types[i] != func.params[*p as usize] {
+                    return Err(err(func, format!("param value %v{i} type mismatch")));
+                }
+            }
+            ValueKind::Inst(inst_id) => {
+                if inst_id.index() >= func.insts.len() {
+                    return Err(err(func, format!("value %v{i} references missing inst")));
+                }
+                let data = func.inst(*inst_id);
+                if data.result.index() != i {
+                    return Err(err(func, format!("value %v{i} / inst result mismatch")));
+                }
+            }
+            ValueKind::GlobalAddr(g) => {
+                if let Some(m) = module {
+                    if g.index() >= m.globals.len() {
+                        return Err(err(func, format!("value %v{i} references missing global")));
+                    }
+                }
+            }
+            ValueKind::FuncAddr(f) => {
+                if let Some(m) = module {
+                    if f.index() >= m.functions.len() {
+                        return Err(err(func, format!("value %v{i} references missing function")));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let preds = func.predecessors();
+
+    for bid in func.block_ids() {
+        let block = func.block(bid);
+        let mut seen_non_phi = false;
+        for &iid in &block.insts {
+            if iid.index() >= func.insts.len() {
+                return Err(err(func, format!("block {bid} lists missing instruction")));
+            }
+            let data = func.inst(iid);
+            if data.block != bid {
+                return Err(err(func, format!("instruction in {bid} claims other block")));
+            }
+            for op in data.inst.operands() {
+                check_value(func, op)?;
+            }
+            match &data.inst {
+                Inst::Phi { ty, incomings } => {
+                    if seen_non_phi {
+                        return Err(err(func, format!("phi after non-phi in {bid}")));
+                    }
+                    if bid == BlockId::ENTRY {
+                        return Err(err(func, "phi in entry block"));
+                    }
+                    let mut blocks: Vec<BlockId> = incomings.iter().map(|(b, _)| *b).collect();
+                    blocks.sort_unstable();
+                    blocks.dedup();
+                    if blocks.len() != incomings.len() {
+                        return Err(err(func, format!("phi in {bid} has duplicate incoming block")));
+                    }
+                    let mut expect = preds[bid.index()].clone();
+                    expect.sort_unstable();
+                    expect.dedup();
+                    if blocks != expect {
+                        return Err(err(
+                            func,
+                            format!(
+                                "phi in {bid} covers {:?}, predecessors are {:?}",
+                                blocks, expect
+                            ),
+                        ));
+                    }
+                    for (pb, v) in incomings {
+                        check_block(func, *pb)?;
+                        if func.value_type(*v) != *ty {
+                            return Err(err(func, format!("phi incoming type mismatch in {bid}")));
+                        }
+                    }
+                    if data.ty != *ty {
+                        return Err(err(func, format!("phi result type mismatch in {bid}")));
+                    }
+                }
+                Inst::Bin { op, lhs, rhs } => {
+                    let want = op.result_type();
+                    if func.value_type(*lhs) != want || func.value_type(*rhs) != want {
+                        return Err(err(func, format!("{op} operand type mismatch in {bid}")));
+                    }
+                    if data.ty != want {
+                        return Err(err(func, format!("{op} result type mismatch in {bid}")));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Icmp { lhs, rhs, .. } => {
+                    let lt = func.value_type(*lhs);
+                    if !(lt.is_integral() && lt != Type::I1) || func.value_type(*rhs) != lt {
+                        return Err(err(func, format!("icmp operand types in {bid}")));
+                    }
+                    if data.ty != Type::I1 {
+                        return Err(err(func, "icmp must produce i1"));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Fcmp { lhs, rhs, .. } => {
+                    if func.value_type(*lhs) != Type::F64 || func.value_type(*rhs) != Type::F64 {
+                        return Err(err(func, format!("fcmp operand types in {bid}")));
+                    }
+                    if data.ty != Type::I1 {
+                        return Err(err(func, "fcmp must produce i1"));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                } => {
+                    if func.value_type(*cond) != Type::I1 {
+                        return Err(err(func, "select condition must be i1"));
+                    }
+                    let t = func.value_type(*then_val);
+                    if t != func.value_type(*else_val) || t != data.ty {
+                        return Err(err(func, "select arm type mismatch"));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Cast { kind, val } => {
+                    if func.value_type(*val) != kind.operand_type() || data.ty != kind.result_type()
+                    {
+                        return Err(err(func, format!("{kind} type mismatch in {bid}")));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Load { ty, addr } => {
+                    if !ty.is_memory() {
+                        return Err(err(func, "load of non-memory type"));
+                    }
+                    if func.value_type(*addr) != Type::Ptr || data.ty != *ty {
+                        return Err(err(func, format!("load type mismatch in {bid}")));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Store { val, addr } => {
+                    if !func.value_type(*val).is_memory() {
+                        return Err(err(func, "store of non-memory type"));
+                    }
+                    if func.value_type(*addr) != Type::Ptr || data.ty != Type::Void {
+                        return Err(err(func, format!("store type mismatch in {bid}")));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Gep { base, index, .. } => {
+                    if func.value_type(*base) != Type::Ptr
+                        || func.value_type(*index) != Type::I64
+                        || data.ty != Type::Ptr
+                    {
+                        return Err(err(func, format!("gep type mismatch in {bid}")));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Alloca { words } => {
+                    if *words == 0 {
+                        return Err(err(func, "alloca of zero words"));
+                    }
+                    if data.ty != Type::Ptr {
+                        return Err(err(func, "alloca must produce ptr"));
+                    }
+                    seen_non_phi = true;
+                }
+                Inst::Call { callee, args } => {
+                    match callee {
+                        Callee::Builtin(b) => {
+                            if args.len() != b.arity() {
+                                return Err(err(func, format!("builtin {b} arity mismatch")));
+                            }
+                            for (a, want) in args.iter().zip(b.param_types()) {
+                                if func.value_type(*a) != *want {
+                                    return Err(err(func, format!("builtin {b} arg type mismatch")));
+                                }
+                            }
+                            if data.ty != b.return_type() {
+                                return Err(err(func, format!("builtin {b} return type mismatch")));
+                            }
+                        }
+                        Callee::Func(fid) => {
+                            if let Some(m) = module {
+                                if fid.index() >= m.functions.len() {
+                                    return Err(err(func, "call to missing function"));
+                                }
+                                let target = m.function(*fid);
+                                if args.len() != target.params.len() {
+                                    return Err(err(
+                                        func,
+                                        format!("call to {} arity mismatch", target.name),
+                                    ));
+                                }
+                                for (a, want) in args.iter().zip(&target.params) {
+                                    if func.value_type(*a) != *want {
+                                        return Err(err(
+                                            func,
+                                            format!("call to {} arg type mismatch", target.name),
+                                        ));
+                                    }
+                                }
+                                if data.ty != target.ret {
+                                    return Err(err(
+                                        func,
+                                        format!("call to {} return type mismatch", target.name),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    seen_non_phi = true;
+                }
+            }
+        }
+        match &block.term {
+            Term::Br(t) => check_block(func, *t)?,
+            Term::CondBr {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                check_value(func, *cond)?;
+                if func.value_type(*cond) != Type::I1 {
+                    return Err(err(func, format!("condbr condition in {bid} must be i1")));
+                }
+                check_block(func, *then_blk)?;
+                check_block(func, *else_blk)?;
+            }
+            Term::Ret(v) => match (v, func.ret) {
+                (None, Type::Void) => {}
+                (None, _) => return Err(err(func, "missing return value")),
+                (Some(v), ty) => {
+                    check_value(func, *v)?;
+                    if func.value_type(*v) != ty {
+                        return Err(err(func, "return type mismatch"));
+                    }
+                }
+            },
+        }
+    }
+    Ok(())
+}
+
+/// Verifies every function in a module (with cross-function checks).
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_module(module: &Module) -> Result<()> {
+    for (_, func) in module.iter_functions() {
+        verify_function(func, Some(module))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::IcmpPred;
+    use crate::Global;
+
+    #[test]
+    fn valid_module_passes() {
+        let mut m = Module::new("m");
+        let g = m.add_global(Global::zeroed("buf", 8));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let addr = fb.global_addr(g);
+        let x = fb.const_i64(42);
+        fb.store(x, addr);
+        let y = fb.load(Type::I64, addr);
+        fb.ret(Some(y));
+        m.add_function(fb.finish().unwrap());
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn phi_must_cover_predecessors() {
+        // Hand-corrupt a function: phi with missing incoming.
+        let mut fb = FunctionBuilder::new("f", &[Type::I64], Type::I64);
+        let n = fb.param(0);
+        let zero = fb.const_i64(0);
+        let header = fb.create_block("header");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        fb.add_phi_incoming(i, crate::BlockId::ENTRY, zero);
+        // Missing incoming for the latch edge (header -> header).
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, header, exit);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        let f = fb.finish().unwrap();
+        let e = verify_function(&f, None).unwrap_err();
+        assert!(e.to_string().contains("phi"), "{e}");
+    }
+
+    #[test]
+    fn call_signature_checked_against_module() {
+        let mut m = Module::new("m");
+        let mut fb = FunctionBuilder::new("callee", &[Type::I64], Type::I64);
+        let p = fb.param(0);
+        fb.ret(Some(p));
+        let callee = m.add_function(fb.finish().unwrap());
+
+        // Wrong return type declared at the call site.
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let x = fb.const_i64(1);
+        let r = fb.call(callee, Type::F64, &[x]);
+        let ri = fb.fptosi(r);
+        fb.ret(Some(ri));
+        m.add_function(fb.finish().unwrap());
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("return type"), "{e}");
+    }
+
+    #[test]
+    fn dangling_branch_target_detected() {
+        let mut fb = FunctionBuilder::new("f", &[], Type::Void);
+        fb.ret(None);
+        let mut f = fb.finish().unwrap();
+        f.blocks[0].term = Term::Br(BlockId(9));
+        assert!(verify_function(&f, None).is_err());
+    }
+
+    #[test]
+    fn entry_block_must_not_have_phis() {
+        let mut fb = FunctionBuilder::new("f", &[], Type::Void);
+        // Manually force a phi into entry by abusing the builder.
+        let p = fb.phi(Type::I64);
+        let z = fb.const_i64(0);
+        // Entry has no predecessors, so no incomings needed to trip the check.
+        let _ = (p, z);
+        fb.ret(None);
+        let f = fb.finish().unwrap();
+        let e = verify_function(&f, None).unwrap_err();
+        assert!(e.to_string().contains("entry"), "{e}");
+    }
+}

@@ -1,0 +1,494 @@
+//! The limit-study evaluator.
+//!
+//! Consumes a [`Profile`] and computes, for one `(execution model,
+//! configuration)` pair, the achievable speedup in the limit. The dynamic
+//! region tree is folded bottom-up:
+//!
+//! - each region's **best cost** is its serial cost minus the savings of
+//!   its children (nested, SWARM/T4-style multi-level parallelism: inner
+//!   loop savings shrink the enclosing iteration lengths before the outer
+//!   loop's model is applied — the paper's "propagated up to the nest of
+//!   parent loops and functions");
+//! - a loop instance then applies the execution-model cost over its
+//!   adjusted iteration lengths and keeps `min(serial, parallel)`;
+//! - loops whose modelled parallel cost does not beat serial are "marked
+//!   serial", exactly as §III-B prescribes.
+//!
+//! Coverage is the fraction of dynamic IR instructions executing inside
+//! loops judged parallel (Fig. 5); Amdahl makes it the other half of the
+//! speedup story.
+
+use crate::config::{Config, DepMode, ExecModel, FnMode, ReducMode};
+use crate::model::{doall_cost_bounded, helix_cost_bounded, pdoall_cost_bounded};
+use crate::profile::{CallClass, LoopInstance, Profile, Region, RegionId, RegionKind};
+use lp_analysis::LcdClass;
+use lp_ir::BlockId;
+
+/// Per-static-loop aggregation across all its dynamic instances.
+#[derive(Debug, Clone, Default)]
+pub struct LoopSummary {
+    /// Function containing the loop.
+    pub func_name: String,
+    /// Header block.
+    pub header: BlockId,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+    /// Dynamic instances executed.
+    pub instances: u64,
+    /// Instances the model parallelized.
+    pub parallel_instances: u64,
+    /// Total iterations across instances.
+    pub iterations: u64,
+    /// Total raw serial cost across instances.
+    pub serial_cost: u64,
+    /// Total best (possibly parallel) cost across instances.
+    pub best_cost: u64,
+}
+
+impl LoopSummary {
+    /// Per-loop speedup across all instances.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.best_cost == 0 {
+            1.0
+        } else {
+            self.serial_cost as f64 / self.best_cost as f64
+        }
+    }
+}
+
+/// The result of evaluating one `(model, config)` pair on one profile.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Program (module) name.
+    pub program: String,
+    /// Execution model evaluated.
+    pub model: ExecModel,
+    /// Configuration evaluated.
+    pub config: Config,
+    /// Sequential cost of the whole program.
+    pub total_cost: u64,
+    /// Best achievable cost under the model/config.
+    pub best_cost: u64,
+    /// `total_cost / best_cost`.
+    pub speedup: f64,
+    /// Percent of dynamic IR instructions inside parallel loops.
+    pub coverage: f64,
+    /// Per-static-loop details (only loops that executed).
+    pub loops: Vec<LoopSummary>,
+}
+
+struct RegionEval {
+    serial: u64,
+    best: u64,
+    covered: u64,
+}
+
+struct Evaluator<'p> {
+    profile: &'p Profile,
+    model: ExecModel,
+    config: Config,
+    options: EvalOptions,
+    loop_agg: Vec<LoopSummary>,
+}
+
+/// Evaluator behaviour knobs (ablations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions {
+    /// Model classic DOACROSS instead of HELIX: a *single* synchronization
+    /// point per iteration pair, placed "after the last write in the
+    /// previous iteration and immediately before the first read in the
+    /// next" (paper §II-C). The per-iteration skew becomes
+    /// `max(producers) − min(consumers)` across ALL manifesting LCDs,
+    /// whereas HELIX synchronizes each LCD independently and takes the
+    /// largest individual skew.
+    pub doacross_single_sync: bool,
+    /// Bound the number of cores (`None` = the paper's infinite-resource
+    /// limit study). Parallel regions are scheduled in in-order waves;
+    /// HELIX additionally respects core-reuse: iteration `i` waits for
+    /// iteration `i − cores` to finish.
+    pub cores: Option<u32>,
+}
+
+/// Evaluates `profile` under one `(model, config)` pair.
+#[must_use]
+pub fn evaluate(profile: &Profile, model: ExecModel, config: Config) -> EvalReport {
+    evaluate_with(profile, model, config, EvalOptions::default())
+}
+
+/// As [`evaluate`] with explicit evaluator knobs.
+#[must_use]
+pub fn evaluate_with(
+    profile: &Profile,
+    model: ExecModel,
+    config: Config,
+    options: EvalOptions,
+) -> EvalReport {
+    let mut ev = Evaluator {
+        profile,
+        model,
+        config,
+        options,
+        loop_agg: profile
+            .loop_meta
+            .iter()
+            .map(|m| LoopSummary {
+                func_name: m.func_name.clone(),
+                header: m.header,
+                depth: m.depth,
+                ..LoopSummary::default()
+            })
+            .collect(),
+    };
+    let root = ev.eval_region(profile.root());
+    let total = profile.total_cost.max(1);
+    let best = root.best.max(1);
+    EvalReport {
+        program: profile.program.clone(),
+        model,
+        config,
+        total_cost: profile.total_cost,
+        best_cost: root.best,
+        speedup: total as f64 / best as f64,
+        coverage: 100.0 * root.covered as f64 / total as f64,
+        loops: ev
+            .loop_agg
+            .into_iter()
+            .filter(|l| l.instances > 0)
+            .collect(),
+    }
+}
+
+impl Evaluator<'_> {
+    fn eval_region(&mut self, rid: RegionId) -> RegionEval {
+        let region = self.profile.region(rid);
+        match &region.kind {
+            RegionKind::Call { .. } => {
+                let mut saving = 0u64;
+                let mut covered = 0u64;
+                for &c in &region.children {
+                    let ce = self.eval_region(c);
+                    saving += ce.serial - ce.best;
+                    covered += ce.covered;
+                }
+                let serial = region.serial_cost();
+                RegionEval {
+                    serial,
+                    best: serial.saturating_sub(saving),
+                    covered,
+                }
+            }
+            RegionKind::Loop(inst) => self.eval_loop(region, inst),
+        }
+    }
+
+    fn eval_loop(&mut self, region: &Region, inst: &LoopInstance) -> RegionEval {
+        let meta = &self.profile.loop_meta[inst.meta];
+        let n = inst.iterations();
+        let raw_lens = self.profile.iter_lengths(region, inst);
+
+        // Fold children: inner savings shrink the iteration that contained
+        // them (multi-level nested parallelism).
+        let mut save = vec![0u64; n.max(1)];
+        let mut child_covered = 0u64;
+        for &c in &region.children.clone() {
+            let ce = self.eval_region(c);
+            let k = (self.profile.region(c).parent_iter as usize).min(n.saturating_sub(1));
+            save[k] += ce.serial - ce.best;
+            child_covered += ce.covered;
+        }
+        let adj: Vec<u64> = raw_lens
+            .iter()
+            .zip(&save)
+            .map(|(&len, &s)| len.saturating_sub(s))
+            .collect();
+        let serial_adj: u64 = adj.iter().sum();
+
+        // fn-flag gate.
+        let mut forced = match self.config.fnm {
+            FnMode::Fn0 => inst.call_class > CallClass::NoCalls,
+            FnMode::Fn1 => inst.call_class > CallClass::PureCalls,
+            FnMode::Fn2 => inst.call_class > CallClass::InstrumentedCalls,
+            FnMode::Fn3 => false,
+        };
+
+        // Register-LCD handling. Under the DOACROSS ablation the loop
+        // gets one sync point: track the producer/consumer extremes
+        // across all LCD sources instead of per-LCD skews.
+        let single_sync = self.options.doacross_single_sync;
+        let mut delta = inst.mem_max_skew;
+        let mut max_producer = if inst.mem_edges > 0 {
+            inst.mem_max_producer_rel
+        } else {
+            0
+        };
+        let mut reg_lcd_synced = false;
+        let mut add_delta = |delta: &mut u64, d: u64| {
+            // A register LCD: produced at offset `d`, consumed at the next
+            // iteration's start (offset 0).
+            *delta = (*delta).max(d);
+            max_producer = max_producer.max(d);
+            reg_lcd_synced = true;
+        };
+        let mut extra_conflicts: Vec<u32> = Vec::new();
+        for (idx, (_, class)) in meta.traced_phis.iter().enumerate() {
+            if matches!(class, LcdClass::Reduction(_)) && self.config.reduc == ReducMode::Reduc1 {
+                continue; // decoupled by reduction hardware
+            }
+            let lcd = &inst.lcds[idx];
+            match (self.model, self.config.dep) {
+                // DOALL supports no non-computable register LCDs at all
+                // (dep1..dep3 are incompatible with DOALL, §IV).
+                (ExecModel::Doall, _) => forced = true,
+                // Perfect value prediction removes the LCD entirely.
+                (_, DepMode::Dep3) => {}
+                (ExecModel::PartialDoall, DepMode::Dep0 | DepMode::Dep1) => forced = true,
+                (ExecModel::PartialDoall, DepMode::Dep2) => {
+                    extra_conflicts.extend_from_slice(&lcd.mispredict_iters);
+                }
+                (ExecModel::Helix, DepMode::Dep0) => forced = true,
+                (ExecModel::Helix, DepMode::Dep1) => add_delta(&mut delta, lcd.max_def_rel),
+                (ExecModel::Helix, DepMode::Dep2) => {
+                    // Predicted iterations run free; any mispredicts fall
+                    // back to synchronization on this LCD.
+                    if !lcd.mispredict_iters.is_empty() {
+                        add_delta(&mut delta, lcd.max_def_rel);
+                    }
+                }
+            }
+        }
+
+        let _ = &mut add_delta;
+        if single_sync && (inst.mem_edges > 0 || reg_lcd_synced) {
+            // Register-LCD consumers sit at iteration start (offset 0);
+            // memory consumers at their recorded earliest offset.
+            let min_consumer = if reg_lcd_synced {
+                0
+            } else {
+                inst.mem_min_consumer_rel
+            };
+            delta = delta.max(max_producer.saturating_sub(min_consumer));
+        }
+        let cores = self.options.cores;
+        let parallel_cost = match self.model {
+            ExecModel::Doall => {
+                doall_cost_bounded(&adj, !inst.mem_conflict_iters.is_empty(), forced, cores)
+            }
+            ExecModel::PartialDoall => {
+                let mut conflicts = inst.mem_conflict_iters.clone();
+                conflicts.extend_from_slice(&extra_conflicts);
+                conflicts.sort_unstable();
+                conflicts.dedup();
+                pdoall_cost_bounded(&adj, &conflicts, forced, cores)
+            }
+            ExecModel::Helix => helix_cost_bounded(&adj, delta, forced, cores),
+        };
+
+        let serial_raw = region.serial_cost();
+        let (best, covered, parallel) = match parallel_cost {
+            Some(p) if p < serial_adj => (p, serial_raw, true),
+            _ => (serial_adj, child_covered, false),
+        };
+
+        let agg = &mut self.loop_agg[inst.meta];
+        agg.instances += 1;
+        agg.parallel_instances += u64::from(parallel);
+        agg.iterations += n as u64;
+        agg.serial_cost += serial_raw;
+        agg.best_cost += best;
+
+        RegionEval {
+            serial: serial_raw,
+            best,
+            covered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, DepMode, ExecModel, FnMode, ReducMode};
+    use crate::tracker::profile_module;
+    use lp_analysis::analyze_module;
+    use lp_interp::MachineConfig;
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{Global, IcmpPred, Module, Type};
+
+    fn cfg(reduc: ReducMode, dep: DepMode, fnm: FnMode) -> Config {
+        Config::new(reduc, dep, fnm)
+    }
+
+    fn profile_of(m: &Module) -> Profile {
+        let analysis = analyze_module(m);
+        let (p, _) = profile_module(m, &analysis, &[], MachineConfig::default()).unwrap();
+        p
+    }
+
+    /// DOALL-able loop: disjoint stores, computable IV only.
+    fn doall_program(n: i64) -> Module {
+        let mut m = Module::new("doall");
+        let g = m.add_global(Global::zeroed("a", n as u64 + 1));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let nn = fb.const_i64(n);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let base = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, nn);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.gep(base, i, 8, 0);
+        let v = fb.mul(i, i);
+        let v2 = fb.add(v, one);
+        let v3 = fb.mul(v2, v2);
+        fb.store(v3, addr);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(zero));
+        m.add_function(fb.finish().unwrap());
+        m
+    }
+
+    /// Serial pointer-chase-like loop: a non-computable register LCD whose
+    /// producer sits early in the iteration, plus filler work after it.
+    fn register_lcd_program(n: i64) -> Module {
+        let mut m = Module::new("reglcd");
+        let g = m.add_global(Global::zeroed("a", 4096));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let nn = fb.const_i64(n);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let mask = fb.const_i64(1023);
+        let base = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let x = fb.phi(Type::I64); // non-computable: x' = (x*1103515245+12345) & mask
+        let c = fb.icmp(IcmpPred::Slt, i, nn);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let mul = fb.const_i64(1103515245);
+        let inc = fb.const_i64(12345);
+        let t1 = fb.mul(x, mul);
+        let t2 = fb.add(t1, inc);
+        let x2 = fb.and(t2, mask); // producer: early in the iteration
+        // Filler work AFTER the producer (uses x2 address, iteration-local
+        // stores to disjoint slots).
+        let addr = fb.gep(base, i, 8, 0);
+        let mut acc = x2;
+        for _ in 0..10 {
+            acc = fb.mul(acc, mul);
+            acc = fb.add(acc, inc);
+        }
+        fb.store(acc, addr);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.add_phi_incoming(x, lp_ir::BlockId::ENTRY, one);
+        fb.add_phi_incoming(x, body, x2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(x));
+        m.add_function(fb.finish().unwrap());
+        m
+    }
+
+    #[test]
+    fn doall_program_parallelizes_under_minimum_config() {
+        let p = profile_of(&doall_program(200));
+        let r = evaluate(
+            &p,
+            ExecModel::Doall,
+            cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0),
+        );
+        assert!(
+            r.speedup > 20.0,
+            "DOALL loop should approach num_iter speedup, got {}",
+            r.speedup
+        );
+        assert!(r.coverage > 80.0, "coverage {}", r.coverage);
+        assert_eq!(r.loops.len(), 1);
+        assert_eq!(r.loops[0].parallel_instances, 1);
+    }
+
+    #[test]
+    fn register_lcd_serializes_doall_but_not_helix_dep1() {
+        let p = profile_of(&register_lcd_program(200));
+        let doall = evaluate(
+            &p,
+            ExecModel::Doall,
+            cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0),
+        );
+        assert!(doall.speedup < 1.01, "DOALL must serialize: {}", doall.speedup);
+        let helix0 = evaluate(
+            &p,
+            ExecModel::Helix,
+            cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn2),
+        );
+        assert!(helix0.speedup < 1.01, "HELIX dep0 must serialize: {}", helix0.speedup);
+        let helix1 = evaluate(
+            &p,
+            ExecModel::Helix,
+            cfg(ReducMode::Reduc0, DepMode::Dep1, FnMode::Fn2),
+        );
+        assert!(
+            helix1.speedup > 1.5,
+            "HELIX dep1 should overlap the post-producer work: {}",
+            helix1.speedup
+        );
+        // dep3 (perfect prediction) under PDOALL removes the LCD entirely.
+        let pd3 = evaluate(
+            &p,
+            ExecModel::PartialDoall,
+            cfg(ReducMode::Reduc0, DepMode::Dep3, FnMode::Fn2),
+        );
+        assert!(pd3.speedup > helix1.speedup);
+    }
+
+    #[test]
+    fn monotonicity_across_dep_relaxations_pdoall() {
+        let p = profile_of(&register_lcd_program(100));
+        let s = |dep| {
+            evaluate(
+                &p,
+                ExecModel::PartialDoall,
+                cfg(ReducMode::Reduc0, dep, FnMode::Fn2),
+            )
+            .speedup
+        };
+        let s0 = s(DepMode::Dep0);
+        let s2 = s(DepMode::Dep2);
+        let s3 = s(DepMode::Dep3);
+        assert!(s0 <= s2 + 1e-9, "dep0 {s0} <= dep2 {s2}");
+        assert!(s2 <= s3 + 1e-9, "dep2 {s2} <= dep3 {s3}");
+    }
+
+    #[test]
+    fn speedup_never_below_one() {
+        let p = profile_of(&register_lcd_program(50));
+        for model in ExecModel::all() {
+            for config in Config::all() {
+                let r = evaluate(&p, model, config);
+                assert!(
+                    r.speedup >= 0.999,
+                    "{model} {config}: speedup {} < 1",
+                    r.speedup
+                );
+                assert!(r.best_cost <= r.total_cost);
+                assert!((0.0..=100.0).contains(&r.coverage));
+            }
+        }
+    }
+}

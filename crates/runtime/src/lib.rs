@@ -1,0 +1,44 @@
+//! # lp-runtime — Loopapalooza's run-time component and evaluator
+//!
+//! This crate is the heart of the limit study (paper §III):
+//!
+//! - [`tracker::Profiler`] consumes the interpreter's instrumentation
+//!   call-backs and produces a [`profile::Profile`] — the dynamic region
+//!   tree with iteration stamps, memory RAW conflicts (with the
+//!   cactus-stack structural-hazard filter of §II-E), register-LCD value
+//!   prediction traces, and call classes;
+//! - [`config`] defines the `reduc/dep/fn` flag lattice (Table II) and
+//!   the DOALL / Partial-DOALL / HELIX execution models;
+//! - [`model`] implements the three parallel cost models of §III-B;
+//! - [`eval::evaluate`] folds a profile bottom-up (nested, multi-level
+//!   parallelism) into the limit speedup and coverage for any
+//!   `(model, config)` pair — one profile run serves all configurations;
+//! - [`census`] quantifies Table I; [`report`] provides the GEOMEAN
+//!   aggregation used by Figures 2–5.
+
+pub mod census;
+pub mod config;
+pub mod eval;
+pub mod export;
+pub mod model;
+pub mod profile;
+pub mod report;
+pub mod tracker;
+
+pub use census::Census;
+pub use config::{
+    best_helix, best_pdoall, paper_rows, Config, DepMode, ExecModel, FnMode, ReducMode,
+};
+pub use eval::{evaluate, evaluate_with, EvalOptions, EvalReport, LoopSummary};
+pub use profile::{CallClass, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind};
+pub use report::{geomean, geomean_coverage, geomean_speedup, mean, ProgramResult};
+pub use tracker::{profile_module, profile_module_with, Profiler, ProfilerOptions};
+
+/// Address used to model the architectural stack pointer as a memory cell
+/// when the cactus-stack assumption is disabled (see
+/// [`ProfilerOptions::cactus_stack`]). Sits in the global region, below
+/// any real global (the machine lays globals out from `GLOBAL_BASE` up).
+#[must_use]
+pub const fn profile_sp_hazard_addr() -> u64 {
+    lp_interp::GLOBAL_BASE - 64
+}

@@ -1,0 +1,314 @@
+//! The profile: everything one instrumented run records.
+//!
+//! A profile is a **dynamic region tree** over the run: one node per
+//! function activation ("call region") and one per executed loop instance,
+//! each stamped with its start/end position on the sequential dynamic-IR
+//! cost axis. Loop instances additionally carry per-iteration start
+//! stamps, the memory RAW conflicts observed across their iterations, the
+//! traced register-LCD streams, and the worst class of call made from
+//! inside the loop. Every configuration and execution model is evaluated
+//! *offline* from this single profile — one run serves all 14 paper rows.
+
+use lp_analysis::{LcdClass, LoopId};
+use lp_ir::{BlockId, FuncId, ValueId};
+use std::collections::HashMap;
+
+/// Dense index of a region node in [`Profile::regions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// Returns the arena index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Severity-ordered classification of the calls made (dynamically) from
+/// inside a loop. Drives the `fn0..fn3` gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum CallClass {
+    /// No calls executed inside the loop.
+    #[default]
+    NoCalls,
+    /// Only pure (read-only, side-effect-free) callees.
+    PureCalls,
+    /// Instrumented user functions and/or thread-safe library builtins.
+    InstrumentedCalls,
+    /// At least one non-thread-safe builtin (I/O, shared-state RNG).
+    UnsafeCalls,
+}
+
+/// Static (per `(function, loop)`) metadata captured from the compile-time
+/// analyses.
+#[derive(Debug, Clone)]
+pub struct LoopMeta {
+    /// Owning function.
+    pub func: FuncId,
+    /// Loop id within the function's forest.
+    pub loop_id: LoopId,
+    /// Function name (for reports).
+    pub func_name: String,
+    /// Header block (for reports).
+    pub header: BlockId,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+    /// Traced header phis: non-computable and reduction LCDs, in block
+    /// order. Computable phis are filtered out at compile time — exactly
+    /// the paper's "use compile-time analysis to filter out accelerated
+    /// dependencies" overhead reduction.
+    pub traced_phis: Vec<(ValueId, LcdClass)>,
+    /// Number of computable (IV/MIV) header phis, for the census.
+    pub computable_phis: u32,
+}
+
+/// The per-iteration trace of one traced register LCD in one loop
+/// instance.
+#[derive(Debug, Clone, Default)]
+pub struct LcdInstance {
+    /// Iterations (≥1) whose incoming value the hybrid predictor missed.
+    pub mispredict_iters: Vec<u32>,
+    /// Maximum offset (relative to iteration start) at which the latch
+    /// value was produced — the HELIX `dep1` producer timestamp.
+    pub max_def_rel: u64,
+    /// Values observed (= iterations the phi resolved).
+    pub observed: u64,
+    /// Values the hybrid predicted correctly.
+    pub predicted: u64,
+}
+
+impl LcdInstance {
+    /// Hybrid prediction accuracy for this instance (0 when empty).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / self.observed as f64
+        }
+    }
+}
+
+/// Dynamic record of one executed loop instance.
+#[derive(Debug, Clone)]
+pub struct LoopInstance {
+    /// Index into [`Profile::loop_meta`].
+    pub meta: usize,
+    /// Absolute cost stamp of each iteration start (one entry per
+    /// iteration; iteration `k` spans `iter_starts[k] ..
+    /// iter_starts[k+1]`, the last one ends at the region end).
+    pub iter_starts: Vec<u64>,
+    /// Iterations that consumed a value stored by an earlier iteration
+    /// (memory RAW conflicts), sorted and deduplicated.
+    pub mem_conflict_iters: Vec<u32>,
+    /// Largest per-iteration producer→consumer skew over all dynamic
+    /// memory RAW edges: `max((producer_rel − consumer_rel) / span)`.
+    /// This is `delta_largest`'s memory contribution for HELIX.
+    pub mem_max_skew: u64,
+    /// Latest producer offset over all RAW edges (classic DOACROSS's
+    /// single sync point must wait for the *last* write...).
+    pub mem_max_producer_rel: u64,
+    /// Earliest consumer offset over all RAW edges (...and release
+    /// before the *first* read). `u64::MAX` when no edges manifested.
+    pub mem_min_consumer_rel: u64,
+    /// Total dynamic memory RAW edges observed (census).
+    pub mem_edges: u64,
+    /// Traced register-LCD streams, parallel to
+    /// [`LoopMeta::traced_phis`].
+    pub lcds: Vec<LcdInstance>,
+    /// Worst call class observed while this instance was active.
+    pub call_class: CallClass,
+}
+
+impl LoopInstance {
+    /// Number of iterations executed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iter_starts.len()
+    }
+}
+
+/// What a region node is.
+#[derive(Debug, Clone)]
+pub enum RegionKind {
+    /// A function activation.
+    Call {
+        /// The callee.
+        func: FuncId,
+    },
+    /// One dynamic execution of a loop.
+    Loop(LoopInstance),
+}
+
+/// A node of the dynamic region tree.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Parent node (`None` only for the root `main` activation).
+    pub parent: Option<RegionId>,
+    /// If the parent is a loop instance: the parent iteration during
+    /// which this region started. 0 otherwise.
+    pub parent_iter: u32,
+    /// Start stamp on the sequential cost axis.
+    pub start: u64,
+    /// End stamp (exclusive).
+    pub end: u64,
+    /// Payload.
+    pub kind: RegionKind,
+    /// Child regions in creation order.
+    pub children: Vec<RegionId>,
+}
+
+impl Region {
+    /// Raw sequential cost of the region.
+    #[must_use]
+    pub fn serial_cost(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The complete record of one instrumented run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Program name (module name).
+    pub program: String,
+    /// Total sequential dynamic IR cost of the run.
+    pub total_cost: u64,
+    /// Region arena; index 0 is the root (`main`).
+    pub regions: Vec<Region>,
+    /// Static loop metadata referenced by loop instances.
+    pub loop_meta: Vec<LoopMeta>,
+    /// Lookup from `(func, loop)` to `loop_meta` index.
+    pub meta_index: HashMap<(u32, u32), usize>,
+}
+
+impl Profile {
+    /// The root region (the `main` activation).
+    ///
+    /// # Panics
+    /// Panics on an empty profile (the profiler always creates a root).
+    #[must_use]
+    pub fn root(&self) -> RegionId {
+        assert!(!self.regions.is_empty(), "profile has no regions");
+        RegionId(0)
+    }
+
+    /// Region lookup.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Metadata for a loop instance region.
+    ///
+    /// # Panics
+    /// Panics if `region` is not a loop instance.
+    #[must_use]
+    pub fn meta_of(&self, region: &Region) -> &LoopMeta {
+        match &region.kind {
+            RegionKind::Loop(inst) => &self.loop_meta[inst.meta],
+            RegionKind::Call { .. } => panic!("meta_of called on a call region"),
+        }
+    }
+
+    /// Iterator over all loop-instance regions.
+    pub fn loop_instances(&self) -> impl Iterator<Item = (RegionId, &Region, &LoopInstance)> {
+        self.regions.iter().enumerate().filter_map(|(i, r)| match &r.kind {
+            RegionKind::Loop(inst) => Some((RegionId(i as u32), r, inst)),
+            RegionKind::Call { .. } => None,
+        })
+    }
+
+    /// Iteration lengths of a loop instance (derived from start stamps and
+    /// the region end).
+    #[must_use]
+    pub fn iter_lengths(&self, region: &Region, inst: &LoopInstance) -> Vec<u64> {
+        let n = inst.iter_starts.len();
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let start = inst.iter_starts[k];
+            let end = if k + 1 < n {
+                inst.iter_starts[k + 1]
+            } else {
+                region.end
+            };
+            out.push(end.saturating_sub(start));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_meta() -> LoopMeta {
+        LoopMeta {
+            func: FuncId(0),
+            loop_id: LoopId(0),
+            func_name: "f".to_string(),
+            header: BlockId(1),
+            depth: 1,
+            traced_phis: Vec::new(),
+            computable_phis: 1,
+        }
+    }
+
+    #[test]
+    fn iter_lengths_cover_the_instance() {
+        let inst = LoopInstance {
+            meta: 0,
+            iter_starts: vec![10, 20, 35],
+            mem_conflict_iters: Vec::new(),
+            mem_max_skew: 0,
+            mem_max_producer_rel: 0,
+            mem_min_consumer_rel: u64::MAX,
+            mem_edges: 0,
+            lcds: Vec::new(),
+            call_class: CallClass::NoCalls,
+        };
+        let region = Region {
+            parent: None,
+            parent_iter: 0,
+            start: 10,
+            end: 50,
+            kind: RegionKind::Loop(inst),
+            children: Vec::new(),
+        };
+        let profile = Profile {
+            program: "p".into(),
+            total_cost: 50,
+            regions: vec![region],
+            loop_meta: vec![dummy_meta()],
+            meta_index: HashMap::new(),
+        };
+        let r = profile.region(RegionId(0));
+        let RegionKind::Loop(inst) = &r.kind else {
+            unreachable!()
+        };
+        let lens = profile.iter_lengths(r, inst);
+        assert_eq!(lens, vec![10, 15, 15]);
+        assert_eq!(lens.iter().sum::<u64>(), r.serial_cost());
+    }
+
+    #[test]
+    fn call_class_ordering_matches_severity() {
+        assert!(CallClass::NoCalls < CallClass::PureCalls);
+        assert!(CallClass::PureCalls < CallClass::InstrumentedCalls);
+        assert!(CallClass::InstrumentedCalls < CallClass::UnsafeCalls);
+    }
+
+    #[test]
+    fn lcd_accuracy() {
+        let lcd = LcdInstance {
+            observed: 10,
+            predicted: 9,
+            ..LcdInstance::default()
+        };
+        assert!((lcd.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(LcdInstance::default().accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,637 @@
+//! The profiler: Loopapalooza's run-time component.
+//!
+//! [`Profiler`] implements [`lp_interp::EventSink`] and reconstructs, from
+//! the instrumentation call-back stream, everything §III-B needs:
+//!
+//! - the dynamic region tree (function activations and loop instances)
+//!   with iteration start stamps derived from header-block entries;
+//! - cross-iteration memory RAW conflicts via per-instance last-writer
+//!   conflict tracking, with the cactus-stack filter of §II-E (accesses
+//!   to frames created during the current iteration are iteration-local
+//!   and cannot conflict);
+//! - register-LCD value streams fed through the hybrid value predictor,
+//!   recording mispredicted iterations (`dep2`) and maximum producer
+//!   offsets (`dep1` HELIX sync deltas);
+//! - the worst dynamic call class per loop instance (`fn0..fn3` gate).
+
+use crate::profile::{
+    CallClass, LcdInstance, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind,
+};
+use lp_analysis::{LcdClass, LoopId, ModuleAnalysis, Purity};
+use lp_interp::{
+    EventSink, Machine, MachineConfig, RunResult, Value, STACK_BASE,
+};
+use lp_ir::{BlockId, Builtin, FuncId, Inst, Module, ValueId, ValueKind};
+use lp_predict::HybridPredictor;
+use std::collections::{BTreeSet, HashMap};
+
+/// An actively executing loop instance (moved into the region tree when
+/// the loop exits).
+#[derive(Debug)]
+struct ActiveLoop {
+    region: RegionId,
+    func: u32,
+    loop_id: u32,
+    frame_depth: u32,
+    cur_iter: u32,
+    iter_start: u64,
+    iter_starts: Vec<u64>,
+    last_writer: HashMap<u64, (u32, u64)>,
+    conflicts: BTreeSet<u32>,
+    max_skew: u64,
+    max_producer_rel: u64,
+    min_consumer_rel: u64,
+    edges: u64,
+    lcds: Vec<LcdInstance>,
+    call_class: CallClass,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameRec {
+    base: u64,
+    push_cost: u64,
+}
+
+/// Synthetic address standing in for the architectural stack pointer when
+/// the cactus-stack assumption is disabled (kept out of the stack region
+/// so the frame filter never hides it).
+const SP_HAZARD_ADDR: u64 = crate::profile_sp_hazard_addr();
+
+/// Profiler behaviour knobs (ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilerOptions {
+    /// Apply the cactus-stack filter of §II-E: accesses to frames created
+    /// during the current iteration are iteration-local and generate no
+    /// conflicts. Disabling it models a conventional sequential call
+    /// stack, where reused frame addresses serialize loops with calls.
+    pub cactus_stack: bool,
+}
+
+impl Default for ProfilerOptions {
+    fn default() -> ProfilerOptions {
+        ProfilerOptions { cactus_stack: true }
+    }
+}
+
+/// The run-time component: consumes interpreter events, produces a
+/// [`Profile`].
+#[derive(Debug)]
+pub struct Profiler<'a> {
+    analysis: &'a ModuleAnalysis,
+    program: String,
+    /// Per function: header block -> loop id.
+    header_loop: Vec<HashMap<u32, LoopId>>,
+    /// `(func, phi value)` -> `(loop, traced-lcd index)`.
+    traced: HashMap<(u32, u32), (u32, usize)>,
+    /// `(func, latch incoming value)` -> traced LCDs it feeds.
+    watched: HashMap<(u32, u32), Vec<(u32, usize)>>,
+    loop_meta: Vec<LoopMeta>,
+    meta_index: HashMap<(u32, u32), usize>,
+    // Dynamic state.
+    now: u64,
+    regions: Vec<Region>,
+    region_stack: Vec<RegionId>,
+    loop_stack: Vec<ActiveLoop>,
+    frames: Vec<FrameRec>,
+    call_depth: u32,
+    predictors: HashMap<(u32, u32), HybridPredictor>,
+    options: ProfilerOptions,
+}
+
+impl<'a> Profiler<'a> {
+    /// Prepares the profiler for `module` using its compile-time analysis.
+    #[must_use]
+    pub fn new(module: &Module, analysis: &'a ModuleAnalysis) -> Profiler<'a> {
+        Profiler::with_options(module, analysis, ProfilerOptions::default())
+    }
+
+    /// As [`Profiler::new`] with explicit behaviour knobs.
+    #[must_use]
+    pub fn with_options(
+        module: &Module,
+        analysis: &'a ModuleAnalysis,
+        options: ProfilerOptions,
+    ) -> Profiler<'a> {
+        let mut header_loop: Vec<HashMap<u32, LoopId>> = Vec::new();
+        let mut traced = HashMap::new();
+        let mut watched: HashMap<(u32, u32), Vec<(u32, usize)>> = HashMap::new();
+        let mut loop_meta = Vec::new();
+        let mut meta_index = HashMap::new();
+
+        for (fid, func) in module.iter_functions() {
+            let fa = analysis.function(fid);
+            let mut headers = HashMap::new();
+            for (lid, lp) in fa.loops.iter() {
+                headers.insert(lp.header.0, lid);
+                let lcds = &fa.lcds[lid.index()];
+                let traced_phis: Vec<(ValueId, LcdClass)> = lcds
+                    .phis
+                    .iter()
+                    .filter(|(_, c)| !c.is_computable())
+                    .map(|&(v, c)| (v, c))
+                    .collect();
+                let computable = lcds.phis.len() - traced_phis.len();
+                let meta_idx = loop_meta.len();
+                meta_index.insert((fid.0, lid.0), meta_idx);
+                // Register traced phis and their latch producers.
+                if lp.latches.len() == 1 {
+                    let latch = lp.latches[0];
+                    for (idx, (phi, _)) in traced_phis.iter().enumerate() {
+                        traced.insert((fid.0, phi.0), (lid.0, idx));
+                        if let ValueKind::Inst(iid) = func.value(*phi) {
+                            if let Inst::Phi { incomings, .. } = &func.inst(*iid).inst {
+                                if let Some((_, update)) =
+                                    incomings.iter().find(|(b, _)| *b == latch)
+                                {
+                                    // Only instruction results have def
+                                    // events; invariant updates produce at
+                                    // offset 0 anyway.
+                                    if matches!(func.value(*update), ValueKind::Inst(_)) {
+                                        watched
+                                            .entry((fid.0, update.0))
+                                            .or_default()
+                                            .push((lid.0, idx));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                loop_meta.push(LoopMeta {
+                    func: fid,
+                    loop_id: lid,
+                    func_name: func.name.clone(),
+                    header: lp.header,
+                    depth: lp.depth,
+                    traced_phis,
+                    computable_phis: computable as u32,
+                });
+            }
+            header_loop.push(headers);
+        }
+
+        Profiler {
+            analysis,
+            program: module.name.clone(),
+            header_loop,
+            traced,
+            watched,
+            loop_meta,
+            meta_index,
+            now: 0,
+            regions: Vec::new(),
+            region_stack: Vec::new(),
+            loop_stack: Vec::new(),
+            frames: Vec::new(),
+            call_depth: 0,
+            predictors: HashMap::new(),
+            options,
+        }
+    }
+
+    /// The `(func, value)` pairs the machine must report definitions for.
+    #[must_use]
+    pub fn watched_values(&self) -> Vec<(FuncId, ValueId)> {
+        self.watched
+            .keys()
+            .map(|&(f, v)| (FuncId(f), ValueId(v)))
+            .collect()
+    }
+
+    fn push_region(&mut self, kind: RegionKind) -> RegionId {
+        let parent = self.region_stack.last().copied();
+        let parent_iter = match (parent, self.loop_stack.last()) {
+            (Some(p), Some(al)) if al.region == p => al.cur_iter,
+            _ => 0,
+        };
+        let rid = RegionId(self.regions.len() as u32);
+        self.regions.push(Region {
+            parent,
+            parent_iter,
+            start: self.now,
+            end: self.now,
+            kind,
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.regions[p.index()].children.push(rid);
+        }
+        self.region_stack.push(rid);
+        rid
+    }
+
+    fn close_top_loop(&mut self, stamp: u64) {
+        let al = self.loop_stack.pop().expect("active loop to close");
+        let rid = self
+            .region_stack
+            .pop()
+            .expect("loop region on region stack");
+        debug_assert_eq!(rid, al.region, "region stack out of sync");
+        let meta = self.meta_index[&(al.func, al.loop_id)];
+        let region = &mut self.regions[rid.index()];
+        region.end = stamp;
+        region.kind = RegionKind::Loop(LoopInstance {
+            meta,
+            iter_starts: al.iter_starts,
+            mem_conflict_iters: al.conflicts.into_iter().collect(),
+            mem_max_skew: al.max_skew,
+            mem_max_producer_rel: al.max_producer_rel,
+            mem_min_consumer_rel: al.min_consumer_rel,
+            mem_edges: al.edges,
+            lcds: al.lcds,
+            call_class: al.call_class,
+        });
+    }
+
+    fn bump_call_class(&mut self, class: CallClass) {
+        for al in &mut self.loop_stack {
+            if class > al.call_class {
+                al.call_class = class;
+            }
+        }
+    }
+
+    fn track_access(&mut self, addr: u64, is_store: bool, now: u64) {
+        // Cactus-stack filter: find the owning frame's push time for stack
+        // addresses. Frames have strictly increasing bases, so the owner
+        // is the last frame with base <= addr.
+        let frame_push = if self.options.cactus_stack && addr >= STACK_BASE {
+            let i = self.frames.partition_point(|fr| fr.base <= addr);
+            if i == 0 {
+                0
+            } else {
+                self.frames[i - 1].push_cost
+            }
+        } else {
+            0
+        };
+        self.now = self.now.max(now);
+        for al in &mut self.loop_stack {
+            // Frame created during this instance's current iteration: the
+            // access is iteration-local (disjoint cactus-stack frames,
+            // paper §II-E) — skip conflict tracking at this level.
+            if frame_push >= al.iter_start && frame_push > 0 {
+                continue;
+            }
+            let rel = now.saturating_sub(al.iter_start);
+            if is_store {
+                al.last_writer.insert(addr, (al.cur_iter, rel));
+            } else if let Some(&(w_iter, w_rel)) = al.last_writer.get(&addr) {
+                if w_iter < al.cur_iter {
+                    al.conflicts.insert(al.cur_iter);
+                    al.edges += 1;
+                    let span = u64::from(al.cur_iter - w_iter);
+                    let skew = w_rel.saturating_sub(rel) / span;
+                    if skew > al.max_skew {
+                        al.max_skew = skew;
+                    }
+                    al.max_producer_rel = al.max_producer_rel.max(w_rel);
+                    al.min_consumer_rel = al.min_consumer_rel.min(rel);
+                }
+            }
+        }
+    }
+
+    /// Finalizes the profile. Call after the machine run completes.
+    ///
+    /// # Panics
+    /// Panics if regions are still open (the run did not complete).
+    #[must_use]
+    pub fn finish(mut self) -> Profile {
+        // A trapped/aborted run may leave regions open; close them at the
+        // final stamp so partial profiles remain well-formed.
+        let stamp = self.now;
+        while !self.loop_stack.is_empty() {
+            self.close_top_loop(stamp);
+        }
+        while let Some(rid) = self.region_stack.pop() {
+            self.regions[rid.index()].end = stamp;
+        }
+        Profile {
+            program: self.program,
+            total_cost: self.now,
+            regions: self.regions,
+            loop_meta: self.loop_meta,
+            meta_index: self.meta_index,
+        }
+    }
+}
+
+impl EventSink for Profiler<'_> {
+    fn block_entered(&mut self, func: FuncId, block: BlockId, _cost: u64, now: u64) {
+        let stamp = now;
+        self.now = self.now.max(now);
+        // Close loops (of this frame) the control flow has left.
+        while let Some(top) = self.loop_stack.last() {
+            if top.frame_depth != self.call_depth || top.func != func.0 {
+                break;
+            }
+            let fa = self.analysis.function(func);
+            let lp = fa.loops.loop_(LoopId(top.loop_id));
+            if lp.contains(block) {
+                break;
+            }
+            self.close_top_loop(stamp);
+        }
+        // Header entry: new iteration of the top instance, or a new
+        // instance.
+        if let Some(&lid) = self.header_loop[func.index()].get(&block.0) {
+            let is_top = self.loop_stack.last().is_some_and(|t| {
+                t.frame_depth == self.call_depth && t.func == func.0 && t.loop_id == lid.0
+            });
+            if is_top {
+                let t = self.loop_stack.last_mut().expect("checked above");
+                t.cur_iter += 1;
+                t.iter_start = stamp;
+                t.iter_starts.push(stamp);
+            } else {
+                let meta = self.meta_index[&(func.0, lid.0)];
+                let n_lcds = self.loop_meta[meta].traced_phis.len();
+                let region = self.push_region(RegionKind::Loop(LoopInstance {
+                    meta,
+                    iter_starts: Vec::new(),
+                    mem_conflict_iters: Vec::new(),
+                    mem_max_skew: 0,
+                    mem_max_producer_rel: 0,
+                    mem_min_consumer_rel: u64::MAX,
+                    mem_edges: 0,
+                    lcds: Vec::new(),
+                    call_class: CallClass::NoCalls,
+                }));
+                self.regions[region.index()].start = stamp;
+                self.loop_stack.push(ActiveLoop {
+                    region,
+                    func: func.0,
+                    loop_id: lid.0,
+                    frame_depth: self.call_depth,
+                    cur_iter: 0,
+                    iter_start: stamp,
+                    iter_starts: vec![stamp],
+                    last_writer: HashMap::new(),
+                    conflicts: BTreeSet::new(),
+                    max_skew: 0,
+                    max_producer_rel: 0,
+                    min_consumer_rel: u64::MAX,
+                    edges: 0,
+                    lcds: vec![LcdInstance::default(); n_lcds],
+                    call_class: CallClass::NoCalls,
+                });
+            }
+        }
+    }
+
+    fn phi_resolved(&mut self, func: FuncId, _block: BlockId, phi: ValueId, value: Value, _now: u64) {
+        if let Some(&(lid, idx)) = self.traced.get(&(func.0, phi.0)) {
+            if let Some(al) = self
+                .loop_stack
+                .iter_mut()
+                .rev()
+                .find(|a| a.func == func.0 && a.loop_id == lid)
+            {
+                let pred = self.predictors.entry((func.0, phi.0)).or_default();
+                let hit = pred.observe(value.fingerprint());
+                let lcd = &mut al.lcds[idx];
+                lcd.observed += 1;
+                if hit {
+                    lcd.predicted += 1;
+                } else if al.cur_iter >= 1 {
+                    // Iteration 0 consumes the loop-invariant initial
+                    // value — not a cross-iteration dependency.
+                    lcd.mispredict_iters.push(al.cur_iter);
+                }
+            }
+        }
+    }
+
+    fn load(&mut self, addr: u64, now: u64) {
+        self.track_access(addr, false, now);
+    }
+
+    fn store(&mut self, addr: u64, now: u64) {
+        self.track_access(addr, true, now);
+    }
+
+    fn func_entered(&mut self, func: FuncId, frame_base: u64, now: u64) {
+        self.now = self.now.max(now);
+        if !self.options.cactus_stack && !self.loop_stack.is_empty() {
+            // Conventional sequential stack: the stack-pointer update is
+            // a read-modify-write in strict program order (paper §II-E) —
+            // a frequent memory LCD for every loop containing calls.
+            self.track_access(SP_HAZARD_ADDR, false, now);
+            self.track_access(SP_HAZARD_ADDR, true, now);
+        }
+        if !self.loop_stack.is_empty() {
+            let class = match self.analysis.callgraph.purity(func) {
+                Purity::Pure => CallClass::PureCalls,
+                Purity::Impure => CallClass::InstrumentedCalls,
+            };
+            self.bump_call_class(class);
+        }
+        self.call_depth += 1;
+        self.frames.push(FrameRec {
+            base: frame_base,
+            push_cost: now,
+        });
+        self.push_region(RegionKind::Call { func });
+    }
+
+    fn func_exited(&mut self, _func: FuncId, now: u64) {
+        self.now = self.now.max(now);
+        let stamp = now;
+        while self
+            .loop_stack
+            .last()
+            .is_some_and(|t| t.frame_depth == self.call_depth)
+        {
+            self.close_top_loop(stamp);
+        }
+        let rid = self.region_stack.pop().expect("call region to close");
+        self.regions[rid.index()].end = stamp;
+        self.frames.pop();
+        self.call_depth -= 1;
+    }
+
+    fn builtin_called(&mut self, _caller: FuncId, builtin: Builtin, _now: u64) {
+        let class = if builtin.is_pure() {
+            CallClass::PureCalls
+        } else if builtin.is_thread_safe() {
+            CallClass::InstrumentedCalls
+        } else {
+            CallClass::UnsafeCalls
+        };
+        self.bump_call_class(class);
+    }
+
+    fn value_defined(&mut self, func: FuncId, value: ValueId, _val: Value, now: u64) {
+        self.now = self.now.max(now);
+        let Some(list) = self.watched.get(&(func.0, value.0)) else {
+            return;
+        };
+        let list = list.clone();
+        for (lid, idx) in list {
+            if let Some(al) = self
+                .loop_stack
+                .iter_mut()
+                .rev()
+                .find(|a| a.func == func.0 && a.loop_id == lid)
+            {
+                let rel = now.saturating_sub(al.iter_start);
+                if rel > al.lcds[idx].max_def_rel {
+                    al.lcds[idx].max_def_rel = rel;
+                }
+            }
+        }
+    }
+}
+
+/// Runs `module` under the profiler and returns the profile plus the raw
+/// run result.
+///
+/// # Errors
+/// Propagates interpreter traps ([`lp_interp::InterpError`]).
+pub fn profile_module(
+    module: &Module,
+    analysis: &ModuleAnalysis,
+    args: &[Value],
+    machine_config: MachineConfig,
+) -> Result<(Profile, RunResult), lp_interp::InterpError> {
+    profile_module_with(module, analysis, args, machine_config, ProfilerOptions::default())
+}
+
+/// As [`profile_module`] with explicit profiler knobs (ablations).
+///
+/// # Errors
+/// Propagates interpreter traps.
+pub fn profile_module_with(
+    module: &Module,
+    analysis: &ModuleAnalysis,
+    args: &[Value],
+    mut machine_config: MachineConfig,
+    options: ProfilerOptions,
+) -> Result<(Profile, RunResult), lp_interp::InterpError> {
+    let mut profiler = Profiler::with_options(module, analysis, options);
+    machine_config.watched_values = profiler.watched_values();
+    let result = Machine::with_config(module, &mut profiler, machine_config).run(args)?;
+    Ok((profiler.finish(), result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_analysis::analyze_module;
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{Global, IcmpPred, Module, Type};
+
+    fn profile(m: &Module, args: &[Value]) -> Profile {
+        let analysis = analyze_module(m);
+        let (p, _) = profile_module(m, &analysis, args, MachineConfig::default()).unwrap();
+        p
+    }
+
+    /// Independent-iteration array sum into distinct slots (DOALL-able,
+    /// modulo the reduction).
+    fn doall_module(n: i64) -> Module {
+        let mut m = Module::new("doall");
+        let g = m.add_global(Global::zeroed("a", n as u64 + 1));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let nn = fb.const_i64(n);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let base = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, nn);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.gep(base, i, 8, 0);
+        let v = fb.mul(i, i);
+        fb.store(v, addr);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(zero));
+        m.add_function(fb.finish().unwrap());
+        m
+    }
+
+    /// Loop carrying a RAW through one memory cell (frequent memory LCD).
+    fn serial_mem_module(n: i64) -> Module {
+        let mut m = Module::new("serial_mem");
+        let g = m.add_global(Global::zeroed("cell", 1));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let nn = fb.const_i64(n);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let cell = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, nn);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let v = fb.load(Type::I64, cell);
+        let v2 = fb.add(v, one);
+        fb.store(v2, cell);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        let r = fb.load(Type::I64, cell);
+        fb.ret(Some(r));
+        m.add_function(fb.finish().unwrap());
+        m
+    }
+
+    #[test]
+    fn doall_loop_has_no_conflicts() {
+        let m = doall_module(50);
+        let p = profile(&m, &[]);
+        let instances: Vec<_> = p.loop_instances().collect();
+        assert_eq!(instances.len(), 1);
+        let (_, region, inst) = instances[0];
+        // 50 body iterations + the exiting header check.
+        assert_eq!(inst.iterations(), 51);
+        assert!(inst.mem_conflict_iters.is_empty());
+        assert_eq!(inst.call_class, CallClass::NoCalls);
+        assert!(region.serial_cost() > 0);
+        // Only the computable counter phi: nothing traced.
+        assert!(p.loop_meta[inst.meta].traced_phis.is_empty());
+        assert_eq!(p.loop_meta[inst.meta].computable_phis, 1);
+    }
+
+    #[test]
+    fn memory_lcd_detected_every_iteration() {
+        let m = serial_mem_module(40);
+        let p = profile(&m, &[]);
+        let (_, _, inst) = p.loop_instances().next().unwrap();
+        // Every iteration from 1 loads what iteration k-1 stored.
+        assert_eq!(inst.mem_conflict_iters.len(), 39);
+        assert_eq!(inst.mem_conflict_iters[0], 1);
+        assert!(inst.mem_edges >= 39);
+    }
+
+    #[test]
+    fn region_tree_is_closed_and_ordered() {
+        let m = serial_mem_module(10);
+        let p = profile(&m, &[]);
+        assert_eq!(p.region(p.root()).start, 0);
+        assert_eq!(p.region(p.root()).end, p.total_cost);
+        for r in &p.regions {
+            assert!(r.start <= r.end);
+            for &c in &r.children {
+                let child = p.region(c);
+                assert!(child.start >= r.start && child.end <= r.end);
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! SPEC CFP2000 stand-ins (numeric).
+//!
+//! Regular loop structure, compile-time-predictable memory access, heavy
+//! reductions — the suite where DOALL already pays and the `reduc1` flag
+//! matters most (the paper: "SpecFP2000 benefits greatly from both
+//! `reduc1` and `dep2`"). `179.art` is built PDOALL-leaning per Fig. 4.
+
+use crate::patterns::*;
+use crate::{build_program_glued, Benchmark, Glue, Scale, SuiteId};
+use lp_ir::Module;
+
+fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
+    Benchmark {
+        name,
+        suite: SuiteId::Cfp2000,
+        build,
+    }
+}
+
+/// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
+/// calibrates the frequent-memory-LCD fraction of every benchmark.
+fn glue(n: i64) -> Option<Glue> {
+    Some(Glue { serial_n: n / 24, accum_n: n / 24, lcg_n: n / 3, work: 10 })
+}
+
+/// The CFP2000 roster.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench("168.wupwise", wupwise),
+        bench("171.swim", swim),
+        bench("172.mgrid", mgrid),
+        bench("173.applu", applu),
+        bench("177.mesa", mesa),
+        bench("178.galgel", galgel),
+        bench("179.art", art),
+        bench("183.equake", equake),
+        bench("187.facerec", facerec),
+        bench("188.ammp", ammp),
+        bench("189.lucas", lucas),
+        bench("191.fma3d", fma3d),
+        bench("200.sixtrack", sixtrack),
+        bench("301.apsi", apsi),
+    ]
+}
+
+/// Lattice QCD (wupwise): mat-vec products and SAXPY sweeps.
+fn wupwise(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "168.wupwise",
+        glue(n),
+        &[("mat", 32 * 32), ("v", 40), ("out", 40), ("x", n as u64 + 2), ("y", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            let dim = fb.const_i64(32);
+            let d2 = fb.const_i64(1024);
+            fill_affine_f64(fb, g[0], d2, 0.003);
+            fill_affine_f64(fb, g[1], dim, 0.25);
+            matvec(fb, g[0], g[1], g[2], dim, dim, 32);
+            fill_affine_f64(fb, g[3], nn, 0.5);
+            fill_affine_f64(fb, g[4], nn, 0.25);
+            saxpy(fb, g[3], g[4], nn, 1.75, 6);
+            let s = vector_sum_f64(fb, g[4], nn, 2);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Shallow-water model (swim): the textbook stencil benchmark — three
+/// large DOALL sweeps per timestep. The suite's top speedup.
+fn swim(scale: Scale) -> Module {
+    let n = scale.n(320);
+    build_program_glued(
+        "171.swim",
+        glue(n),
+        &[("u", n as u64 + 4), ("v", n as u64 + 4), ("p", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.125);
+            fill_affine_f64(fb, g[1], nn, 0.0625);
+            for _step in 0..2 {
+                stencil3(fb, g[0], g[1], nn, 8);
+                stencil3(fb, g[1], g[2], nn, 8);
+                stencil3(fb, g[2], g[0], nn, 8);
+            }
+            let s = vector_sum_f64(fb, g[2], nn, 2);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Multigrid solver: nested stencils at multiple resolutions.
+fn mgrid(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "172.mgrid",
+        glue(n),
+        &[("fine", n as u64 + 4), ("coarse", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            let half = fb.const_i64(n / 2);
+            fill_affine_f64(fb, g[0], nn, 0.1);
+            stencil3(fb, g[0], g[1], nn, 10); // relax fine
+            stencil3(fb, g[1], g[0], half, 10); // relax coarse
+            stencil3(fb, g[0], g[1], nn, 10); // relax fine again
+            let s = vector_sum_f64(fb, g[1], nn, 2);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// SSOR CFD solver (applu): stencils plus serial line sweeps (the
+/// wavefront part resists parallelization).
+fn applu(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "173.applu",
+        glue(n),
+        &[("rsd", n as u64 + 4), ("u", n as u64 + 4), ("line", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.2);
+            stencil3(fb, g[0], g[1], nn, 9);
+            dp_chain(fb, g[2], nn, 7); // lower-triangular sweep
+            stencil3(fb, g[1], g[0], nn, 9);
+            let s = vector_sum_f64(fb, g[0], nn, 2);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// OpenGL software renderer (mesa): per-vertex pure-math transforms.
+fn mesa(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "177.mesa",
+        glue(n),
+        &[("verts", n as u64 + 2), ("xformed", n as u64 + 2), ("frame", n as u64 + 2)],
+        |m, fb, g| {
+            let xf = make_pure_math_fn(m, "transform_vertex");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 9, 2);
+            map_call(fb, xf, g[0], g[1], nn); // vertex pipeline (pure)
+            fill_affine_f64(fb, g[2], nn, 0.01);
+            saxpy(fb, g[2], g[2], nn, 0.5, 5); // rasterize-ish blend
+            let s = vector_sum_i64(fb, g[1], nn, 2);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Galerkin FEM (galgel): dense linear algebra with big reductions —
+/// `reduc1`'s best customer.
+fn galgel(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "178.galgel",
+        glue(n),
+        &[("mat", 64 * 64), ("v", 72), ("out", 72), ("field", n as u64 + 2)],
+        |_m, fb, g| {
+            let dim = fb.const_i64(64);
+            let d2 = fb.const_i64(64 * 64);
+            fill_affine_f64(fb, g[0], d2, 0.001);
+            fill_affine_f64(fb, g[1], dim, 0.1);
+            matvec(fb, g[0], g[1], g[2], dim, dim, 64);
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[3], nn, 0.05);
+            let s1 = vector_sum_f64(fb, g[3], nn, 6); // Galerkin inner products
+            let s2 = vector_sum_f64(fb, g[2], dim, 6);
+            let t = fb.fadd(s1, s2);
+            let r = fb.fptosi(t);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Adaptive-resonance neural net (art): dot-product reductions with
+/// *predictable* late-produced walkers — the Fig. 4 PDOALL winner.
+fn art(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "179.art",
+        glue(n),
+        &[("f1", n as u64 + 2), ("weights", n as u64 + 2), ("strides", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.02);
+            fill_affine_f64(fb, g[1], nn, 0.03);
+            let s1 = vector_sum_f64(fb, g[0], nn, 8); // match scores
+            let s2 = vector_sum_f64(fb, g[1], nn, 8);
+            fill_mostly_const(fb, g[2], nn, 2, 14, 96);
+            let w1 = predictable_late(fb, g[2], nn, 18); // resonance search
+            let w2 = predictable_late(fb, g[2], nn, 18);
+            let t = fb.fadd(s1, s2);
+            let ti = fb.fptosi(t);
+            let x = fb.xor(w1, w2);
+            let chk = fb.xor(ti, x);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Earthquake simulation (equake): sparse mat-vec — mostly DOALL with
+/// scatter updates that occasionally alias.
+fn equake(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "183.equake",
+        glue(n),
+        &[("k", n as u64 + 2), ("disp", n as u64 + 2), ("accum", 2048)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.01);
+            fill_affine_f64(fb, g[1], nn, 0.02);
+            saxpy(fb, g[0], g[1], nn, 0.9, 7);
+            histogram(fb, g[2], nn, 2047, 5); // scatter to shared nodes
+            let s = vector_sum_f64(fb, g[1], nn, 3);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Face recognition (facerec): image correlations = mat-vec plus max
+/// reductions.
+fn facerec(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "187.facerec",
+        glue(n),
+        &[("img", n as u64 + 4), ("gallery", n as u64 + 4), ("scores", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.015);
+            stencil3(fb, g[0], g[1], nn, 8); // gabor-ish filtering
+            fill_affine(fb, g[2], nn, 77, 31);
+            let best = max_i64(fb, g[2], nn); // best match
+            let s = vector_sum_f64(fb, g[1], nn, 4);
+            let si = fb.fptosi(s);
+            let chk = fb.xor(best, si);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Molecular dynamics (ammp): pairwise forces accumulated into shared
+/// per-atom cells — numeric but synchronization-bound.
+fn ammp(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "188.ammp",
+        glue(n),
+        &[("pos", n as u64 + 2), ("force_cell", 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.02);
+            accum_cell(fb, g[1], g[2], nn, 20); // force accumulation
+            saxpy(fb, g[0], g[0], nn, 1.002, 8); // integration
+            let s = vector_sum_f64(fb, g[0], nn, 3);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Lucas–Lehmer primality (lucas): FFT-style butterfly sweeps — DOALL.
+fn lucas(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "189.lucas",
+        glue(n),
+        &[("re", n as u64 + 4), ("im", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.04);
+            fill_affine_f64(fb, g[1], nn, 0.03);
+            for _pass in 0..3 {
+                saxpy(fb, g[0], g[1], nn, -0.5, 7); // butterflies
+                saxpy(fb, g[1], g[0], nn, 0.5, 7);
+            }
+            let s = vector_sum_f64(fb, g[0], nn, 2);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Crash simulation (fma3d): element loops with helper calls and
+/// stencils.
+fn fma3d(scale: Scale) -> Module {
+    let n = scale.n(208);
+    build_program_glued(
+        "191.fma3d",
+        glue(n),
+        &[("elems", n as u64 + 2), ("forces", n as u64 + 4), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let elem = make_scratch_fn(m, "element_force");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 23, 11);
+            map_call(fb, elem, g[0], g[2], nn); // per-element force calc
+            fill_affine_f64(fb, g[1], nn, 0.05);
+            stencil3(fb, g[1], g[1], nn, 7);
+            let s = vector_sum_i64(fb, g[2], nn, 3);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Particle tracking (sixtrack): independent particles through a lattice
+/// — DOALL across particles, pure-math per step.
+fn sixtrack(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "200.sixtrack",
+        glue(n),
+        &[("particles", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let kick = make_pure_math_fn(m, "lattice_kick");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 12345, 6);
+            map_call(fb, kick, g[0], g[1], nn);
+            map_call(fb, kick, g[1], g[0], nn);
+            let s = vector_sum_i64(fb, g[0], nn, 4);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Pollutant transport (apsi): stencils with serial vertical sweeps.
+fn apsi(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "301.apsi",
+        glue(n),
+        &[("conc", n as u64 + 4), ("wind", n as u64 + 4), ("col", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.02);
+            fill_affine_f64(fb, g[1], nn, 0.01);
+            stencil3(fb, g[0], g[1], nn, 8); // horizontal advection
+            dp_chain(fb, g[2], nn, 6); // vertical implicit solve
+            stencil3(fb, g[1], g[0], nn, 8);
+            let s = vector_sum_f64(fb, g[0], nn, 2);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+// ---- local pattern variants ---------------------------------------------
+
+use crate::kernels::{counted_loop, int_filler, load_elem};
+use lp_ir::builder::FunctionBuilder;
+use lp_ir::{Type, ValueId};
+
+/// Predictable stride walker whose producer is late in the iteration
+/// (shared with `429.mcf`'s recipe rationale): great for `dep2` PDOALL,
+/// expensive for `dep1` HELIX.
+fn predictable_late(fb: &mut FunctionBuilder, data: ValueId, n: ValueId, work: u32) -> ValueId {
+    let zero = fb.const_i64(0);
+    let phis = counted_loop(
+        fb,
+        n,
+        &[(Type::I64, zero), (Type::I64, zero)],
+        |fb, i, phis| {
+            let d = load_elem(fb, Type::I64, data, i);
+            let w = int_filler(fb, phis[0], work);
+            let acc = fb.add(phis[1], w);
+            let t = fb.add(phis[0], d);
+            let mixed = fb.xor(t, w);
+            let x2 = fb.xor(mixed, w); // == t, defined after the filler
+            vec![x2, acc]
+        },
+    );
+    phis[1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_analysis::analyze_module;
+    use lp_interp::MachineConfig;
+    use lp_runtime::{evaluate, profile_module, ExecModel};
+
+    fn speedup(m: &Module, model: ExecModel, config: &str) -> f64 {
+        let analysis = analyze_module(m);
+        let (p, _) = profile_module(m, &analysis, &[], MachineConfig::default()).unwrap();
+        evaluate(&p, model, config.parse().unwrap()).speedup
+    }
+
+    #[test]
+    fn swim_is_the_doall_star() {
+        // swim's stencils make pure math calls, so fn1 is the first
+        // configuration that exposes their independence.
+        let m = swim(Scale::Test);
+        let s = speedup(&m, ExecModel::PartialDoall, "reduc0-dep0-fn1");
+        assert!(s > 5.0, "swim should fly once pure calls pass: {s}");
+        let fn0 = speedup(&m, ExecModel::Doall, "reduc0-dep0-fn0");
+        assert!(s > fn0, "fn1 must beat fn0: {fn0} -> {s}");
+    }
+
+    #[test]
+    fn galgel_needs_reduc1() {
+        let m = galgel(Scale::Test);
+        let r0 = speedup(&m, ExecModel::PartialDoall, "reduc0-dep0-fn0");
+        let r1 = speedup(&m, ExecModel::PartialDoall, "reduc1-dep0-fn0");
+        assert!(r1 > r0 * 1.3, "reductions gate galgel: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn art_prefers_pdoall() {
+        let m = art(Scale::Test);
+        let pd = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+        let hx = speedup(&m, ExecModel::Helix, "reduc1-dep1-fn2");
+        assert!(pd > hx, "179.art: PDOALL ({pd}) must beat HELIX ({hx})");
+    }
+}

@@ -1,0 +1,266 @@
+//! SPEC CFP2006 stand-ins (numeric, the C/C++ subset the paper can
+//! compile through LLVM).
+//!
+//! `450.soplex` and `482.sphinx3` are built PDOALL-leaning per Fig. 4.
+
+use crate::patterns::*;
+use crate::{build_program_glued, Benchmark, Glue, Scale, SuiteId};
+use lp_ir::Module;
+
+fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
+    Benchmark {
+        name,
+        suite: SuiteId::Cfp2006,
+        build,
+    }
+}
+
+/// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
+/// calibrates the frequent-memory-LCD fraction of every benchmark.
+fn glue(n: i64) -> Option<Glue> {
+    Some(Glue { serial_n: n / 24, accum_n: n / 24, lcg_n: n / 3, work: 10 })
+}
+
+/// The CFP2006 roster.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench("433.milc", milc),
+        bench("444.namd", namd),
+        bench("447.dealII", dealii),
+        bench("450.soplex", soplex),
+        bench("453.povray", povray),
+        bench("470.lbm", lbm),
+        bench("482.sphinx3", sphinx3),
+    ]
+}
+
+/// Lattice QCD (milc): su3 mat-vec sweeps — regular and parallel.
+fn milc(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "433.milc",
+        glue(n),
+        &[("links", 48 * 48), ("site", 56), ("out", 56), ("field", n as u64 + 2)],
+        |_m, fb, g| {
+            let dim = fb.const_i64(48);
+            let d2 = fb.const_i64(48 * 48);
+            fill_affine_f64(fb, g[0], d2, 0.002);
+            fill_affine_f64(fb, g[1], dim, 0.1);
+            matvec(fb, g[0], g[1], g[2], dim, dim, 48);
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[3], nn, 0.03);
+            saxpy(fb, g[3], g[3], nn, 0.98, 8);
+            let s = vector_sum_f64(fb, g[3], nn, 3);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Molecular dynamics (namd): pairwise force kernels — SAXPY-heavy with
+/// a shared energy accumulator.
+fn namd(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "444.namd",
+        glue(n),
+        &[("pos", n as u64 + 2), ("vel", n as u64 + 2), ("energy", 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.01);
+            fill_affine_f64(fb, g[1], nn, 0.005);
+            saxpy(fb, g[0], g[1], nn, 0.5, 10); // force kernel
+            accum_cell(fb, g[2], g[3], nn, 8); // energy sum cell
+            saxpy(fb, g[1], g[0], nn, 1.0, 10); // integrate
+            let s = vector_sum_f64(fb, g[0], nn, 3);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Finite elements (dealII): assembly loops with helper calls plus
+/// mat-vec solves.
+fn dealii(scale: Scale) -> Module {
+    let n = scale.n(208);
+    build_program_glued(
+        "447.dealII",
+        glue(n),
+        &[("cells", n as u64 + 2), ("matrix", 40 * 40), ("rhs", 48), ("sol", 48), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let assemble = make_scratch_fn(m, "assemble_cell");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 41, 3);
+            map_call(fb, assemble, g[0], g[4], nn);
+            let dim = fb.const_i64(40);
+            let d2 = fb.const_i64(40 * 40);
+            fill_affine_f64(fb, g[1], d2, 0.004);
+            fill_affine_f64(fb, g[2], dim, 0.2);
+            matvec(fb, g[1], g[2], g[3], dim, dim, 40);
+            let s = vector_sum_i64(fb, g[4], nn, 3);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// LP simplex (soplex): pricing scans are *predictable* late-produced
+/// walks over packed columns — the Fig. 4 PDOALL winner.
+fn soplex(scale: Scale) -> Module {
+    let n = scale.n(240);
+    build_program_glued(
+        "450.soplex",
+        glue(n),
+        &[("colptr", n as u64 + 2), ("vals", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_mostly_const(fb, g[0], nn, 4, 28, 80);
+            let w1 = predictable_late_walk(fb, g[0], nn, 20); // pricing pass
+            let w2 = predictable_late_walk(fb, g[0], nn, 20); // ratio test
+            fill_affine_f64(fb, g[1], nn, 0.02);
+            let s = vector_sum_f64(fb, g[1], nn, 6);
+            let si = fb.fptosi(s);
+            let t = fb.xor(w1, w2);
+            let chk = fb.xor(t, si);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Ray tracer (povray): per-pixel pure-math shading — parallel once
+/// calls are (fn1/fn2).
+fn povray(scale: Scale) -> Module {
+    let n = scale.n(240);
+    build_program_glued(
+        "453.povray",
+        glue(n),
+        &[("rays", n as u64 + 2), ("img", n as u64 + 2), ("img2", n as u64 + 2)],
+        |m, fb, g| {
+            let shade = make_pure_math_fn(m, "trace_ray");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 7919, 23);
+            map_call(fb, shade, g[0], g[1], nn);
+            map_call(fb, shade, g[1], g[2], nn); // secondary rays
+            let s = vector_sum_i64(fb, g[2], nn, 4);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Lattice Boltzmann (lbm): one big streaming stencil — near-perfect
+/// DOALL, the CFP2006 outlier.
+fn lbm(scale: Scale) -> Module {
+    let n = scale.n(320);
+    build_program_glued(
+        "470.lbm",
+        glue(n),
+        &[("src", n as u64 + 4), ("dst", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.01);
+            stencil3(fb, g[0], g[1], nn, 12); // collide + stream
+            stencil3(fb, g[1], g[0], nn, 12);
+            stencil3(fb, g[0], g[1], nn, 12);
+            let s = vector_sum_f64(fb, g[1], nn, 2);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Speech recognition (sphinx3): GMM scoring = dot-product reductions,
+/// plus predictable senone-list walks — PDOALL-leaning per Fig. 4.
+fn sphinx3(scale: Scale) -> Module {
+    let n = scale.n(240);
+    build_program_glued(
+        "482.sphinx3",
+        glue(n),
+        &[("feat", n as u64 + 2), ("gauss", n as u64 + 2), ("senones", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_f64(fb, g[0], nn, 0.02);
+            fill_affine_f64(fb, g[1], nn, 0.03);
+            let s1 = vector_sum_f64(fb, g[0], nn, 10); // GMM scores
+            let s2 = vector_sum_f64(fb, g[1], nn, 10);
+            fill_mostly_const(fb, g[2], nn, 2, 18, 112);
+            let w = predictable_late_walk(fb, g[2], nn, 16); // active list walk
+            let t = fb.fadd(s1, s2);
+            let ti = fb.fptosi(t);
+            let chk = fb.xor(ti, w);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+// ---- local pattern variants ---------------------------------------------
+
+use crate::kernels::{counted_loop, int_filler, load_elem};
+use lp_ir::builder::FunctionBuilder;
+use lp_ir::{Type, ValueId};
+
+/// Predictable walker with a late producer (see `cfp2000::predictable_late`).
+fn predictable_late_walk(
+    fb: &mut FunctionBuilder,
+    data: ValueId,
+    n: ValueId,
+    work: u32,
+) -> ValueId {
+    let zero = fb.const_i64(0);
+    let phis = counted_loop(
+        fb,
+        n,
+        &[(Type::I64, zero), (Type::I64, zero)],
+        |fb, i, phis| {
+            let d = load_elem(fb, Type::I64, data, i);
+            let w = int_filler(fb, phis[0], work);
+            let acc = fb.add(phis[1], w);
+            let t = fb.add(phis[0], d);
+            let mixed = fb.xor(t, w);
+            let x2 = fb.xor(mixed, w);
+            vec![x2, acc]
+        },
+    );
+    phis[1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_analysis::analyze_module;
+    use lp_interp::MachineConfig;
+    use lp_runtime::{evaluate, profile_module, ExecModel};
+
+    fn speedup(m: &Module, model: ExecModel, config: &str) -> f64 {
+        let analysis = analyze_module(m);
+        let (p, _) = profile_module(m, &analysis, &[], MachineConfig::default()).unwrap();
+        evaluate(&p, model, config.parse().unwrap()).speedup
+    }
+
+    #[test]
+    fn lbm_is_massively_parallel() {
+        let m = lbm(Scale::Test);
+        let s = speedup(&m, ExecModel::PartialDoall, "reduc0-dep0-fn1");
+        assert!(s > 5.0, "lbm should be near-perfect once pure calls pass: {s}");
+    }
+
+    #[test]
+    fn soplex_and_sphinx_prefer_pdoall() {
+        for build in [soplex as fn(Scale) -> Module, sphinx3] {
+            let m = build(Scale::Test);
+            let pd = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+            let hx = speedup(&m, ExecModel::Helix, "reduc1-dep1-fn2");
+            assert!(
+                pd > hx,
+                "{}: best PDOALL ({pd}) must beat best HELIX ({hx})",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn povray_needs_call_parallelism() {
+        let m = povray(Scale::Test);
+        let fn0 = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn0");
+        let fn2 = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+        assert!(fn2 > fn0 * 2.0, "povray unlocks with fn2: {fn0} -> {fn2}");
+    }
+}

@@ -1,0 +1,328 @@
+//! SPEC CINT2000 stand-ins (non-numeric).
+//!
+//! Dependence recipes follow each benchmark's published character: LZ
+//! window chains for `gzip`/`bzip2`, network-simplex pointer chasing for
+//! `mcf`, interpreter dispatch chains for `perlbmk`, branchy search with
+//! hash tables for `crafty`/`twolf`, etc. Frequent register and memory
+//! LCDs plus calls-in-loops dominate — the suite the paper finds hardest.
+
+use crate::kernels::int_filler;
+use crate::patterns::*;
+use crate::{build_program_glued, Benchmark, Glue, Scale, SuiteId};
+use lp_ir::Module;
+
+fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
+    Benchmark {
+        name,
+        suite: SuiteId::Cint2000,
+        build,
+    }
+}
+
+/// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
+/// calibrates the frequent-memory-LCD fraction of every benchmark.
+fn glue(n: i64) -> Option<Glue> {
+    Some(Glue { serial_n: n * 2 / 5, accum_n: n * 7 / 10, lcg_n: 0, work: 14 })
+}
+
+/// The CINT2000 roster.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench("164.gzip", gzip),
+        bench("175.vpr", vpr),
+        bench("176.gcc", gcc),
+        bench("181.mcf", mcf),
+        bench("186.crafty", crafty),
+        bench("197.parser", parser),
+        bench("252.eon", eon),
+        bench("253.perlbmk", perlbmk),
+        bench("254.gap", gap),
+        bench("255.vortex", vortex),
+        bench("256.bzip2", bzip2),
+        bench("300.twolf", twolf),
+    ]
+}
+
+/// LZ compression: a window-update chain (frequent memory LCD, early
+/// producer), Huffman symbol counting (infrequent histogram conflicts),
+/// and a CRC-like reduction.
+fn gzip(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "164.gzip",
+        glue(n),
+        &[
+            ("window", n as u64 + 4),
+            ("hist", 1024),
+            ("input", n as u64 + 4),
+            ("cell", 2),
+            ("scratch", n as u64 + 4),
+        ],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_lcg(fb, g[2], nn, 0x6210, 255); // input bytes (serial init)
+            accum_cell(fb, g[3], g[4], nn, 10); // window head pointer updates
+            dp_chain(fb, g[0], nn, 6); // match-length chain
+            histogram(fb, g[1], nn, 1023, 3); // symbol counts
+            let crc = vector_sum_i64(fb, g[2], nn, 2);
+            fb.ret(Some(crc));
+        },
+    )
+}
+
+/// FPGA place & route: simulated-annealing swaps driven by a carried RNG
+/// (unpredictable register LCD) plus cost re-evaluation (reduction).
+fn vpr(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "175.vpr",
+        glue(n),
+        &[("grid", 2048), ("cost", n as u64 + 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            let rng = fill_lcg(fb, g[1], nn, 0x7717, 2047); // proposal stream
+            accum_cell(fb, g[0], g[2], nn, 14); // accepted-swap bookkeeping
+            let cost = vector_sum_i64(fb, g[1], nn, 4); // wiring cost
+            let chk = fb.xor(rng, cost);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Compiler: many short, branchy loops over IR with helper calls and a
+/// DP chain (dataflow fixpoint). Poor everywhere; HELIX helps a bit.
+fn gcc(scale: Scale) -> Module {
+    let n = scale.n(160);
+    build_program_glued(
+        "176.gcc",
+        glue(n),
+        &[("ir", n as u64 + 4), ("table", 2048), ("out", n as u64 + 4)],
+        |m, fb, g| {
+            let scratch = make_scratch_fn(m, "fold_insn");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 97, 13);
+            map_call(fb, scratch, g[0], g[2], nn); // per-insn folding
+            dp_chain(fb, g[0], nn, 4); // dataflow fixpoint sweep
+            histogram(fb, g[1], nn, 2047, 3); // symbol table touches
+            let chk = max_i64(fb, g[2], nn);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Network simplex: dominated by pointer chasing over arcs (frequent,
+/// unpredictable register LCD with an early producer — HELIX territory).
+fn mcf(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "181.mcf",
+        glue(n),
+        &[("arcs", n as u64 + 2), ("flow", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_perm(fb, g[0], nn, 61, 17); // scrambled arc list
+            let walk = pointer_chase(fb, g[0], nn, 12); // simplex pivots
+            let chase2 = pointer_chase(fb, g[0], nn, 12);
+            let flows = vector_sum_i64(fb, g[1], nn, 2);
+            let t = fb.xor(walk, chase2);
+            let chk = fb.xor(t, flows);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Chess search: branchy evaluation with hash-table probes (infrequent
+/// conflicts) and a shared node counter.
+fn crafty(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "186.crafty",
+        glue(n),
+        &[("tt", 8192), ("nodes", 2), ("board", n as u64 + 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[2], nn, 2654435761, 99);
+            histogram(fb, g[0], nn, 8191, 8); // transposition-table hits
+            accum_cell(fb, g[1], g[3], nn, 12); // node counter
+            let best = max_i64(fb, g[2], nn);
+            fb.ret(Some(best));
+        },
+    )
+}
+
+/// Link-grammar parser: linked-list chasing plus per-word helper calls.
+fn parser(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "197.parser",
+        glue(n),
+        &[("links", n as u64 + 2), ("words", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let helper = make_scratch_fn(m, "match_word");
+            let nn = fb.const_i64(n);
+            fill_affine_perm(fb, g[0], nn, 37, 5);
+            let walk = pointer_chase(fb, g[0], nn, 8); // dictionary chase
+            fill_affine(fb, g[1], nn, 31, 7);
+            map_call(fb, helper, g[1], g[2], nn); // per-word matching
+            let s = vector_sum_i64(fb, g[2], nn, 2);
+            let chk = fb.xor(walk, s);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Probabilistic ray tracer (C++): the most numeric of the INT suite —
+/// pure-math per-ray work, mostly independent iterations.
+fn eon(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "252.eon",
+        glue(n),
+        &[("rays", n as u64 + 2), ("img", n as u64 + 2)],
+        |m, fb, g| {
+            let shade = make_pure_math_fn(m, "shade");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 1299709, 3);
+            map_call(fb, shade, g[0], g[1], nn); // per-ray shading (pure)
+            let s = vector_sum_i64(fb, g[1], nn, 6);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Perl interpreter: opcode dispatch is a serial DP chain through memory,
+/// with occasional I/O — the classic worst case.
+fn perlbmk(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "253.perlbmk",
+        glue(n),
+        &[("ops", n as u64 + 4), ("pad", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_lcg(fb, g[0], nn, 0x9e11, 511); // bytecode stream
+            dp_chain(fb, g[1], nn, 10); // interpreter state threading
+            let io = print_every(fb, g[0], nn, 64); // occasional output
+            fb.ret(Some(io));
+        },
+    )
+}
+
+/// Group theory (GAP): big-integer accumulation into shared cells plus
+/// table scans.
+fn gap(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "254.gap",
+        glue(n),
+        &[("limbs", 2), ("tab", n as u64 + 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            accum_cell(fb, g[0], g[2], nn, 16); // carry propagation cell
+            fill_affine(fb, g[1], nn, 7919, 1);
+            let s = vector_sum_i64(fb, g[1], nn, 4);
+            let mx = max_i64(fb, g[1], nn);
+            let chk = fb.xor(s, mx);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// OO database: object-method calls in loops (thread-safe helpers) plus
+/// index-structure histogram updates.
+fn vortex(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "255.vortex",
+        glue(n),
+        &[("objs", n as u64 + 2), ("index", 4096), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let method = make_scratch_fn(m, "obj_update");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 104729, 11);
+            map_call(fb, method, g[0], g[2], nn);
+            histogram(fb, g[1], nn, 4095, 6);
+            let s = vector_sum_i64(fb, g[2], nn, 2);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Block-sorting compression: counting sort passes (predictable walks)
+/// and a work-function chain.
+fn bzip2(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "256.bzip2",
+        glue(n),
+        &[("block", n as u64 + 4), ("counts", n as u64 + 4), ("bwt", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_mostly_const(fb, g[1], nn, 1, 9, 32); // run lengths
+            let ptr = predictable_walk(fb, g[1], nn, 8); // cumulative counts
+            fill_lcg(fb, g[0], nn, 0xb212, 255); // block bytes
+            dp_chain(fb, g[2], nn, 5); // BWT rotation chain
+            let s = vector_sum_i64(fb, g[0], nn, 2);
+            let chk = fb.xor(ptr, s);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Standard-cell placement: annealing moves (carried RNG) with a shared
+/// cost cell — frequent LCDs with early producers.
+fn twolf(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "300.twolf",
+        glue(n),
+        &[("cells", n as u64 + 2), ("cost", 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            let rng = fill_lcg(fb, g[0], nn, 0x2f01, 1023); // move proposals
+            accum_cell(fb, g[1], g[2], nn, 18); // global cost update
+            let s = vector_sum_i64(fb, g[0], nn, 3);
+            let mixed = int_filler(fb, s, 4);
+            let chk = fb.xor(rng, mixed);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_analysis::analyze_module;
+    use lp_interp::MachineConfig;
+    use lp_runtime::{evaluate, profile_module, ExecModel};
+
+    fn speedup(m: &Module, model: ExecModel, config: &str) -> f64 {
+        let analysis = analyze_module(m);
+        let (p, _) = profile_module(m, &analysis, &[], MachineConfig::default()).unwrap();
+        evaluate(&p, model, config.parse().unwrap()).speedup
+    }
+
+    #[test]
+    fn mcf_is_helix_dominated() {
+        let m = mcf(Scale::Test);
+        let doall = speedup(&m, ExecModel::Doall, "reduc0-dep0-fn0");
+        let helix = speedup(&m, ExecModel::Helix, "reduc1-dep1-fn2");
+        assert!(doall < 1.6, "mcf DOALL should be near serial: {doall}");
+        assert!(helix > 2.0, "mcf best HELIX should gain: {helix}");
+    }
+
+    #[test]
+    fn perlbmk_resists_everything() {
+        let m = perlbmk(Scale::Test);
+        let helix = speedup(&m, ExecModel::Helix, "reduc1-dep1-fn2");
+        assert!(helix < 4.0, "perl-like chains stay hard: {helix}");
+    }
+
+    #[test]
+    fn eon_unlocks_with_pure_calls() {
+        let m = eon(Scale::Test);
+        let fn0 = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn0");
+        let fn2 = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+        assert!(fn2 > fn0 * 1.15, "eon gains from call parallelization: {fn0} -> {fn2}");
+    }
+}

@@ -1,0 +1,441 @@
+//! SPEC CINT2006 stand-ins (non-numeric).
+//!
+//! Slightly richer loop structure than CINT2000 (matching the paper's
+//! higher 2006 HELIX headline): `hmmer`'s DP inner loops have early
+//! producers, `libquantum` is almost embarrassingly parallel, `h264ref`
+//! has reduction-heavy motion estimation — while `mcf`, `astar` and
+//! `omnetpp` stay chase-bound.
+
+use crate::patterns::*;
+use crate::{build_program_glued, Benchmark, Glue, Scale, SuiteId};
+use lp_ir::{Module, Type};
+
+fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
+    Benchmark {
+        name,
+        suite: SuiteId::Cint2006,
+        build,
+    }
+}
+
+/// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
+/// calibrates the frequent-memory-LCD fraction of every benchmark.
+fn glue(n: i64) -> Option<Glue> {
+    Some(Glue { serial_n: n / 4, accum_n: n * 7 / 10, lcg_n: 0, work: 14 })
+}
+
+/// The CINT2006 roster.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench("400.perlbench", perlbench),
+        bench("401.bzip2", bzip2),
+        bench("403.gcc", gcc),
+        bench("429.mcf", mcf),
+        bench("445.gobmk", gobmk),
+        bench("456.hmmer", hmmer),
+        bench("458.sjeng", sjeng),
+        bench("462.libquantum", libquantum),
+        bench("464.h264ref", h264ref),
+        bench("471.omnetpp", omnetpp),
+        bench("473.astar", astar),
+        bench("483.xalancbmk", xalancbmk),
+    ]
+}
+
+/// Perl interpreter, 2006 edition: the same dispatch chain plus regex
+/// scans that are mildly parallel.
+fn perlbench(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "400.perlbench",
+        glue(n),
+        &[("ops", n as u64 + 4), ("pad", n as u64 + 4), ("text", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_lcg(fb, g[0], nn, 0x4001, 511);
+            dp_chain(fb, g[1], nn, 9); // interpreter state
+            fill_affine(fb, g[2], nn, 17, 3);
+            let scan = vector_sum_i64(fb, g[2], nn, 4); // regex scan
+            let io = print_every(fb, g[0], nn, 96);
+            let chk = fb.xor(scan, io);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// bzip2 with larger blocks: counting sorts are predictable walks and the
+/// Huffman stage is an accumulation cell with fat filler (HELIX likes it).
+fn bzip2(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "401.bzip2",
+        glue(n),
+        &[("block", n as u64 + 4), ("counts", n as u64 + 4), ("cell", 2), ("scratch", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_mostly_const(fb, g[1], nn, 1, 7, 48);
+            let ptr = predictable_walk(fb, g[1], nn, 8);
+            accum_cell(fb, g[2], g[3], nn, 16); // bit-stream position
+            fill_lcg(fb, g[0], nn, 0xbeef, 255);
+            let s = vector_sum_i64(fb, g[0], nn, 2);
+            let chk = fb.xor(ptr, s);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// GCC 4-era: as 176.gcc but with more helper-call loops.
+fn gcc(scale: Scale) -> Module {
+    let n = scale.n(176);
+    build_program_glued(
+        "403.gcc",
+        glue(n),
+        &[("ir", n as u64 + 4), ("table", 4096), ("out", n as u64 + 4), ("out2", n as u64 + 4)],
+        |m, fb, g| {
+            let fold = make_scratch_fn(m, "fold_insn");
+            let dce = make_scratch_fn(m, "dce_insn");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 131, 29);
+            map_call(fb, fold, g[0], g[2], nn);
+            map_call(fb, dce, g[2], g[3], nn);
+            dp_chain(fb, g[0], nn, 4);
+            histogram(fb, g[1], nn, 4095, 3);
+            let chk = max_i64(fb, g[3], nn);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// 2006 mcf: still simplex chasing, but the paper's Fig. 4 shows best
+/// PDOALL *beating* best HELIX here — the dominant walk is *predictable*
+/// (cost arrays touched with near-constant strides) while its producer
+/// sits late, making HELIX synchronization expensive.
+fn mcf(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "429.mcf",
+        glue(n),
+        &[("strides", n as u64 + 2), ("arcs", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_mostly_const(fb, g[0], nn, 3, 11, 128); // near-constant strides
+            let w1 = predictable_walk_late(fb, g[0], nn, 16);
+            let w2 = predictable_walk_late(fb, g[0], nn, 16);
+            let flows = vector_sum_i64(fb, g[1], nn, 2);
+            let t = fb.xor(w1, w2);
+            let chk = fb.xor(t, flows);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Go engine: branchy board scans with hash probes and a shared
+/// node-count cell; little to exploit.
+fn gobmk(scale: Scale) -> Module {
+    let n = scale.n(176);
+    build_program_glued(
+        "445.gobmk",
+        glue(n),
+        &[("board", n as u64 + 2), ("hash", 8192), ("nodes", 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_lcg(fb, g[0], nn, 0x60b0, 511); // candidate moves
+            histogram(fb, g[1], nn, 8191, 7);
+            accum_cell(fb, g[2], g[3], nn, 10);
+            let best = max_i64(fb, g[0], nn);
+            fb.ret(Some(best));
+        },
+    )
+}
+
+/// Profile HMM search: the Viterbi inner loop carries register LCDs whose
+/// producers come early, with plenty of independent scoring work after —
+/// HELIX's best friend in the suite.
+fn hmmer(scale: Scale) -> Module {
+    let n = scale.n(256);
+    build_program_glued(
+        "456.hmmer",
+        glue(n),
+        &[("seq", n as u64 + 2), ("scores", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 19, 5);
+            // Viterbi recurrences: carried max-chains, early producer,
+            // long scoring tail.
+            let v1 = viterbi_row(fb, g[0], g[1], nn, 20);
+            let v2 = viterbi_row(fb, g[0], g[1], nn, 20);
+            let chk = fb.xor(v1, v2);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Chess (sjeng): like crafty with deeper branching.
+fn sjeng(scale: Scale) -> Module {
+    let n = scale.n(176);
+    build_program_glued(
+        "458.sjeng",
+        glue(n),
+        &[("tt", 8192), ("board", n as u64 + 2), ("nodes", 2), ("scratch", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[1], nn, 2654435761, 17);
+            histogram(fb, g[0], nn, 8191, 9);
+            accum_cell(fb, g[2], g[3], nn, 11);
+            let walk = pointer_chase_setup(fb, g[1], nn, 8);
+            fb.ret(Some(walk));
+        },
+    )
+}
+
+/// Quantum simulator: gate application is elementwise over the state
+/// vector — huge DOALL loops; the one known outlier that parallelizes
+/// under everything.
+fn libquantum(scale: Scale) -> Module {
+    let n = scale.n(384);
+    // libquantum is the suite's outlier: almost no driver glue, nearly
+    // pure gate sweeps (its real hot loops are elementwise over the
+    // quantum state vector).
+    build_program_glued(
+        "462.libquantum",
+        Some(Glue { serial_n: n / 12, accum_n: n / 6, lcg_n: 0, work: 10 }),
+        &[("state", n as u64 + 2), ("state2", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 5, 1);
+            // Three gate sweeps: toffoli-ish bit twiddles, independent.
+            for round in 0..3 {
+                gate_sweep(fb, g[0], g[1], nn, round);
+            }
+            let s = vector_sum_i64(fb, g[1], nn, 2);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// H.264 encoder: SAD motion-estimation reductions inside DOALL block
+/// loops — big wins once reductions are decoupled (`reduc1`).
+fn h264ref(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "464.h264ref",
+        glue(n),
+        &[("frame", n as u64 + 18), ("ref", n as u64 + 18), ("sad", n as u64 + 2)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 11, 7);
+            fill_affine(fb, g[1], nn, 13, 3);
+            sad_blocks(fb, g[0], g[1], g[2], nn);
+            let best = max_i64(fb, g[2], nn);
+            fb.ret(Some(best));
+        },
+    )
+}
+
+/// Discrete-event simulator: the event queue is a serial chase with heap
+/// updates through shared memory.
+fn omnetpp(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "471.omnetpp",
+        glue(n),
+        &[("queue", n as u64 + 2), ("heap", n as u64 + 4)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_perm(fb, g[0], nn, 43, 7);
+            let ev = pointer_chase(fb, g[0], nn, 10); // event ordering
+            dp_chain(fb, g[1], nn, 8); // heap property chain
+            fb.ret(Some(ev));
+        },
+    )
+}
+
+/// A* pathfinding: open-list chasing plus neighbor relaxation with
+/// aliasing stores.
+fn astar(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "473.astar",
+        glue(n),
+        &[("open", n as u64 + 2), ("gscore", 2048)],
+        |_m, fb, g| {
+            let nn = fb.const_i64(n);
+            fill_affine_perm(fb, g[0], nn, 29, 3);
+            let walk = pointer_chase(fb, g[0], nn, 9);
+            histogram(fb, g[1], nn, 511, 6); // relaxations collide often
+            fb.ret(Some(walk));
+        },
+    )
+}
+
+/// XSLT processor: tree-walk helper calls and string-table histograms.
+fn xalancbmk(scale: Scale) -> Module {
+    let n = scale.n(192);
+    build_program_glued(
+        "483.xalancbmk",
+        glue(n),
+        &[("nodes", n as u64 + 2), ("strings", 4096), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let visit = make_scratch_fn(m, "visit_node");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 53, 9);
+            map_call(fb, visit, g[0], g[2], nn);
+            histogram(fb, g[1], nn, 4095, 4);
+            let s = vector_sum_i64(fb, g[2], nn, 3);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+// ---- local pattern variants ---------------------------------------------
+
+use crate::kernels::{counted_loop, int_filler, load_elem, store_elem};
+use lp_ir::builder::FunctionBuilder;
+use lp_ir::ValueId;
+
+/// Like `predictable_walk`, but the carried value is produced at the
+/// *end* of the iteration (after the filler) — predictable for `dep2`,
+/// expensive to synchronize for `dep1`.
+fn predictable_walk_late(
+    fb: &mut FunctionBuilder,
+    data: ValueId,
+    n: ValueId,
+    work: u32,
+) -> ValueId {
+    let zero = fb.const_i64(0);
+    let phis = counted_loop(
+        fb,
+        n,
+        &[(Type::I64, zero), (Type::I64, zero)],
+        |fb, i, phis| {
+            let d = load_elem(fb, Type::I64, data, i);
+            let w = int_filler(fb, phis[0], work); // long chain first
+            let acc = fb.add(phis[1], w);
+            let step = fb.and(d, d);
+            let x2 = {
+                let t = fb.add(phis[0], step);
+                let mixed = fb.xor(t, w);
+                let unmix = fb.xor(mixed, w); // == t, but defined late
+                unmix
+            };
+            vec![x2, acc]
+        },
+    );
+    phis[1]
+}
+
+/// A Viterbi-like row: carried best-score (max chain) produced right at
+/// the top of the iteration, followed by a long independent scoring tail
+/// stored to disjoint slots.
+fn viterbi_row(
+    fb: &mut FunctionBuilder,
+    seq: ValueId,
+    out: ValueId,
+    n: ValueId,
+    tail: u32,
+) -> ValueId {
+    let zero = fb.const_i64(0);
+    let phis = counted_loop(fb, n, &[(Type::I64, zero)], |fb, i, phis| {
+        let e = load_elem(fb, Type::I64, seq, i);
+        let cand = fb.add(phis[0], e);
+        let best = fb.bin(lp_ir::BinOp::SMax, phis[0], cand); // early producer
+        let w = int_filler(fb, best, tail); // independent scoring
+        store_elem(fb, out, i, w);
+        vec![best]
+    });
+    phis[0]
+}
+
+/// One libquantum-style gate sweep: `s2[i] = f(s[i])` bit manipulation.
+fn gate_sweep(fb: &mut FunctionBuilder, src: ValueId, dst: ValueId, n: ValueId, round: u32) {
+    let k = fb.const_i64(0x5555_5555 << (round + 1));
+    counted_loop(fb, n, &[], |fb, i, _| {
+        let v = load_elem(fb, Type::I64, src, i);
+        let x = fb.xor(v, k);
+        let w = int_filler(fb, x, 6);
+        store_elem(fb, dst, i, w);
+        vec![]
+    });
+}
+
+/// Scrambles a board array then chases it (sjeng helper).
+fn pointer_chase_setup(
+    fb: &mut FunctionBuilder,
+    board: ValueId,
+    n: ValueId,
+    work: u32,
+) -> ValueId {
+    // Reduce board values into valid indices, then chase.
+    counted_loop(fb, n, &[], |fb, i, _| {
+        let v = load_elem(fb, Type::I64, board, i);
+        let idx = fb.srem(v, n);
+        let pos = {
+            let abs_in = fb.add(idx, n);
+            fb.srem(abs_in, n)
+        };
+        store_elem(fb, board, i, pos);
+        vec![]
+    });
+    pointer_chase(fb, board, n, work)
+}
+
+/// Block SAD: outer DOALL over blocks, inner 16-wide absolute-difference
+/// reduction.
+fn sad_blocks(fb: &mut FunctionBuilder, frame: ValueId, reff: ValueId, sad: ValueId, n: ValueId) {
+    let sixteen = fb.const_i64(16);
+    counted_loop(fb, n, &[], |fb, b, _| {
+        let zero = fb.const_i64(0);
+        let acc = counted_loop(fb, sixteen, &[(Type::I64, zero)], |fb, k, phis| {
+            let idx = fb.add(b, k);
+            let a = load_elem(fb, Type::I64, frame, idx);
+            let r = load_elem(fb, Type::I64, reff, idx);
+            let d = fb.sub(a, r);
+            let neg = fb.sub(zero, d);
+            let abs = fb.bin(lp_ir::BinOp::SMax, d, neg);
+            vec![fb.add(phis[0], abs)]
+        });
+        store_elem(fb, sad, b, acc[0]);
+        vec![]
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_analysis::analyze_module;
+    use lp_interp::MachineConfig;
+    use lp_runtime::{evaluate, profile_module, ExecModel};
+
+    fn speedup(m: &Module, model: ExecModel, config: &str) -> f64 {
+        let analysis = analyze_module(m);
+        let (p, _) = profile_module(m, &analysis, &[], MachineConfig::default()).unwrap();
+        evaluate(&p, model, config.parse().unwrap()).speedup
+    }
+
+    #[test]
+    fn libquantum_parallelizes_everywhere() {
+        let m = libquantum(Scale::Test);
+        let s = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+        assert!(s > 6.0, "libquantum is the parallel outlier: {s}");
+    }
+
+    #[test]
+    fn mcf_2006_prefers_pdoall_over_helix() {
+        let m = mcf(Scale::Test);
+        let pd = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+        let hx = speedup(&m, ExecModel::Helix, "reduc1-dep1-fn2");
+        assert!(
+            pd > hx,
+            "429.mcf: best PDOALL ({pd}) must beat best HELIX ({hx}) as in Fig. 4"
+        );
+    }
+
+    #[test]
+    fn hmmer_loves_helix() {
+        let m = hmmer(Scale::Test);
+        let hx = speedup(&m, ExecModel::Helix, "reduc1-dep1-fn2");
+        let pd = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+        assert!(hx > 3.0, "hmmer HELIX should be strong: {hx}");
+        assert!(hx > pd, "hmmer prefers HELIX: {hx} vs {pd}");
+    }
+}

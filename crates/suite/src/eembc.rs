@@ -1,0 +1,274 @@
+//! EEMBC stand-ins (embedded, numeric-leaning).
+//!
+//! Small regular kernels whose hot loops call helper routines — the
+//! paper's EEMBC observation is that `fn2` (parallelizing instrumented
+//! and thread-safe calls) matters *more* than `reduc1`/`dep2` here
+//! ("EEMBC performs even better with `reduc0-dep0-fn2` PDOALL than
+//! `reduc1-dep2-fn0` PDOALL"), so most recipes put their main compute
+//! behind thread-safe helper calls.
+
+use crate::patterns::*;
+use crate::{build_program_glued, Benchmark, Glue, Scale, SuiteId};
+use lp_ir::Module;
+
+fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
+    Benchmark {
+        name,
+        suite: SuiteId::Eembc,
+        build,
+    }
+}
+
+/// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
+/// calibrates the frequent-memory-LCD fraction of every benchmark.
+fn glue(n: i64) -> Option<Glue> {
+    Some(Glue { serial_n: n / 24, accum_n: n / 24, lcg_n: n / 4, work: 8 })
+}
+
+/// The EEMBC roster (automotive + telecom kernels).
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        bench("eembc.aifftr01", aifftr),
+        bench("eembc.aiifft01", aiifft),
+        bench("eembc.basefp01", basefp),
+        bench("eembc.bitmnp01", bitmnp),
+        bench("eembc.idctrn01", idctrn),
+        bench("eembc.matrix01", matrix),
+        bench("eembc.puwmod01", puwmod),
+        bench("eembc.rspeed01", rspeed),
+        bench("eembc.tblook01", tblook),
+        bench("eembc.ttsprk01", ttsprk),
+    ]
+}
+
+/// FFT: butterfly sweeps behind a helper call per point.
+fn aifftr(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "eembc.aifftr01",
+        glue(n),
+        &[("re", n as u64 + 2), ("im", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let bf = make_scratch_fn(m, "butterfly");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 5, 1);
+            map_call(fb, bf, g[0], g[1], nn);
+            map_call(fb, bf, g[1], g[2], nn);
+            let s = vector_sum_i64(fb, g[2], nn, 2);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Inverse FFT: as `aifftr` plus a scaling SAXPY.
+fn aiifft(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "eembc.aiifft01",
+        glue(n),
+        &[("re", n as u64 + 2), ("f", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let bf = make_scratch_fn(m, "ibutterfly");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 7, 2);
+            map_call(fb, bf, g[0], g[2], nn);
+            fill_affine_f64(fb, g[1], nn, 0.01);
+            saxpy(fb, g[1], g[1], nn, 1.0 / 64.0, 4);
+            let s = vector_sum_i64(fb, g[2], nn, 2);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Basic float arithmetic: pure-math helper per element.
+fn basefp(scale: Scale) -> Module {
+    let n = scale.n(240);
+    build_program_glued(
+        "eembc.basefp01",
+        glue(n),
+        &[("in", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let op = make_pure_math_fn(m, "fp_op");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 3, 1);
+            map_call(fb, op, g[0], g[1], nn);
+            let s = vector_sum_i64(fb, g[1], nn, 3);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Bit manipulation: shift/rotate kernels behind a helper.
+fn bitmnp(scale: Scale) -> Module {
+    let n = scale.n(240);
+    build_program_glued(
+        "eembc.bitmnp01",
+        glue(n),
+        &[("words", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let twiddle = make_scratch_fn(m, "bit_twiddle");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 0x1234567, 3);
+            map_call(fb, twiddle, g[0], g[1], nn);
+            let best = max_i64(fb, g[1], nn);
+            fb.ret(Some(best));
+        },
+    )
+}
+
+/// IDCT: 8x8 transforms = small mat-vec per block behind a helper call.
+fn idctrn(scale: Scale) -> Module {
+    let n = scale.n(208);
+    build_program_glued(
+        "eembc.idctrn01",
+        glue(n),
+        &[("blocks", n as u64 + 2), ("coef", 64 + 8), ("v", 16), ("tmp", 16), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let idct = make_scratch_fn(m, "idct_block");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 63, 8);
+            map_call(fb, idct, g[0], g[4], nn);
+            let dim = fb.const_i64(8);
+            let d2 = fb.const_i64(64);
+            fill_affine_f64(fb, g[1], d2, 0.05);
+            fill_affine_f64(fb, g[2], dim, 0.2);
+            matvec(fb, g[1], g[2], g[3], dim, dim, 8);
+            let s = vector_sum_i64(fb, g[4], nn, 2);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Matrix math: dense mat-vec and reductions.
+fn matrix(scale: Scale) -> Module {
+    let n = scale.n(48);
+    build_program_glued(
+        "eembc.matrix01",
+        glue(n),
+        &[("mat", (n as u64 + 1) * (n as u64 + 1)), ("v", n as u64 + 2), ("out", n as u64 + 2)],
+        |_m, fb, g| {
+            let dim = fb.const_i64(n);
+            let d2 = fb.const_i64(n * n);
+            fill_affine_f64(fb, g[0], d2, 0.001);
+            fill_affine_f64(fb, g[1], dim, 0.1);
+            matvec(fb, g[0], g[1], g[2], dim, dim, n);
+            let s = vector_sum_f64(fb, g[2], dim, 4);
+            let r = fb.fptosi(s);
+            fb.ret(Some(r));
+        },
+    )
+}
+
+/// Pulse-width modulation: tight control loop with a shared state cell
+/// and helper calls.
+fn puwmod(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "eembc.puwmod01",
+        glue(n),
+        &[("duty", n as u64 + 2), ("state", 2), ("scratch", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let mod_fn = make_scratch_fn(m, "modulate");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 11, 1);
+            map_call(fb, mod_fn, g[0], g[3], nn);
+            accum_cell(fb, g[1], g[2], nn, 8); // phase accumulator
+            let s = vector_sum_i64(fb, g[3], nn, 2);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Road-speed calculation: predictable sensor-delta walk plus a helper.
+fn rspeed(scale: Scale) -> Module {
+    let n = scale.n(240);
+    build_program_glued(
+        "eembc.rspeed01",
+        glue(n),
+        &[("ticks", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let calc = make_scratch_fn(m, "speed_calc");
+            let nn = fb.const_i64(n);
+            fill_mostly_const(fb, g[0], nn, 5, 9, 40);
+            let w = predictable_walk(fb, g[0], nn, 6);
+            map_call(fb, calc, g[0], g[1], nn);
+            let s = vector_sum_i64(fb, g[1], nn, 2);
+            let chk = fb.xor(w, s);
+            fb.ret(Some(chk));
+        },
+    )
+}
+
+/// Table lookup with interpolation: gather loads plus a pure helper.
+fn tblook(scale: Scale) -> Module {
+    let n = scale.n(240);
+    build_program_glued(
+        "eembc.tblook01",
+        glue(n),
+        &[("keys", n as u64 + 2), ("table", 1024), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let interp = make_pure_fn(m, "interp");
+            let nn = fb.const_i64(n);
+            let tab_n = fb.const_i64(1024);
+            fill_affine(fb, g[1], tab_n, 3, 100);
+            fill_affine(fb, g[0], nn, 37, 5);
+            map_call(fb, interp, g[0], g[2], nn);
+            let s = vector_sum_i64(fb, g[2], nn, 3);
+            fb.ret(Some(s));
+        },
+    )
+}
+
+/// Spark-timing control: branchy table logic with helper calls and an
+/// ignition-state cell.
+fn ttsprk(scale: Scale) -> Module {
+    let n = scale.n(224);
+    build_program_glued(
+        "eembc.ttsprk01",
+        glue(n),
+        &[("sensors", n as u64 + 2), ("state", 2), ("scratch", n as u64 + 2), ("out", n as u64 + 2)],
+        |m, fb, g| {
+            let advance = make_scratch_fn(m, "spark_advance");
+            let nn = fb.const_i64(n);
+            fill_affine(fb, g[0], nn, 13, 7);
+            map_call(fb, advance, g[0], g[3], nn);
+            accum_cell(fb, g[1], g[2], nn, 6);
+            let best = max_i64(fb, g[3], nn);
+            fb.ret(Some(best));
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_analysis::analyze_module;
+    use lp_interp::MachineConfig;
+    use lp_runtime::{evaluate, profile_module, ExecModel};
+
+    fn speedup(m: &Module, model: ExecModel, config: &str) -> f64 {
+        let analysis = analyze_module(m);
+        let (p, _) = profile_module(m, &analysis, &[], MachineConfig::default()).unwrap();
+        evaluate(&p, model, config.parse().unwrap()).speedup
+    }
+
+    #[test]
+    fn eembc_gains_more_from_fn2_than_from_reduc_dep() {
+        // The paper's EEMBC observation: reduc0-dep0-fn2 beats
+        // reduc1-dep2-fn0 (geomean over the suite).
+        let mut fn2_gm = 0.0f64;
+        let mut dep2_gm = 0.0f64;
+        let list = benchmarks();
+        for b in &list {
+            let m = b.build(Scale::Test);
+            fn2_gm += speedup(&m, ExecModel::PartialDoall, "reduc0-dep0-fn2").ln();
+            dep2_gm += speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn0").ln();
+        }
+        let fn2_gm = (fn2_gm / list.len() as f64).exp();
+        let dep2_gm = (dep2_gm / list.len() as f64).exp();
+        assert!(
+            fn2_gm > dep2_gm,
+            "EEMBC: fn2 ({fn2_gm:.2}) should beat reduc1-dep2 ({dep2_gm:.2})"
+        );
+    }
+}

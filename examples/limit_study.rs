@@ -1,0 +1,60 @@
+//! Miniature version of the paper's Figures 2–3: run one suite at a
+//! chosen scale and print GEOMEAN limit speedups per configuration row.
+//!
+//! ```text
+//! cargo run --release --example limit_study -- cint2000 small
+//! cargo run --release --example limit_study -- eembc
+//! ```
+
+use loopapalooza::prelude::*;
+use loopapalooza::Study;
+use lp_runtime::geomean;
+
+fn main() -> Result<(), loopapalooza::Error> {
+    let args: Vec<String> = std::env::args().collect();
+    let suite_name = args.get(1).map_or("cint2000", String::as_str);
+    let scale = match args.get(2).map(String::as_str) {
+        Some("test") => Scale::Test,
+        Some("small") | None => Scale::Small,
+        Some("default") => Scale::Default,
+        Some(other) => {
+            eprintln!("unknown scale {other:?} (use test|small|default)");
+            std::process::exit(2);
+        }
+    };
+    let suite_id = SuiteId::all()
+        .into_iter()
+        .find(|s| s.label() == suite_name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown suite {suite_name:?}; options: cint2000 cfp2000 cint2006 cfp2006 eembc");
+            std::process::exit(2);
+        });
+
+    println!("profiling suite {suite_id} at {scale:?} scale...");
+    let mut studies = Vec::new();
+    for bench in lp_suite::suite(suite_id) {
+        let module = bench.build(scale);
+        let study = Study::of(&module)?;
+        println!(
+            "  {:<18} cost {:>10}",
+            bench.name,
+            study.run_result().cost
+        );
+        studies.push(study);
+    }
+
+    println!("\n{:<14} {:<18} {:>12}", "model", "config", "GEOMEAN");
+    for (model, config) in paper_rows() {
+        let speedups: Vec<f64> = studies
+            .iter()
+            .map(|s| s.evaluate(model, config).speedup)
+            .collect();
+        println!(
+            "{:<14} {:<18} {:>11.2}x",
+            model.to_string(),
+            config.to_string(),
+            geomean(&speedups)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Workspace root helper crate; see `loopapalooza` for the real API.
+pub use loopapalooza as lp;

@@ -1,0 +1,178 @@
+//! Whole-pipeline integration tests: every registered benchmark goes
+//! through verify → analyze → profile → evaluate, and the results must
+//! satisfy the limit-study invariants for every model and configuration.
+
+use loopapalooza::prelude::*;
+use loopapalooza::Study;
+use lp_runtime::{DepMode, FnMode, ReducMode};
+
+fn studies(scale: Scale) -> Vec<(String, Study)> {
+    lp_suite::registry()
+        .into_iter()
+        .map(|b| {
+            let module = b.build(scale);
+            let study = Study::of(&module)
+                .unwrap_or_else(|e| panic!("{} failed to profile: {e}", b.name));
+            (b.name.to_string(), study)
+        })
+        .collect()
+}
+
+#[test]
+fn all_benchmarks_profile_and_evaluate() {
+    for (name, study) in studies(Scale::Test) {
+        assert!(
+            study.run_result().cost > 1_000,
+            "{name}: suspiciously small run ({})",
+            study.run_result().cost
+        );
+        for report in study.paper_rows() {
+            assert!(
+                report.speedup >= 0.999,
+                "{name} {} {}: speedup {} < 1",
+                report.model,
+                report.config,
+                report.speedup
+            );
+            assert!(
+                report.best_cost <= report.total_cost,
+                "{name}: best exceeds serial"
+            );
+            assert!(
+                (0.0..=100.0).contains(&report.coverage),
+                "{name}: coverage {} out of range",
+                report.coverage
+            );
+        }
+    }
+}
+
+#[test]
+fn dep_relaxation_is_monotonic_under_pdoall() {
+    for (name, study) in studies(Scale::Test) {
+        for reduc in [ReducMode::Reduc0, ReducMode::Reduc1] {
+            let sp = |dep| {
+                study
+                    .evaluate(
+                        ExecModel::PartialDoall,
+                        Config::new(reduc, dep, FnMode::Fn2),
+                    )
+                    .speedup
+            };
+            let s0 = sp(DepMode::Dep0);
+            let s2 = sp(DepMode::Dep2);
+            let s3 = sp(DepMode::Dep3);
+            assert!(s0 <= s2 * 1.0001, "{name}: dep0 {s0} > dep2 {s2}");
+            assert!(s2 <= s3 * 1.0001, "{name}: dep2 {s2} > dep3 {s3}");
+        }
+    }
+}
+
+#[test]
+fn fn_relaxation_is_monotonic() {
+    for (name, study) in studies(Scale::Test) {
+        let sp = |fnm| {
+            study
+                .evaluate(
+                    ExecModel::PartialDoall,
+                    Config::new(ReducMode::Reduc1, DepMode::Dep3, fnm),
+                )
+                .speedup
+        };
+        let f0 = sp(FnMode::Fn0);
+        let f1 = sp(FnMode::Fn1);
+        let f2 = sp(FnMode::Fn2);
+        let f3 = sp(FnMode::Fn3);
+        assert!(f0 <= f1 * 1.0001, "{name}: fn0 {f0} > fn1 {f1}");
+        assert!(f1 <= f2 * 1.0001, "{name}: fn1 {f1} > fn2 {f2}");
+        assert!(f2 <= f3 * 1.0001, "{name}: fn2 {f2} > fn3 {f3}");
+    }
+}
+
+#[test]
+fn reduc1_never_hurts() {
+    for (name, study) in studies(Scale::Test) {
+        for model in ExecModel::all() {
+            for dep in [DepMode::Dep0, DepMode::Dep2] {
+                let r0 = study
+                    .evaluate(model, Config::new(ReducMode::Reduc0, dep, FnMode::Fn2))
+                    .speedup;
+                let r1 = study
+                    .evaluate(model, Config::new(ReducMode::Reduc1, dep, FnMode::Fn2))
+                    .speedup;
+                assert!(
+                    r0 <= r1 * 1.0001,
+                    "{name} {model} {dep:?}: reduc0 {r0} > reduc1 {r1}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pdoall_never_loses_to_doall() {
+    // PDOALL strictly generalizes DOALL (a conflict restarts instead of
+    // abandoning), so at equal flags it can only match or win.
+    for (name, study) in studies(Scale::Test) {
+        for config in [
+            Config::new(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0),
+            Config::new(ReducMode::Reduc1, DepMode::Dep0, FnMode::Fn0),
+        ] {
+            let doall = study.evaluate(ExecModel::Doall, config).speedup;
+            let pdoall = study.evaluate(ExecModel::PartialDoall, config).speedup;
+            assert!(
+                doall <= pdoall * 1.0001,
+                "{name} {config}: DOALL {doall} > PDOALL {pdoall}"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_of_the_whole_pipeline() {
+    let bench = lp_suite::find("186.crafty").unwrap();
+    let module = bench.build(Scale::Test);
+    let (m, c) = lp_runtime::best_helix();
+    let a = Study::of(&module).unwrap().evaluate(m, c).speedup;
+    let b = Study::of(&module).unwrap().evaluate(m, c).speedup;
+    assert_eq!(a, b, "two identical studies must agree exactly");
+}
+
+#[test]
+fn census_over_the_full_registry() {
+    let studies = studies(Scale::Test);
+    let census = lp_runtime::Census::over(studies.iter().map(|(_, s)| s.profile()));
+    assert_eq!(census.programs, studies.len() as u64);
+    // The suite exercises every Table-I category.
+    assert!(census.computable > 0, "no computable LCDs seen");
+    assert!(census.reductions > 0, "no reductions seen");
+    assert!(census.predictable > 0, "no predictable LCDs seen");
+    assert!(census.unpredictable > 0, "no unpredictable LCDs seen");
+    assert!(census.frequent_mem_loops > 0, "no frequent memory LCDs");
+    assert!(census.infrequent_mem_loops > 0, "no infrequent memory LCDs");
+    assert!(census.loops_with_calls > 0, "no structural hazards");
+    assert!(census.loops_with_unsafe_calls > 0, "no unsafe calls");
+}
+
+#[test]
+fn amdahl_consistency_between_speedup_and_coverage() {
+    // Coverage is the fraction of dynamic instructions inside parallel
+    // loops; everything else runs serially. With infinite cores the
+    // speedup can therefore never exceed the Amdahl bound 1/(1 - c):
+    // best_cost >= total_cost - covered.
+    for (name, study) in studies(Scale::Test) {
+        for report in study.paper_rows() {
+            let c = report.coverage / 100.0;
+            let bound = if c >= 1.0 { f64::INFINITY } else { 1.0 / (1.0 - c) };
+            assert!(
+                report.speedup <= bound * 1.0001,
+                "{name} {} {}: speedup {:.3} exceeds Amdahl bound {:.3} at coverage {:.1}%",
+                report.model,
+                report.config,
+                report.speedup,
+                bound,
+                report.coverage
+            );
+        }
+    }
+}

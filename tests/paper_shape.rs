@@ -1,0 +1,228 @@
+//! Qualitative reproduction checks: the *shape* of the paper's results
+//! (section IV) must hold on the synthetic suite — who wins, in what
+//! order, and where the crossovers are. Absolute numbers are checked in
+//! EXPERIMENTS.md against the harness output, not here.
+
+use loopapalooza::prelude::*;
+use loopapalooza::Study;
+use lp_runtime::{geomean, DepMode, FnMode, ReducMode};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+struct SuiteResults {
+    /// suite -> (model, config) -> geomean speedup
+    speedups: HashMap<(SuiteId, ExecModel, Config), f64>,
+    /// suite -> config-row -> geomean coverage
+    coverage: HashMap<(SuiteId, ExecModel, Config), f64>,
+    /// per-benchmark best-PDOALL and best-HELIX
+    fig4: Vec<(String, f64, f64)>,
+}
+
+fn results() -> &'static SuiteResults {
+    static CELL: OnceLock<SuiteResults> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut per_suite: HashMap<SuiteId, Vec<Study>> = HashMap::new();
+        let mut fig4 = Vec::new();
+        for b in lp_suite::registry() {
+            let module = b.build(Scale::Test);
+            let study = Study::of(&module).unwrap();
+            if b.suite != SuiteId::Eembc {
+                let (m, c) = best_pdoall();
+                let pd = study.evaluate(m, c).speedup;
+                let (m, c) = best_helix();
+                let hx = study.evaluate(m, c).speedup;
+                fig4.push((b.name.to_string(), pd, hx));
+            }
+            per_suite.entry(b.suite).or_default().push(study);
+        }
+        let mut speedups = HashMap::new();
+        let mut coverage = HashMap::new();
+        for (suite, studies) in &per_suite {
+            for (model, config) in paper_rows() {
+                let sp: Vec<f64> = studies
+                    .iter()
+                    .map(|s| s.evaluate(model, config).speedup)
+                    .collect();
+                let cov: Vec<f64> = studies
+                    .iter()
+                    .map(|s| s.evaluate(model, config).coverage.max(0.01))
+                    .collect();
+                speedups.insert((*suite, model, config), geomean(&sp));
+                coverage.insert((*suite, model, config), geomean(&cov));
+            }
+        }
+        SuiteResults {
+            speedups,
+            coverage,
+            fig4,
+        }
+    })
+}
+
+fn gm(suite: SuiteId, model: ExecModel, config: &str) -> f64 {
+    let config: Config = config.parse().unwrap();
+    *results()
+        .speedups
+        .get(&(suite, model, config))
+        .unwrap_or_else(|| panic!("missing row {suite} {model} {config}"))
+}
+
+#[test]
+fn doall_int_is_marginal_fp_is_modest() {
+    // Paper: CINT 1.1-1.3x under DOALL; CFP 1.6-3.6x.
+    for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
+        let s = gm(suite, ExecModel::Doall, "reduc0-dep0-fn0");
+        assert!(s < 2.0, "{suite} DOALL should be marginal: {s:.2}");
+    }
+    for suite in [SuiteId::Cfp2000, SuiteId::Cfp2006] {
+        let s = gm(suite, ExecModel::Doall, "reduc0-dep0-fn0");
+        let i = gm(SuiteId::Cint2000, ExecModel::Doall, "reduc0-dep0-fn0");
+        assert!(s > i, "{suite} DOALL ({s:.2}) should beat CINT ({i:.2})");
+    }
+}
+
+#[test]
+fn helix_dep1_is_the_headline_for_int() {
+    // Paper: 4.6x / 7.2x for CINT2000/2006 under reduc1-dep1-fn2 HELIX —
+    // the big jump over every PDOALL configuration.
+    for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
+        let helix = gm(suite, ExecModel::Helix, "reduc1-dep1-fn2");
+        let best_pd = gm(suite, ExecModel::PartialDoall, "reduc1-dep2-fn2");
+        assert!(
+            helix > 2.0,
+            "{suite}: headline HELIX too weak: {helix:.2}"
+        );
+        assert!(
+            helix > best_pd,
+            "{suite}: HELIX ({helix:.2}) must beat best realistic PDOALL ({best_pd:.2})"
+        );
+    }
+    // And 2006 > 2000, as in the paper.
+    let h2000 = gm(SuiteId::Cint2000, ExecModel::Helix, "reduc1-dep1-fn2");
+    let h2006 = gm(SuiteId::Cint2006, ExecModel::Helix, "reduc1-dep1-fn2");
+    assert!(
+        h2006 > h2000,
+        "CINT2006 ({h2006:.2}) should outrun CINT2000 ({h2000:.2})"
+    );
+}
+
+#[test]
+fn numeric_suites_tower_over_int() {
+    for (model, config) in paper_rows() {
+        let fp = results().speedups[&(SuiteId::Cfp2000, model, config)];
+        let int = results().speedups[&(SuiteId::Cint2000, model, config)];
+        assert!(
+            fp >= int * 0.9,
+            "{model} {config}: CFP2000 {fp:.2} unexpectedly below CINT2000 {int:.2}"
+        );
+    }
+    // The best HELIX row: numeric suites in the tens, INT in single digits.
+    let fp = gm(SuiteId::Cfp2000, ExecModel::Helix, "reduc1-dep1-fn2");
+    let int = gm(SuiteId::Cint2000, ExecModel::Helix, "reduc1-dep1-fn2");
+    assert!(fp > 2.0 * int, "numeric headline ({fp:.2}) should dwarf INT ({int:.2})");
+}
+
+#[test]
+fn dep2_helps_int_under_pdoall() {
+    // Paper: reduc0-dep2-fn0 PDOALL lifts CINT from 1.1-1.3 to 1.2-1.6.
+    for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
+        let base = gm(suite, ExecModel::PartialDoall, "reduc0-dep0-fn0");
+        let dep2 = gm(suite, ExecModel::PartialDoall, "reduc0-dep2-fn0");
+        assert!(
+            dep2 >= base,
+            "{suite}: dep2 ({dep2:.2}) must not lose to dep0 ({base:.2})"
+        );
+    }
+}
+
+#[test]
+fn eembc_gains_more_from_fn2_than_from_reduc_and_dep2() {
+    // Paper: EEMBC does better with reduc0-dep0-fn2 than reduc1-dep2-fn0.
+    let fn2 = gm(SuiteId::Eembc, ExecModel::PartialDoall, "reduc0-dep0-fn2");
+    let dep2 = gm(SuiteId::Eembc, ExecModel::PartialDoall, "reduc1-dep2-fn0");
+    assert!(
+        fn2 > dep2,
+        "EEMBC: fn2 ({fn2:.2}) should beat reduc1+dep2 ({dep2:.2})"
+    );
+}
+
+#[test]
+fn coverage_climbs_toward_helix_dep1() {
+    // Paper Fig. 5: coverage rises dramatically from dep0-fn2 PDOALL to
+    // dep0-fn2 HELIX to dep1-fn2 HELIX for the INT suites.
+    for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
+        let cfg0: Config = "reduc0-dep0-fn2".parse().unwrap();
+        let cfg1: Config = "reduc0-dep1-fn2".parse().unwrap();
+        let pd = results().coverage[&(suite, ExecModel::PartialDoall, cfg0)];
+        let hx0 = results().coverage[&(suite, ExecModel::Helix, cfg0)];
+        let hx1 = results().coverage[&(suite, ExecModel::Helix, cfg1)];
+        assert!(
+            pd <= hx0 + 1e-9 && hx0 <= hx1 + 1e-9,
+            "{suite}: coverage must climb: PDOALL {pd:.1} <= HELIX-dep0 {hx0:.1} <= HELIX-dep1 {hx1:.1}"
+        );
+        assert!(
+            hx1 > pd,
+            "{suite}: HELIX dep1 coverage ({hx1:.1}) must exceed PDOALL ({pd:.1})"
+        );
+    }
+}
+
+#[test]
+fn fig4_has_pdoall_winners_and_helix_winners() {
+    // Paper: HELIX wins on most SPEC benchmarks, but 179.art, 450.soplex,
+    // 482.sphinx3 and 429.mcf go to PDOALL.
+    let fig4 = &results().fig4;
+    let pdoall_winners: Vec<&str> = fig4
+        .iter()
+        .filter(|(_, pd, hx)| pd > hx)
+        .map(|(n, _, _)| n.as_str())
+        .collect();
+    for expected in ["179.art", "450.soplex", "482.sphinx3", "429.mcf"] {
+        assert!(
+            pdoall_winners.contains(&expected),
+            "{expected} should prefer PDOALL; winners: {pdoall_winners:?}"
+        );
+    }
+    let helix_wins = fig4.iter().filter(|(_, pd, hx)| hx >= pd).count();
+    assert!(
+        helix_wins * 2 > fig4.len(),
+        "HELIX should win the majority of SPEC ({helix_wins}/{})",
+        fig4.len()
+    );
+}
+
+#[test]
+fn unrealistic_dep3_fn3_unlocks_more_int_parallelism() {
+    // Paper: reduc0-dep3-fn3 PDOALL raises CINT2000 to 2.0x and CINT2006
+    // to 2.6x over their dep2-fn2 values.
+    for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
+        let realistic = gm(suite, ExecModel::PartialDoall, "reduc0-dep2-fn2");
+        let perfect = gm(suite, ExecModel::PartialDoall, "reduc0-dep3-fn3");
+        assert!(
+            perfect >= realistic,
+            "{suite}: perfect prediction must not lose ({perfect:.2} vs {realistic:.2})"
+        );
+    }
+}
+
+#[test]
+fn reduc1_matters_most_for_cfp2000() {
+    // Paper: "SpecFP2000 benefits greatly from both reduc1 and dep2".
+    let r0 = gm(SuiteId::Cfp2000, ExecModel::Doall, "reduc0-dep0-fn0");
+    let r1 = gm(SuiteId::Cfp2000, ExecModel::Doall, "reduc1-dep0-fn0");
+    assert!(
+        r1 > r0 * 1.05,
+        "CFP2000 DOALL should gain from reduc1: {r0:.2} -> {r1:.2}"
+    );
+}
+
+// Keep the unused-import lints honest.
+#[allow(unused_imports)]
+use lp_runtime as _runtime_reexport_check;
+const _: fn() = || {
+    let _ = (
+        ReducMode::Reduc0,
+        DepMode::Dep0,
+        FnMode::Fn0,
+    );
+};

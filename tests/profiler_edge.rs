@@ -1,0 +1,301 @@
+//! Edge-case behaviour of the profiler: recursion, loops exited by
+//! `return`, fuel exhaustion, bounded-core evaluation, and the SP-hazard
+//! ablation — the paths ordinary benchmarks do not stress.
+
+use lp_analysis::analyze_module;
+use lp_interp::{InterpError, MachineConfig, Value};
+use lp_ir::builder::FunctionBuilder;
+use lp_ir::{BlockId, FuncId, Global, IcmpPred, Module, Type};
+use lp_runtime::{
+    evaluate, evaluate_with, profile_module, profile_module_with, EvalOptions, ExecModel,
+    ProfilerOptions, RegionKind,
+};
+use lp_suite::Scale;
+
+/// `fn fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)`, called from a loop.
+fn recursive_module() -> Module {
+    let mut m = Module::new("recur");
+    let mut fb = FunctionBuilder::new("fib", &[Type::I64], Type::I64);
+    let n = fb.param(0);
+    let two = fb.const_i64(2);
+    let one = fb.const_i64(1);
+    let rec = fb.create_block("rec");
+    let base = fb.create_block("base");
+    let c = fb.icmp(IcmpPred::Slt, n, two);
+    fb.cond_br(c, base, rec);
+    fb.switch_to(base);
+    fb.ret(Some(n));
+    fb.switch_to(rec);
+    let n1 = fb.sub(n, one);
+    let n2 = fb.sub(n, two);
+    // Self-recursion: fib is FuncId(0) by construction order.
+    let a = fb.call(FuncId(0), Type::I64, &[n1]);
+    let b = fb.call(FuncId(0), Type::I64, &[n2]);
+    let r = fb.add(a, b);
+    fb.ret(Some(r));
+    m.add_function(fb.finish().unwrap());
+
+    let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+    let zero = fb.const_i64(0);
+    let one = fb.const_i64(1);
+    let eight = fb.const_i64(8);
+    let header = fb.create_block("header");
+    let body = fb.create_block("body");
+    let exit = fb.create_block("exit");
+    fb.br(header);
+    fb.switch_to(header);
+    let i = fb.phi(Type::I64);
+    let s = fb.phi(Type::I64);
+    let c = fb.icmp(IcmpPred::Slt, i, eight);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let f = fb.call(FuncId(0), Type::I64, &[i]);
+    let s2 = fb.add(s, f);
+    let i2 = fb.add(i, one);
+    fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(i, body, i2);
+    fb.add_phi_incoming(s, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(s, body, s2);
+    fb.br(header);
+    fb.switch_to(exit);
+    fb.ret(Some(s));
+    m.add_function(fb.finish().unwrap());
+    m
+}
+
+#[test]
+fn recursion_profiles_cleanly() {
+    let m = recursive_module();
+    let analysis = analyze_module(&m);
+    let (p, run) = profile_module(&m, &analysis, &[], MachineConfig::default()).unwrap();
+    // fib(0..8) summed = 0+1+1+2+3+5+8+13 = 33.
+    assert_eq!(run.ret, Value::I(33));
+    assert_eq!(p.total_cost, run.cost);
+    // The region tree contains one call region per dynamic fib activation
+    // plus main; all properly nested.
+    let calls = p
+        .regions
+        .iter()
+        .filter(|r| matches!(r.kind, RegionKind::Call { .. }))
+        .count();
+    assert!(calls > 8, "expected many fib activations, got {calls}");
+    for r in &p.regions {
+        assert!(r.start <= r.end);
+    }
+    // Every model/config still yields sane results.
+    for model in ExecModel::all() {
+        let rep = evaluate(&p, model, "reduc1-dep3-fn3".parse().unwrap());
+        assert!(rep.speedup >= 0.999);
+    }
+}
+
+/// A loop that returns from its body mid-iteration (loop exited by `ret`).
+#[test]
+fn early_return_from_loop_closes_regions() {
+    let mut m = Module::new("early");
+    let g = m.add_global(Global::zeroed("a", 64));
+    let mut fb = FunctionBuilder::new("scan", &[Type::I64], Type::I64);
+    let target = fb.param(0);
+    let base = fb.global_addr(g);
+    let zero = fb.const_i64(0);
+    let one = fb.const_i64(1);
+    let sixty_four = fb.const_i64(64);
+    let header = fb.create_block("header");
+    let body = fb.create_block("body");
+    let found = fb.create_block("found");
+    let exit = fb.create_block("exit");
+    fb.br(header);
+    fb.switch_to(header);
+    let i = fb.phi(Type::I64);
+    let c = fb.icmp(IcmpPred::Slt, i, sixty_four);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let addr = fb.gep(base, i, 8, 0);
+    let v = fb.load(Type::I64, addr);
+    let hit = fb.icmp(IcmpPred::Eq, v, target);
+    let cont = fb.create_block("cont");
+    fb.cond_br(hit, found, cont);
+    fb.switch_to(found);
+    fb.ret(Some(i)); // return from inside the loop
+    fb.switch_to(cont);
+    let i2 = fb.add(i, one);
+    fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(i, cont, i2);
+    fb.br(header);
+    fb.switch_to(exit);
+    let neg = fb.const_i64(-1);
+    fb.ret(Some(neg));
+    let scan = m.add_function(fb.finish().unwrap());
+
+    let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+    let key = fb.const_i64(0); // zeroed array: hit at index 0
+    let r = fb.call(scan, Type::I64, &[key]);
+    fb.ret(Some(r));
+    m.add_function(fb.finish().unwrap());
+
+    let analysis = analyze_module(&m);
+    let (p, run) = profile_module(&m, &analysis, &[], MachineConfig::default()).unwrap();
+    assert_eq!(run.ret, Value::I(0));
+    // The loop instance must be closed (end >= start) despite the return.
+    for (_, region, inst) in p.loop_instances() {
+        assert!(region.end >= region.start);
+        assert!(inst.iterations() >= 1);
+    }
+    assert_eq!(p.region(p.root()).end, p.total_cost);
+}
+
+#[test]
+fn fuel_exhaustion_surfaces_as_error() {
+    let m = lp_suite::find("181.mcf").unwrap().build(Scale::Test);
+    let analysis = analyze_module(&m);
+    let config = MachineConfig {
+        max_cost: 500,
+        ..MachineConfig::default()
+    };
+    let err = profile_module(&m, &analysis, &[], config).unwrap_err();
+    assert_eq!(err, InterpError::FuelExhausted);
+}
+
+#[test]
+fn bounded_cores_interpolate_between_serial_and_limit() {
+    let m = lp_suite::find("171.swim").unwrap().build(Scale::Test);
+    let analysis = analyze_module(&m);
+    let (p, _) = profile_module(&m, &analysis, &[], MachineConfig::default()).unwrap();
+    let (model, config) = lp_runtime::best_helix();
+    let at = |cores| {
+        evaluate_with(
+            &p,
+            model,
+            config,
+            EvalOptions {
+                cores,
+                ..EvalOptions::default()
+            },
+        )
+        .speedup
+    };
+    let s1 = at(Some(1));
+    let s4 = at(Some(4));
+    let s16 = at(Some(16));
+    let inf = at(None);
+    assert!(s1 <= 1.001, "1 core cannot speed up: {s1}");
+    assert!(s1 <= s4 && s4 <= s16 && s16 <= inf * 1.0001, "monotone in cores");
+    assert!(s16 > s4, "swim should keep scaling at 16 cores");
+}
+
+#[test]
+fn sp_hazard_serializes_call_loops_without_cactus_stack() {
+    let m = lp_suite::find("eembc.basefp01").unwrap().build(Scale::Test);
+    let analysis = analyze_module(&m);
+    let (model, config) = lp_runtime::best_pdoall();
+    let speedup = |cactus| {
+        let (p, _) = profile_module_with(
+            &m,
+            &analysis,
+            &[],
+            MachineConfig::default(),
+            ProfilerOptions {
+                cactus_stack: cactus,
+            },
+        )
+        .unwrap();
+        evaluate(&p, model, config).speedup
+    };
+    let with = speedup(true);
+    let without = speedup(false);
+    assert!(
+        with > without * 1.5,
+        "structural hazard must bite: with {with}, without {without}"
+    );
+}
+
+/// A loop that calls a function which itself contains a loop: the callee's
+/// loop instances must attach under the caller's iteration (nested
+/// multi-level parallelism through the call graph, as SWARM/T4 exploits).
+#[test]
+fn loops_inside_callees_nest_under_caller_iterations() {
+    let mut m = Module::new("nested_call");
+    let g = m.add_global(Global::zeroed("out", 160));
+
+    // callee: writes 8 disjoint slots starting at base+off*8.
+    let mut fb = FunctionBuilder::new("fill8", &[Type::Ptr, Type::I64], Type::Void);
+    let base = fb.param(0);
+    let off = fb.param(1);
+    let zero = fb.const_i64(0);
+    let one = fb.const_i64(1);
+    let eight = fb.const_i64(8);
+    let header = fb.create_block("header");
+    let body = fb.create_block("body");
+    let exit = fb.create_block("exit");
+    fb.br(header);
+    fb.switch_to(header);
+    let j = fb.phi(Type::I64);
+    let c = fb.icmp(IcmpPred::Slt, j, eight);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let idx = fb.add(off, j);
+    let addr = fb.gep(base, idx, 8, 0);
+    fb.store(idx, addr);
+    let j2 = fb.add(j, one);
+    fb.add_phi_incoming(j, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(j, body, j2);
+    fb.br(header);
+    fb.switch_to(exit);
+    fb.ret(None);
+    let fill8 = m.add_function(fb.finish().unwrap());
+
+    // main: for i in 0..16 { fill8(out, i*8) }
+    let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+    let base = fb.global_addr(g);
+    let zero = fb.const_i64(0);
+    let one = fb.const_i64(1);
+    let sixteen = fb.const_i64(16);
+    let eight = fb.const_i64(8);
+    let header = fb.create_block("header");
+    let body = fb.create_block("body");
+    let exit = fb.create_block("exit");
+    fb.br(header);
+    fb.switch_to(header);
+    let i = fb.phi(Type::I64);
+    let c = fb.icmp(IcmpPred::Slt, i, sixteen);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let off = fb.mul(i, eight);
+    fb.call(fill8, Type::Void, &[base, off]);
+    let i2 = fb.add(i, one);
+    fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(i, body, i2);
+    fb.br(header);
+    fb.switch_to(exit);
+    fb.ret(Some(zero));
+    m.add_function(fb.finish().unwrap());
+
+    let analysis = analyze_module(&m);
+    let (p, _) = profile_module(&m, &analysis, &[], MachineConfig::default()).unwrap();
+    // 1 outer instance + 16 callee instances.
+    let instances = p.loop_instances().count();
+    assert_eq!(instances, 17);
+    // Each callee loop instance's parent chain passes through a call
+    // region that is a child of the outer loop instance.
+    let outer = p
+        .loop_instances()
+        .find(|(_, _, inst)| inst.iterations() == 17)
+        .expect("outer loop instance");
+    let outer_id = outer.0;
+    let mut under_outer = 0;
+    for (_, region, inst) in p.loop_instances() {
+        if inst.iterations() == 9 {
+            let call_region = p.region(region.parent.expect("callee loop has parent"));
+            assert!(matches!(call_region.kind, RegionKind::Call { .. }));
+            if call_region.parent == Some(outer_id) {
+                under_outer += 1;
+            }
+        }
+    }
+    assert_eq!(under_outer, 16, "all fill8 loops nest under the outer loop");
+
+    // Both levels parallelize: disjoint writes + computable IVs. The
+    // whole-program speedup approaches 16*8 with fn2.
+    let r = evaluate(&p, ExecModel::PartialDoall, "reduc0-dep0-fn2".parse().unwrap());
+    assert!(r.speedup > 12.0, "nested parallelism must compose: {}", r.speedup);
+}

@@ -1,0 +1,63 @@
+//! Printer/parser fidelity across the whole suite: every benchmark
+//! module must survive `print -> parse -> print` (fixpoint) and the
+//! reparsed module must execute to the *same* result with the *same*
+//! dynamic cost — i.e. the textual format loses nothing the limit study
+//! depends on.
+
+use lp_interp::{Machine, NullSink};
+use lp_ir::parser::parse_module;
+use lp_ir::printer::print_module;
+use lp_suite::Scale;
+
+#[test]
+fn every_benchmark_round_trips_through_text() {
+    for b in lp_suite::registry() {
+        let module = b.build(Scale::Test);
+        // Parsing renumbers values (named defs first, constants after),
+        // so the fixpoint is reached after one normalization pass.
+        let text1 = print_module(&module);
+        let reparsed = parse_module(&text1)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", b.name));
+        let text2 = print_module(&reparsed);
+        let normalized = parse_module(&text2)
+            .unwrap_or_else(|e| panic!("{}: re-reparse failed: {e}", b.name));
+        let text3 = print_module(&normalized);
+        assert_eq!(text2, text3, "{}: printer/parser not a fixpoint", b.name);
+
+        let mut sink = NullSink;
+        let original = Machine::new(&module, &mut sink).run(&[]).unwrap();
+        let mut sink = NullSink;
+        let replayed = Machine::new(&reparsed, &mut sink).run(&[]).unwrap();
+        assert_eq!(original.ret, replayed.ret, "{}: result changed", b.name);
+        assert_eq!(original.cost, replayed.cost, "{}: cost changed", b.name);
+    }
+}
+
+#[test]
+fn reparsed_module_passes_all_verifiers() {
+    for b in lp_suite::registry().into_iter().take(8) {
+        let module = b.build(Scale::Test);
+        let reparsed = parse_module(&print_module(&module)).unwrap();
+        lp_ir::verify_module(&reparsed).unwrap();
+        lp_analysis::verify_ssa(&reparsed).unwrap();
+    }
+}
+
+#[test]
+fn analysis_results_survive_the_round_trip() {
+    // Loop structure and LCD classification are semantic properties of
+    // the program text; the reparsed module must classify identically.
+    let b = lp_suite::find("456.hmmer").unwrap();
+    let module = b.build(Scale::Test);
+    let reparsed = parse_module(&print_module(&module)).unwrap();
+    let a1 = lp_analysis::analyze_module(&module);
+    let a2 = lp_analysis::analyze_module(&reparsed);
+    for (f1, f2) in a1.functions.iter().zip(&a2.functions) {
+        assert_eq!(f1.loops.len(), f2.loops.len());
+        for (l1, l2) in f1.lcds.iter().zip(&f2.lcds) {
+            let c1: Vec<_> = l1.phis.iter().map(|(_, c)| *c).collect();
+            let c2: Vec<_> = l2.phis.iter().map(|(_, c)| *c).collect();
+            assert_eq!(c1, c2, "LCD classes diverged after round trip");
+        }
+    }
+}

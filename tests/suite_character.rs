@@ -1,0 +1,122 @@
+//! Per-benchmark dependence-character assertions: each synthetic stand-in
+//! must actually exhibit the constraints its recipe claims (DESIGN.md §2's
+//! substitution argument is only as good as these hold).
+
+use loopapalooza::Study;
+use lp_runtime::{CallClass, Census, RegionKind};
+use lp_suite::{Scale, SuiteId};
+use std::collections::HashMap;
+
+struct Character {
+    census: Census,
+    has_unsafe_call: bool,
+    has_instrumented_call: bool,
+    best_helix: f64,
+    best_pdoall: f64,
+}
+
+fn characters() -> HashMap<String, Character> {
+    let mut out = HashMap::new();
+    for b in lp_suite::registry() {
+        let module = b.build(Scale::Test);
+        let study = Study::of(&module).unwrap();
+        let census = study.census();
+        let mut has_unsafe_call = false;
+        let mut has_instrumented_call = false;
+        for region in &study.profile().regions {
+            if let RegionKind::Loop(inst) = &region.kind {
+                has_unsafe_call |= inst.call_class >= CallClass::UnsafeCalls;
+                has_instrumented_call |= inst.call_class >= CallClass::InstrumentedCalls;
+            }
+        }
+        let (m, c) = lp_runtime::best_helix();
+        let best_helix = study.evaluate(m, c).speedup;
+        let (m, c) = lp_runtime::best_pdoall();
+        let best_pdoall = study.evaluate(m, c).speedup;
+        out.insert(
+            b.name.to_string(),
+            Character {
+                census,
+                has_unsafe_call,
+                has_instrumented_call,
+                best_helix,
+                best_pdoall,
+            },
+        );
+    }
+    out
+}
+
+#[test]
+fn every_benchmark_exhibits_its_claimed_character() {
+    let chars = characters();
+    let c = |name: &str| chars.get(name).unwrap_or_else(|| panic!("missing {name}"));
+
+    // Chase-bound INT codes carry unpredictable non-computable LCDs.
+    for name in ["181.mcf", "197.parser", "471.omnetpp", "473.astar"] {
+        assert!(
+            c(name).census.unpredictable > 0,
+            "{name} must carry unpredictable register LCDs"
+        );
+    }
+    // The Fig. 4 PDOALL winners carry *predictable* LCDs.
+    for name in ["429.mcf", "179.art", "450.soplex", "482.sphinx3"] {
+        assert!(
+            c(name).census.predictable > 0,
+            "{name} must carry predictable register LCDs"
+        );
+        assert!(
+            c(name).best_pdoall > c(name).best_helix,
+            "{name} must prefer PDOALL"
+        );
+    }
+    // I/O-in-loop benchmarks show unsafe calls; call-heavy ones show
+    // instrumented calls.
+    for name in ["253.perlbmk", "400.perlbench"] {
+        assert!(c(name).has_unsafe_call, "{name} prints from a loop");
+    }
+    for name in ["176.gcc", "255.vortex", "483.xalancbmk", "eembc.aifftr01"] {
+        assert!(
+            c(name).has_instrumented_call,
+            "{name} calls helpers from loops"
+        );
+    }
+    // Every benchmark carries frequent memory LCDs somewhere (the glue
+    // guarantees it) and at least one reduction or computable IV.
+    for (name, ch) in &chars {
+        assert!(
+            ch.census.frequent_mem_loops > 0,
+            "{name}: no frequent memory LCDs at all"
+        );
+        assert!(ch.census.computable > 0, "{name}: no IVs?!");
+    }
+}
+
+#[test]
+fn suite_level_character_matches_the_paper_narrative() {
+    let chars = characters();
+    let suite_avg = |suite: SuiteId, f: &dyn Fn(&Character) -> f64| -> f64 {
+        let names: Vec<_> = lp_suite::suite(suite).iter().map(|b| b.name).collect();
+        let vals: Vec<f64> = names.iter().map(|n| f(&chars[*n])).collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    // Frequent-memory pressure: INT suites have a higher share of
+    // frequent-memory loops than CFP suites.
+    let freq_share = |c: &Character| {
+        c.census.frequent_mem_loops as f64 / c.census.executed_loops.max(1) as f64
+    };
+    let int_share = suite_avg(SuiteId::Cint2000, &freq_share);
+    let fp_share = suite_avg(SuiteId::Cfp2000, &freq_share);
+    assert!(
+        int_share > fp_share,
+        "INT must be more memory-serial: {int_share:.2} vs {fp_share:.2}"
+    );
+    // Reduction density: CFP suites carry more reductions per program.
+    let reds = |c: &Character| c.census.reductions as f64;
+    assert!(suite_avg(SuiteId::Cfp2000, &reds) > suite_avg(SuiteId::Cint2000, &reds));
+    // HELIX headline ordering: numeric > INT2006 > INT2000 (geometric-ish
+    // via arithmetic mean is fine for the ordering).
+    let hx = |c: &Character| c.best_helix;
+    assert!(suite_avg(SuiteId::Cfp2000, &hx) > suite_avg(SuiteId::Cint2006, &hx));
+    assert!(suite_avg(SuiteId::Cint2006, &hx) > suite_avg(SuiteId::Cint2000, &hx));
+}

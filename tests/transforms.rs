@@ -1,0 +1,96 @@
+//! Cross-crate checks for the IR transform passes: `simplify` must never
+//! change a program's observable behaviour, and the dynamic cost after
+//! simplification can only shrink. Run over every suite benchmark, this
+//! doubles as a differential test between `lp_ir::transform`'s folding
+//! arithmetic and `lp_interp`'s execution semantics.
+
+use lp_interp::{Machine, NullSink};
+use lp_suite::Scale;
+
+#[test]
+fn simplify_preserves_behaviour_and_never_increases_cost() {
+    for b in lp_suite::registry() {
+        let module = b.build(Scale::Test);
+        let mut optimized = module.clone();
+        let stats = lp_ir::simplify(&mut optimized);
+        lp_ir::verify_module(&optimized)
+            .unwrap_or_else(|e| panic!("{}: simplify broke the module: {e}", b.name));
+        lp_analysis::verify_ssa(&optimized)
+            .unwrap_or_else(|e| panic!("{}: simplify broke SSA: {e}", b.name));
+
+        let run = |m: &lp_ir::Module| {
+            let mut sink = NullSink;
+            Machine::new(m, &mut sink).run(&[]).unwrap()
+        };
+        let before = run(&module);
+        let after = run(&optimized);
+        assert_eq!(before.ret, after.ret, "{}: result changed", b.name);
+        assert!(
+            after.cost <= before.cost,
+            "{}: cost grew {} -> {}",
+            b.name,
+            before.cost,
+            after.cost
+        );
+        // The generators emit reasonably tight code, but folding should
+        // still find something somewhere in the suite.
+        let _ = stats;
+    }
+}
+
+#[test]
+fn simplify_finds_work_in_sloppy_code() {
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{Module, Type};
+
+    let mut m = Module::new("sloppy");
+    let g = m.add_global(lp_ir::Global::zeroed("g", 1));
+    let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+    let a = fb.const_i64(20);
+    let b = fb.const_i64(2);
+    let c = fb.mul(a, b); // 40
+    let zero = fb.const_i64(0);
+    let d = fb.add(c, zero); // identity
+    // A dead chain rooted in a load (not foldable, so DCE must kill it).
+    let p = fb.global_addr(g);
+    let dead_load = fb.load(Type::I64, p);
+    let dead = fb.mul(dead_load, dead_load);
+    let _deader = fb.add(dead, a);
+    let two = fb.const_i64(2);
+    let r = fb.add(d, two); // 42
+    fb.ret(Some(r));
+    m.add_function(fb.finish().unwrap());
+
+    let before_cost = {
+        let mut sink = NullSink;
+        Machine::new(&m, &mut sink).run(&[]).unwrap().cost
+    };
+    let stats = lp_ir::simplify(&mut m);
+    assert!(stats.folded >= 3, "{stats:?}");
+    assert!(stats.removed >= 2, "{stats:?}");
+    let mut sink = NullSink;
+    let after = Machine::new(&m, &mut sink).run(&[]).unwrap();
+    assert_eq!(after.ret, lp_interp::Value::I(42));
+    assert!(after.cost < before_cost);
+}
+
+#[test]
+fn classification_is_stable_under_simplify() {
+    // Simplification must not change how the compile-time component
+    // classifies register LCDs (loops and phis are untouched).
+    for name in ["456.hmmer", "429.mcf", "179.art"] {
+        let module = lp_suite::find(name).unwrap().build(Scale::Test);
+        let mut optimized = module.clone();
+        lp_ir::simplify(&mut optimized);
+        let a1 = lp_analysis::analyze_module(&module);
+        let a2 = lp_analysis::analyze_module(&optimized);
+        for (f1, f2) in a1.functions.iter().zip(&a2.functions) {
+            assert_eq!(f1.loops.len(), f2.loops.len(), "{name}: loop count changed");
+            for (l1, l2) in f1.lcds.iter().zip(&f2.lcds) {
+                let c1: Vec<_> = l1.phis.iter().map(|(_, c)| *c).collect();
+                let c2: Vec<_> = l2.phis.iter().map(|(_, c)| *c).collect();
+                assert_eq!(c1, c2, "{name}: LCD classes changed under simplify");
+            }
+        }
+    }
+}
