@@ -132,7 +132,7 @@ impl CallGraph {
 mod tests {
     use super::*;
     use lp_ir::builder::FunctionBuilder;
-    use lp_ir::{Type};
+    use lp_ir::Type;
 
     fn module() -> (Module, FuncId, FuncId, FuncId, FuncId) {
         let mut m = Module::new("m");

@@ -94,10 +94,9 @@ pub fn classify_loops(func: &Function, forest: &LoopForest, scev: &ScevInfo) -> 
                         let latch = lp.latches[0];
                         let update = match func.value(phi) {
                             ValueKind::Inst(iid) => match &func.inst(*iid).inst {
-                                Inst::Phi { incomings, .. } => incomings
-                                    .iter()
-                                    .find(|(b, _)| *b == latch)
-                                    .map(|(_, v)| *v),
+                                Inst::Phi { incomings, .. } => {
+                                    incomings.iter().find(|(b, _)| *b == latch).map(|(_, v)| *v)
+                                }
                                 _ => None,
                             },
                             _ => None,

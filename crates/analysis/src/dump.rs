@@ -20,7 +20,11 @@ pub fn dump_function(func: &Function, analysis: &FunctionAnalysis) -> String {
     }
     for (lid, lp) in analysis.loops.iter() {
         let header = lp_ir::printer::block_label(func, lp.header);
-        let canon = if lp.is_canonical() { "canonical" } else { "NON-CANONICAL" };
+        let canon = if lp.is_canonical() {
+            "canonical"
+        } else {
+            "NON-CANONICAL"
+        };
         let _ = writeln!(
             out,
             "  {lid} header={header} depth={} blocks={} {canon}",

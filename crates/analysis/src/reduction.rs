@@ -373,8 +373,7 @@ mod tests {
     #[test]
     fn phi_used_twice_disqualifies() {
         // acc' = acc + acc — doubling, not an accumulation over new values.
-        let (f, forest, acc, update) =
-            reduction_loop(Type::I64, |fb, acc, _i| fb.add(acc, acc));
+        let (f, forest, acc, update) = reduction_loop(Type::I64, |fb, acc, _i| fb.add(acc, acc));
         let lp = &forest.loops()[0];
         assert_eq!(detect_reduction(&f, lp, acc, update), None);
     }

@@ -268,10 +268,7 @@ fn classify_loop_phis(func: &Function, lp: &Loop) -> Vec<(ValueId, ScevClass)> {
                 return (p, ScevClass::NonComputable);
             }
             let a = affine[&p].as_ref().expect("computable implies affine");
-            let refs_other_phi = a
-                .terms
-                .keys()
-                .any(|&v| v != p && phis.contains(&v));
+            let refs_other_phi = a.terms.keys().any(|&v| v != p && phis.contains(&v));
             let class = if refs_other_phi {
                 ScevClass::Mutual
             } else {
@@ -321,7 +318,11 @@ mod tests {
         fb.add_phi_incoming(i, BlockId::ENTRY, zero);
         fb.add_phi_incoming(i, bodyb, i2);
         for (k, &p) in phis.iter().enumerate().skip(1) {
-            let init = if extra_phis[k - 1] == Type::F64 { fzero } else { zero };
+            let init = if extra_phis[k - 1] == Type::F64 {
+                fzero
+            } else {
+                zero
+            };
             fb.add_phi_incoming(p, BlockId::ENTRY, init);
             fb.add_phi_incoming(p, bodyb, updates[k]);
         }

@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use lp_analysis::analyze_module;
 use lp_interp::{Machine, MachineConfig, NullSink};
 use lp_predict::HybridPredictor;
-use lp_runtime::{evaluate, paper_rows, profile_module_with, ProfilerOptions};
+use lp_runtime::{evaluate, paper_rows, profile_module_with, Profiler, ProfilerOptions};
 use lp_suite::Scale;
 
 fn bench_interpreter(c: &mut Criterion) {
@@ -113,6 +113,52 @@ fn bench_predictors(c: &mut Criterion) {
     group.finish();
 }
 
+/// The DESIGN.md overhead budget: `profile_module` (span + `MeteredSink`
+/// + counter flush) vs an undecorated `Machine` + `Profiler` run.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observability");
+    for name in ["181.mcf", "eembc.matrix01"] {
+        let module = lp_suite::find(name).unwrap().build(Scale::Test);
+        let analysis = analyze_module(&module);
+        group.bench_with_input(
+            BenchmarkId::new("bare_profiler", name),
+            &(&module, &analysis),
+            |b, (m, a)| {
+                b.iter(|| {
+                    let mut profiler = Profiler::new(m, a);
+                    let config = MachineConfig {
+                        watched_values: profiler.watched_values(),
+                        ..MachineConfig::default()
+                    };
+                    Machine::with_config(m, &mut profiler, config)
+                        .run(&[])
+                        .unwrap();
+                    profiler.finish().total_cost
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("metered_pipeline", name),
+            &(&module, &analysis),
+            |b, (m, a)| {
+                b.iter(|| {
+                    profile_module_with(
+                        m,
+                        a,
+                        &[],
+                        MachineConfig::default(),
+                        ProfilerOptions::default(),
+                    )
+                    .unwrap()
+                    .0
+                    .total_cost
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_analysis(c: &mut Criterion) {
     let module = lp_suite::find("403.gcc").unwrap().build(Scale::Test);
     let mut group = c.benchmark_group("compile_time");
@@ -128,6 +174,7 @@ criterion_group!(
     bench_profiler,
     bench_evaluator,
     bench_predictors,
+    bench_obs_overhead,
     bench_analysis
 );
 criterion_main!(benches);

@@ -16,26 +16,22 @@
 //! ```
 
 use lp_analysis::analyze_module;
+use lp_bench::Cli;
 use lp_interp::MachineConfig;
-use lp_runtime::{
-    evaluate_with, geomean, profile_module_with, EvalOptions, ProfilerOptions,
-};
-use lp_suite::{Scale, SuiteId};
+use lp_runtime::{evaluate_with, geomean, profile_module_with, EvalOptions, ProfilerOptions};
+use lp_suite::SuiteId;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        None | Some("default") => Scale::Default,
-        Some("small") => Scale::Small,
-        Some("test") => Scale::Test,
-        Some(other) => {
-            eprintln!("unknown scale {other:?}");
-            std::process::exit(2);
-        }
-    };
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let scale = cli.scale;
 
     // ---- 1. cactus-stack filter --------------------------------------
     println!("Ablation 1 — cactus-stack frame filter (PDOALL reduc1-dep2-fn2)\n");
-    println!("{:<12} {:>12} {:>14}", "suite", "with cactus", "without cactus");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "suite", "with cactus", "without cactus"
+    );
     let (model, config) = lp_runtime::best_pdoall();
     for suite in [SuiteId::Eembc, SuiteId::Cint2000] {
         let mut with = Vec::new();
@@ -85,9 +81,8 @@ fn main() {
                 ProfilerOptions::default(),
             )
             .expect("benchmark runs");
-            helix.push(
-                evaluate_with(&profile, hx_model, hx_config, EvalOptions::default()).speedup,
-            );
+            helix
+                .push(evaluate_with(&profile, hx_model, hx_config, EvalOptions::default()).speedup);
             doacross.push(
                 evaluate_with(
                     &profile,
@@ -129,7 +124,9 @@ fn main() {
             "chaotic",
             (0..512u64)
                 .scan(0x2545F4914F6CDD1Du64, |x, _| {
-                    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    *x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     Some(*x >> 33)
                 })
                 .collect(),
@@ -164,4 +161,5 @@ fn main() {
             100.0 * hybrid.stats().accuracy(),
         );
     }
+    cli.finish("ablations");
 }

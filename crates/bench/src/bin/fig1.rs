@@ -6,6 +6,7 @@
 //! cargo run -p lp-bench --bin fig1
 //! ```
 
+use lp_bench::Cli;
 use lp_runtime::model::{doall_cost, helix_cost, pdoall_cost};
 
 const ITER_LEN: u64 = 8;
@@ -22,12 +23,18 @@ fn draw(label: &str, starts: &[u64], total: u64) {
 }
 
 fn main() {
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
     let lens = [ITER_LEN; N];
     println!("Figure 1 — parallel execution models (toy loop, {N} iterations, LCD at iter 2)\n");
 
     // (a) DOALL: no conflicts assumed — all iterations start together.
     let cost = doall_cost(&lens, false, false).unwrap();
-    draw("(a) DOALL (conflict-free case): all iterations start at once", &[0; N], cost);
+    draw(
+        "(a) DOALL (conflict-free case): all iterations start at once",
+        &[0; N],
+        cost,
+    );
 
     // (b) Partial-DOALL: the conflict at iteration 2 restarts the phase.
     let conflicts = [2u32];
@@ -61,10 +68,12 @@ fn main() {
         cost,
     );
 
-    println!("costs: DOALL {}, PDOALL {}, HELIX {}, serial {}",
+    println!(
+        "costs: DOALL {}, PDOALL {}, HELIX {}, serial {}",
         doall_cost(&lens, false, false).unwrap(),
         pdoall_cost(&lens, &conflicts, false).unwrap(),
         helix_cost(&lens, delta, false).unwrap(),
         ITER_LEN * N as u64,
     );
+    cli.finish("fig1");
 }

@@ -5,14 +5,15 @@
 //! cargo run --release -p lp-bench --bin fig2 [test|small|default]
 //! ```
 
-use lp_bench::{log_bar, run_suites, scale_from_args, suite_geomean_speedup};
+use lp_bench::{log_bar, run_suites, suite_geomean_speedup, Cli};
 use lp_runtime::paper_rows;
 use lp_suite::SuiteId;
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let scale = cli.scale;
     let runs = run_suites(&[SuiteId::Cint2000, SuiteId::Cint2006], scale);
-    eprintln!();
 
     println!("Figure 2 — GEOMEAN speedups, non-numeric benchmarks ({scale:?} scale)");
     println!(
@@ -37,4 +38,5 @@ fn main() {
         );
     }
     println!("\npaper reference (Fig. 2): best HELIX reduc1-dep1-fn2 = 4.6x (2000) / 7.2x (2006)");
+    cli.finish("fig2");
 }

@@ -5,15 +5,16 @@
 //! cargo run --release -p lp-bench --bin fig3 [test|small|default]
 //! ```
 
-use lp_bench::{log_bar, run_suites, scale_from_args, suite_geomean_speedup};
+use lp_bench::{log_bar, run_suites, suite_geomean_speedup, Cli};
 use lp_runtime::paper_rows;
 use lp_suite::SuiteId;
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let scale = cli.scale;
     let suites = [SuiteId::Eembc, SuiteId::Cfp2000, SuiteId::Cfp2006];
     let runs = run_suites(&suites, scale);
-    eprintln!();
 
     println!("Figure 3 — GEOMEAN speedups, numeric benchmarks ({scale:?} scale)");
     println!(
@@ -40,4 +41,5 @@ fn main() {
         );
     }
     println!("\npaper reference (Fig. 3): best HELIX reduc1-dep1-fn2 = 21.6x-50.6x across numeric suites");
+    cli.finish("fig3");
 }

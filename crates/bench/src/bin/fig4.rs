@@ -6,12 +6,14 @@
 //! cargo run --release -p lp-bench --bin fig4 [test|small|default]
 //! ```
 
-use lp_bench::{log_bar, run_suites, scale_from_args};
+use lp_bench::{log_bar, run_suites, Cli};
 use lp_runtime::{best_helix, best_pdoall, geomean};
 use lp_suite::SuiteId;
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let scale = cli.scale;
     let spec = [
         SuiteId::Cint2000,
         SuiteId::Cfp2000,
@@ -19,7 +21,6 @@ fn main() {
         SuiteId::Cfp2006,
     ];
     let runs = run_suites(&spec, scale);
-    eprintln!();
 
     let (pd_model, pd_config) = best_pdoall();
     let (hx_model, hx_config) = best_helix();
@@ -67,4 +68,5 @@ fn main() {
         runs.len()
     );
     println!("paper reference (Fig. 4): PDOALL wins on 179.art, 450.soplex, 482.sphinx3, 429.mcf");
+    cli.finish("fig4");
 }

@@ -7,15 +7,16 @@
 //! cargo run --release -p lp-bench --bin fig5 [test|small|default]
 //! ```
 
-use lp_bench::{run_suites, scale_from_args, suite_geomean_coverage};
+use lp_bench::{run_suites, suite_geomean_coverage, Cli};
 use lp_runtime::{Config, ExecModel};
 use lp_suite::SuiteId;
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let scale = cli.scale;
     let suites = SuiteId::all();
     let runs = run_suites(&suites, scale);
-    eprintln!();
 
     let rows: [(&str, ExecModel, Config); 3] = [
         (
@@ -51,4 +52,5 @@ fn main() {
     }
     println!("\npaper reference (Fig. 5): coverage rises dramatically from dep0-fn2 PDOALL");
     println!("to dep0-fn2 HELIX to dep1-fn2 HELIX, especially for the non-numeric suites.");
+    cli.finish("fig5");
 }

@@ -3,43 +3,64 @@
 //! Reads a textual-IR module (see `lp_ir::parser` for the format, or
 //! print any suite benchmark with `--dump`), runs the Loopapalooza
 //! pipeline, and reports per-configuration limit speedups plus per-loop
-//! detail for the headline configuration.
+//! detail for the headline configuration. With no input, studies a
+//! built-in demo kernel (round-tripped through the textual parser, so
+//! the full parse → verify → analyze → profile → evaluate pipeline runs).
 //!
 //! ```text
 //! cargo run --release -p lp-bench --bin lpstudy -- path/to/kernel.lp
 //! cargo run --release -p lp-bench --bin lpstudy -- --dump 181.mcf   # print a benchmark as text
 //! cargo run --release -p lp-bench --bin lpstudy -- --bench 456.hmmer
+//! cargo run --release -p lp-bench --bin lpstudy -- --trace-out trace.json
 //! ```
 
 use loopapalooza::Study;
-use lp_runtime::{best_helix, paper_rows};
+use lp_bench::Cli;
+use lp_obs::{lp_info, span};
+use lp_runtime::best_helix;
 use lp_suite::Scale;
 
+/// Benchmark the no-input demo round-trips through the textual parser.
+const DEMO_BENCH: &str = "181.mcf";
+
 fn usage() -> ! {
-    eprintln!("usage: lpstudy <file.lp> | --bench <name> | --dump <name> | --analyze <file.lp|name>");
+    eprintln!(
+        "usage: lpstudy [<file.lp> | --bench <name> | --dump <name> | --analyze <file.lp|name>]"
+    );
+    eprintln!("               [--trace-out FILE] [--quiet]");
     eprintln!("  <file.lp>        study a textual-IR module");
     eprintln!("  --bench NAME     study a registered benchmark (e.g. 456.hmmer)");
     eprintln!("  --dump NAME      print a registered benchmark as textual IR");
     eprintln!("  --analyze WHAT   print the compile-time analysis (loops, LCD classes)");
+    eprintln!("  (no input)       study a built-in demo kernel ({DEMO_BENCH})");
+    eprintln!("  --trace-out FILE write a Chrome trace_event JSON of the run");
+    eprintln!("  --quiet          suppress progress logging (see also LP_LOG=off|info|debug)");
     std::process::exit(2);
+}
+
+fn parse_text(text: &str) -> lp_ir::Module {
+    let _span = span!("parse");
+    lp_ir::parser::parse_module(text).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn load(what: &str) -> lp_ir::Module {
     if let Some(bench) = lp_suite::find(what) {
+        let _span = span!("parse");
         return bench.build(Scale::Test);
     }
     let text = std::fs::read_to_string(what).unwrap_or_else(|e| {
         eprintln!("{what:?} is neither a benchmark name nor a readable file: {e}");
         std::process::exit(2);
     });
-    lp_ir::parser::parse_module(&text).unwrap_or_else(|e| {
-        eprintln!("parse error: {e}");
-        std::process::exit(1);
-    })
+    parse_text(&text)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = Cli::parse();
+    let args = &cli.rest;
     let module = match args.first().map(String::as_str) {
         Some("--dump") => {
             let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
@@ -50,7 +71,10 @@ fn main() {
                 }
                 std::process::exit(2);
             });
-            print!("{}", lp_ir::printer::print_module(&bench.build(Scale::Test)));
+            print!(
+                "{}",
+                lp_ir::printer::print_module(&bench.build(Scale::Test))
+            );
             return;
         }
         Some("--analyze") => {
@@ -66,19 +90,26 @@ fn main() {
                 eprintln!("unknown benchmark {name:?}");
                 std::process::exit(2);
             });
-            bench.build(Scale::Default)
+            let _span = span!("parse");
+            bench.build(cli.scale)
         }
         Some(path) if !path.starts_with("--") => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(2);
             });
-            lp_ir::parser::parse_module(&text).unwrap_or_else(|e| {
-                eprintln!("parse error: {e}");
-                std::process::exit(1);
-            })
+            parse_text(&text)
         }
-        _ => usage(),
+        Some(_) => usage(),
+        None => {
+            // Demo mode: round-trip a registered benchmark through the
+            // textual printer/parser so the whole pipeline (including a
+            // genuine parse phase) is exercised.
+            lp_info!("no input given — studying the built-in demo kernel {DEMO_BENCH}");
+            let bench = lp_suite::find(DEMO_BENCH).expect("demo benchmark registered");
+            let text = lp_ir::printer::print_module(&bench.build(Scale::Test));
+            parse_text(&text)
+        }
     };
 
     let study = Study::of(&module).unwrap_or_else(|e| {
@@ -91,7 +122,10 @@ fn main() {
         study.run_result().ret,
         study.run_result().cost
     );
-    println!("{:<14} {:<18} {:>9} {:>9}", "model", "config", "speedup", "coverage");
+    println!(
+        "{:<14} {:<18} {:>9} {:>9}",
+        "model", "config", "speedup", "coverage"
+    );
     for r in study.paper_rows() {
         println!(
             "{:<14} {:<18} {:>8.2}x {:>8.1}%",
@@ -117,5 +151,5 @@ fn main() {
         );
     }
     println!("\n{}", study.census());
-    let _ = paper_rows();
+    cli.finish("lpstudy");
 }

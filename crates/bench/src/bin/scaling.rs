@@ -8,7 +8,7 @@
 //! cargo run --release -p lp-bench --bin scaling [test|small|default]
 //! ```
 
-use lp_bench::{run_suites, scale_from_args, SuiteRun};
+use lp_bench::{run_suites, Cli, SuiteRun};
 use lp_runtime::{best_helix, best_pdoall, geomean, EvalOptions};
 use lp_suite::SuiteId;
 
@@ -49,10 +49,11 @@ fn geomean_at(
 }
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let scale = cli.scale;
     let suites = SuiteId::all();
     let runs = run_suites(&suites, scale);
-    eprintln!();
 
     for (label, (model, config)) in [
         ("best HELIX (reduc1-dep1-fn2)", best_helix()),
@@ -78,4 +79,5 @@ fn main() {
     }
     println!("reference points from the paper's related work: HELIX-RC reached 6.5x");
     println!("on 16 cores for SpecINT2006; SWARM/T4 19x on 64 cores (no frequent LCDs).");
+    cli.finish("scaling");
 }

@@ -6,19 +6,23 @@
 //! cargo run --release -p lp-bench --bin sweep -- default > results/sweep.csv
 //! ```
 
-use lp_bench::{run_suites, scale_from_args};
+use lp_bench::{run_suites, Cli};
+use lp_obs::lp_info;
 use lp_runtime::export::{report_header, report_row};
 use lp_runtime::{Config, ExecModel};
 use lp_suite::SuiteId;
 
 fn main() {
-    let scale = scale_from_args();
-    let runs = run_suites(&SuiteId::all(), scale);
-    eprintln!();
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let runs = run_suites(&SuiteId::all(), cli.scale);
 
+    let reg = lp_obs::registry();
+    let t0 = reg.now_ns();
+    let total = ExecModel::all().len() * Config::all().len() * runs.len();
     println!("{}", report_header());
     let mut rows = 0usize;
-    for run in &runs {
+    for (i, run) in runs.iter().enumerate() {
         for model in ExecModel::all() {
             for config in Config::all() {
                 let report = run.study.evaluate(model, config);
@@ -26,6 +30,19 @@ fn main() {
                 rows += 1;
             }
         }
+        lp_info!(
+            "[{}/{}] evaluated {:<18} {rows}/{total} configs, {:.2}s elapsed",
+            i + 1,
+            runs.len(),
+            run.name,
+            reg.now_ns().saturating_sub(t0) as f64 / 1e9
+        );
     }
-    eprintln!("wrote {rows} rows ({} benchmarks x 3 models x 32 configs)", runs.len());
+    lp_info!(
+        "wrote {rows} rows ({} benchmarks x {} models x {} configs)",
+        runs.len(),
+        ExecModel::all().len(),
+        Config::all().len()
+    );
+    cli.finish("sweep");
 }

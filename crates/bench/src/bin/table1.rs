@@ -7,14 +7,15 @@
 //! cargo run --release -p lp-bench --bin table1 [test|small|default]
 //! ```
 
-use lp_bench::{run_suites, scale_from_args};
+use lp_bench::{run_suites, Cli};
 use lp_runtime::Census;
 use lp_suite::SuiteId;
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
+    let scale = cli.scale;
     let runs = run_suites(&SuiteId::all(), scale);
-    eprintln!();
 
     println!("Table I — ordering constraints and dependencies, quantified ({scale:?} scale)\n");
     for suite in SuiteId::all() {
@@ -29,4 +30,5 @@ fn main() {
     let total = Census::over(runs.iter().map(|r| r.study.profile()));
     println!("[all suites]");
     println!("{total}");
+    cli.finish("table1");
 }

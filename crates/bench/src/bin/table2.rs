@@ -6,6 +6,7 @@
 //! cargo run -p lp-bench --bin table2
 //! ```
 
+use lp_bench::Cli;
 use lp_runtime::{Config, DepMode, FnMode, ReducMode};
 
 fn definition(config: &Config) -> [&'static str; 3] {
@@ -17,7 +18,9 @@ fn definition(config: &Config) -> [&'static str; 3] {
         DepMode::Dep0 => "non-computable LCDs are not considered parallelizable",
         DepMode::Dep1 => "non-computable LCDs are lowered to memory (frequent memory LCDs)",
         DepMode::Dep2 => "non-computable LCDs are accelerated using 'realistic' value prediction",
-        DepMode::Dep3 => "non-computable register LCDs are accelerated using perfect value prediction",
+        DepMode::Dep3 => {
+            "non-computable register LCDs are accelerated using perfect value prediction"
+        }
     };
     let fnm = match config.fnm {
         FnMode::Fn0 => "loops with any function calls are marked as sequential",
@@ -29,6 +32,8 @@ fn definition(config: &Config) -> [&'static str; 3] {
 }
 
 fn main() {
+    let cli = Cli::parse();
+    cli.expect_no_extra_args();
     println!("Table II — configuration flags and their definitions\n");
     let mut seen = std::collections::BTreeSet::new();
     for config in Config::all() {
@@ -46,4 +51,5 @@ fn main() {
         }
     }
     println!("\nmodels: DOALL | Partial-DOALL | HELIX-style (see lp_runtime::ExecModel)");
+    cli.finish("table2");
 }

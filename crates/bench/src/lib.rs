@@ -14,10 +14,102 @@
 //! | `ablations` | DESIGN.md ablations (cactus stack, DOACROSS deltas, predictors) |
 //!
 //! Every binary accepts an optional scale argument (`test`, `small`,
-//! `default`); Criterion performance benches live in `benches/`.
+//! `default`) plus the shared observability flags `--trace-out FILE`
+//! (Chrome `trace_event` JSON) and `--quiet`; the `LP_LOG` environment
+//! variable (`off`, `info`, `debug`) filters progress output. Criterion
+//! performance benches live in `benches/`.
 
 use loopapalooza::Study;
+use lp_obs::{lp_debug, lp_info, Counter};
 use lp_suite::{Benchmark, Scale, SuiteId};
+use std::path::PathBuf;
+
+/// Shared command line of the experiment binaries: an optional scale
+/// positional (`test`, `small`, `default`) plus the observability flags.
+/// Anything unrecognized lands in [`Cli::rest`] for binaries with their
+/// own positionals (`lpstudy`); the rest call [`Cli::expect_no_extra_args`].
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Benchmark scale (default [`Scale::Default`]).
+    pub scale: Scale,
+    /// Where to write the Chrome `trace_event` JSON, if requested.
+    pub trace_out: Option<PathBuf>,
+    /// `--quiet` suppresses all progress logging.
+    pub quiet: bool,
+    /// Arguments this parser did not consume, in order.
+    pub rest: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()` and initializes the log filter
+    /// (`--quiet` wins over `LP_LOG`).
+    #[must_use]
+    pub fn parse() -> Cli {
+        Cli::parse_from(std::env::args().skip(1))
+    }
+
+    /// As [`Cli::parse`] over explicit arguments (tests).
+    ///
+    /// # Panics
+    /// Exits the process when `--trace-out` is missing its file operand.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli {
+            scale: Scale::Default,
+            trace_out: None,
+            quiet: false,
+            rest: Vec::new(),
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quiet" => cli.quiet = true,
+                "--trace-out" => match args.next() {
+                    Some(path) => cli.trace_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--trace-out requires a file argument");
+                        std::process::exit(2);
+                    }
+                },
+                "test" => cli.scale = Scale::Test,
+                "small" => cli.scale = Scale::Small,
+                "default" => cli.scale = Scale::Default,
+                _ => cli.rest.push(arg),
+            }
+        }
+        lp_obs::log::init(cli.quiet);
+        cli
+    }
+
+    /// Rejects leftover arguments (binaries without their own positionals).
+    ///
+    /// # Panics
+    /// Exits the process with a usage error when [`Cli::rest`] is non-empty.
+    pub fn expect_no_extra_args(&self) {
+        if let Some(extra) = self.rest.first() {
+            eprintln!(
+                "unknown argument {extra:?} (expected test|small|default, --trace-out FILE, --quiet)"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    /// End-of-run hook: dumps the observability summary at debug level
+    /// and writes the Chrome trace when `--trace-out` was given.
+    pub fn finish(&self, process: &str) {
+        if lp_obs::log::enabled(lp_obs::Level::Debug) {
+            eprint!("{}", lp_obs::summary(lp_obs::registry()));
+        }
+        if let Some(path) = &self.trace_out {
+            match lp_obs::write_chrome_trace(path, process) {
+                Ok(()) => lp_info!("wrote Chrome trace to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write trace to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
 
 /// One profiled benchmark.
 #[derive(Debug)]
@@ -30,20 +122,36 @@ pub struct SuiteRun {
     pub study: Study,
 }
 
-/// Profiles the given benchmarks, reporting progress on stderr.
+/// Profiles the given benchmarks, emitting a per-benchmark heartbeat
+/// (`[done/total] name — elapsed, events/s`) at `info` level.
 ///
 /// # Panics
 /// Panics if a benchmark fails to build or run — they are fixed program
 /// text, covered by the suite's tests.
 #[must_use]
 pub fn run_benchmarks(benchmarks: &[Benchmark], scale: Scale) -> Vec<SuiteRun> {
+    let total = benchmarks.len();
+    let reg = lp_obs::registry();
     benchmarks
         .iter()
-        .map(|b| {
-            eprint!("  profiling {:<20}\r", b.name);
+        .enumerate()
+        .map(|(i, b)| {
+            lp_debug!("profiling {} ({}/{})", b.name, i + 1, total);
+            let t0 = reg.now_ns();
+            let ev0 = lp_obs::counters().get(Counter::EventsConsumed);
             let module = b.build(scale);
-            let study = Study::of(&module)
-                .unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
+            let study =
+                Study::of(&module).unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
+            let secs = reg.now_ns().saturating_sub(t0) as f64 / 1e9;
+            let events = lp_obs::counters().get(Counter::EventsConsumed) - ev0;
+            lp_info!(
+                "[{}/{}] profiled {:<18} {:>6.2}s  {:>6.1}M events/s",
+                i + 1,
+                total,
+                b.name,
+                secs,
+                events as f64 / 1e6 / secs.max(1e-9)
+            );
             SuiteRun {
                 name: b.name,
                 suite: b.suite,
@@ -61,23 +169,6 @@ pub fn run_suites(ids: &[SuiteId], scale: Scale) -> Vec<SuiteRun> {
         .filter(|b| ids.contains(&b.suite))
         .collect();
     run_benchmarks(&benchmarks, scale)
-}
-
-/// Parses the scale from the first CLI argument (default: `default`).
-///
-/// # Panics
-/// Exits the process with an error message on unknown values.
-#[must_use]
-pub fn scale_from_args() -> Scale {
-    match std::env::args().nth(1).as_deref() {
-        None | Some("default") => Scale::Default,
-        Some("small") => Scale::Small,
-        Some("test") => Scale::Test,
-        Some(other) => {
-            eprintln!("unknown scale {other:?} (use test|small|default)");
-            std::process::exit(2);
-        }
-    }
 }
 
 /// Renders a log-scale ASCII bar for a speedup figure (the figures in the
@@ -129,6 +220,34 @@ pub fn suite_geomean_coverage(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_parses_flags_scale_and_rest() {
+        let cli = Cli::parse_from(
+            [
+                "--quiet",
+                "small",
+                "--trace-out",
+                "/tmp/t.json",
+                "--bench",
+                "x.lp",
+            ]
+            .map(String::from),
+        );
+        assert!(cli.quiet);
+        assert_eq!(cli.scale, Scale::Small);
+        assert_eq!(
+            cli.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.json"))
+        );
+        assert_eq!(cli.rest, vec!["--bench".to_string(), "x.lp".to_string()]);
+
+        let cli = Cli::parse_from(std::iter::empty());
+        assert_eq!(cli.scale, Scale::Default);
+        assert!(!cli.quiet && cli.trace_out.is_none() && cli.rest.is_empty());
+        // Restore logging for the rest of the test process.
+        lp_obs::log::set_level(lp_obs::Level::Off);
+    }
 
     #[test]
     fn log_bar_is_monotone() {

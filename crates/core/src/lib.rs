@@ -121,9 +121,15 @@ impl Study {
     /// # Errors
     /// As [`Study::of`].
     pub fn with_config(module: &Module, config: MachineConfig) -> Result<Study, Error> {
-        lp_ir::verify_module(module)?;
-        lp_analysis::verify_ssa(module)?;
-        let analysis = lp_analysis::analyze_module(module);
+        {
+            let _span = lp_obs::span!("verify");
+            lp_ir::verify_module(module)?;
+            lp_analysis::verify_ssa(module)?;
+        }
+        let analysis = {
+            let _span = lp_obs::span!("analyze");
+            lp_analysis::analyze_module(module)
+        };
         let (profile, run) = lp_runtime::profile_module(module, &analysis, &[], config)?;
         Ok(Study {
             analysis,
@@ -201,7 +207,10 @@ mod tests {
     #[test]
     fn study_rejects_invalid_modules() {
         let module = Module::new("empty"); // no main
-        assert!(matches!(Study::of(&module), Err(Error::Interp(_) | Error::Ir(_))));
+        assert!(matches!(
+            Study::of(&module),
+            Err(Error::Interp(_) | Error::Ir(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! End-to-end observability: running a `Study` populates the global
+//! registry with the pipeline's phase spans and counters, and the Chrome
+//! trace exporter emits strictly valid JSON (checked with a small
+//! recursive-descent parser, since the workspace has no serde).
+
+use loopapalooza::Study;
+use lp_obs::Counter;
+use lp_suite::Scale;
+
+/// Minimal JSON validator: consumes one value, returns the rest.
+fn skip_ws(s: &str) -> &str {
+    s.trim_start_matches([' ', '\t', '\n', '\r'])
+}
+
+fn parse_value(s: &str) -> Result<&str, String> {
+    let s = skip_ws(s);
+    match s.chars().next() {
+        Some('{') => parse_object(s),
+        Some('[') => parse_array(s),
+        Some('"') => parse_string(s),
+        Some('t') => s.strip_prefix("true").ok_or_else(|| bad(s)),
+        Some('f') => s.strip_prefix("false").ok_or_else(|| bad(s)),
+        Some('n') => s.strip_prefix("null").ok_or_else(|| bad(s)),
+        Some(c) if c == '-' || c.is_ascii_digit() => parse_number(s),
+        _ => Err(bad(s)),
+    }
+}
+
+fn bad(s: &str) -> String {
+    format!("unexpected input at {:?}", &s[..s.len().min(24)])
+}
+
+fn parse_string(s: &str) -> Result<&str, String> {
+    let mut it = s.char_indices().skip(1);
+    while let Some((i, c)) = it.next() {
+        match c {
+            '"' => return Ok(&s[i + 1..]),
+            '\\' => {
+                let (_, esc) = it.next().ok_or("truncated escape")?;
+                if esc == 'u' {
+                    for _ in 0..4 {
+                        let (_, h) = it.next().ok_or("truncated \\u escape")?;
+                        if !h.is_ascii_hexdigit() {
+                            return Err(format!("bad hex digit {h:?}"));
+                        }
+                    }
+                } else if !matches!(esc, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') {
+                    return Err(format!("bad escape \\{esc}"));
+                }
+            }
+            c if (c as u32) < 0x20 => return Err("raw control char in string".into()),
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(s: &str) -> Result<&str, String> {
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    s[..end].parse::<f64>().map_err(|e| e.to_string())?;
+    Ok(&s[end..])
+}
+
+fn parse_array(s: &str) -> Result<&str, String> {
+    let mut s = skip_ws(&s[1..]);
+    if let Some(rest) = s.strip_prefix(']') {
+        return Ok(rest);
+    }
+    loop {
+        s = skip_ws(parse_value(s)?);
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else {
+            return s.strip_prefix(']').ok_or_else(|| bad(s));
+        }
+    }
+}
+
+fn parse_object(s: &str) -> Result<&str, String> {
+    let mut s = skip_ws(&s[1..]);
+    if let Some(rest) = s.strip_prefix('}') {
+        return Ok(rest);
+    }
+    loop {
+        s = skip_ws(s);
+        s = parse_string(s)?;
+        s = skip_ws(s).strip_prefix(':').ok_or("missing colon")?;
+        s = skip_ws(parse_value(s)?);
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else {
+            return s.strip_prefix('}').ok_or_else(|| bad(s));
+        }
+    }
+}
+
+fn assert_valid_json(text: &str) {
+    match parse_value(text) {
+        Ok(rest) => assert!(skip_ws(rest).is_empty(), "trailing garbage: {rest:?}"),
+        Err(e) => panic!("invalid JSON: {e}"),
+    }
+}
+
+#[test]
+fn study_populates_spans_counters_and_valid_chrome_trace() {
+    let reg = lp_obs::registry();
+    reg.reset();
+
+    let bench = lp_suite::find("181.mcf").expect("registered benchmark");
+    let module = bench.build(Scale::Test);
+    let study = Study::of(&module).expect("study runs");
+    let rows = study.paper_rows();
+    assert_eq!(rows.len(), 14);
+
+    // Phase spans from every pipeline stage.
+    let spans = reg.spans();
+    for phase in ["verify", "analyze", "profile", "evaluate"] {
+        assert!(
+            spans.iter().any(|s| s.name == phase),
+            "missing span {phase:?} in {:?}",
+            spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
+    }
+    // The profile span must bracket the work: it is the longest of the
+    // profiling-side phases and every evaluate span starts after it ends.
+    let profile = spans.iter().find(|s| s.name == "profile").unwrap();
+    for ev in spans.iter().filter(|s| s.name == "evaluate") {
+        assert!(ev.start_ns >= profile.end_ns);
+    }
+
+    // Counters flushed by the profiler and evaluator.
+    let c = reg.counters();
+    assert!(c.get(Counter::EventsConsumed) > 0);
+    assert!(c.get(Counter::BlocksEntered) > 0);
+    assert!(c.get(Counter::RegionsCreated) > 0);
+    assert!(c.get(Counter::LoopInstances) > 0);
+    assert_eq!(c.get(Counter::ProfilesTaken), 1);
+    assert_eq!(c.get(Counter::EvalsPerformed), 14);
+
+    // Exporters produce strictly valid JSON.
+    assert_valid_json(&lp_obs::to_json(reg));
+    let trace = lp_obs::chrome_trace(reg, "obs_pipeline");
+    assert_valid_json(&trace);
+    for needle in [
+        "\"name\":\"profile\"",
+        "\"name\":\"evaluate\"",
+        "\"ph\":\"M\"",
+        "\"ph\":\"X\"",
+        "\"events_consumed\"",
+    ] {
+        assert!(trace.contains(needle), "missing {needle} in trace");
+    }
+
+    reg.reset();
+}

@@ -60,6 +60,42 @@ pub trait EventSink {
     }
 }
 
+/// Forwarding impl so decorators like `MeteredSink` can borrow a sink
+/// instead of owning it.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn block_entered(&mut self, func: FuncId, block: BlockId, cost: u64, now: u64) {
+        (**self).block_entered(func, block, cost, now);
+    }
+
+    fn phi_resolved(&mut self, func: FuncId, block: BlockId, phi: ValueId, value: Value, now: u64) {
+        (**self).phi_resolved(func, block, phi, value, now);
+    }
+
+    fn load(&mut self, addr: u64, now: u64) {
+        (**self).load(addr, now);
+    }
+
+    fn store(&mut self, addr: u64, now: u64) {
+        (**self).store(addr, now);
+    }
+
+    fn func_entered(&mut self, func: FuncId, frame_base: u64, now: u64) {
+        (**self).func_entered(func, frame_base, now);
+    }
+
+    fn func_exited(&mut self, func: FuncId, now: u64) {
+        (**self).func_exited(func, now);
+    }
+
+    fn builtin_called(&mut self, caller: FuncId, builtin: Builtin, now: u64) {
+        (**self).builtin_called(caller, builtin, now);
+    }
+
+    fn value_defined(&mut self, func: FuncId, value: ValueId, val: Value, now: u64) {
+        (**self).value_defined(func, value, val, now);
+    }
+}
+
 /// A sink that ignores every event.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;

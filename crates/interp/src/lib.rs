@@ -36,12 +36,14 @@
 pub mod events;
 pub mod machine;
 pub mod memory;
+pub mod metered;
 pub mod trace;
 pub mod value;
 
 pub use events::{CountingSink, EventSink, NullSink};
 pub use machine::{Machine, MachineConfig, RunResult};
 pub use memory::{Memory, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
+pub use metered::{EventCounts, MeteredSink, TeeSink};
 pub use trace::{TraceEvent, TraceSink};
 pub use value::Value;
 

@@ -689,7 +689,9 @@ mod tests {
             max_cost: 1000,
             ..MachineConfig::default()
         };
-        let e = Machine::with_config(&m, &mut sink, cfg).run(&[]).unwrap_err();
+        let e = Machine::with_config(&m, &mut sink, cfg)
+            .run(&[])
+            .unwrap_err();
         assert_eq!(e, InterpError::FuelExhausted);
     }
 
@@ -792,7 +794,9 @@ mod tests {
             max_call_depth: 64,
             ..MachineConfig::default()
         };
-        let e = Machine::with_config(&m, &mut sink, cfg).run(&[]).unwrap_err();
+        let e = Machine::with_config(&m, &mut sink, cfg)
+            .run(&[])
+            .unwrap_err();
         assert_eq!(e, InterpError::CallDepthExceeded);
     }
 
@@ -807,7 +811,9 @@ mod tests {
         m.add_function(fb.finish().unwrap());
         let run = |arg: i64| {
             let mut sink = NullSink;
-            Machine::new(&m, &mut sink).run(&[Value::I(arg)]).unwrap_err()
+            Machine::new(&m, &mut sink)
+                .run(&[Value::I(arg)])
+                .unwrap_err()
         };
         assert_eq!(run(0), InterpError::NullDeref(0));
         assert_eq!(run(0x1000_0004), InterpError::Unaligned(0x1000_0004));

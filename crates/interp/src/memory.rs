@@ -155,7 +155,10 @@ mod tests {
     fn traps() {
         let mut m = Memory::new();
         assert_eq!(m.read(0), Err(InterpError::NullDeref(0)));
-        assert_eq!(m.read(GLOBAL_BASE + 4), Err(InterpError::Unaligned(GLOBAL_BASE + 4)));
+        assert_eq!(
+            m.read(GLOBAL_BASE + 4),
+            Err(InterpError::Unaligned(GLOBAL_BASE + 4))
+        );
         assert_eq!(m.write(12, 1), Err(InterpError::NullDeref(12)));
     }
 

@@ -1,0 +1,250 @@
+//! Sink combinators: metering and teeing.
+//!
+//! [`MeteredSink`] decorates any [`EventSink`] with per-kind event
+//! counters without touching the inner sink's behaviour — the decorated
+//! run produces exactly the same inner-sink state as an undecorated one
+//! (counters are plain local `u64`s, so the overhead is one increment
+//! per event). [`TeeSink`] fans every event out to two sinks, letting a
+//! debugging trace ride along with the profiler, for example.
+
+use crate::events::EventSink;
+use crate::value::Value;
+use lp_ir::{BlockId, Builtin, FuncId, ValueId};
+
+/// Per-kind tallies of the instrumentation events a run delivered.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Basic-block entries.
+    pub blocks: u64,
+    /// Phi resolutions.
+    pub phis: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Function entries.
+    pub funcs: u64,
+    /// Function exits.
+    pub exits: u64,
+    /// Builtin invocations.
+    pub builtins: u64,
+    /// Watched-value definitions.
+    pub defs: u64,
+}
+
+impl EventCounts {
+    /// Total events of all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.blocks
+            + self.phis
+            + self.loads
+            + self.stores
+            + self.funcs
+            + self.exits
+            + self.builtins
+            + self.defs
+    }
+}
+
+/// Decorates an inner sink with event metering.
+#[derive(Debug, Default, Clone)]
+pub struct MeteredSink<S> {
+    inner: S,
+    counts: EventCounts,
+}
+
+impl<S> MeteredSink<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> MeteredSink<S> {
+        MeteredSink {
+            inner,
+            counts: EventCounts::default(),
+        }
+    }
+
+    /// The tallies so far.
+    #[must_use]
+    pub fn counts(&self) -> EventCounts {
+        self.counts
+    }
+
+    /// A reference to the inner sink.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps into the inner sink and the final tallies.
+    #[must_use]
+    pub fn into_parts(self) -> (S, EventCounts) {
+        (self.inner, self.counts)
+    }
+}
+
+impl<S: EventSink> EventSink for MeteredSink<S> {
+    fn block_entered(&mut self, func: FuncId, block: BlockId, cost: u64, now: u64) {
+        self.counts.blocks += 1;
+        self.inner.block_entered(func, block, cost, now);
+    }
+
+    fn phi_resolved(&mut self, func: FuncId, block: BlockId, phi: ValueId, value: Value, now: u64) {
+        self.counts.phis += 1;
+        self.inner.phi_resolved(func, block, phi, value, now);
+    }
+
+    fn load(&mut self, addr: u64, now: u64) {
+        self.counts.loads += 1;
+        self.inner.load(addr, now);
+    }
+
+    fn store(&mut self, addr: u64, now: u64) {
+        self.counts.stores += 1;
+        self.inner.store(addr, now);
+    }
+
+    fn func_entered(&mut self, func: FuncId, frame_base: u64, now: u64) {
+        self.counts.funcs += 1;
+        self.inner.func_entered(func, frame_base, now);
+    }
+
+    fn func_exited(&mut self, func: FuncId, now: u64) {
+        self.counts.exits += 1;
+        self.inner.func_exited(func, now);
+    }
+
+    fn builtin_called(&mut self, caller: FuncId, builtin: Builtin, now: u64) {
+        self.counts.builtins += 1;
+        self.inner.builtin_called(caller, builtin, now);
+    }
+
+    fn value_defined(&mut self, func: FuncId, value: ValueId, val: Value, now: u64) {
+        self.counts.defs += 1;
+        self.inner.value_defined(func, value, val, now);
+    }
+}
+
+/// Fans every event out to two sinks (`a` first, then `b`).
+#[derive(Debug, Default, Clone)]
+pub struct TeeSink<A, B> {
+    /// The first receiver.
+    pub a: A,
+    /// The second receiver.
+    pub b: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Combines two sinks.
+    pub fn new(a: A, b: B) -> TeeSink<A, B> {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    fn block_entered(&mut self, func: FuncId, block: BlockId, cost: u64, now: u64) {
+        self.a.block_entered(func, block, cost, now);
+        self.b.block_entered(func, block, cost, now);
+    }
+
+    fn phi_resolved(&mut self, func: FuncId, block: BlockId, phi: ValueId, value: Value, now: u64) {
+        self.a.phi_resolved(func, block, phi, value, now);
+        self.b.phi_resolved(func, block, phi, value, now);
+    }
+
+    fn load(&mut self, addr: u64, now: u64) {
+        self.a.load(addr, now);
+        self.b.load(addr, now);
+    }
+
+    fn store(&mut self, addr: u64, now: u64) {
+        self.a.store(addr, now);
+        self.b.store(addr, now);
+    }
+
+    fn func_entered(&mut self, func: FuncId, frame_base: u64, now: u64) {
+        self.a.func_entered(func, frame_base, now);
+        self.b.func_entered(func, frame_base, now);
+    }
+
+    fn func_exited(&mut self, func: FuncId, now: u64) {
+        self.a.func_exited(func, now);
+        self.b.func_exited(func, now);
+    }
+
+    fn builtin_called(&mut self, caller: FuncId, builtin: Builtin, now: u64) {
+        self.a.builtin_called(caller, builtin, now);
+        self.b.builtin_called(caller, builtin, now);
+    }
+
+    fn value_defined(&mut self, func: FuncId, value: ValueId, val: Value, now: u64) {
+        self.a.value_defined(func, value, val, now);
+        self.b.value_defined(func, value, val, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CountingSink;
+    use crate::machine::Machine;
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{Global, Module, Type};
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("metered");
+        let g = m.add_global(Global::zeroed("g", 4));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let p = fb.global_addr(g);
+        let x = fb.const_i64(5);
+        fb.store(x, p);
+        let y = fb.load(Type::I64, p);
+        let yf = fb.sitofp(y);
+        let s = fb.call_builtin(lp_ir::Builtin::Sqrt, &[yf]);
+        let si = fb.fptosi(s);
+        fb.ret(Some(si));
+        m.add_function(fb.finish().unwrap());
+        m
+    }
+
+    #[test]
+    fn metering_preserves_inner_sink_state() {
+        let m = sample_module();
+        let mut plain = CountingSink::default();
+        let plain_result = Machine::new(&m, &mut plain).run(&[]).unwrap();
+
+        let mut metered = MeteredSink::new(CountingSink::default());
+        let metered_result = Machine::new(&m, &mut metered).run(&[]).unwrap();
+
+        assert_eq!(plain_result.ret, metered_result.ret);
+        assert_eq!(plain_result.cost, metered_result.cost);
+        let (inner, counts) = metered.into_parts();
+        assert_eq!(format!("{plain:?}"), format!("{inner:?}"));
+        assert_eq!(counts.blocks, inner.blocks);
+        assert_eq!(counts.loads, inner.loads);
+        assert_eq!(counts.stores, inner.stores);
+        assert!(counts.total() >= counts.blocks + counts.loads + counts.stores);
+        assert_eq!(counts.funcs, 1);
+        assert_eq!(counts.exits, 1);
+        assert_eq!(counts.builtins, 1);
+    }
+
+    #[test]
+    fn tee_delivers_to_both_sinks() {
+        let m = sample_module();
+        let mut tee = TeeSink::new(CountingSink::default(), CountingSink::default());
+        Machine::new(&m, &mut tee).run(&[]).unwrap();
+        assert_eq!(format!("{:?}", tee.a), format!("{:?}", tee.b));
+        assert!(tee.a.loads > 0 && tee.a.stores > 0);
+    }
+
+    #[test]
+    fn mut_ref_sinks_compose() {
+        // `&mut S` is itself a sink, so decorators can borrow.
+        let m = sample_module();
+        let mut counting = CountingSink::default();
+        let mut metered = MeteredSink::new(&mut counting);
+        Machine::new(&m, &mut metered).run(&[]).unwrap();
+        let counts = metered.counts();
+        assert_eq!(counts.loads, counting.loads);
+    }
+}

@@ -118,7 +118,14 @@ impl EventSink for TraceSink {
         self.push(TraceEvent::Block(func, block, cost, now));
     }
 
-    fn phi_resolved(&mut self, func: FuncId, _block: BlockId, phi: ValueId, value: Value, now: u64) {
+    fn phi_resolved(
+        &mut self,
+        func: FuncId,
+        _block: BlockId,
+        phi: ValueId,
+        value: Value,
+        now: u64,
+    ) {
         self.push(TraceEvent::Phi(func, phi, value, now));
     }
 

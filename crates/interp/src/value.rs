@@ -191,10 +191,7 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_floats_by_bits() {
-        assert_ne!(
-            Value::F(1.0).fingerprint(),
-            Value::F(2.0).fingerprint()
-        );
+        assert_ne!(Value::F(1.0).fingerprint(), Value::F(2.0).fingerprint());
         assert_eq!(Value::I(7).fingerprint(), 7);
     }
 }

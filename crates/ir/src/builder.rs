@@ -384,7 +384,11 @@ impl FunctionBuilder {
 
     fn terminate(&mut self, term: Term) {
         let idx = self.current.index();
-        assert!(!self.terminated[idx], "block {} already terminated", self.current);
+        assert!(
+            !self.terminated[idx],
+            "block {} already terminated",
+            self.current
+        );
         self.func.blocks[idx].term = term;
         self.terminated[idx] = true;
     }

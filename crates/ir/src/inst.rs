@@ -424,7 +424,10 @@ impl Builtin {
     pub fn return_type(self) -> Type {
         match self {
             Builtin::Malloc => Type::Ptr,
-            Builtin::Free | Builtin::Memcpy | Builtin::Memset | Builtin::PrintI64
+            Builtin::Free
+            | Builtin::Memcpy
+            | Builtin::Memset
+            | Builtin::PrintI64
             | Builtin::PrintF64 => Type::Void,
             Builtin::Rand => Type::I64,
             _ => Type::F64,
@@ -722,7 +725,10 @@ mod tests {
             callee: Callee::Builtin(Builtin::Pow),
             args: vec![ValueId(4), ValueId(5)],
         };
-        assert_eq!(call.operands().collect::<Vec<_>>(), vec![ValueId(4), ValueId(5)]);
+        assert_eq!(
+            call.operands().collect::<Vec<_>>(),
+            vec![ValueId(4), ValueId(5)]
+        );
         let phi = Inst::Phi {
             ty: Type::I64,
             incomings: vec![(BlockId(0), ValueId(1)), (BlockId(1), ValueId(2))],

@@ -144,7 +144,8 @@ impl<'a> Parser<'a> {
                     Ok(h) => h,
                     Err(e) => return self.fail(e),
                 };
-                let func = self.function_body(&name, &params, ret, &fn_ids, &fn_sigs, &global_ids)?;
+                let func =
+                    self.function_body(&name, &params, ret, &fn_ids, &fn_sigs, &global_ids)?;
                 module.add_function(func);
             } else {
                 return self.fail(perr(format!("unexpected line: {line}")));
@@ -324,8 +325,12 @@ fn is_ident(s: &str) -> bool {
 /// `name(%v0: i64, ...) -> ty` (after `fn @`).
 fn parse_fn_header(text: &str) -> PResult<(String, Vec<Type>, Type)> {
     let text = text.trim().trim_end_matches('{').trim();
-    let open = text.find('(').ok_or_else(|| perr("missing ( in fn header"))?;
-    let close = text.rfind(')').ok_or_else(|| perr("missing ) in fn header"))?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| perr("missing ( in fn header"))?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| perr("missing ) in fn header"))?;
     let name = text[..open].trim().to_string();
     if !is_ident(&name) {
         return Err(perr(format!("bad function name {name:?}")));
@@ -395,7 +400,9 @@ fn split_def(line: &str) -> PResult<(Option<&str>, &str)> {
     if line.starts_with('%') {
         let (def, payload) = line.split_once('=').ok_or_else(|| perr("missing ="))?;
         let def = def.trim().strip_prefix('%').unwrap();
-        let (name, _) = def.split_once(':').ok_or_else(|| perr("missing type on def"))?;
+        let (name, _) = def
+            .split_once(':')
+            .ok_or_else(|| perr("missing type on def"))?;
         Ok((Some(name.trim()), payload.trim()))
     } else {
         Ok((None, line))
@@ -453,7 +460,10 @@ fn parse_operand(text: &str, ctx: &OperandCtx<'_>, func: &mut Function) -> PResu
 /// Splits a comma-separated operand list, respecting no nesting (the format
 /// never nests commas inside operands except phi brackets, handled apart).
 fn split_commas(text: &str) -> Vec<&str> {
-    text.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn parse_terminator(
@@ -519,7 +529,9 @@ fn parse_inst(payload: &str, ctx: &OperandCtx<'_>, func: &mut Function) -> PResu
     }
     match mnemonic {
         "icmp" => {
-            let (pred, rest) = rest.split_once(' ').ok_or_else(|| perr("icmp needs pred"))?;
+            let (pred, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr("icmp needs pred"))?;
             let pred = IcmpPred::from_mnemonic(pred).ok_or_else(|| perr("bad icmp pred"))?;
             let parts = split_commas(rest);
             if parts.len() != 2 {
@@ -530,7 +542,9 @@ fn parse_inst(payload: &str, ctx: &OperandCtx<'_>, func: &mut Function) -> PResu
             Ok((Inst::Icmp { pred, lhs, rhs }, Type::I1))
         }
         "fcmp" => {
-            let (pred, rest) = rest.split_once(' ').ok_or_else(|| perr("fcmp needs pred"))?;
+            let (pred, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| perr("fcmp needs pred"))?;
             let pred = FcmpPred::from_mnemonic(pred).ok_or_else(|| perr("bad fcmp pred"))?;
             let parts = split_commas(rest);
             if parts.len() != 2 {
@@ -559,7 +573,9 @@ fn parse_inst(payload: &str, ctx: &OperandCtx<'_>, func: &mut Function) -> PResu
             ))
         }
         "load" => {
-            let (ty, rest) = rest.split_once(',').ok_or_else(|| perr("load needs type"))?;
+            let (ty, rest) = rest
+                .split_once(',')
+                .ok_or_else(|| perr("load needs type"))?;
             let ty = Type::from_text(ty.trim()).ok_or_else(|| perr("bad load type"))?;
             let addr = parse_operand(rest, ctx, func)?;
             Ok((Inst::Load { ty, addr }, ty))
@@ -646,13 +662,17 @@ fn parse_inst(payload: &str, ctx: &OperandCtx<'_>, func: &mut Function) -> PResu
             let mut incomings = Vec::new();
             let mut cursor = rest.trim();
             while !cursor.is_empty() {
-                let open = cursor.find('[').ok_or_else(|| perr("phi needs [blk: val]"))?;
+                let open = cursor
+                    .find('[')
+                    .ok_or_else(|| perr("phi needs [blk: val]"))?;
                 let close = cursor[open..]
                     .find(']')
                     .ok_or_else(|| perr("unclosed phi incoming"))?
                     + open;
                 let item = &cursor[open + 1..close];
-                let (blk, val) = item.split_once(':').ok_or_else(|| perr("bad phi incoming"))?;
+                let (blk, val) = item
+                    .split_once(':')
+                    .ok_or_else(|| perr("bad phi incoming"))?;
                 let blk = *ctx
                     .block_ids
                     .get(blk.trim())

@@ -68,7 +68,14 @@ pub fn print_function(func: &Function, module: Option<&Module>) -> String {
             let op = |v: ValueId| fmt_operand(func, module, v);
             let line = match &data.inst {
                 Inst::Bin { op: o, lhs, rhs } => {
-                    format!("{}: {} = {} {}, {}", data.result, data.ty, o, op(*lhs), op(*rhs))
+                    format!(
+                        "{}: {} = {} {}, {}",
+                        data.result,
+                        data.ty,
+                        o,
+                        op(*lhs),
+                        op(*rhs)
+                    )
                 }
                 Inst::Icmp { pred, lhs, rhs } => format!(
                     "{}: {} = icmp {} {}, {}",
@@ -147,7 +154,13 @@ pub fn print_function(func: &Function, module: Option<&Module>) -> String {
                         .iter()
                         .map(|(b, v)| format!("[ {}: {} ]", block_label(func, *b), op(*v)))
                         .collect();
-                    format!("{}: {} = phi {} {}", data.result, data.ty, ty, inc.join(", "))
+                    format!(
+                        "{}: {} = phi {} {}",
+                        data.result,
+                        data.ty,
+                        ty,
+                        inc.join(", ")
+                    )
                 }
             };
             let _ = writeln!(out, "  {line}");

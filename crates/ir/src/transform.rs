@@ -143,7 +143,13 @@ fn fold_bin(op: BinOp, l: Const, r: Const) -> Option<Const> {
 /// semantics (they ignore signed zeros), matching the paper's `-Ofast`
 /// baseline — do not "fix" them to be IEEE-strict without also revisiting
 /// that parity.
-fn identity(op: BinOp, lhs: ValueId, rhs: ValueId, l: Option<Const>, r: Option<Const>) -> Option<ValueId> {
+fn identity(
+    op: BinOp,
+    lhs: ValueId,
+    rhs: ValueId,
+    l: Option<Const>,
+    r: Option<Const>,
+) -> Option<ValueId> {
     match op {
         BinOp::Add | BinOp::Or | BinOp::Xor if r == Some(Const::I(0)) => return Some(lhs),
         BinOp::Add | BinOp::Or | BinOp::Xor if l == Some(Const::I(0)) => return Some(rhs),
@@ -234,9 +240,7 @@ pub fn fold_constants(func: &mut Function) -> usize {
                 Inst::Cast { kind, val } => match (kind, const_of(func, *val)) {
                     (CastKind::SiToFp, Some(Const::I(a))) => Some(Ok(Const::F(a as f64))),
                     (CastKind::FpToSi, Some(Const::F(a))) => Some(Ok(Const::I(a as i64))),
-                    (CastKind::BoolToInt, Some(Const::B(b))) => {
-                        Some(Ok(Const::I(i64::from(b))))
-                    }
+                    (CastKind::BoolToInt, Some(Const::B(b))) => Some(Ok(Const::I(i64::from(b)))),
                     _ => None,
                 },
                 _ => None,

@@ -70,7 +70,10 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<()> {
             ValueKind::FuncAddr(f) => {
                 if let Some(m) = module {
                     if f.index() >= m.functions.len() {
-                        return Err(err(func, format!("value %v{i} references missing function")));
+                        return Err(err(
+                            func,
+                            format!("value %v{i} references missing function"),
+                        ));
                     }
                 }
             }
@@ -89,7 +92,10 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<()> {
             }
             let data = func.inst(iid);
             if data.block != bid {
-                return Err(err(func, format!("instruction in {bid} claims other block")));
+                return Err(err(
+                    func,
+                    format!("instruction in {bid} claims other block"),
+                ));
             }
             for op in data.inst.operands() {
                 check_value(func, op)?;
@@ -106,7 +112,10 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<()> {
                     blocks.sort_unstable();
                     blocks.dedup();
                     if blocks.len() != incomings.len() {
-                        return Err(err(func, format!("phi in {bid} has duplicate incoming block")));
+                        return Err(err(
+                            func,
+                            format!("phi in {bid} has duplicate incoming block"),
+                        ));
                     }
                     let mut expect = preds[bid.index()].clone();
                     expect.sort_unstable();
@@ -224,7 +233,10 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<()> {
                             }
                             for (a, want) in args.iter().zip(b.param_types()) {
                                 if func.value_type(*a) != *want {
-                                    return Err(err(func, format!("builtin {b} arg type mismatch")));
+                                    return Err(err(
+                                        func,
+                                        format!("builtin {b} arg type mismatch"),
+                                    ));
                                 }
                             }
                             if data.ty != b.return_type() {

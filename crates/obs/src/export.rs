@@ -1,0 +1,289 @@
+//! Exporters: human-readable summary, machine-readable JSON, and Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` or Perfetto).
+//!
+//! All JSON is emitted by hand — the workspace has no serde — via a
+//! strict string escaper, and the Chrome output uses the object form
+//! (`{"traceEvents": [...]}`) with complete-event (`ph: "X"`) spans,
+//! one metadata (`ph: "M"`) process-name record, and a final counter
+//! (`ph: "C"`) sample carrying every non-zero pipeline counter.
+
+use crate::metrics::Hist;
+use crate::registry::Registry;
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-name span aggregate used by [`summary`].
+#[derive(Debug, Default, Clone)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+fn aggregate(spans: &[SpanRecord]) -> BTreeMap<&'static str, SpanAgg> {
+    let mut by_name: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+    for s in spans {
+        let agg = by_name.entry(s.name).or_default();
+        agg.count += 1;
+        agg.total_ns += s.duration_ns();
+        agg.max_ns = agg.max_ns.max(s.duration_ns());
+    }
+    by_name
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The human-readable run summary (what `--trace-out`-less binaries print
+/// to stderr at exit when logging is enabled).
+#[must_use]
+pub fn summary(reg: &Registry) -> String {
+    let spans = reg.spans();
+    let mut out = String::from("== observability summary ==\n");
+    if spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        let mut rows: Vec<(&'static str, SpanAgg)> = aggregate(&spans).into_iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.total_ns));
+        out.push_str("phase spans (by total time):\n");
+        for (name, agg) in rows {
+            let mean = agg.total_ns / agg.count.max(1);
+            let _ = writeln!(
+                out,
+                "  {name:<12} x{:<6} total {:>10}  mean {:>10}  max {:>10}",
+                agg.count,
+                fmt_ns(agg.total_ns),
+                fmt_ns(mean),
+                fmt_ns(agg.max_ns),
+            );
+        }
+    }
+    let counters = reg.counters().snapshot();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in counters {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+    }
+    for h in Hist::ALL {
+        let hist = reg.hist(h);
+        if hist.count > 0 {
+            let _ = writeln!(
+                out,
+                "hist {:<20} n={} mean={:.1} min={} max={}",
+                h.name(),
+                hist.count,
+                hist.mean(),
+                hist.min,
+                hist.max,
+            );
+        }
+    }
+    out
+}
+
+/// Machine-readable JSON snapshot of spans, counters, and histograms.
+#[must_use]
+pub fn to_json(reg: &Registry) -> String {
+    let mut out = String::from("{\"spans\":[");
+    for (i, s) in reg.spans().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"depth\":{},\"tid\":{}}}",
+            json_escape(s.name),
+            s.start_ns,
+            s.end_ns,
+            s.depth,
+            s.tid
+        );
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (name, value)) in reg.counters().snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+    }
+    out.push_str("},\"histograms\":{");
+    let mut first = true;
+    for h in Hist::ALL {
+        let hist = reg.hist(h);
+        if hist.count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+            h.name(),
+            hist.count,
+            hist.sum,
+            hist.min,
+            hist.max,
+            hist.mean()
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Chrome `trace_event` JSON for the registry's spans and counters.
+///
+/// Timestamps are microseconds since the registry epoch; spans become
+/// complete events (`ph: "X"`), and the snapshot of every non-zero
+/// counter rides along both as a `ph: "C"` counter sample and inside
+/// `otherData` for tools that read the object wrapper.
+#[must_use]
+pub fn chrome_trace(reg: &Registry, process_name: &str) -> String {
+    let spans = reg.spans();
+    let mut out = String::from("{\"traceEvents\":[");
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(process_name)
+    );
+    let mut last_ts = 0.0f64;
+    for s in &spans {
+        let ts = s.start_ns as f64 / 1e3;
+        let dur = s.duration_ns() as f64 / 1e3;
+        last_ts = last_ts.max(s.end_ns as f64 / 1e3);
+        let _ = write!(
+            out,
+            ",{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":1,\"tid\":{}}}",
+            json_escape(s.name),
+            s.tid
+        );
+    }
+    let counters = reg.counters().snapshot();
+    if !counters.is_empty() {
+        let mut args = String::new();
+        for (i, (name, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, "\"{}\":{}", json_escape(name), value);
+        }
+        let _ = write!(
+            out,
+            ",{{\"name\":\"lp_counters\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\
+             \"args\":{{{args}}}}}"
+        );
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{{args}}}}}"
+        ));
+    } else {
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{}}");
+    }
+    out
+}
+
+/// Writes the global registry's Chrome trace to `path`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(path: &std::path::Path, process_name: &str) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(crate::registry::global(), process_name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Counter;
+
+    fn seeded() -> Registry {
+        let reg = Registry::new();
+        reg.record_span(SpanRecord {
+            name: "parse",
+            start_ns: 1_000,
+            end_ns: 5_000,
+            depth: 0,
+            tid: 0,
+        });
+        reg.record_span(SpanRecord {
+            name: "evaluate",
+            start_ns: 6_000,
+            end_ns: 9_000,
+            depth: 1,
+            tid: 0,
+        });
+        reg.counters().add(Counter::EvalsPerformed, 14);
+        reg.record_hist(Hist::LoopIterations, 100);
+        reg
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn summary_mentions_phases_and_counters() {
+        let text = summary(&seeded());
+        assert!(text.contains("parse"));
+        assert!(text.contains("evaluate"));
+        assert!(text.contains("evals_performed"));
+        assert!(text.contains("loop_iterations"));
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let json = to_json(&seeded());
+        assert!(json.starts_with("{\"spans\":["));
+        assert!(json.contains("\"name\":\"parse\""));
+        assert!(json.contains("\"evals_performed\":14"));
+        assert!(json.contains("\"loop_iterations\":{\"count\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let trace = chrome_trace(&seeded(), "test");
+        assert!(trace.contains("\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"M\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        // ts/dur in microseconds: 1000ns span start = 1us.
+        assert!(trace.contains("\"ts\":1,"));
+        assert!(trace.contains("\"dur\":4,"));
+        // Counters ride along in otherData too.
+        assert!(trace.contains("\"otherData\":{\"evals_performed\":14}"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Typed counters and histograms.
+//!
+//! Every countable event in the pipeline has a named slot in [`Counter`];
+//! the registry backs each slot with one relaxed atomic, so incrementing
+//! from the interpreter hot path costs a single uncontended RMW (hot
+//! loops should still batch locally and flush once — see
+//! `lp_interp::MeteredSink`). Histograms use power-of-two buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One per-predictor-kind family of hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Last-value predictor.
+    LastValue,
+    /// Constant-stride predictor.
+    Stride,
+    /// Two-delta stride predictor.
+    TwoDeltaStride,
+    /// Finite-context-method predictor.
+    Fcm,
+    /// The arbitrating hybrid over the four components.
+    Hybrid,
+}
+
+impl PredictorKind {
+    /// All predictor kinds, component order first, hybrid last.
+    pub const ALL: [PredictorKind; 5] = [
+        PredictorKind::LastValue,
+        PredictorKind::Stride,
+        PredictorKind::TwoDeltaStride,
+        PredictorKind::Fcm,
+        PredictorKind::Hybrid,
+    ];
+
+    /// Short lowercase label used in exports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorKind::LastValue => "last_value",
+            PredictorKind::Stride => "stride",
+            PredictorKind::TwoDeltaStride => "two_delta_stride",
+            PredictorKind::Fcm => "fcm",
+            PredictorKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Every counter the pipeline maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Instrumentation events consumed by sinks (all kinds).
+    EventsConsumed,
+    /// Basic-block entry events.
+    BlocksEntered,
+    /// Load events.
+    Loads,
+    /// Store events.
+    Stores,
+    /// Phi-resolution events.
+    PhisResolved,
+    /// Function-entry events.
+    FuncsEntered,
+    /// Builtin-invocation events.
+    BuiltinCalls,
+    /// Watched-value definition events.
+    ValueDefs,
+    /// Cross-iteration memory RAW conflicts detected.
+    RawConflicts,
+    /// Accesses the cactus-stack frame filter proved iteration-local.
+    CactusFilterHits,
+    /// Value-predictor hits, per kind.
+    PredictorHit(PredictorKind),
+    /// Value-predictor misses, per kind.
+    PredictorMiss(PredictorKind),
+    /// Region-tree nodes created by the profiler.
+    RegionsCreated,
+    /// Loop instances recorded by the profiler.
+    LoopInstances,
+    /// Instrumented profiling runs completed.
+    ProfilesTaken,
+    /// `(model, config)` evaluations performed.
+    EvalsPerformed,
+    /// Spans discarded because the registry hit its capacity.
+    SpansDropped,
+}
+
+/// Number of distinct counter slots.
+pub const COUNTER_SLOTS: usize = 16 + 2 * PredictorKind::ALL.len();
+
+impl Counter {
+    /// Every counter, in export order.
+    #[must_use]
+    pub fn all() -> Vec<Counter> {
+        let mut out = vec![
+            Counter::EventsConsumed,
+            Counter::BlocksEntered,
+            Counter::Loads,
+            Counter::Stores,
+            Counter::PhisResolved,
+            Counter::FuncsEntered,
+            Counter::BuiltinCalls,
+            Counter::ValueDefs,
+            Counter::RawConflicts,
+            Counter::CactusFilterHits,
+            Counter::RegionsCreated,
+            Counter::LoopInstances,
+            Counter::ProfilesTaken,
+            Counter::EvalsPerformed,
+            Counter::SpansDropped,
+        ];
+        for kind in PredictorKind::ALL {
+            out.push(Counter::PredictorHit(kind));
+            out.push(Counter::PredictorMiss(kind));
+        }
+        out
+    }
+
+    /// Dense slot index into the registry's atomic array.
+    #[must_use]
+    pub fn slot(self) -> usize {
+        match self {
+            Counter::EventsConsumed => 0,
+            Counter::BlocksEntered => 1,
+            Counter::Loads => 2,
+            Counter::Stores => 3,
+            Counter::PhisResolved => 4,
+            Counter::FuncsEntered => 5,
+            Counter::BuiltinCalls => 6,
+            Counter::ValueDefs => 7,
+            Counter::RawConflicts => 8,
+            Counter::CactusFilterHits => 9,
+            Counter::RegionsCreated => 10,
+            Counter::LoopInstances => 11,
+            Counter::ProfilesTaken => 12,
+            Counter::EvalsPerformed => 13,
+            Counter::SpansDropped => 14,
+            // Slot 15 is reserved so predictor slots stay stable if a
+            // scalar counter is added.
+            Counter::PredictorHit(kind) => 16 + 2 * kind as usize,
+            Counter::PredictorMiss(kind) => 17 + 2 * kind as usize,
+        }
+    }
+
+    /// Stable snake-case name used by every exporter.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Counter::EventsConsumed => "events_consumed".to_string(),
+            Counter::BlocksEntered => "blocks_entered".to_string(),
+            Counter::Loads => "loads".to_string(),
+            Counter::Stores => "stores".to_string(),
+            Counter::PhisResolved => "phis_resolved".to_string(),
+            Counter::FuncsEntered => "funcs_entered".to_string(),
+            Counter::BuiltinCalls => "builtin_calls".to_string(),
+            Counter::ValueDefs => "value_defs".to_string(),
+            Counter::RawConflicts => "raw_conflicts".to_string(),
+            Counter::CactusFilterHits => "cactus_filter_hits".to_string(),
+            Counter::RegionsCreated => "regions_created".to_string(),
+            Counter::LoopInstances => "loop_instances".to_string(),
+            Counter::ProfilesTaken => "profiles_taken".to_string(),
+            Counter::EvalsPerformed => "evals_performed".to_string(),
+            Counter::SpansDropped => "spans_dropped".to_string(),
+            Counter::PredictorHit(kind) => format!("predictor_hit_{}", kind.label()),
+            Counter::PredictorMiss(kind) => format!("predictor_miss_{}", kind.label()),
+        }
+    }
+}
+
+/// The atomic backing store for all counters.
+#[derive(Debug)]
+pub struct CounterBank {
+    slots: [AtomicU64; COUNTER_SLOTS],
+}
+
+impl Default for CounterBank {
+    fn default() -> CounterBank {
+        CounterBank {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl CounterBank {
+    /// Adds `n` to `counter`.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.slots[counter.slot()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of `counter`.
+    #[must_use]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.slots[counter.slot()].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every slot.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// `(name, value)` for every non-zero counter, in export order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        Counter::all()
+            .into_iter()
+            .filter_map(|c| {
+                let v = self.get(c);
+                (v > 0).then(|| (c.name(), v))
+            })
+            .collect()
+    }
+}
+
+/// A power-of-two-bucket histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets[k]` counts samples with `floor(log2(v)) == k` (`v == 0`
+    /// lands in bucket 0).
+    pub buckets: [u64; 64],
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Minimum sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Maximum sample.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean sample (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Named histogram slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Iterations per recorded loop instance.
+    LoopIterations,
+    /// Wall-clock nanoseconds per profiling run.
+    ProfileNanos,
+    /// Wall-clock nanoseconds per `(model, config)` evaluation.
+    EvalNanos,
+}
+
+impl Hist {
+    /// All histogram slots, in export order.
+    pub const ALL: [Hist; 3] = [Hist::LoopIterations, Hist::ProfileNanos, Hist::EvalNanos];
+
+    /// Stable snake-case name used by every exporter.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::LoopIterations => "loop_iterations",
+            Hist::ProfileNanos => "profile_nanos",
+            Hist::EvalNanos => "eval_nanos",
+        }
+    }
+
+    /// Dense index into the registry's histogram array.
+    #[must_use]
+    pub fn slot(self) -> usize {
+        match self {
+            Hist::LoopIterations => 0,
+            Hist::ProfileNanos => 1,
+            Hist::EvalNanos => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_slots_are_unique_and_in_range() {
+        let all = Counter::all();
+        let slots: std::collections::HashSet<usize> = all.iter().map(|c| c.slot()).collect();
+        assert_eq!(slots.len(), all.len());
+        assert!(slots.iter().all(|&s| s < COUNTER_SLOTS));
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let all = Counter::all();
+        let names: std::collections::HashSet<String> = all.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn bank_adds_and_snapshots() {
+        let bank = CounterBank::default();
+        bank.add(Counter::Loads, 3);
+        bank.add(Counter::Loads, 2);
+        bank.add(Counter::PredictorHit(PredictorKind::Fcm), 7);
+        assert_eq!(bank.get(Counter::Loads), 5);
+        let snap = bank.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("loads".to_string(), 5),
+                ("predictor_hit_fcm".to_string(), 7)
+            ]
+        );
+        bank.reset();
+        assert!(bank.snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1031);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 3); // 0, 1, 1
+        assert_eq!(h.buckets[1], 2); // 2, 3
+        assert_eq!(h.buckets[10], 1); // 1024
+        assert!((h.mean() - 1031.0 / 6.0).abs() < 1e-9);
+
+        let mut other = Histogram::default();
+        other.record(5);
+        h.merge(&other);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.buckets[2], 1);
+    }
+}

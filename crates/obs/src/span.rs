@@ -1,0 +1,118 @@
+//! Phase spans: nestable RAII timers over a monotonic clock.
+//!
+//! `let _s = span!("profile");` records one [`SpanRecord`] when the guard
+//! drops. Nesting is tracked per thread, so exporters can rebuild the
+//! phase tree without the recorder paying for one. The registry caps the
+//! number of retained spans; overflow increments
+//! [`crate::Counter::SpansDropped`] instead of growing without bound.
+
+use crate::registry::global;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (static so recording never allocates for it).
+    pub name: &'static str,
+    /// Nanoseconds since the registry epoch at which the span began.
+    pub start_ns: u64,
+    /// Nanoseconds since the registry epoch at which the span ended.
+    pub end_ns: u64,
+    /// Nesting depth on its thread at entry (top level = 0).
+    pub depth: u32,
+    /// Dense id of the recording thread (main thread observes 0 when it
+    /// is the first to record).
+    pub tid: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Dense id of the calling thread (assigned on first use).
+#[must_use]
+pub fn thread_tid() -> u64 {
+    THREAD_TID.with(|t| *t)
+}
+
+/// An open span; records itself into the global registry on drop.
+#[derive(Debug)]
+#[must_use = "a span measures the scope holding its guard"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    depth: u32,
+    tid: u64,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` at the current nesting depth.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard {
+            name,
+            start_ns: global().now_ns(),
+            depth,
+            tid: thread_tid(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end_ns = global().now_ns();
+        global().record_span(SpanRecord {
+            name: self.name,
+            start_ns: self.start_ns,
+            end_ns,
+            depth: self.depth,
+            tid: self.tid,
+        });
+    }
+}
+
+/// Opens a phase span for the enclosing scope: `let _s = span!("parse");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_duration_saturates() {
+        let r = SpanRecord {
+            name: "x",
+            start_ns: 10,
+            end_ns: 4,
+            depth: 0,
+            tid: 0,
+        };
+        assert_eq!(r.duration_ns(), 0);
+    }
+
+    #[test]
+    fn tid_is_stable_within_a_thread() {
+        assert_eq!(thread_tid(), thread_tid());
+    }
+}

@@ -490,7 +490,13 @@ mod tests {
     fn hybrid_is_at_least_as_good_as_each_component() {
         let pattern = [3u64, 1, 4, 1, 5, 9];
         let seq: Vec<u64> = (0..60)
-            .map(|i| if i % 10 == 0 { 77 } else { pattern[i % 6] + i as u64 })
+            .map(|i| {
+                if i % 10 == 0 {
+                    77
+                } else {
+                    pattern[i % 6] + i as u64
+                }
+            })
             .collect();
         let mut hybrid = HybridPredictor::new();
         for &v in &seq {
@@ -529,7 +535,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 90, "confidence hybrid should lock onto stride: {hits}");
+        assert!(
+            hits >= 90,
+            "confidence hybrid should lock onto stride: {hits}"
+        );
         // And it can never beat the perfect hybrid.
         let mut ph = HybridPredictor::new();
         let mut phits = 0;

@@ -136,19 +136,60 @@ impl Census {
 
 impl fmt::Display for Census {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Census over {} program(s), {} executed loop(s)", self.programs, self.executed_loops)?;
+        writeln!(
+            f,
+            "Census over {} program(s), {} executed loop(s)",
+            self.programs, self.executed_loops
+        )?;
         writeln!(f, "  register LCDs:")?;
-        writeln!(f, "    computable (IV/MIV)           {:>8}", self.computable)?;
-        writeln!(f, "    reduction accumulators        {:>8}", self.reductions)?;
-        writeln!(f, "    non-computable, predictable   {:>8}", self.predictable)?;
-        writeln!(f, "    non-computable, unpredictable {:>8}", self.unpredictable)?;
+        writeln!(
+            f,
+            "    computable (IV/MIV)           {:>8}",
+            self.computable
+        )?;
+        writeln!(
+            f,
+            "    reduction accumulators        {:>8}",
+            self.reductions
+        )?;
+        writeln!(
+            f,
+            "    non-computable, predictable   {:>8}",
+            self.predictable
+        )?;
+        writeln!(
+            f,
+            "    non-computable, unpredictable {:>8}",
+            self.unpredictable
+        )?;
         writeln!(f, "  memory LCDs (per loop):")?;
-        writeln!(f, "    frequent (> {:.0}% of iters)    {:>8}", 100.0 * FREQUENT_FRACTION, self.frequent_mem_loops)?;
-        writeln!(f, "    infrequent                    {:>8}", self.infrequent_mem_loops)?;
-        writeln!(f, "    none                          {:>8}", self.no_mem_lcd_loops)?;
+        writeln!(
+            f,
+            "    frequent (> {:.0}% of iters)    {:>8}",
+            100.0 * FREQUENT_FRACTION,
+            self.frequent_mem_loops
+        )?;
+        writeln!(
+            f,
+            "    infrequent                    {:>8}",
+            self.infrequent_mem_loops
+        )?;
+        writeln!(
+            f,
+            "    none                          {:>8}",
+            self.no_mem_lcd_loops
+        )?;
         writeln!(f, "  structural (call-stack):")?;
-        writeln!(f, "    loops containing calls        {:>8}", self.loops_with_calls)?;
-        write!(f,   "    loops with unsafe calls       {:>8}", self.loops_with_unsafe_calls)
+        writeln!(
+            f,
+            "    loops containing calls        {:>8}",
+            self.loops_with_calls
+        )?;
+        write!(
+            f,
+            "    loops with unsafe calls       {:>8}",
+            self.loops_with_unsafe_calls
+        )
     }
 }
 

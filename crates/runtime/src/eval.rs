@@ -124,6 +124,9 @@ pub fn evaluate_with(
     config: Config,
     options: EvalOptions,
 ) -> EvalReport {
+    let _span = lp_obs::span!("evaluate");
+    let reg = lp_obs::registry();
+    let t0 = reg.now_ns();
     let mut ev = Evaluator {
         profile,
         model,
@@ -143,6 +146,8 @@ pub fn evaluate_with(
     let root = ev.eval_region(profile.root());
     let total = profile.total_cost.max(1);
     let best = root.best.max(1);
+    lp_obs::counters().add(lp_obs::Counter::EvalsPerformed, 1);
+    reg.record_hist(lp_obs::Hist::EvalNanos, reg.now_ns().saturating_sub(t0));
     EvalReport {
         program: profile.program.clone(),
         model,
@@ -384,8 +389,8 @@ mod tests {
         let t1 = fb.mul(x, mul);
         let t2 = fb.add(t1, inc);
         let x2 = fb.and(t2, mask); // producer: early in the iteration
-        // Filler work AFTER the producer (uses x2 address, iteration-local
-        // stores to disjoint slots).
+                                   // Filler work AFTER the producer (uses x2 address, iteration-local
+                                   // stores to disjoint slots).
         let addr = fb.gep(base, i, 8, 0);
         let mut acc = x2;
         for _ in 0..10 {
@@ -431,13 +436,21 @@ mod tests {
             ExecModel::Doall,
             cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0),
         );
-        assert!(doall.speedup < 1.01, "DOALL must serialize: {}", doall.speedup);
+        assert!(
+            doall.speedup < 1.01,
+            "DOALL must serialize: {}",
+            doall.speedup
+        );
         let helix0 = evaluate(
             &p,
             ExecModel::Helix,
             cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn2),
         );
-        assert!(helix0.speedup < 1.01, "HELIX dep0 must serialize: {}", helix0.speedup);
+        assert!(
+            helix0.speedup < 1.01,
+            "HELIX dep0 must serialize: {}",
+            helix0.speedup
+        );
         let helix1 = evaluate(
             &p,
             ExecModel::Helix,

@@ -177,7 +177,10 @@ mod tests {
     #[test]
     fn pdoall_no_conflicts_equals_doall() {
         let lens = [4u64, 7, 2, 6];
-        assert_eq!(pdoall_cost(&lens, &[], false), doall_cost(&lens, false, false));
+        assert_eq!(
+            pdoall_cost(&lens, &[], false),
+            doall_cost(&lens, false, false)
+        );
     }
 
     #[test]
@@ -243,10 +246,7 @@ mod tests {
         let lens = [10u64; 6];
         // conflict at 3: phases {0,1,2},{3,4,5}; with 2 cores each phase
         // is 2 waves of 10 -> 20; total 40.
-        assert_eq!(
-            pdoall_cost_bounded(&lens, &[3], false, Some(2)),
-            Some(40)
-        );
+        assert_eq!(pdoall_cost_bounded(&lens, &[3], false, Some(2)), Some(40));
         assert_eq!(pdoall_cost_bounded(&lens, &[3], false, None), Some(20));
     }
 

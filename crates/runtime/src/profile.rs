@@ -216,10 +216,13 @@ impl Profile {
 
     /// Iterator over all loop-instance regions.
     pub fn loop_instances(&self) -> impl Iterator<Item = (RegionId, &Region, &LoopInstance)> {
-        self.regions.iter().enumerate().filter_map(|(i, r)| match &r.kind {
-            RegionKind::Loop(inst) => Some((RegionId(i as u32), r, inst)),
-            RegionKind::Call { .. } => None,
-        })
+        self.regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match &r.kind {
+                RegionKind::Loop(inst) => Some((RegionId(i as u32), r, inst)),
+                RegionKind::Call { .. } => None,
+            })
     }
 
     /// Iteration lengths of a loop instance (derived from start stamps and

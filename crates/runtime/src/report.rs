@@ -60,7 +60,12 @@ pub fn geomean_speedup(results: &[ProgramResult]) -> f64 {
 /// Geometric-mean coverage over a set of program results.
 #[must_use]
 pub fn geomean_coverage(results: &[ProgramResult]) -> f64 {
-    geomean(&results.iter().map(|r| r.coverage.max(0.01)).collect::<Vec<_>>())
+    geomean(
+        &results
+            .iter()
+            .map(|r| r.coverage.max(0.01))
+            .collect::<Vec<_>>(),
+    )
 }
 
 #[cfg(test)]

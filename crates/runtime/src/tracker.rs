@@ -18,10 +18,9 @@ use crate::profile::{
     CallClass, LcdInstance, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind,
 };
 use lp_analysis::{LcdClass, LoopId, ModuleAnalysis, Purity};
-use lp_interp::{
-    EventSink, Machine, MachineConfig, RunResult, Value, STACK_BASE,
-};
+use lp_interp::{EventSink, Machine, MachineConfig, MeteredSink, RunResult, Value, STACK_BASE};
 use lp_ir::{BlockId, Builtin, FuncId, Inst, Module, ValueId, ValueKind};
+use lp_obs::{span, Counter, Hist, PredictorKind};
 use lp_predict::HybridPredictor;
 use std::collections::{BTreeSet, HashMap};
 
@@ -96,6 +95,7 @@ pub struct Profiler<'a> {
     call_depth: u32,
     predictors: HashMap<(u32, u32), HybridPredictor>,
     options: ProfilerOptions,
+    cactus_filter_hits: u64,
 }
 
 impl<'a> Profiler<'a> {
@@ -186,6 +186,7 @@ impl<'a> Profiler<'a> {
             call_depth: 0,
             predictors: HashMap::new(),
             options,
+            cactus_filter_hits: 0,
         }
     }
 
@@ -271,6 +272,7 @@ impl<'a> Profiler<'a> {
             // access is iteration-local (disjoint cactus-stack frames,
             // paper §II-E) — skip conflict tracking at this level.
             if frame_push >= al.iter_start && frame_push > 0 {
+                self.cactus_filter_hits += 1;
                 continue;
             }
             let rel = now.saturating_sub(al.iter_start);
@@ -292,6 +294,45 @@ impl<'a> Profiler<'a> {
         }
     }
 
+    /// Publishes this run's tallies into the process-wide [`lp_obs`]
+    /// counter bank: regions/loops built, RAW conflict edges, cactus-stack
+    /// filter hits, per-iteration-count histogram samples, and per-kind
+    /// value-predictor hit/miss totals.
+    fn flush_counters(&self) {
+        let c = lp_obs::counters();
+        c.add(Counter::RegionsCreated, self.regions.len() as u64);
+        let mut edges = 0u64;
+        let mut loops = 0u64;
+        for r in &self.regions {
+            if let RegionKind::Loop(inst) = &r.kind {
+                loops += 1;
+                edges += inst.mem_edges;
+                lp_obs::record_hist(Hist::LoopIterations, inst.iterations() as u64);
+            }
+        }
+        c.add(Counter::LoopInstances, loops);
+        c.add(Counter::RawConflicts, edges);
+        c.add(Counter::CactusFilterHits, self.cactus_filter_hits);
+        let components = [
+            PredictorKind::LastValue,
+            PredictorKind::Stride,
+            PredictorKind::TwoDeltaStride,
+            PredictorKind::Fcm,
+        ];
+        for pred in self.predictors.values() {
+            let s = pred.stats();
+            c.add(Counter::PredictorHit(PredictorKind::Hybrid), s.correct);
+            c.add(
+                Counter::PredictorMiss(PredictorKind::Hybrid),
+                s.observed - s.correct,
+            );
+            for (kind, cs) in components.iter().zip(pred.component_stats()) {
+                c.add(Counter::PredictorHit(*kind), cs.correct);
+                c.add(Counter::PredictorMiss(*kind), cs.observed - cs.correct);
+            }
+        }
+    }
+
     /// Finalizes the profile. Call after the machine run completes.
     ///
     /// # Panics
@@ -307,6 +348,7 @@ impl<'a> Profiler<'a> {
         while let Some(rid) = self.region_stack.pop() {
             self.regions[rid.index()].end = stamp;
         }
+        self.flush_counters();
         Profile {
             program: self.program,
             total_cost: self.now,
@@ -380,7 +422,14 @@ impl EventSink for Profiler<'_> {
         }
     }
 
-    fn phi_resolved(&mut self, func: FuncId, _block: BlockId, phi: ValueId, value: Value, _now: u64) {
+    fn phi_resolved(
+        &mut self,
+        func: FuncId,
+        _block: BlockId,
+        phi: ValueId,
+        value: Value,
+        _now: u64,
+    ) {
         if let Some(&(lid, idx)) = self.traced.get(&(func.0, phi.0)) {
             if let Some(al) = self
                 .loop_stack
@@ -495,7 +544,13 @@ pub fn profile_module(
     args: &[Value],
     machine_config: MachineConfig,
 ) -> Result<(Profile, RunResult), lp_interp::InterpError> {
-    profile_module_with(module, analysis, args, machine_config, ProfilerOptions::default())
+    profile_module_with(
+        module,
+        analysis,
+        args,
+        machine_config,
+        ProfilerOptions::default(),
+    )
 }
 
 /// As [`profile_module`] with explicit profiler knobs (ablations).
@@ -509,9 +564,26 @@ pub fn profile_module_with(
     mut machine_config: MachineConfig,
     options: ProfilerOptions,
 ) -> Result<(Profile, RunResult), lp_interp::InterpError> {
+    let _span = span!("profile");
+    let reg = lp_obs::registry();
+    let t0 = reg.now_ns();
     let mut profiler = Profiler::with_options(module, analysis, options);
     machine_config.watched_values = profiler.watched_values();
-    let result = Machine::with_config(module, &mut profiler, machine_config).run(args)?;
+    let mut metered = MeteredSink::new(&mut profiler);
+    let result = Machine::with_config(module, &mut metered, machine_config).run(args);
+    let counts = metered.counts();
+    let c = lp_obs::counters();
+    c.add(Counter::EventsConsumed, counts.total());
+    c.add(Counter::BlocksEntered, counts.blocks);
+    c.add(Counter::PhisResolved, counts.phis);
+    c.add(Counter::Loads, counts.loads);
+    c.add(Counter::Stores, counts.stores);
+    c.add(Counter::FuncsEntered, counts.funcs);
+    c.add(Counter::BuiltinCalls, counts.builtins);
+    c.add(Counter::ValueDefs, counts.defs);
+    c.add(Counter::ProfilesTaken, 1);
+    lp_obs::record_hist(Hist::ProfileNanos, reg.now_ns().saturating_sub(t0));
+    let result = result?;
     Ok((profiler.finish(), result))
 }
 

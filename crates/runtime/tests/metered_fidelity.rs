@@ -1,0 +1,159 @@
+//! The `MeteredSink` decorator inside `profile_module` must not perturb
+//! the profiler: a metered run's `Profile` (and every `EvalReport`
+//! derived from it) must be identical to an undecorated run's.
+
+use lp_analysis::analyze_module;
+use lp_interp::{Machine, MachineConfig, MeteredSink, Value};
+use lp_ir::builder::FunctionBuilder;
+use lp_ir::{Global, IcmpPred, Module, Type};
+use lp_runtime::{evaluate, paper_rows, profile_module, Profiler};
+
+/// A loop carrying a RAW through one memory cell plus a nested callee, so
+/// the profile exercises regions, conflicts, predictors, and call classes.
+fn sample_module(n: i64) -> Module {
+    let mut m = Module::new("fidelity");
+    let g = m.add_global(Global::zeroed("cell", 1));
+
+    let mut fb = FunctionBuilder::new("bump", &[Type::I64], Type::I64);
+    let arg = fb.param(0);
+    let one = fb.const_i64(1);
+    let r = fb.add(arg, one);
+    fb.ret(Some(r));
+    let bump = m.add_function(fb.finish().unwrap());
+
+    let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+    let nn = fb.const_i64(n);
+    let zero = fb.const_i64(0);
+    let one = fb.const_i64(1);
+    let cell = fb.global_addr(g);
+    let header = fb.create_block("header");
+    let body = fb.create_block("body");
+    let exit = fb.create_block("exit");
+    fb.br(header);
+    fb.switch_to(header);
+    let i = fb.phi(Type::I64);
+    let c = fb.icmp(IcmpPred::Slt, i, nn);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let v = fb.load(Type::I64, cell);
+    let v2 = fb.call(bump, Type::I64, &[v]);
+    fb.store(v2, cell);
+    let i2 = fb.add(i, one);
+    fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+    fb.add_phi_incoming(i, body, i2);
+    fb.br(header);
+    fb.switch_to(exit);
+    let r = fb.load(Type::I64, cell);
+    fb.ret(Some(r));
+    m.add_function(fb.finish().unwrap());
+    m
+}
+
+#[test]
+fn metered_profile_and_reports_are_identical() {
+    let m = sample_module(40);
+    let analysis = analyze_module(&m);
+
+    // Undecorated: drive the machine with the bare profiler.
+    let mut plain = Profiler::new(&m, &analysis);
+    let config = MachineConfig {
+        watched_values: plain.watched_values(),
+        ..MachineConfig::default()
+    };
+    let plain_result = Machine::with_config(&m, &mut plain, config)
+        .run(&[])
+        .unwrap();
+    let plain_profile = plain.finish();
+
+    // Decorated: `profile_module` wraps the profiler in a `MeteredSink`.
+    let (metered_profile, metered_result) =
+        profile_module(&m, &analysis, &[], MachineConfig::default()).unwrap();
+
+    assert_eq!(plain_result.ret, metered_result.ret);
+    assert_eq!(plain_result.cost, metered_result.cost);
+    assert_eq!(
+        format!("{plain_profile:?}"),
+        format!("{metered_profile:?}"),
+        "metering perturbed the profile"
+    );
+    for (model, config) in paper_rows() {
+        let a = evaluate(&plain_profile, model, config);
+        let b = evaluate(&metered_profile, model, config);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "{model} {config}");
+    }
+}
+
+/// The DESIGN.md overhead measurement: interleaves bare and metered runs
+/// and compares medians, so scheduler drift cancels out. Ignored by
+/// default; run with
+/// `cargo test --release -p lp-runtime --test metered_fidelity -- --ignored --nocapture`.
+#[test]
+#[ignore = "measurement harness, run explicitly in release mode"]
+fn measure_observability_overhead() {
+    let m = sample_module(20_000);
+    let analysis = analyze_module(&m);
+    let rounds = 60;
+    let mut bare = Vec::with_capacity(rounds);
+    let mut metered = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        let mut profiler = Profiler::new(&m, &analysis);
+        let config = MachineConfig {
+            watched_values: profiler.watched_values(),
+            ..MachineConfig::default()
+        };
+        Machine::with_config(&m, &mut profiler, config)
+            .run(&[])
+            .unwrap();
+        let p = profiler.finish();
+        bare.push(t.elapsed().as_nanos() as u64);
+        assert!(p.total_cost > 0);
+
+        let t = std::time::Instant::now();
+        let (p, _) = profile_module(&m, &analysis, &[], MachineConfig::default()).unwrap();
+        metered.push(t.elapsed().as_nanos() as u64);
+        assert!(p.total_cost > 0);
+    }
+    bare.sort_unstable();
+    metered.sort_unstable();
+    let (b, mt) = (bare[rounds / 2], metered[rounds / 2]);
+    let overhead = 100.0 * (mt as f64 - b as f64) / b as f64;
+    println!(
+        "bare median {:.3}ms, metered median {:.3}ms, overhead {overhead:+.2}%",
+        b as f64 / 1e6,
+        mt as f64 / 1e6,
+    );
+}
+
+#[test]
+fn metered_counts_match_delivered_events() {
+    let m = sample_module(10);
+    let analysis = analyze_module(&m);
+    let mut profiler = Profiler::new(&m, &analysis);
+    let config = MachineConfig {
+        watched_values: profiler.watched_values(),
+        ..MachineConfig::default()
+    };
+    let mut metered = MeteredSink::new(&mut profiler);
+    let result = Machine::with_config(&m, &mut metered, config)
+        .run(&[])
+        .unwrap();
+    let counts = metered.counts();
+    assert_eq!(result.ret, Value::I(10));
+    // 10 iterations enter `bump`, plus main itself.
+    assert_eq!(counts.funcs, 11);
+    assert_eq!(counts.exits, 11);
+    assert!(counts.loads >= 11 && counts.stores >= 10);
+    assert!(counts.blocks > 0 && counts.phis > 0);
+    assert_eq!(
+        counts.total(),
+        counts.blocks
+            + counts.phis
+            + counts.loads
+            + counts.stores
+            + counts.funcs
+            + counts.exits
+            + counts.builtins
+            + counts.defs
+    );
+}

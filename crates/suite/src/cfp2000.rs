@@ -20,7 +20,12 @@ fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
 /// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
 /// calibrates the frequent-memory-LCD fraction of every benchmark.
 fn glue(n: i64) -> Option<Glue> {
-    Some(Glue { serial_n: n / 24, accum_n: n / 24, lcg_n: n / 3, work: 10 })
+    Some(Glue {
+        serial_n: n / 24,
+        accum_n: n / 24,
+        lcg_n: n / 3,
+        work: 10,
+    })
 }
 
 /// The CFP2000 roster.
@@ -49,7 +54,13 @@ fn wupwise(scale: Scale) -> Module {
     build_program_glued(
         "168.wupwise",
         glue(n),
-        &[("mat", 32 * 32), ("v", 40), ("out", 40), ("x", n as u64 + 2), ("y", n as u64 + 2)],
+        &[
+            ("mat", 32 * 32),
+            ("v", 40),
+            ("out", 40),
+            ("x", n as u64 + 2),
+            ("y", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             let dim = fb.const_i64(32);
@@ -74,7 +85,11 @@ fn swim(scale: Scale) -> Module {
     build_program_glued(
         "171.swim",
         glue(n),
-        &[("u", n as u64 + 4), ("v", n as u64 + 4), ("p", n as u64 + 4)],
+        &[
+            ("u", n as u64 + 4),
+            ("v", n as u64 + 4),
+            ("p", n as u64 + 4),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.125);
@@ -119,7 +134,11 @@ fn applu(scale: Scale) -> Module {
     build_program_glued(
         "173.applu",
         glue(n),
-        &[("rsd", n as u64 + 4), ("u", n as u64 + 4), ("line", n as u64 + 4)],
+        &[
+            ("rsd", n as u64 + 4),
+            ("u", n as u64 + 4),
+            ("line", n as u64 + 4),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.2);
@@ -139,7 +158,11 @@ fn mesa(scale: Scale) -> Module {
     build_program_glued(
         "177.mesa",
         glue(n),
-        &[("verts", n as u64 + 2), ("xformed", n as u64 + 2), ("frame", n as u64 + 2)],
+        &[
+            ("verts", n as u64 + 2),
+            ("xformed", n as u64 + 2),
+            ("frame", n as u64 + 2),
+        ],
         |m, fb, g| {
             let xf = make_pure_math_fn(m, "transform_vertex");
             let nn = fb.const_i64(n);
@@ -160,7 +183,12 @@ fn galgel(scale: Scale) -> Module {
     build_program_glued(
         "178.galgel",
         glue(n),
-        &[("mat", 64 * 64), ("v", 72), ("out", 72), ("field", n as u64 + 2)],
+        &[
+            ("mat", 64 * 64),
+            ("v", 72),
+            ("out", 72),
+            ("field", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let dim = fb.const_i64(64);
             let d2 = fb.const_i64(64 * 64);
@@ -185,7 +213,11 @@ fn art(scale: Scale) -> Module {
     build_program_glued(
         "179.art",
         glue(n),
-        &[("f1", n as u64 + 2), ("weights", n as u64 + 2), ("strides", n as u64 + 2)],
+        &[
+            ("f1", n as u64 + 2),
+            ("weights", n as u64 + 2),
+            ("strides", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.02);
@@ -232,7 +264,11 @@ fn facerec(scale: Scale) -> Module {
     build_program_glued(
         "187.facerec",
         glue(n),
-        &[("img", n as u64 + 4), ("gallery", n as u64 + 4), ("scores", n as u64 + 2)],
+        &[
+            ("img", n as u64 + 4),
+            ("gallery", n as u64 + 4),
+            ("scores", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.015);
@@ -254,7 +290,11 @@ fn ammp(scale: Scale) -> Module {
     build_program_glued(
         "188.ammp",
         glue(n),
-        &[("pos", n as u64 + 2), ("force_cell", 2), ("scratch", n as u64 + 2)],
+        &[
+            ("pos", n as u64 + 2),
+            ("force_cell", 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.02);
@@ -296,7 +336,11 @@ fn fma3d(scale: Scale) -> Module {
     build_program_glued(
         "191.fma3d",
         glue(n),
-        &[("elems", n as u64 + 2), ("forces", n as u64 + 4), ("out", n as u64 + 2)],
+        &[
+            ("elems", n as u64 + 2),
+            ("forces", n as u64 + 4),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let elem = make_scratch_fn(m, "element_force");
             let nn = fb.const_i64(n);
@@ -336,7 +380,11 @@ fn apsi(scale: Scale) -> Module {
     build_program_glued(
         "301.apsi",
         glue(n),
-        &[("conc", n as u64 + 4), ("wind", n as u64 + 4), ("col", n as u64 + 4)],
+        &[
+            ("conc", n as u64 + 4),
+            ("wind", n as u64 + 4),
+            ("col", n as u64 + 4),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.02);

@@ -18,7 +18,12 @@ fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
 /// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
 /// calibrates the frequent-memory-LCD fraction of every benchmark.
 fn glue(n: i64) -> Option<Glue> {
-    Some(Glue { serial_n: n / 24, accum_n: n / 24, lcg_n: n / 3, work: 10 })
+    Some(Glue {
+        serial_n: n / 24,
+        accum_n: n / 24,
+        lcg_n: n / 3,
+        work: 10,
+    })
 }
 
 /// The CFP2006 roster.
@@ -40,7 +45,12 @@ fn milc(scale: Scale) -> Module {
     build_program_glued(
         "433.milc",
         glue(n),
-        &[("links", 48 * 48), ("site", 56), ("out", 56), ("field", n as u64 + 2)],
+        &[
+            ("links", 48 * 48),
+            ("site", 56),
+            ("out", 56),
+            ("field", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let dim = fb.const_i64(48);
             let d2 = fb.const_i64(48 * 48);
@@ -64,7 +74,12 @@ fn namd(scale: Scale) -> Module {
     build_program_glued(
         "444.namd",
         glue(n),
-        &[("pos", n as u64 + 2), ("vel", n as u64 + 2), ("energy", 2), ("scratch", n as u64 + 2)],
+        &[
+            ("pos", n as u64 + 2),
+            ("vel", n as u64 + 2),
+            ("energy", 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.01);
@@ -86,7 +101,13 @@ fn dealii(scale: Scale) -> Module {
     build_program_glued(
         "447.dealII",
         glue(n),
-        &[("cells", n as u64 + 2), ("matrix", 40 * 40), ("rhs", 48), ("sol", 48), ("out", n as u64 + 2)],
+        &[
+            ("cells", n as u64 + 2),
+            ("matrix", 40 * 40),
+            ("rhs", 48),
+            ("sol", 48),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let assemble = make_scratch_fn(m, "assemble_cell");
             let nn = fb.const_i64(n);
@@ -133,7 +154,11 @@ fn povray(scale: Scale) -> Module {
     build_program_glued(
         "453.povray",
         glue(n),
-        &[("rays", n as u64 + 2), ("img", n as u64 + 2), ("img2", n as u64 + 2)],
+        &[
+            ("rays", n as u64 + 2),
+            ("img", n as u64 + 2),
+            ("img2", n as u64 + 2),
+        ],
         |m, fb, g| {
             let shade = make_pure_math_fn(m, "trace_ray");
             let nn = fb.const_i64(n);
@@ -174,7 +199,11 @@ fn sphinx3(scale: Scale) -> Module {
     build_program_glued(
         "482.sphinx3",
         glue(n),
-        &[("feat", n as u64 + 2), ("gauss", n as u64 + 2), ("senones", n as u64 + 2)],
+        &[
+            ("feat", n as u64 + 2),
+            ("gauss", n as u64 + 2),
+            ("senones", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine_f64(fb, g[0], nn, 0.02);
@@ -239,7 +268,10 @@ mod tests {
     fn lbm_is_massively_parallel() {
         let m = lbm(Scale::Test);
         let s = speedup(&m, ExecModel::PartialDoall, "reduc0-dep0-fn1");
-        assert!(s > 5.0, "lbm should be near-perfect once pure calls pass: {s}");
+        assert!(
+            s > 5.0,
+            "lbm should be near-perfect once pure calls pass: {s}"
+        );
     }
 
     #[test]

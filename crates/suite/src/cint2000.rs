@@ -22,7 +22,12 @@ fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
 /// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
 /// calibrates the frequent-memory-LCD fraction of every benchmark.
 fn glue(n: i64) -> Option<Glue> {
-    Some(Glue { serial_n: n * 2 / 5, accum_n: n * 7 / 10, lcg_n: 0, work: 14 })
+    Some(Glue {
+        serial_n: n * 2 / 5,
+        accum_n: n * 7 / 10,
+        lcg_n: 0,
+        work: 14,
+    })
 }
 
 /// The CINT2000 roster.
@@ -77,7 +82,11 @@ fn vpr(scale: Scale) -> Module {
     build_program_glued(
         "175.vpr",
         glue(n),
-        &[("grid", 2048), ("cost", n as u64 + 2), ("scratch", n as u64 + 2)],
+        &[
+            ("grid", 2048),
+            ("cost", n as u64 + 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             let rng = fill_lcg(fb, g[1], nn, 0x7717, 2047); // proposal stream
@@ -138,7 +147,12 @@ fn crafty(scale: Scale) -> Module {
     build_program_glued(
         "186.crafty",
         glue(n),
-        &[("tt", 8192), ("nodes", 2), ("board", n as u64 + 2), ("scratch", n as u64 + 2)],
+        &[
+            ("tt", 8192),
+            ("nodes", 2),
+            ("board", n as u64 + 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine(fb, g[2], nn, 2654435761, 99);
@@ -156,7 +170,11 @@ fn parser(scale: Scale) -> Module {
     build_program_glued(
         "197.parser",
         glue(n),
-        &[("links", n as u64 + 2), ("words", n as u64 + 2), ("out", n as u64 + 2)],
+        &[
+            ("links", n as u64 + 2),
+            ("words", n as u64 + 2),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let helper = make_scratch_fn(m, "match_word");
             let nn = fb.const_i64(n);
@@ -215,7 +233,11 @@ fn gap(scale: Scale) -> Module {
     build_program_glued(
         "254.gap",
         glue(n),
-        &[("limbs", 2), ("tab", n as u64 + 2), ("scratch", n as u64 + 2)],
+        &[
+            ("limbs", 2),
+            ("tab", n as u64 + 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             accum_cell(fb, g[0], g[2], nn, 16); // carry propagation cell
@@ -235,7 +257,11 @@ fn vortex(scale: Scale) -> Module {
     build_program_glued(
         "255.vortex",
         glue(n),
-        &[("objs", n as u64 + 2), ("index", 4096), ("out", n as u64 + 2)],
+        &[
+            ("objs", n as u64 + 2),
+            ("index", 4096),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let method = make_scratch_fn(m, "obj_update");
             let nn = fb.const_i64(n);
@@ -255,7 +281,11 @@ fn bzip2(scale: Scale) -> Module {
     build_program_glued(
         "256.bzip2",
         glue(n),
-        &[("block", n as u64 + 4), ("counts", n as u64 + 4), ("bwt", n as u64 + 4)],
+        &[
+            ("block", n as u64 + 4),
+            ("counts", n as u64 + 4),
+            ("bwt", n as u64 + 4),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_mostly_const(fb, g[1], nn, 1, 9, 32); // run lengths
@@ -276,7 +306,11 @@ fn twolf(scale: Scale) -> Module {
     build_program_glued(
         "300.twolf",
         glue(n),
-        &[("cells", n as u64 + 2), ("cost", 2), ("scratch", n as u64 + 2)],
+        &[
+            ("cells", n as u64 + 2),
+            ("cost", 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             let rng = fill_lcg(fb, g[0], nn, 0x2f01, 1023); // move proposals
@@ -323,6 +357,9 @@ mod tests {
         let m = eon(Scale::Test);
         let fn0 = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn0");
         let fn2 = speedup(&m, ExecModel::PartialDoall, "reduc1-dep2-fn2");
-        assert!(fn2 > fn0 * 1.15, "eon gains from call parallelization: {fn0} -> {fn2}");
+        assert!(
+            fn2 > fn0 * 1.15,
+            "eon gains from call parallelization: {fn0} -> {fn2}"
+        );
     }
 }

@@ -21,7 +21,12 @@ fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
 /// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
 /// calibrates the frequent-memory-LCD fraction of every benchmark.
 fn glue(n: i64) -> Option<Glue> {
-    Some(Glue { serial_n: n / 4, accum_n: n * 7 / 10, lcg_n: 0, work: 14 })
+    Some(Glue {
+        serial_n: n / 4,
+        accum_n: n * 7 / 10,
+        lcg_n: 0,
+        work: 14,
+    })
 }
 
 /// The CINT2006 roster.
@@ -49,7 +54,11 @@ fn perlbench(scale: Scale) -> Module {
     build_program_glued(
         "400.perlbench",
         glue(n),
-        &[("ops", n as u64 + 4), ("pad", n as u64 + 4), ("text", n as u64 + 4)],
+        &[
+            ("ops", n as u64 + 4),
+            ("pad", n as u64 + 4),
+            ("text", n as u64 + 4),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_lcg(fb, g[0], nn, 0x4001, 511);
@@ -70,7 +79,12 @@ fn bzip2(scale: Scale) -> Module {
     build_program_glued(
         "401.bzip2",
         glue(n),
-        &[("block", n as u64 + 4), ("counts", n as u64 + 4), ("cell", 2), ("scratch", n as u64 + 4)],
+        &[
+            ("block", n as u64 + 4),
+            ("counts", n as u64 + 4),
+            ("cell", 2),
+            ("scratch", n as u64 + 4),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_mostly_const(fb, g[1], nn, 1, 7, 48);
@@ -90,7 +104,12 @@ fn gcc(scale: Scale) -> Module {
     build_program_glued(
         "403.gcc",
         glue(n),
-        &[("ir", n as u64 + 4), ("table", 4096), ("out", n as u64 + 4), ("out2", n as u64 + 4)],
+        &[
+            ("ir", n as u64 + 4),
+            ("table", 4096),
+            ("out", n as u64 + 4),
+            ("out2", n as u64 + 4),
+        ],
         |m, fb, g| {
             let fold = make_scratch_fn(m, "fold_insn");
             let dce = make_scratch_fn(m, "dce_insn");
@@ -136,7 +155,12 @@ fn gobmk(scale: Scale) -> Module {
     build_program_glued(
         "445.gobmk",
         glue(n),
-        &[("board", n as u64 + 2), ("hash", 8192), ("nodes", 2), ("scratch", n as u64 + 2)],
+        &[
+            ("board", n as u64 + 2),
+            ("hash", 8192),
+            ("nodes", 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_lcg(fb, g[0], nn, 0x60b0, 511); // candidate moves
@@ -176,7 +200,12 @@ fn sjeng(scale: Scale) -> Module {
     build_program_glued(
         "458.sjeng",
         glue(n),
-        &[("tt", 8192), ("board", n as u64 + 2), ("nodes", 2), ("scratch", n as u64 + 2)],
+        &[
+            ("tt", 8192),
+            ("board", n as u64 + 2),
+            ("nodes", 2),
+            ("scratch", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine(fb, g[1], nn, 2654435761, 17);
@@ -198,7 +227,12 @@ fn libquantum(scale: Scale) -> Module {
     // quantum state vector).
     build_program_glued(
         "462.libquantum",
-        Some(Glue { serial_n: n / 12, accum_n: n / 6, lcg_n: 0, work: 10 }),
+        Some(Glue {
+            serial_n: n / 12,
+            accum_n: n / 6,
+            lcg_n: 0,
+            work: 10,
+        }),
         &[("state", n as u64 + 2), ("state2", n as u64 + 2)],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
@@ -220,7 +254,11 @@ fn h264ref(scale: Scale) -> Module {
     build_program_glued(
         "464.h264ref",
         glue(n),
-        &[("frame", n as u64 + 18), ("ref", n as u64 + 18), ("sad", n as u64 + 2)],
+        &[
+            ("frame", n as u64 + 18),
+            ("ref", n as u64 + 18),
+            ("sad", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let nn = fb.const_i64(n);
             fill_affine(fb, g[0], nn, 11, 7);
@@ -274,7 +312,11 @@ fn xalancbmk(scale: Scale) -> Module {
     build_program_glued(
         "483.xalancbmk",
         glue(n),
-        &[("nodes", n as u64 + 2), ("strings", 4096), ("out", n as u64 + 2)],
+        &[
+            ("nodes", n as u64 + 2),
+            ("strings", 4096),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let visit = make_scratch_fn(m, "visit_node");
             let nn = fb.const_i64(n);
@@ -359,12 +401,7 @@ fn gate_sweep(fb: &mut FunctionBuilder, src: ValueId, dst: ValueId, n: ValueId, 
 }
 
 /// Scrambles a board array then chases it (sjeng helper).
-fn pointer_chase_setup(
-    fb: &mut FunctionBuilder,
-    board: ValueId,
-    n: ValueId,
-    work: u32,
-) -> ValueId {
+fn pointer_chase_setup(fb: &mut FunctionBuilder, board: ValueId, n: ValueId, work: u32) -> ValueId {
     // Reduce board values into valid indices, then chase.
     counted_loop(fb, n, &[], |fb, i, _| {
         let v = load_elem(fb, Type::I64, board, i);

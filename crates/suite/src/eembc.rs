@@ -22,7 +22,12 @@ fn bench(name: &'static str, build: fn(Scale) -> Module) -> Benchmark {
 /// Per-suite glue weights (see `lp_suite::Glue` and DESIGN.md §4):
 /// calibrates the frequent-memory-LCD fraction of every benchmark.
 fn glue(n: i64) -> Option<Glue> {
-    Some(Glue { serial_n: n / 24, accum_n: n / 24, lcg_n: n / 4, work: 8 })
+    Some(Glue {
+        serial_n: n / 24,
+        accum_n: n / 24,
+        lcg_n: n / 4,
+        work: 8,
+    })
 }
 
 /// The EEMBC roster (automotive + telecom kernels).
@@ -47,7 +52,11 @@ fn aifftr(scale: Scale) -> Module {
     build_program_glued(
         "eembc.aifftr01",
         glue(n),
-        &[("re", n as u64 + 2), ("im", n as u64 + 2), ("out", n as u64 + 2)],
+        &[
+            ("re", n as u64 + 2),
+            ("im", n as u64 + 2),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let bf = make_scratch_fn(m, "butterfly");
             let nn = fb.const_i64(n);
@@ -66,7 +75,11 @@ fn aiifft(scale: Scale) -> Module {
     build_program_glued(
         "eembc.aiifft01",
         glue(n),
-        &[("re", n as u64 + 2), ("f", n as u64 + 2), ("out", n as u64 + 2)],
+        &[
+            ("re", n as u64 + 2),
+            ("f", n as u64 + 2),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let bf = make_scratch_fn(m, "ibutterfly");
             let nn = fb.const_i64(n);
@@ -122,7 +135,13 @@ fn idctrn(scale: Scale) -> Module {
     build_program_glued(
         "eembc.idctrn01",
         glue(n),
-        &[("blocks", n as u64 + 2), ("coef", 64 + 8), ("v", 16), ("tmp", 16), ("out", n as u64 + 2)],
+        &[
+            ("blocks", n as u64 + 2),
+            ("coef", 64 + 8),
+            ("v", 16),
+            ("tmp", 16),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let idct = make_scratch_fn(m, "idct_block");
             let nn = fb.const_i64(n);
@@ -145,7 +164,11 @@ fn matrix(scale: Scale) -> Module {
     build_program_glued(
         "eembc.matrix01",
         glue(n),
-        &[("mat", (n as u64 + 1) * (n as u64 + 1)), ("v", n as u64 + 2), ("out", n as u64 + 2)],
+        &[
+            ("mat", (n as u64 + 1) * (n as u64 + 1)),
+            ("v", n as u64 + 2),
+            ("out", n as u64 + 2),
+        ],
         |_m, fb, g| {
             let dim = fb.const_i64(n);
             let d2 = fb.const_i64(n * n);
@@ -166,7 +189,12 @@ fn puwmod(scale: Scale) -> Module {
     build_program_glued(
         "eembc.puwmod01",
         glue(n),
-        &[("duty", n as u64 + 2), ("state", 2), ("scratch", n as u64 + 2), ("out", n as u64 + 2)],
+        &[
+            ("duty", n as u64 + 2),
+            ("state", 2),
+            ("scratch", n as u64 + 2),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let mod_fn = make_scratch_fn(m, "modulate");
             let nn = fb.const_i64(n);
@@ -205,7 +233,11 @@ fn tblook(scale: Scale) -> Module {
     build_program_glued(
         "eembc.tblook01",
         glue(n),
-        &[("keys", n as u64 + 2), ("table", 1024), ("out", n as u64 + 2)],
+        &[
+            ("keys", n as u64 + 2),
+            ("table", 1024),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let interp = make_pure_fn(m, "interp");
             let nn = fb.const_i64(n);
@@ -226,7 +258,12 @@ fn ttsprk(scale: Scale) -> Module {
     build_program_glued(
         "eembc.ttsprk01",
         glue(n),
-        &[("sensors", n as u64 + 2), ("state", 2), ("scratch", n as u64 + 2), ("out", n as u64 + 2)],
+        &[
+            ("sensors", n as u64 + 2),
+            ("state", 2),
+            ("scratch", n as u64 + 2),
+            ("out", n as u64 + 2),
+        ],
         |m, fb, g| {
             let advance = make_scratch_fn(m, "spark_advance");
             let nn = fb.const_i64(n);

@@ -333,7 +333,10 @@ mod tests {
         fb.ret(Some(phis[1]));
         m.add_function(fb.finish().unwrap());
         let Value::I(count) = run(&m) else { panic!() };
-        assert!((16..=48).contains(&count), "suspicious LCG distribution: {count}");
+        assert!(
+            (16..=48).contains(&count),
+            "suspicious LCG distribution: {count}"
+        );
     }
 
     #[test]

@@ -269,7 +269,11 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = registry();
-        assert!(all.len() >= 55, "expected >= 55 benchmarks, got {}", all.len());
+        assert!(
+            all.len() >= 55,
+            "expected >= 55 benchmarks, got {}",
+            all.len()
+        );
         let mut names = std::collections::HashSet::new();
         for b in &all {
             assert!(names.insert(b.name), "duplicate benchmark {}", b.name);

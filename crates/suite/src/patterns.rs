@@ -258,12 +258,7 @@ pub fn histogram(fb: &mut FunctionBuilder, hist: ValueId, n: ValueId, mask: i64,
 /// Frequent but highly *predictable* non-computable register LCD: `x +=
 /// a[i]` where the table holds a constant stride except every `period`-th
 /// entry. Stride/2-delta predictors hit ≳90 %. Returns the walker.
-pub fn predictable_walk(
-    fb: &mut FunctionBuilder,
-    data: ValueId,
-    n: ValueId,
-    work: u32,
-) -> ValueId {
+pub fn predictable_walk(fb: &mut FunctionBuilder, data: ValueId, n: ValueId, work: u32) -> ValueId {
     let zero = fb.const_i64(0);
     let phis = counted_loop(
         fb,
@@ -357,13 +352,7 @@ pub fn chase_mem(
 
 /// Maps `dst[i] = callee(src[i])` — calls inside a loop (the structural
 /// constraint). The callee decides the `fn` class.
-pub fn map_call(
-    fb: &mut FunctionBuilder,
-    callee: FuncId,
-    src: ValueId,
-    dst: ValueId,
-    n: ValueId,
-) {
+pub fn map_call(fb: &mut FunctionBuilder, callee: FuncId, src: ValueId, dst: ValueId, n: ValueId) {
     counted_loop(fb, n, &[], |fb, i, _| {
         let v = load_elem(fb, Type::I64, src, i);
         let r = fb.call(callee, Type::I64, &[v]);
@@ -375,12 +364,7 @@ pub fn map_call(
 /// A loop that prints its accumulator every `period` iterations — a
 /// non-thread-safe I/O call on a rarely taken path (only `fn3`
 /// parallelizes it). Returns the accumulator.
-pub fn print_every(
-    fb: &mut FunctionBuilder,
-    base: ValueId,
-    n: ValueId,
-    period: i64,
-) -> ValueId {
+pub fn print_every(fb: &mut FunctionBuilder, base: ValueId, n: ValueId, period: i64) -> ValueId {
     let zero = fb.const_i64(0);
     let pc = fb.const_i64(period);
     let phis = counted_loop(fb, n, &[(Type::I64, zero)], |fb, i, phis| {
@@ -562,7 +546,10 @@ mod tests {
         // math call (like real FP code): fn0 serializes it, fn1 unlocks.
         let fn0 = speedup(&m, ExecModel::Doall, "reduc0-dep0-fn0");
         let fn1 = speedup(&m, ExecModel::PartialDoall, "reduc0-dep0-fn1");
-        assert!(fn1 > 20.0, "stencil should be DOALL once pure calls pass: {fn1}");
+        assert!(
+            fn1 > 20.0,
+            "stencil should be DOALL once pure calls pass: {fn1}"
+        );
         assert!(fn1 > fn0 * 2.0, "fn0 must gate the stencil: {fn0} -> {fn1}");
     }
 
@@ -577,8 +564,14 @@ mod tests {
         });
         let doall = speedup(&m, ExecModel::Doall, "reduc0-dep0-fn0");
         let helix = speedup(&m, ExecModel::Helix, "reduc1-dep1-fn2");
-        assert!(doall < 2.6, "fills are DOALL but the chase dominates: {doall}");
-        assert!(helix > doall, "HELIX dep1 should beat DOALL: {helix} vs {doall}");
+        assert!(
+            doall < 2.6,
+            "fills are DOALL but the chase dominates: {doall}"
+        );
+        assert!(
+            helix > doall,
+            "HELIX dep1 should beat DOALL: {helix} vs {doall}"
+        );
     }
 
     #[test]

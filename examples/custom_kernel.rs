@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let printed = lp_ir::printer::print_module(&module);
     let reparsed = lp_ir::parser::parse_module(&printed)?;
     assert_eq!(printed, lp_ir::printer::print_module(&reparsed));
-    println!("parsed module with {} functions; round-trip OK\n", module.functions.len());
+    println!(
+        "parsed module with {} functions; round-trip OK\n",
+        module.functions.len()
+    );
 
     let study = Study::of(&module)?;
     println!(

@@ -26,7 +26,9 @@ fn main() -> Result<(), loopapalooza::Error> {
         .into_iter()
         .find(|s| s.label() == suite_name)
         .unwrap_or_else(|| {
-            eprintln!("unknown suite {suite_name:?}; options: cint2000 cfp2000 cint2006 cfp2006 eembc");
+            eprintln!(
+                "unknown suite {suite_name:?}; options: cint2000 cfp2000 cint2006 cfp2006 eembc"
+            );
             std::process::exit(2);
         });
 
@@ -35,11 +37,7 @@ fn main() -> Result<(), loopapalooza::Error> {
     for bench in lp_suite::suite(suite_id) {
         let module = bench.build(scale);
         let study = Study::of(&module)?;
-        println!(
-            "  {:<18} cost {:>10}",
-            bench.name,
-            study.run_result().cost
-        );
+        println!("  {:<18} cost {:>10}", bench.name, study.run_result().cost);
         studies.push(study);
     }
 

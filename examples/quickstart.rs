@@ -75,7 +75,10 @@ fn main() -> Result<(), loopapalooza::Error> {
         study.run_result().cost
     );
 
-    println!("{:<14} {:<18} {:>10} {:>10}", "model", "config", "speedup", "coverage");
+    println!(
+        "{:<14} {:<18} {:>10} {:>10}",
+        "model", "config", "speedup", "coverage"
+    );
     for report in study.paper_rows() {
         println!(
             "{:<14} {:<18} {:>9.2}x {:>9.1}%",

@@ -32,7 +32,9 @@ fn main() -> Result<(), loopapalooza::Error> {
         let mut x = 0x1234_5678u64;
         (0..200)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x >> 33
             })
             .collect()

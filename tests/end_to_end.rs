@@ -11,8 +11,8 @@ fn studies(scale: Scale) -> Vec<(String, Study)> {
         .into_iter()
         .map(|b| {
             let module = b.build(scale);
-            let study = Study::of(&module)
-                .unwrap_or_else(|e| panic!("{} failed to profile: {e}", b.name));
+            let study =
+                Study::of(&module).unwrap_or_else(|e| panic!("{} failed to profile: {e}", b.name));
             (b.name.to_string(), study)
         })
         .collect()
@@ -163,7 +163,11 @@ fn amdahl_consistency_between_speedup_and_coverage() {
     for (name, study) in studies(Scale::Test) {
         for report in study.paper_rows() {
             let c = report.coverage / 100.0;
-            let bound = if c >= 1.0 { f64::INFINITY } else { 1.0 / (1.0 - c) };
+            let bound = if c >= 1.0 {
+                f64::INFINITY
+            } else {
+                1.0 / (1.0 - c)
+            };
             assert!(
                 report.speedup <= bound * 1.0001,
                 "{name} {} {}: speedup {:.3} exceeds Amdahl bound {:.3} at coverage {:.1}%",

@@ -88,10 +88,7 @@ fn helix_dep1_is_the_headline_for_int() {
     for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
         let helix = gm(suite, ExecModel::Helix, "reduc1-dep1-fn2");
         let best_pd = gm(suite, ExecModel::PartialDoall, "reduc1-dep2-fn2");
-        assert!(
-            helix > 2.0,
-            "{suite}: headline HELIX too weak: {helix:.2}"
-        );
+        assert!(helix > 2.0, "{suite}: headline HELIX too weak: {helix:.2}");
         assert!(
             helix > best_pd,
             "{suite}: HELIX ({helix:.2}) must beat best realistic PDOALL ({best_pd:.2})"
@@ -119,7 +116,10 @@ fn numeric_suites_tower_over_int() {
     // The best HELIX row: numeric suites in the tens, INT in single digits.
     let fp = gm(SuiteId::Cfp2000, ExecModel::Helix, "reduc1-dep1-fn2");
     let int = gm(SuiteId::Cint2000, ExecModel::Helix, "reduc1-dep1-fn2");
-    assert!(fp > 2.0 * int, "numeric headline ({fp:.2}) should dwarf INT ({int:.2})");
+    assert!(
+        fp > 2.0 * int,
+        "numeric headline ({fp:.2}) should dwarf INT ({int:.2})"
+    );
 }
 
 #[test]
@@ -220,9 +220,5 @@ fn reduc1_matters_most_for_cfp2000() {
 #[allow(unused_imports)]
 use lp_runtime as _runtime_reexport_check;
 const _: fn() = || {
-    let _ = (
-        ReducMode::Reduc0,
-        DepMode::Dep0,
-        FnMode::Fn0,
-    );
+    let _ = (ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0);
 };

@@ -179,7 +179,10 @@ fn bounded_cores_interpolate_between_serial_and_limit() {
     let s16 = at(Some(16));
     let inf = at(None);
     assert!(s1 <= 1.001, "1 core cannot speed up: {s1}");
-    assert!(s1 <= s4 && s4 <= s16 && s16 <= inf * 1.0001, "monotone in cores");
+    assert!(
+        s1 <= s4 && s4 <= s16 && s16 <= inf * 1.0001,
+        "monotone in cores"
+    );
     assert!(s16 > s4, "swim should keep scaling at 16 cores");
 }
 
@@ -296,6 +299,14 @@ fn loops_inside_callees_nest_under_caller_iterations() {
 
     // Both levels parallelize: disjoint writes + computable IVs. The
     // whole-program speedup approaches 16*8 with fn2.
-    let r = evaluate(&p, ExecModel::PartialDoall, "reduc0-dep0-fn2".parse().unwrap());
-    assert!(r.speedup > 12.0, "nested parallelism must compose: {}", r.speedup);
+    let r = evaluate(
+        &p,
+        ExecModel::PartialDoall,
+        "reduc0-dep0-fn2".parse().unwrap(),
+    );
+    assert!(
+        r.speedup > 12.0,
+        "nested parallelism must compose: {}",
+        r.speedup
+    );
 }

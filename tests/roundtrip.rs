@@ -16,11 +16,11 @@ fn every_benchmark_round_trips_through_text() {
         // Parsing renumbers values (named defs first, constants after),
         // so the fixpoint is reached after one normalization pass.
         let text1 = print_module(&module);
-        let reparsed = parse_module(&text1)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", b.name));
+        let reparsed =
+            parse_module(&text1).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", b.name));
         let text2 = print_module(&reparsed);
-        let normalized = parse_module(&text2)
-            .unwrap_or_else(|e| panic!("{}: re-reparse failed: {e}", b.name));
+        let normalized =
+            parse_module(&text2).unwrap_or_else(|e| panic!("{}: re-reparse failed: {e}", b.name));
         let text3 = print_module(&normalized);
         assert_eq!(text2, text3, "{}: printer/parser not a fixpoint", b.name);
 

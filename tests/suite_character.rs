@@ -102,9 +102,8 @@ fn suite_level_character_matches_the_paper_narrative() {
     };
     // Frequent-memory pressure: INT suites have a higher share of
     // frequent-memory loops than CFP suites.
-    let freq_share = |c: &Character| {
-        c.census.frequent_mem_loops as f64 / c.census.executed_loops.max(1) as f64
-    };
+    let freq_share =
+        |c: &Character| c.census.frequent_mem_loops as f64 / c.census.executed_loops.max(1) as f64;
     let int_share = suite_avg(SuiteId::Cint2000, &freq_share);
     let fp_share = suite_avg(SuiteId::Cfp2000, &freq_share);
     assert!(

@@ -51,7 +51,7 @@ fn simplify_finds_work_in_sloppy_code() {
     let c = fb.mul(a, b); // 40
     let zero = fb.const_i64(0);
     let d = fb.add(c, zero); // identity
-    // A dead chain rooted in a load (not foldable, so DCE must kill it).
+                             // A dead chain rooted in a load (not foldable, so DCE must kill it).
     let p = fb.global_addr(g);
     let dead_load = fb.load(Type::I64, p);
     let dead = fb.mul(dead_load, dead_load);

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! provides the subset of criterion's API the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Throughput::Elements`, and
+//! `Bencher::iter` — backed by a simple wall-clock harness: a short
+//! warm-up, then timed batches until ~200 ms or 1000 iterations,
+//! reporting mean time per iteration (and element throughput when set).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Runs one closure repeatedly and measures it.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: 3 warm-up calls, then batches until ~200 ms of
+    /// samples or 1000 iterations have accumulated.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while start.elapsed() < budget && iters < 1000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed_per_iter = start.elapsed() / iters.max(1);
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    let per = b.elapsed_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if per > Duration::ZERO => {
+            let unit = if matches!(throughput, Some(Throughput::Bytes(_))) {
+                "B/s"
+            } else {
+                "elem/s"
+            };
+            format!("  ({:.3e} {unit})", n as f64 / per.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{label:<40} {per:>12.2?}/iter{rate}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.throughput, f);
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&label, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_one(&id.into(), None, f);
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn black_box_passes_through() {
+        assert_eq!(black_box(42), 42);
+    }
+}

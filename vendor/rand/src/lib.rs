@@ -1,0 +1,140 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the tiny slice of the `rand` API its tests actually use:
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`Rng::gen`] for primitive types. The generator is SplitMix64 —
+//! deterministic, well-distributed, and more than good enough for
+//! "feed the predictor unpredictable values" style tests.
+
+/// Types that can be produced from a uniformly random `u64`.
+pub trait FromRandom {
+    /// Builds a value from one raw 64-bit sample.
+    fn from_random(bits: u64) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl FromRandom for i64 {
+    fn from_random(bits: u64) -> i64 {
+        bits as i64
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl FromRandom for i32 {
+    fn from_random(bits: u64) -> i32 {
+        (bits >> 32) as i32
+    }
+}
+
+impl FromRandom for usize {
+    fn from_random(bits: u64) -> usize {
+        bits as usize
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of randomness.
+pub trait Rng {
+    /// The next raw 64-bit sample.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn gen<T: FromRandom>(&mut self) -> T {
+        T::from_random(self.next_u64())
+    }
+
+    /// A value in `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + self.next_u64() % span
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic SplitMix64 generator (stands in for rand's StdRng).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn spreads_values() {
+        let mut r = StdRng::seed_from_u64(7);
+        let vals: Vec<u64> = (0..64).map(|_| r.gen()).collect();
+        let distinct: std::collections::HashSet<_> = vals.iter().collect();
+        assert_eq!(distinct.len(), vals.len());
+        assert!(vals.iter().any(|v| v % 2 == 0) && vals.iter().any(|v| v % 2 == 1));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}
