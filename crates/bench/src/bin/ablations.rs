@@ -24,6 +24,7 @@ use lp_suite::SuiteId;
 fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
+    cli.reject_explain_out("ablations");
     let scale = cli.scale;
 
     // ---- 1. cactus-stack filter --------------------------------------

@@ -12,6 +12,7 @@ use lp_suite::SuiteId;
 fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
+    cli.reject_explain_out("fig2");
     let scale = cli.scale;
     let runs = run_suites(&[SuiteId::Cint2000, SuiteId::Cint2006], scale);
 

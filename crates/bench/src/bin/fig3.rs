@@ -12,6 +12,7 @@ use lp_suite::SuiteId;
 fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
+    cli.reject_explain_out("fig3");
     let scale = cli.scale;
     let suites = [SuiteId::Eembc, SuiteId::Cfp2000, SuiteId::Cfp2006];
     let runs = run_suites(&suites, scale);

@@ -6,7 +6,7 @@
 //! cargo run --release -p lp-bench --bin fig4 [test|small|default]
 //! ```
 
-use lp_bench::{log_bar, run_suites, Cli};
+use lp_bench::{log_bar, run_suites, write_explain, Cli};
 use lp_runtime::{best_helix, best_pdoall, geomean};
 use lp_suite::SuiteId;
 
@@ -42,6 +42,7 @@ fn main() {
         })
         .fold(1.0f64, f64::max);
     let mut pdoall_wins = 0usize;
+    let mut attrs = Vec::new();
     for run in &runs {
         let pd = run.study.evaluate(pd_model, pd_config).speedup;
         let hx = run.study.evaluate(hx_model, hx_config).speedup;
@@ -51,6 +52,15 @@ fn main() {
         if pd > hx {
             pdoall_wins += 1;
         }
+        if cli.explain_out.is_some() {
+            // Attribute under each benchmark's winning configuration.
+            let (model, config) = if pd > hx {
+                (pd_model, pd_config)
+            } else {
+                (hx_model, hx_config)
+            };
+            attrs.push(run.study.explain(model, config).1);
+        }
         println!(
             "{:<18} {:>11.2}x {:>11.2}x  {:<6}  {}",
             run.name,
@@ -59,6 +69,9 @@ fn main() {
             winner,
             log_bar(pd.max(hx), max, 30)
         );
+    }
+    if let Some(path) = &cli.explain_out {
+        write_explain(path, &attrs, None);
     }
     println!(
         "\nGEOMEAN: PDOALL {:.2}x, HELIX {:.2}x; PDOALL wins {} of {} benchmarks",

@@ -7,7 +7,7 @@
 //! cargo run --release -p lp-bench --bin fig5 [test|small|default]
 //! ```
 
-use lp_bench::{run_suites, suite_geomean_coverage, Cli};
+use lp_bench::{run_suites, suite_geomean_coverage, write_explain, Cli};
 use lp_runtime::{Config, ExecModel};
 use lp_suite::SuiteId;
 
@@ -52,5 +52,15 @@ fn main() {
     }
     println!("\npaper reference (Fig. 5): coverage rises dramatically from dep0-fn2 PDOALL");
     println!("to dep0-fn2 HELIX to dep1-fn2 HELIX, especially for the non-numeric suites.");
+    if let Some(path) = &cli.explain_out {
+        // Attribute under the most permissive highlighted row — what still
+        // limits coverage after dep1 HELIX lifts the register LCDs.
+        let (_, model, config) = rows[2];
+        let attrs: Vec<_> = runs
+            .iter()
+            .map(|r| r.study.explain(model, config).1)
+            .collect();
+        write_explain(path, &attrs, None);
+    }
     cli.finish("fig5");
 }

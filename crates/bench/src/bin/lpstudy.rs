@@ -7,17 +7,24 @@
 //! built-in demo kernel (round-tripped through the textual parser, so
 //! the full parse → verify → analyze → profile → evaluate pipeline runs).
 //!
+//! The `explain` subcommand goes one step further and *attributes* the
+//! remaining gap: for each loop it ranks the limiters (memory RAW
+//! conflicts, register LCDs, reductions, value-prediction misses, call
+//! gates) that kept the loop away from its ideal conflict-free cost,
+//! with counterfactual "lifting this alone unlocks ≤N×" bounds.
+//!
 //! ```text
 //! cargo run --release -p lp-bench --bin lpstudy -- path/to/kernel.lp
 //! cargo run --release -p lp-bench --bin lpstudy -- --dump 181.mcf   # print a benchmark as text
 //! cargo run --release -p lp-bench --bin lpstudy -- --bench 456.hmmer
 //! cargo run --release -p lp-bench --bin lpstudy -- --trace-out trace.json
+//! cargo run --release -p lp-bench --bin lpstudy -- explain --explain-out explain.json
 //! ```
 
 use loopapalooza::Study;
-use lp_bench::Cli;
+use lp_bench::{write_explain, Cli};
 use lp_obs::{lp_info, span};
-use lp_runtime::best_helix;
+use lp_runtime::{best_helix, best_pdoall, ExecModel};
 use lp_suite::Scale;
 
 /// Benchmark the no-input demo round-trips through the textual parser.
@@ -25,17 +32,29 @@ const DEMO_BENCH: &str = "181.mcf";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lpstudy [<file.lp> | --bench <name> | --dump <name> | --analyze <file.lp|name>]"
+        "usage: lpstudy [<file.lp> | --bench <name> | --dump <name> | --analyze <file.lp|name>"
     );
-    eprintln!("               [--trace-out FILE] [--quiet]");
-    eprintln!("  <file.lp>        study a textual-IR module");
-    eprintln!("  --bench NAME     study a registered benchmark (e.g. 456.hmmer)");
-    eprintln!("  --dump NAME      print a registered benchmark as textual IR");
-    eprintln!("  --analyze WHAT   print the compile-time analysis (loops, LCD classes)");
-    eprintln!("  (no input)       study a built-in demo kernel ({DEMO_BENCH})");
-    eprintln!("  --trace-out FILE write a Chrome trace_event JSON of the run");
-    eprintln!("  --quiet          suppress progress logging (see also LP_LOG=off|info|debug)");
+    eprintln!("                | explain [<file.lp|name>]]");
+    eprintln!("               [--trace-out FILE] [--explain-out FILE] [--quiet]");
+    eprintln!("  <file.lp>          study a textual-IR module");
+    eprintln!("  --bench NAME       study a registered benchmark (e.g. 456.hmmer)");
+    eprintln!("  --dump NAME        print a registered benchmark as textual IR");
+    eprintln!("  --analyze WHAT     print the compile-time analysis (loops, LCD classes)");
+    eprintln!("  explain [WHAT]     rank, per loop, the limiters that block further speedup");
+    eprintln!("  (no input)         study a built-in demo kernel ({DEMO_BENCH})");
+    eprintln!("  --trace-out FILE   write a Chrome trace_event JSON of the run");
+    eprintln!("  --explain-out FILE write limiter-attribution JSON (+ .collapsed stacks)");
+    eprintln!("  --quiet            suppress progress logging (see also LP_LOG=off|info|debug)");
     std::process::exit(2);
+}
+
+/// Rejects any rest argument beyond the `consumed` count — unknown flags
+/// and stray operands get the usage text, not silence.
+fn expect_consumed(args: &[String], consumed: usize) {
+    if let Some(extra) = args.get(consumed) {
+        eprintln!("unexpected extra argument {extra:?}");
+        usage();
+    }
 }
 
 fn parse_text(text: &str) -> lp_ir::Module {
@@ -58,12 +77,53 @@ fn load(what: &str) -> lp_ir::Module {
     parse_text(&text)
 }
 
+/// Round-trips the demo benchmark through the textual printer/parser so
+/// the whole pipeline (including a genuine parse phase) is exercised.
+fn demo_module(doing: &str) -> lp_ir::Module {
+    lp_info!("no input given — {doing} the built-in demo kernel {DEMO_BENCH}");
+    let bench = lp_suite::find(DEMO_BENCH).expect("demo benchmark registered");
+    let text = lp_ir::printer::print_module(&bench.build(Scale::Test));
+    parse_text(&text)
+}
+
+/// The `explain` subcommand: evaluate the baseline DOALL row plus the
+/// best-realistic PDOALL and HELIX rows, printing the ranked
+/// limiter-attribution table for each and honouring `--explain-out`.
+fn run_explain(cli: &Cli, module: &lp_ir::Module) {
+    let study = Study::of(module).unwrap_or_else(|e| {
+        eprintln!("study failed: {e}");
+        std::process::exit(1);
+    });
+    let rows = [
+        (
+            ExecModel::Doall,
+            "reduc0-dep0-fn0".parse().expect("valid config"),
+        ),
+        best_pdoall(),
+        best_helix(),
+    ];
+    let mut attrs = Vec::with_capacity(rows.len());
+    for (i, (model, config)) in rows.into_iter().enumerate() {
+        let (_, attr) = study.explain(model, config);
+        if i > 0 {
+            println!();
+        }
+        print!("{}", attr.render_table());
+        attrs.push(attr);
+    }
+    if let Some(path) = &cli.explain_out {
+        write_explain(path, &attrs, Some(study.profile()));
+    }
+    cli.finish("lpstudy");
+}
+
 fn main() {
     let cli = Cli::parse();
     let args = &cli.rest;
     let module = match args.first().map(String::as_str) {
         Some("--dump") => {
             let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            expect_consumed(args, 2);
             let bench = lp_suite::find(name).unwrap_or_else(|| {
                 eprintln!("unknown benchmark {name:?}; try one of:");
                 for b in lp_suite::registry() {
@@ -79,6 +139,7 @@ fn main() {
         }
         Some("--analyze") => {
             let what = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            expect_consumed(args, 2);
             let module = load(what);
             let analysis = lp_analysis::analyze_module(&module);
             print!("{}", lp_analysis::dump_module(&module, &analysis));
@@ -86,6 +147,7 @@ fn main() {
         }
         Some("--bench") => {
             let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            expect_consumed(args, 2);
             let bench = lp_suite::find(name).unwrap_or_else(|| {
                 eprintln!("unknown benchmark {name:?}");
                 std::process::exit(2);
@@ -93,7 +155,20 @@ fn main() {
             let _span = span!("parse");
             bench.build(cli.scale)
         }
+        Some("explain") => {
+            let module = match args.get(1).map(String::as_str) {
+                Some(what) if !what.starts_with("--") => {
+                    expect_consumed(args, 2);
+                    load(what)
+                }
+                Some(_) => usage(),
+                None => demo_module("explaining"),
+            };
+            run_explain(&cli, &module);
+            return;
+        }
         Some(path) if !path.starts_with("--") => {
+            expect_consumed(args, 1);
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(2);
@@ -101,15 +176,7 @@ fn main() {
             parse_text(&text)
         }
         Some(_) => usage(),
-        None => {
-            // Demo mode: round-trip a registered benchmark through the
-            // textual printer/parser so the whole pipeline (including a
-            // genuine parse phase) is exercised.
-            lp_info!("no input given — studying the built-in demo kernel {DEMO_BENCH}");
-            let bench = lp_suite::find(DEMO_BENCH).expect("demo benchmark registered");
-            let text = lp_ir::printer::print_module(&bench.build(Scale::Test));
-            parse_text(&text)
-        }
+        None => demo_module("studying"),
     };
 
     let study = Study::of(&module).unwrap_or_else(|e| {
@@ -151,5 +218,9 @@ fn main() {
         );
     }
     println!("\n{}", study.census());
+    if let Some(path) = &cli.explain_out {
+        let (_, attr) = study.explain(model, config);
+        write_explain(path, std::slice::from_ref(&attr), Some(study.profile()));
+    }
     cli.finish("lpstudy");
 }

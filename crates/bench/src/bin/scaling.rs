@@ -51,6 +51,7 @@ fn geomean_at(
 fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
+    cli.reject_explain_out("scaling");
     let scale = cli.scale;
     let suites = SuiteId::all();
     let runs = run_suites(&suites, scale);

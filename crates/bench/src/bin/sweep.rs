@@ -15,6 +15,7 @@ use lp_suite::SuiteId;
 fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
+    cli.reject_explain_out("sweep");
     let runs = run_suites(&SuiteId::all(), cli.scale);
 
     let reg = lp_obs::registry();

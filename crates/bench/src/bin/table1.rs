@@ -14,6 +14,7 @@ use lp_suite::SuiteId;
 fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
+    cli.reject_explain_out("table1");
     let scale = cli.scale;
     let runs = run_suites(&SuiteId::all(), scale);
 

@@ -15,14 +15,16 @@
 //!
 //! Every binary accepts an optional scale argument (`test`, `small`,
 //! `default`) plus the shared observability flags `--trace-out FILE`
-//! (Chrome `trace_event` JSON) and `--quiet`; the `LP_LOG` environment
+//! (Chrome `trace_event` JSON), `--explain-out FILE` (limiter-attribution
+//! JSON, where supported), and `--quiet`; the `LP_LOG` environment
 //! variable (`off`, `info`, `debug`) filters progress output. Criterion
 //! performance benches live in `benches/`.
 
 use loopapalooza::Study;
 use lp_obs::{lp_debug, lp_info, Counter};
+use lp_runtime::{Attribution, Profile};
 use lp_suite::{Benchmark, Scale, SuiteId};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Shared command line of the experiment binaries: an optional scale
 /// positional (`test`, `small`, `default`) plus the observability flags.
@@ -34,6 +36,10 @@ pub struct Cli {
     pub scale: Scale,
     /// Where to write the Chrome `trace_event` JSON, if requested.
     pub trace_out: Option<PathBuf>,
+    /// Where to write the limiter-attribution JSON (`--explain-out`), if
+    /// requested. Binaries that support it also write a
+    /// flamegraph-compatible collapsed-stack file next to it.
+    pub explain_out: Option<PathBuf>,
     /// `--quiet` suppresses all progress logging.
     pub quiet: bool,
     /// Arguments this parser did not consume, in order.
@@ -56,6 +62,7 @@ impl Cli {
         let mut cli = Cli {
             scale: Scale::Default,
             trace_out: None,
+            explain_out: None,
             quiet: false,
             rest: Vec::new(),
         };
@@ -67,6 +74,13 @@ impl Cli {
                     Some(path) => cli.trace_out = Some(PathBuf::from(path)),
                     None => {
                         eprintln!("--trace-out requires a file argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--explain-out" => match args.next() {
+                    Some(path) => cli.explain_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--explain-out requires a file argument");
                         std::process::exit(2);
                     }
                 },
@@ -87,8 +101,21 @@ impl Cli {
     pub fn expect_no_extra_args(&self) {
         if let Some(extra) = self.rest.first() {
             eprintln!(
-                "unknown argument {extra:?} (expected test|small|default, --trace-out FILE, --quiet)"
+                "unknown argument {extra:?} (expected test|small|default, --trace-out FILE, \
+                 --explain-out FILE, --quiet)"
             );
+            std::process::exit(2);
+        }
+    }
+
+    /// Rejects `--explain-out` in binaries that have no attribution to
+    /// export (everything except `lpstudy`, `fig4`, and `fig5`).
+    ///
+    /// # Panics
+    /// Exits the process with a usage error when the flag was given.
+    pub fn reject_explain_out(&self, binary: &str) {
+        if self.explain_out.is_some() {
+            eprintln!("{binary} does not support --explain-out (use lpstudy, fig4, or fig5)");
             std::process::exit(2);
         }
     }
@@ -108,6 +135,38 @@ impl Cli {
                 }
             }
         }
+    }
+}
+
+/// Writes the limiter-attribution export requested via `--explain-out`:
+/// `path` receives `{"attributions": [...]}` — hand-rolled JSON, one
+/// object per evaluated `(model, config)` pair — and, when a profile is
+/// supplied, a flamegraph-compatible collapsed-stack rendering of the
+/// *last* attribution is written next to it under the `collapsed`
+/// extension.
+///
+/// # Panics
+/// Exits the process when a file cannot be written (mirrors the trace
+/// handling in [`Cli::finish`]).
+pub fn write_explain(path: &Path, attrs: &[Attribution], profile: Option<&Profile>) {
+    let parts: Vec<String> = attrs.iter().map(lp_runtime::attribution_to_json).collect();
+    let json = format!("{{\"attributions\":[{}]}}\n", parts.join(","));
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write explain JSON to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    lp_info!("wrote limiter attribution to {}", path.display());
+    if let (Some(profile), Some(attr)) = (profile, attrs.last()) {
+        let collapsed_path = path.with_extension("collapsed");
+        if let Err(e) = std::fs::write(&collapsed_path, lp_runtime::collapsed_stacks(profile, attr))
+        {
+            eprintln!(
+                "cannot write collapsed stacks to {}: {e}",
+                collapsed_path.display()
+            );
+            std::process::exit(1);
+        }
+        lp_info!("wrote collapsed stacks to {}", collapsed_path.display());
     }
 }
 
@@ -229,6 +288,8 @@ mod tests {
                 "small",
                 "--trace-out",
                 "/tmp/t.json",
+                "--explain-out",
+                "/tmp/e.json",
                 "--bench",
                 "x.lp",
             ]
@@ -240,11 +301,16 @@ mod tests {
             cli.trace_out.as_deref(),
             Some(std::path::Path::new("/tmp/t.json"))
         );
+        assert_eq!(
+            cli.explain_out.as_deref(),
+            Some(std::path::Path::new("/tmp/e.json"))
+        );
         assert_eq!(cli.rest, vec!["--bench".to_string(), "x.lp".to_string()]);
 
         let cli = Cli::parse_from(std::iter::empty());
         assert_eq!(cli.scale, Scale::Default);
         assert!(!cli.quiet && cli.trace_out.is_none() && cli.rest.is_empty());
+        assert!(cli.explain_out.is_none());
         // Restore logging for the rest of the test process.
         lp_obs::log::set_level(lp_obs::Level::Off);
     }
@@ -256,6 +322,29 @@ mod tests {
         assert!(long > short);
         assert!(log_bar(1.0, 100.0, 40).is_empty());
         assert_eq!(log_bar(100.0, 100.0, 40).len(), 40);
+    }
+
+    #[test]
+    fn write_explain_emits_valid_json_and_collapsed_stacks() {
+        let bench = lp_suite::find("181.mcf").unwrap();
+        let module = bench.build(Scale::Test);
+        let study = Study::of(&module).unwrap();
+        let (model, config) = lp_runtime::best_helix();
+        let (_, attr) = study.explain(model, config);
+        let path =
+            std::env::temp_dir().join(format!("lp-bench-explain-{}.json", std::process::id()));
+        write_explain(&path, std::slice::from_ref(&attr), Some(study.profile()));
+        let json = std::fs::read_to_string(&path).unwrap();
+        lp_obs::validate_json(&json).expect("explain JSON must be well-formed");
+        assert!(json.contains("\"attributions\":["));
+        let collapsed = std::fs::read_to_string(path.with_extension("collapsed")).unwrap();
+        assert!(!collapsed.is_empty());
+        for line in collapsed.lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("frames <space> weight");
+            weight.parse::<u64>().expect("integer weight");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("collapsed"));
     }
 
     #[test]

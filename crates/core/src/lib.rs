@@ -44,7 +44,9 @@ pub use lp_suite;
 use lp_analysis::ModuleAnalysis;
 use lp_interp::{MachineConfig, RunResult};
 use lp_ir::Module;
-use lp_runtime::{evaluate, Census, Config, EvalReport, ExecModel, Profile};
+use lp_runtime::{
+    evaluate, evaluate_explained, Attribution, Census, Config, EvalReport, ExecModel, Profile,
+};
 use std::fmt;
 
 /// Commonly used items, re-exported for `use loopapalooza::prelude::*`.
@@ -53,7 +55,8 @@ pub mod prelude {
     pub use lp_ir::builder::FunctionBuilder;
     pub use lp_ir::{Module, Type};
     pub use lp_runtime::{
-        best_helix, best_pdoall, paper_rows, Config, DepMode, ExecModel, FnMode, ReducMode,
+        best_helix, best_pdoall, paper_rows, Attribution, Config, DepMode, ExecModel, FnMode,
+        LimiterKind, ReducMode,
     };
     pub use lp_suite::{self, Scale, SuiteId};
 }
@@ -144,6 +147,19 @@ impl Study {
         evaluate(&self.profile, model, config)
     }
 
+    /// As [`Study::evaluate`], additionally attributing every loop's gap
+    /// to its ideal conflict-free cost across ranked [`Limiter`]s
+    /// (counterfactual re-costing with one cost term lifted at a time).
+    ///
+    /// The returned [`EvalReport`] is identical to what
+    /// [`Study::evaluate`] produces for the same pair.
+    ///
+    /// [`Limiter`]: lp_runtime::Limiter
+    #[must_use]
+    pub fn explain(&self, model: ExecModel, config: Config) -> (EvalReport, Attribution) {
+        evaluate_explained(&self.profile, model, config)
+    }
+
     /// Evaluates all 14 rows of the paper's Figures 2–3.
     #[must_use]
     pub fn paper_rows(&self) -> Vec<EvalReport> {
@@ -197,6 +213,13 @@ mod tests {
         }
         let (m, c) = best_helix();
         let hx = study.evaluate(m, c);
+        let (explained, attr) = study.explain(m, c);
+        assert_eq!(format!("{explained:?}"), format!("{hx:?}"));
+        assert_eq!(
+            attr.limiters.iter().map(|l| l.weight).sum::<u64>(),
+            attr.total_gap(),
+            "program-level limiter weights must conserve the total gap"
+        );
         let (m, c) = best_pdoall();
         let pd = study.evaluate(m, c);
         assert!(hx.speedup > pd.speedup, "hmmer prefers HELIX");

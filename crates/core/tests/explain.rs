@@ -1,0 +1,59 @@
+//! End-to-end golden test of the limiter-attribution exports: the demo
+//! kernel's explain JSON must satisfy the hand-rolled validator, the
+//! collapsed-stack export must telescope to the sequential cost, and a
+//! serial-marked loop must name at least one concrete limiter.
+
+use loopapalooza::prelude::*;
+use lp_runtime::{attribution_to_json, collapsed_stacks};
+
+#[test]
+fn explain_exports_are_valid_and_name_limiters() {
+    let bench = lp_suite::find("181.mcf").expect("demo benchmark registered");
+    let module = bench.build(Scale::Test);
+    let study = Study::of(&module).unwrap();
+
+    let rows: [(ExecModel, Config); 3] = [
+        (ExecModel::Doall, "reduc0-dep0-fn0".parse().unwrap()),
+        best_pdoall(),
+        best_helix(),
+    ];
+    for (model, config) in rows {
+        let (report, attr) = study.explain(model, config);
+        assert_eq!(report.best_cost, attr.best_cost);
+
+        // The JSON export passes the hand-rolled validator.
+        let json = attribution_to_json(&attr);
+        lp_obs::validate_json(&json).expect("explain JSON must be well-formed");
+        assert!(json.contains("\"program\":\"181.mcf\""));
+        assert!(json.contains("\"limiters\":["));
+
+        // The collapsed stacks telescope to the total sequential cost.
+        let collapsed = collapsed_stacks(study.profile(), &attr);
+        let mut sum = 0u64;
+        for line in collapsed.lines() {
+            let (frames, weight) = line.rsplit_once(' ').expect("frames <space> weight");
+            assert!(!frames.is_empty());
+            sum += weight.parse::<u64>().expect("integer weight");
+        }
+        assert_eq!(sum, attr.total_cost);
+    }
+
+    // Under the most restrictive DOALL row, at least one loop is marked
+    // serial and names a concrete limiter with nonzero weight.
+    let (_, attr) = study.explain(ExecModel::Doall, "reduc0-dep0-fn0".parse().unwrap());
+    let serial = attr
+        .loops
+        .iter()
+        .find(|l| l.verdict() == "serial")
+        .expect("demo kernel has a serial-marked loop under DOALL dep0-fn0");
+    assert!(!serial.limiters.is_empty(), "serial loop names a limiter");
+    assert!(serial.limiters[0].weight > 0);
+    let table = attr.render_table();
+    assert!(table.contains(serial.limiters[0].kind.name()));
+    assert!(table.contains(&serial.location()));
+
+    // The program rollup is ranked by weight.
+    for w in attr.limiters.windows(2) {
+        assert!(w[0].weight >= w[1].weight);
+    }
+}

@@ -1,107 +1,12 @@
 //! End-to-end observability: running a `Study` populates the global
 //! registry with the pipeline's phase spans and counters, and the Chrome
-//! trace exporter emits strictly valid JSON (checked with a small
-//! recursive-descent parser, since the workspace has no serde).
+//! trace exporter emits strictly valid JSON (checked with
+//! `lp_obs::validate_json`, the shared recursive-descent validator,
+//! since the workspace has no serde).
 
 use loopapalooza::Study;
 use lp_obs::Counter;
 use lp_suite::Scale;
-
-/// Minimal JSON validator: consumes one value, returns the rest.
-fn skip_ws(s: &str) -> &str {
-    s.trim_start_matches([' ', '\t', '\n', '\r'])
-}
-
-fn parse_value(s: &str) -> Result<&str, String> {
-    let s = skip_ws(s);
-    match s.chars().next() {
-        Some('{') => parse_object(s),
-        Some('[') => parse_array(s),
-        Some('"') => parse_string(s),
-        Some('t') => s.strip_prefix("true").ok_or_else(|| bad(s)),
-        Some('f') => s.strip_prefix("false").ok_or_else(|| bad(s)),
-        Some('n') => s.strip_prefix("null").ok_or_else(|| bad(s)),
-        Some(c) if c == '-' || c.is_ascii_digit() => parse_number(s),
-        _ => Err(bad(s)),
-    }
-}
-
-fn bad(s: &str) -> String {
-    format!("unexpected input at {:?}", &s[..s.len().min(24)])
-}
-
-fn parse_string(s: &str) -> Result<&str, String> {
-    let mut it = s.char_indices().skip(1);
-    while let Some((i, c)) = it.next() {
-        match c {
-            '"' => return Ok(&s[i + 1..]),
-            '\\' => {
-                let (_, esc) = it.next().ok_or("truncated escape")?;
-                if esc == 'u' {
-                    for _ in 0..4 {
-                        let (_, h) = it.next().ok_or("truncated \\u escape")?;
-                        if !h.is_ascii_hexdigit() {
-                            return Err(format!("bad hex digit {h:?}"));
-                        }
-                    }
-                } else if !matches!(esc, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') {
-                    return Err(format!("bad escape \\{esc}"));
-                }
-            }
-            c if (c as u32) < 0x20 => return Err("raw control char in string".into()),
-            _ => {}
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_number(s: &str) -> Result<&str, String> {
-    let end = s
-        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
-        .unwrap_or(s.len());
-    s[..end].parse::<f64>().map_err(|e| e.to_string())?;
-    Ok(&s[end..])
-}
-
-fn parse_array(s: &str) -> Result<&str, String> {
-    let mut s = skip_ws(&s[1..]);
-    if let Some(rest) = s.strip_prefix(']') {
-        return Ok(rest);
-    }
-    loop {
-        s = skip_ws(parse_value(s)?);
-        if let Some(rest) = s.strip_prefix(',') {
-            s = rest;
-        } else {
-            return s.strip_prefix(']').ok_or_else(|| bad(s));
-        }
-    }
-}
-
-fn parse_object(s: &str) -> Result<&str, String> {
-    let mut s = skip_ws(&s[1..]);
-    if let Some(rest) = s.strip_prefix('}') {
-        return Ok(rest);
-    }
-    loop {
-        s = skip_ws(s);
-        s = parse_string(s)?;
-        s = skip_ws(s).strip_prefix(':').ok_or("missing colon")?;
-        s = skip_ws(parse_value(s)?);
-        if let Some(rest) = s.strip_prefix(',') {
-            s = rest;
-        } else {
-            return s.strip_prefix('}').ok_or_else(|| bad(s));
-        }
-    }
-}
-
-fn assert_valid_json(text: &str) {
-    match parse_value(text) {
-        Ok(rest) => assert!(skip_ws(rest).is_empty(), "trailing garbage: {rest:?}"),
-        Err(e) => panic!("invalid JSON: {e}"),
-    }
-}
 
 #[test]
 fn study_populates_spans_counters_and_valid_chrome_trace() {
@@ -140,9 +45,9 @@ fn study_populates_spans_counters_and_valid_chrome_trace() {
     assert_eq!(c.get(Counter::EvalsPerformed), 14);
 
     // Exporters produce strictly valid JSON.
-    assert_valid_json(&lp_obs::to_json(reg));
+    lp_obs::validate_json(&lp_obs::to_json(reg)).expect("to_json output");
     let trace = lp_obs::chrome_trace(reg, "obs_pipeline");
-    assert_valid_json(&trace);
+    lp_obs::validate_json(&trace).expect("chrome trace output");
     for needle in [
         "\"name\":\"profile\"",
         "\"name\":\"evaluate\"",

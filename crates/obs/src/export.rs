@@ -33,6 +33,118 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Strict JSON validation via a small recursive-descent parser — the
+/// workspace has no serde, so every hand-rolled exporter is checked
+/// against this in tests and in the binaries' `--explain-out` smoke
+/// paths.
+///
+/// # Errors
+/// Returns a short description of the first syntax error, or of trailing
+/// garbage after the top-level value.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let rest = parse_value(text)?;
+    let rest = skip_ws(rest);
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "trailing garbage: {:?}",
+            &rest[..rest.len().min(24)]
+        ))
+    }
+}
+
+fn skip_ws(s: &str) -> &str {
+    s.trim_start_matches([' ', '\t', '\n', '\r'])
+}
+
+fn parse_value(s: &str) -> Result<&str, String> {
+    let s = skip_ws(s);
+    match s.chars().next() {
+        Some('{') => parse_object(s),
+        Some('[') => parse_array(s),
+        Some('"') => parse_string(s),
+        Some('t') => s.strip_prefix("true").ok_or_else(|| bad(s)),
+        Some('f') => s.strip_prefix("false").ok_or_else(|| bad(s)),
+        Some('n') => s.strip_prefix("null").ok_or_else(|| bad(s)),
+        Some(c) if c == '-' || c.is_ascii_digit() => parse_number(s),
+        _ => Err(bad(s)),
+    }
+}
+
+fn bad(s: &str) -> String {
+    format!("unexpected input at {:?}", &s[..s.len().min(24)])
+}
+
+fn parse_string(s: &str) -> Result<&str, String> {
+    if !s.starts_with('"') {
+        return Err(bad(s));
+    }
+    let mut it = s.char_indices().skip(1);
+    while let Some((i, c)) = it.next() {
+        match c {
+            '"' => return Ok(&s[i + 1..]),
+            '\\' => {
+                let (_, esc) = it.next().ok_or("truncated escape")?;
+                if esc == 'u' {
+                    for _ in 0..4 {
+                        let (_, h) = it.next().ok_or("truncated \\u escape")?;
+                        if !h.is_ascii_hexdigit() {
+                            return Err(format!("bad hex digit {h:?}"));
+                        }
+                    }
+                } else if !matches!(esc, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') {
+                    return Err(format!("bad escape \\{esc}"));
+                }
+            }
+            c if (c as u32) < 0x20 => return Err("raw control char in string".into()),
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(s: &str) -> Result<&str, String> {
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    s[..end].parse::<f64>().map_err(|e| e.to_string())?;
+    Ok(&s[end..])
+}
+
+fn parse_array(s: &str) -> Result<&str, String> {
+    let mut s = skip_ws(&s[1..]);
+    if let Some(rest) = s.strip_prefix(']') {
+        return Ok(rest);
+    }
+    loop {
+        s = skip_ws(parse_value(s)?);
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else {
+            return s.strip_prefix(']').ok_or_else(|| bad(s));
+        }
+    }
+}
+
+fn parse_object(s: &str) -> Result<&str, String> {
+    let mut s = skip_ws(&s[1..]);
+    if let Some(rest) = s.strip_prefix('}') {
+        return Ok(rest);
+    }
+    loop {
+        s = skip_ws(s);
+        s = parse_string(s)?;
+        s = skip_ws(s).strip_prefix(':').ok_or("missing colon")?;
+        s = skip_ws(parse_value(s)?);
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else {
+            return s.strip_prefix('}').ok_or_else(|| bad(s));
+        }
+    }
+}
+
 /// Per-name span aggregate used by [`summary`].
 #[derive(Debug, Default, Clone)]
 struct SpanAgg {
@@ -98,9 +210,10 @@ pub fn summary(reg: &Registry) -> String {
     for h in Hist::ALL {
         let hist = reg.hist(h);
         if hist.count > 0 {
+            let (p50, p90, p99) = hist.quantile_summary();
             let _ = writeln!(
                 out,
-                "hist {:<20} n={} mean={:.1} min={} max={}",
+                "hist {:<20} n={} mean={:.1} min={} max={} p50<={p50} p90<={p90} p99<={p99}",
                 h.name(),
                 hist.count,
                 hist.mean(),
@@ -262,6 +375,21 @@ mod tests {
         assert!(text.contains("evaluate"));
         assert!(text.contains("evals_performed"));
         assert!(text.contains("loop_iterations"));
+        // Percentile columns: one sample, so every quantile is exact.
+        assert!(text.contains("p50<=100 p90<=100 p99<=100"), "{text}");
+    }
+
+    #[test]
+    fn validator_accepts_exports_and_rejects_garbage() {
+        let reg = seeded();
+        validate_json(&to_json(&reg)).unwrap();
+        validate_json(&chrome_trace(&reg, "t")).unwrap();
+        validate_json("  {\"a\": [1, -2.5e3, \"x\\n\", true, null]} ").unwrap();
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,2").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("\"bad \\q escape\"").is_err());
+        assert!(validate_json("").is_err());
     }
 
     #[test]

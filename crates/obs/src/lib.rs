@@ -34,7 +34,7 @@ pub mod metrics;
 pub mod registry;
 pub mod span;
 
-pub use export::{chrome_trace, json_escape, summary, to_json, write_chrome_trace};
+pub use export::{chrome_trace, json_escape, summary, to_json, validate_json, write_chrome_trace};
 pub use log::Level;
 pub use metrics::{Counter, CounterBank, Hist, Histogram, PredictorKind, COUNTER_SLOTS};
 pub use registry::{Registry, MAX_SPANS};
@@ -55,6 +55,12 @@ pub fn counters() -> &'static CounterBank {
 /// Records one sample into a process-wide histogram.
 pub fn record_hist(hist: Hist, value: u64) {
     registry().record_hist(hist, value);
+}
+
+/// Merges a locally-accumulated histogram into a process-wide slot
+/// (shorthand for `registry().merge_hist(..)`).
+pub fn merge_hist(hist: Hist, other: &Histogram) {
+    registry().merge_hist(hist, other);
 }
 
 #[cfg(test)]

@@ -266,6 +266,46 @@ impl Histogram {
         }
     }
 
+    /// Upper bound of the log2 bucket containing the `p`-th percentile
+    /// sample (0 when empty), clamped to the observed `[min, max]` range
+    /// so degenerate distributions report exact values.
+    ///
+    /// The estimate is conservative: a sample in bucket `k` lies in
+    /// `[2^k, 2^(k+1))`, and we report the bucket's inclusive upper end
+    /// `2^(k+1) - 1`. `p` is clamped to `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the percentile sample, 1-based (nearest-rank method).
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if k >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (k + 1)) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `(p50, p90, p99)` triple every exporter prints.
+    #[must_use]
+    pub fn quantile_summary(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+        )
+    }
+
     /// Merges `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -287,11 +327,19 @@ pub enum Hist {
     ProfileNanos,
     /// Wall-clock nanoseconds per `(model, config)` evaluation.
     EvalNanos,
+    /// Iteration distance (consumer − producer) of each cross-iteration
+    /// memory RAW edge the tracker observes.
+    ConflictDistance,
 }
 
 impl Hist {
     /// All histogram slots, in export order.
-    pub const ALL: [Hist; 3] = [Hist::LoopIterations, Hist::ProfileNanos, Hist::EvalNanos];
+    pub const ALL: [Hist; 4] = [
+        Hist::LoopIterations,
+        Hist::ProfileNanos,
+        Hist::EvalNanos,
+        Hist::ConflictDistance,
+    ];
 
     /// Stable snake-case name used by every exporter.
     #[must_use]
@@ -300,6 +348,7 @@ impl Hist {
             Hist::LoopIterations => "loop_iterations",
             Hist::ProfileNanos => "profile_nanos",
             Hist::EvalNanos => "eval_nanos",
+            Hist::ConflictDistance => "conflict_distance",
         }
     }
 
@@ -310,6 +359,7 @@ impl Hist {
             Hist::LoopIterations => 0,
             Hist::ProfileNanos => 1,
             Hist::EvalNanos => 2,
+            Hist::ConflictDistance => 3,
         }
     }
 }
@@ -372,5 +422,61 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.count, 7);
         assert_eq!(h.buckets[2], 1);
+    }
+
+    #[test]
+    fn percentile_empty_and_degenerate() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0);
+        // One sample: every percentile is that sample (clamped to
+        // [min, max] even though bucket 2's upper bound is 7).
+        let mut h = Histogram::default();
+        h.record(5);
+        assert_eq!(h.percentile(0.0), 5);
+        assert_eq!(h.percentile(50.0), 5);
+        assert_eq!(h.percentile(100.0), 5);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_by_rank() {
+        // 4 samples in bucket 0 (values ≤ 1), 4 in bucket 1 (2..4),
+        // 1 in bucket 3 (8..16), 1 in bucket 10 (1024..2048).
+        let mut h = Histogram::default();
+        for v in [1u64, 1, 1, 1, 2, 2, 3, 3, 9, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 10);
+        // rank(p50) = 5 → bucket 1, upper bound 3.
+        assert_eq!(h.percentile(50.0), 3);
+        // rank(p40) = 4 → still bucket 0; upper bound 1.
+        assert_eq!(h.percentile(40.0), 1);
+        // rank(p90) = 9 → bucket 3, upper bound 15.
+        assert_eq!(h.percentile(90.0), 15);
+        // rank(p99) = 10 → bucket 10, upper 2047, clamped to max 1024.
+        assert_eq!(h.percentile(99.0), 1024);
+        let (p50, p90, p99) = h.quantile_summary();
+        assert_eq!((p50, p90, p99), (3, 15, 1024));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let mut h = Histogram::default();
+        for v in 0..2000u64 {
+            h.record(v * 37 % 4096);
+        }
+        let mut prev = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            assert!(q >= prev, "p{p}: {q} < {prev}");
+            prev = q;
+        }
+        assert_eq!(h.percentile(100.0), h.max);
+    }
+
+    #[test]
+    fn hist_slots_cover_all() {
+        let slots: std::collections::HashSet<usize> = Hist::ALL.iter().map(|h| h.slot()).collect();
+        assert_eq!(slots.len(), Hist::ALL.len());
+        assert!(Hist::ALL.iter().any(|h| h.name() == "conflict_distance"));
     }
 }

@@ -90,6 +90,17 @@ impl Registry {
         self.hists.lock().expect("hist registry poisoned")[hist.slot()].record(value);
     }
 
+    /// Merges a locally-accumulated histogram into a global slot in one
+    /// lock acquisition. Hot paths (e.g. the tracker's per-conflict
+    /// distance samples) record into a private [`Histogram`] and publish
+    /// it here at flush time instead of locking per sample.
+    pub fn merge_hist(&self, hist: Hist, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.hists.lock().expect("hist registry poisoned")[hist.slot()].merge(other);
+    }
+
     /// A copy of one histogram.
     #[must_use]
     pub fn hist(&self, hist: Hist) -> Histogram {
@@ -129,6 +140,22 @@ mod tests {
         let a = r.now_ns();
         let b = r.now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn merge_hist_folds_local_accumulator_in() {
+        let r = Registry::new();
+        r.record_hist(Hist::LoopIterations, 4);
+        let mut local = Histogram::default();
+        local.record(16);
+        local.record(2);
+        r.merge_hist(Hist::LoopIterations, &local);
+        // Merging an empty histogram is a no-op (no lock churn).
+        r.merge_hist(Hist::LoopIterations, &Histogram::default());
+        let h = r.hist(Hist::LoopIterations);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 22);
+        assert_eq!((h.min, h.max), (2, 16));
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! speedup story.
 
 use crate::config::{Config, DepMode, ExecModel, FnMode, ReducMode};
+use crate::explain::{AttrCollector, Attribution, LimiterKind};
 use crate::model::{doall_cost_bounded, helix_cost_bounded, pdoall_cost_bounded};
-use crate::profile::{CallClass, LoopInstance, Profile, Region, RegionId, RegionKind};
+use crate::profile::{CallClass, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind};
 use lp_analysis::LcdClass;
 use lp_ir::BlockId;
 
@@ -84,12 +85,100 @@ struct RegionEval {
     covered: u64,
 }
 
+/// Which limiter causes to *remove* when re-costing a loop instance.
+///
+/// `Lift::NONE` reproduces the normal evaluation bit-for-bit; the
+/// attribution layer re-costs with a single cause lifted to compute its
+/// counterfactual savings, and with [`Lift::ALL`] to compute the ideal
+/// (limiter-free) cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Lift {
+    /// Ignore the `fn` flag gate (treat the loop as making no calls).
+    fn_gate: bool,
+    /// Drop all cross-iteration memory RAW evidence.
+    mem: bool,
+    /// Drop non-computable (non-reduction) register LCDs.
+    reg_lcd: bool,
+    /// Decouple reduction LCDs as if `reduc1` were set.
+    reduction: bool,
+    /// Treat every value prediction as a hit (as if `dep3`).
+    value_pred: bool,
+}
+
+impl Lift {
+    const NONE: Lift = Lift {
+        fn_gate: false,
+        mem: false,
+        reg_lcd: false,
+        reduction: false,
+        value_pred: false,
+    };
+    const ALL: Lift = Lift {
+        fn_gate: true,
+        mem: true,
+        reg_lcd: true,
+        reduction: true,
+        value_pred: true,
+    };
+
+    /// The single-cause lift used for a limiter's counterfactual.
+    fn for_kind(kind: LimiterKind) -> Lift {
+        let mut l = Lift::NONE;
+        match kind {
+            LimiterKind::MemoryRaw => l.mem = true,
+            LimiterKind::RegisterLcd => l.reg_lcd = true,
+            LimiterKind::Reduction => l.reduction = true,
+            LimiterKind::ValuePrediction => l.value_pred = true,
+            LimiterKind::CallGate(_) => l.fn_gate = true,
+            LimiterKind::LoadImbalance => {}
+        }
+        l
+    }
+}
+
+/// Which causes manifested while costing a loop instance (explain mode
+/// only).
+#[derive(Debug, Clone, Copy, Default)]
+struct Causes {
+    call_gate: bool,
+    mem: bool,
+    reg_lcd: bool,
+    reduction: bool,
+    value_pred: bool,
+}
+
+impl Causes {
+    /// The manifested causes as limiter kinds, in taxonomy order.
+    fn kinds(&self, call_class: CallClass) -> Vec<LimiterKind> {
+        let mut out = Vec::new();
+        if self.mem {
+            out.push(LimiterKind::MemoryRaw);
+        }
+        if self.reg_lcd {
+            out.push(LimiterKind::RegisterLcd);
+        }
+        if self.reduction {
+            out.push(LimiterKind::Reduction);
+        }
+        if self.value_pred {
+            out.push(LimiterKind::ValuePrediction);
+        }
+        if self.call_gate {
+            out.push(LimiterKind::CallGate(call_class));
+        }
+        out
+    }
+}
+
 struct Evaluator<'p> {
     profile: &'p Profile,
     model: ExecModel,
     config: Config,
     options: EvalOptions,
     loop_agg: Vec<LoopSummary>,
+    /// Present only in explain mode; `None` keeps the normal path free of
+    /// any attribution work.
+    attr: Option<AttrCollector>,
 }
 
 /// Evaluator behaviour knobs (ablations).
@@ -124,6 +213,43 @@ pub fn evaluate_with(
     config: Config,
     options: EvalOptions,
 ) -> EvalReport {
+    run(profile, model, config, options, false).0
+}
+
+/// As [`evaluate`], additionally attributing every loop's speedup gap to
+/// ranked [`LimiterKind`]s with counterfactual savings (see
+/// [`crate::explain`]).
+#[must_use]
+pub fn evaluate_explained(
+    profile: &Profile,
+    model: ExecModel,
+    config: Config,
+) -> (EvalReport, Attribution) {
+    evaluate_explained_with(profile, model, config, EvalOptions::default())
+}
+
+/// As [`evaluate_explained`] with explicit evaluator knobs.
+///
+/// # Panics
+/// Never panics; the collector is always present in explain mode.
+#[must_use]
+pub fn evaluate_explained_with(
+    profile: &Profile,
+    model: ExecModel,
+    config: Config,
+    options: EvalOptions,
+) -> (EvalReport, Attribution) {
+    let (report, attr) = run(profile, model, config, options, true);
+    (report, attr.expect("explain mode always collects"))
+}
+
+fn run(
+    profile: &Profile,
+    model: ExecModel,
+    config: Config,
+    options: EvalOptions,
+    explain: bool,
+) -> (EvalReport, Option<Attribution>) {
     let _span = lp_obs::span!("evaluate");
     let reg = lp_obs::registry();
     let t0 = reg.now_ns();
@@ -142,13 +268,24 @@ pub fn evaluate_with(
                 ..LoopSummary::default()
             })
             .collect(),
+        attr: explain.then(|| AttrCollector::new(profile.loop_meta.len(), profile.regions.len())),
     };
     let root = ev.eval_region(profile.root());
     let total = profile.total_cost.max(1);
     let best = root.best.max(1);
     lp_obs::counters().add(lp_obs::Counter::EvalsPerformed, 1);
     reg.record_hist(lp_obs::Hist::EvalNanos, reg.now_ns().saturating_sub(t0));
-    EvalReport {
+    let attribution = ev.attr.take().map(|c| {
+        c.finish(
+            &profile.program,
+            model,
+            config,
+            profile.total_cost,
+            root.best,
+            &profile.loop_meta,
+        )
+    });
+    let report = EvalReport {
         program: profile.program.clone(),
         model,
         config,
@@ -161,7 +298,8 @@ pub fn evaluate_with(
             .into_iter()
             .filter(|l| l.instances > 0)
             .collect(),
-    }
+    };
+    (report, attribution)
 }
 
 impl Evaluator<'_> {
@@ -183,11 +321,11 @@ impl Evaluator<'_> {
                     covered,
                 }
             }
-            RegionKind::Loop(inst) => self.eval_loop(region, inst),
+            RegionKind::Loop(inst) => self.eval_loop(rid, region, inst),
         }
     }
 
-    fn eval_loop(&mut self, region: &Region, inst: &LoopInstance) -> RegionEval {
+    fn eval_loop(&mut self, rid: RegionId, region: &Region, inst: &LoopInstance) -> RegionEval {
         let meta = &self.profile.loop_meta[inst.meta];
         let n = inst.iterations();
         let raw_lens = self.profile.iter_lengths(region, inst);
@@ -209,91 +347,49 @@ impl Evaluator<'_> {
             .collect();
         let serial_adj: u64 = adj.iter().sum();
 
-        // fn-flag gate.
-        let mut forced = match self.config.fnm {
-            FnMode::Fn0 => inst.call_class > CallClass::NoCalls,
-            FnMode::Fn1 => inst.call_class > CallClass::PureCalls,
-            FnMode::Fn2 => inst.call_class > CallClass::InstrumentedCalls,
-            FnMode::Fn3 => false,
-        };
-
-        // Register-LCD handling. Under the DOACROSS ablation the loop
-        // gets one sync point: track the producer/consumer extremes
-        // across all LCD sources instead of per-LCD skews.
-        let single_sync = self.options.doacross_single_sync;
-        let mut delta = inst.mem_max_skew;
-        let mut max_producer = if inst.mem_edges > 0 {
-            inst.mem_max_producer_rel
-        } else {
-            0
-        };
-        let mut reg_lcd_synced = false;
-        let mut add_delta = |delta: &mut u64, d: u64| {
-            // A register LCD: produced at offset `d`, consumed at the next
-            // iteration's start (offset 0).
-            *delta = (*delta).max(d);
-            max_producer = max_producer.max(d);
-            reg_lcd_synced = true;
-        };
-        let mut extra_conflicts: Vec<u32> = Vec::new();
-        for (idx, (_, class)) in meta.traced_phis.iter().enumerate() {
-            if matches!(class, LcdClass::Reduction(_)) && self.config.reduc == ReducMode::Reduc1 {
-                continue; // decoupled by reduction hardware
-            }
-            let lcd = &inst.lcds[idx];
-            match (self.model, self.config.dep) {
-                // DOALL supports no non-computable register LCDs at all
-                // (dep1..dep3 are incompatible with DOALL, §IV).
-                (ExecModel::Doall, _) => forced = true,
-                // Perfect value prediction removes the LCD entirely.
-                (_, DepMode::Dep3) => {}
-                (ExecModel::PartialDoall, DepMode::Dep0 | DepMode::Dep1) => forced = true,
-                (ExecModel::PartialDoall, DepMode::Dep2) => {
-                    extra_conflicts.extend_from_slice(&lcd.mispredict_iters);
-                }
-                (ExecModel::Helix, DepMode::Dep0) => forced = true,
-                (ExecModel::Helix, DepMode::Dep1) => add_delta(&mut delta, lcd.max_def_rel),
-                (ExecModel::Helix, DepMode::Dep2) => {
-                    // Predicted iterations run free; any mispredicts fall
-                    // back to synchronization on this LCD.
-                    if !lcd.mispredict_iters.is_empty() {
-                        add_delta(&mut delta, lcd.max_def_rel);
-                    }
-                }
-            }
-        }
-
-        let _ = &mut add_delta;
-        if single_sync && (inst.mem_edges > 0 || reg_lcd_synced) {
-            // Register-LCD consumers sit at iteration start (offset 0);
-            // memory consumers at their recorded earliest offset.
-            let min_consumer = if reg_lcd_synced {
-                0
-            } else {
-                inst.mem_min_consumer_rel
-            };
-            delta = delta.max(max_producer.saturating_sub(min_consumer));
-        }
-        let cores = self.options.cores;
-        let parallel_cost = match self.model {
-            ExecModel::Doall => {
-                doall_cost_bounded(&adj, !inst.mem_conflict_iters.is_empty(), forced, cores)
-            }
-            ExecModel::PartialDoall => {
-                let mut conflicts = inst.mem_conflict_iters.clone();
-                conflicts.extend_from_slice(&extra_conflicts);
-                conflicts.sort_unstable();
-                conflicts.dedup();
-                pdoall_cost_bounded(&adj, &conflicts, forced, cores)
-            }
-            ExecModel::Helix => helix_cost_bounded(&adj, delta, forced, cores),
-        };
+        let mut causes = Causes::default();
+        let collect = self.attr.is_some();
+        let parallel_cost =
+            self.loop_cost(meta, inst, &adj, Lift::NONE, collect.then_some(&mut causes));
 
         let serial_raw = region.serial_cost();
         let (best, covered, parallel) = match parallel_cost {
             Some(p) if p < serial_adj => (p, serial_raw, true),
             _ => (serial_adj, child_covered, false),
         };
+
+        if collect {
+            // Ideal: the same model with every liftable limiter removed —
+            // pure wave/pipeline scheduling of the adjusted lengths. Each
+            // manifested cause is then re-costed with that cause alone
+            // lifted; the savings feed the conserved gap allocation.
+            let ideal = self
+                .loop_cost(meta, inst, &adj, Lift::ALL, None)
+                .map_or(serial_adj, |c| c.min(serial_adj));
+            let gap = best.saturating_sub(ideal);
+            let mut contribs: Vec<(LimiterKind, u64)> = Vec::new();
+            if gap > 0 {
+                for kind in causes.kinds(inst.call_class) {
+                    let cf = self.loop_cost(meta, inst, &adj, Lift::for_kind(kind), None);
+                    let cf_best = match cf {
+                        Some(p) if p < serial_adj => p,
+                        _ => serial_adj,
+                    };
+                    contribs.push((kind, best.saturating_sub(cf_best)));
+                }
+            }
+            let attr = self.attr.as_mut().expect("collect implies a collector");
+            attr.record_instance(
+                inst.meta,
+                rid.index(),
+                serial_raw,
+                serial_adj,
+                best,
+                ideal,
+                parallel,
+                &contribs,
+            );
+        }
 
         let agg = &mut self.loop_agg[inst.meta];
         agg.instances += 1;
@@ -306,6 +402,150 @@ impl Evaluator<'_> {
             serial: serial_raw,
             best,
             covered,
+        }
+    }
+
+    /// Models the parallel cost of one loop instance over its adjusted
+    /// iteration lengths, with the causes named in `lift` removed.
+    /// [`Lift::NONE`] reproduces the normal evaluation bit-for-bit;
+    /// `causes` (explain mode, passed only on the un-lifted run) records
+    /// which limiter causes manifested.
+    fn loop_cost(
+        &self,
+        meta: &LoopMeta,
+        inst: &LoopInstance,
+        adj: &[u64],
+        lift: Lift,
+        mut causes: Option<&mut Causes>,
+    ) -> Option<u64> {
+        // fn-flag gate.
+        let gated = match self.config.fnm {
+            FnMode::Fn0 => inst.call_class > CallClass::NoCalls,
+            FnMode::Fn1 => inst.call_class > CallClass::PureCalls,
+            FnMode::Fn2 => inst.call_class > CallClass::InstrumentedCalls,
+            FnMode::Fn3 => false,
+        };
+        let mut forced = gated && !lift.fn_gate;
+        let single_sync = self.options.doacross_single_sync;
+        let mem = !lift.mem && inst.mem_edges > 0;
+        if let Some(c) = causes.as_deref_mut() {
+            c.call_gate = gated;
+            c.mem = match self.model {
+                ExecModel::Doall | ExecModel::PartialDoall => !inst.mem_conflict_iters.is_empty(),
+                ExecModel::Helix => inst.mem_max_skew > 0 || (single_sync && inst.mem_edges > 0),
+            };
+        }
+
+        // Register-LCD handling. Under the DOACROSS ablation the loop
+        // gets one sync point: track the producer/consumer extremes
+        // across all LCD sources instead of per-LCD skews. A register
+        // LCD is produced at offset `max_def_rel` and consumed at the
+        // next iteration's start (offset 0).
+        let mut delta = if lift.mem { 0 } else { inst.mem_max_skew };
+        let mut max_producer = if mem { inst.mem_max_producer_rel } else { 0 };
+        let mut reg_lcd_synced = false;
+        let mut extra_conflicts: Vec<u32> = Vec::new();
+        for (idx, (_, class)) in meta.traced_phis.iter().enumerate() {
+            let is_reduction = matches!(class, LcdClass::Reduction(_));
+            if is_reduction && self.config.reduc == ReducMode::Reduc1 {
+                continue; // decoupled by reduction hardware
+            }
+            if is_reduction && lift.reduction {
+                continue; // counterfactual: reduction hardware enabled
+            }
+            if !is_reduction && lift.reg_lcd {
+                continue; // counterfactual: the register LCD vanishes
+            }
+            // A reduction phi blames its reduction-ness; otherwise a
+            // dep2 residual is a prediction problem, and a hard
+            // serialization or sync under dep0/dep1 is the LCD itself.
+            let blame = |causes: &mut Option<&mut Causes>, predicted: bool| {
+                if let Some(c) = causes.as_deref_mut() {
+                    if is_reduction {
+                        c.reduction = true;
+                    } else if predicted {
+                        c.value_pred = true;
+                    } else {
+                        c.reg_lcd = true;
+                    }
+                }
+            };
+            let predicted_perfect = lift.value_pred && !is_reduction;
+            let lcd = &inst.lcds[idx];
+            match (self.model, self.config.dep) {
+                // DOALL supports no non-computable register LCDs at all
+                // (dep1..dep3 are incompatible with DOALL, §IV).
+                (ExecModel::Doall, _) => {
+                    forced = true;
+                    blame(&mut causes, false);
+                }
+                // Perfect value prediction removes the LCD entirely.
+                (_, DepMode::Dep3) => {}
+                (ExecModel::PartialDoall, DepMode::Dep0 | DepMode::Dep1) => {
+                    forced = true;
+                    blame(&mut causes, false);
+                }
+                (ExecModel::PartialDoall, DepMode::Dep2) => {
+                    if !lcd.mispredict_iters.is_empty() {
+                        blame(&mut causes, true);
+                        if !predicted_perfect {
+                            extra_conflicts.extend_from_slice(&lcd.mispredict_iters);
+                        }
+                    }
+                }
+                (ExecModel::Helix, DepMode::Dep0) => {
+                    forced = true;
+                    blame(&mut causes, false);
+                }
+                (ExecModel::Helix, DepMode::Dep1) => {
+                    delta = delta.max(lcd.max_def_rel);
+                    max_producer = max_producer.max(lcd.max_def_rel);
+                    reg_lcd_synced = true;
+                    blame(&mut causes, false);
+                }
+                (ExecModel::Helix, DepMode::Dep2) => {
+                    // Predicted iterations run free; any mispredicts fall
+                    // back to synchronization on this LCD.
+                    if !lcd.mispredict_iters.is_empty() {
+                        blame(&mut causes, true);
+                        if !predicted_perfect {
+                            delta = delta.max(lcd.max_def_rel);
+                            max_producer = max_producer.max(lcd.max_def_rel);
+                            reg_lcd_synced = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        if single_sync && (mem || reg_lcd_synced) {
+            // Register-LCD consumers sit at iteration start (offset 0);
+            // memory consumers at their recorded earliest offset.
+            let min_consumer = if reg_lcd_synced {
+                0
+            } else {
+                inst.mem_min_consumer_rel
+            };
+            delta = delta.max(max_producer.saturating_sub(min_consumer));
+        }
+        let cores = self.options.cores;
+        match self.model {
+            ExecModel::Doall => {
+                let has_conflicts = !lift.mem && !inst.mem_conflict_iters.is_empty();
+                doall_cost_bounded(adj, has_conflicts, forced, cores)
+            }
+            ExecModel::PartialDoall => {
+                let mut conflicts = if lift.mem {
+                    Vec::new()
+                } else {
+                    inst.mem_conflict_iters.clone()
+                };
+                conflicts.extend_from_slice(&extra_conflicts);
+                conflicts.sort_unstable();
+                conflicts.dedup();
+                pdoall_cost_bounded(adj, &conflicts, forced, cores)
+            }
+            ExecModel::Helix => helix_cost_bounded(adj, delta, forced, cores),
         }
     }
 }
@@ -486,6 +726,143 @@ mod tests {
         let s3 = s(DepMode::Dep3);
         assert!(s0 <= s2 + 1e-9, "dep0 {s0} <= dep2 {s2}");
         assert!(s2 <= s3 + 1e-9, "dep2 {s2} <= dep3 {s3}");
+    }
+
+    #[test]
+    fn explained_report_matches_plain_and_conserves_gap() {
+        let p = profile_of(&register_lcd_program(120));
+        for model in ExecModel::all() {
+            for config in Config::all() {
+                let plain = evaluate(&p, model, config);
+                let (report, attr) = evaluate_explained(&p, model, config);
+                assert_eq!(
+                    format!("{plain:?}"),
+                    format!("{report:?}"),
+                    "{model} {config}: explain mode changed the report"
+                );
+                for l in &attr.loops {
+                    assert!(l.ideal_cost <= l.best_cost, "{model} {config}");
+                    assert!(l.best_cost <= l.serial_adj, "{model} {config}");
+                    assert_eq!(l.gap, l.best_cost - l.ideal_cost);
+                    let weight_sum: u64 = l.limiters.iter().map(|x| x.weight).sum();
+                    assert_eq!(
+                        weight_sum,
+                        l.gap,
+                        "{model} {config} {}: weights must conserve the gap",
+                        l.location()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_register_lcd_loop_names_its_limiter() {
+        let p = profile_of(&register_lcd_program(120));
+        let (_, attr) = evaluate_explained(
+            &p,
+            ExecModel::Doall,
+            cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0),
+        );
+        let l = attr
+            .loops
+            .iter()
+            .find(|l| l.gap > 0)
+            .expect("serialized loop has a gap");
+        assert_eq!(l.verdict(), "serial");
+        let lim = &l.limiters[0];
+        assert_eq!(lim.kind, LimiterKind::RegisterLcd);
+        assert!(lim.weight > 0 && lim.savings > 0);
+        // Program rollup sees the same dominant limiter.
+        assert_eq!(attr.limiters[0].kind, LimiterKind::RegisterLcd);
+        // The counterfactual is realized: HELIX dep1 lifts the sync.
+        assert!(lim.unlock_factor(l.best_cost) > 1.0);
+    }
+
+    #[test]
+    fn parallel_doall_loop_has_no_gap() {
+        let p = profile_of(&doall_program(100));
+        let (_, attr) = evaluate_explained(
+            &p,
+            ExecModel::Doall,
+            cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0),
+        );
+        let l = &attr.loops[0];
+        assert_eq!(l.verdict(), "parallel");
+        assert_eq!(l.gap, 0, "conflict-free DOALL is already ideal");
+        assert!(l.limiters.is_empty());
+        // Region verdicts mark the loop region parallel.
+        assert!(attr.region_parallel.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn fn_gate_is_attributed_to_calls() {
+        // The metered-fidelity sample shape: a loop calling a callee, so
+        // fn0 gates it. Reuse register_lcd_program? It makes no calls —
+        // build a tiny caller loop instead.
+        use lp_ir::Global;
+        let mut m = Module::new("callgate");
+        let g = m.add_global(Global::zeroed("a", 256));
+        let mut fb = FunctionBuilder::new("leaf", &[Type::I64], Type::I64);
+        let a = fb.param(0);
+        let one = fb.const_i64(1);
+        let r = fb.add(a, one);
+        fb.ret(Some(r));
+        let leaf = m.add_function(fb.finish().unwrap());
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let nn = fb.const_i64(50);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let base = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, nn);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let v = fb.call(leaf, Type::I64, &[i]);
+        let addr = fb.gep(base, i, 8, 0);
+        fb.store(v, addr);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(zero));
+        m.add_function(fb.finish().unwrap());
+
+        let p = profile_of(&m);
+        let (_, attr) = evaluate_explained(
+            &p,
+            ExecModel::Doall,
+            cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn0),
+        );
+        let l = attr.loops.iter().find(|l| l.gap > 0).expect("gated loop");
+        assert!(
+            l.limiters
+                .iter()
+                .any(|lim| matches!(lim.kind, LimiterKind::CallGate(_)) && lim.weight > 0),
+            "fn0 gate must be attributed to calls: {:?}",
+            l.limiters
+        );
+        // Under fn3 the gate is gone and so is its limiter.
+        let (_, attr3) = evaluate_explained(
+            &p,
+            ExecModel::Doall,
+            cfg(ReducMode::Reduc0, DepMode::Dep0, FnMode::Fn3),
+        );
+        for l in &attr3.loops {
+            assert!(
+                !l.limiters
+                    .iter()
+                    .any(|lim| matches!(lim.kind, LimiterKind::CallGate(_))),
+                "fn3 cannot gate: {:?}",
+                l.limiters
+            );
+        }
     }
 
     #[test]

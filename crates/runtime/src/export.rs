@@ -1,9 +1,12 @@
-//! CSV export of evaluation results — the machine-readable companion to
-//! the pretty-printing binaries, for plotting the figures with external
-//! tools.
+//! CSV, JSON, and collapsed-stack export of evaluation results — the
+//! machine-readable companions to the pretty-printing binaries, for
+//! plotting the figures (and flamegraphs) with external tools.
 
 use crate::census::Census;
 use crate::eval::EvalReport;
+use crate::explain::{Attribution, Limiter};
+use crate::profile::{Profile, RegionKind};
+use lp_obs::json_escape;
 use std::fmt::Write;
 
 /// Escapes one CSV field (quotes when needed).
@@ -73,6 +76,145 @@ pub fn loops_to_csv(report: &EvalReport) -> String {
         );
     }
     out
+}
+
+fn limiter_json(out: &mut String, lim: &Limiter, best: u64) {
+    let _ = write!(
+        out,
+        "{{\"kind\":\"{}\",\"weight\":{},\"savings\":{},\"instances\":{},\
+         \"unlock_factor\":{:.4},\"describes\":\"{}\"}}",
+        json_escape(lim.kind.name()),
+        lim.weight,
+        lim.savings,
+        lim.instances,
+        lim.unlock_factor(best),
+        json_escape(lim.kind.describe()),
+    );
+}
+
+/// Hand-rolled `explain.json`: the full [`Attribution`] following the
+/// workspace's no-serde escaper conventions. Validates against
+/// [`lp_obs::validate_json`].
+#[must_use]
+pub fn attribution_to_json(attr: &Attribution) -> String {
+    let mut out = String::from("{");
+    let speedup = attr.total_cost.max(1) as f64 / attr.best_cost.max(1) as f64;
+    let _ = write!(
+        out,
+        "\"program\":\"{}\",\"model\":\"{}\",\"config\":\"{}\",\
+         \"total_cost\":{},\"best_cost\":{},\"speedup\":{speedup:.6},\"total_gap\":{}",
+        json_escape(&attr.program),
+        attr.model,
+        attr.config,
+        attr.total_cost,
+        attr.best_cost,
+        attr.total_gap(),
+    );
+    out.push_str(",\"limiters\":[");
+    for (i, lim) in attr.limiters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        limiter_json(&mut out, lim, attr.best_cost);
+    }
+    out.push_str("],\"loops\":[");
+    for (i, l) in attr.loops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"function\":\"{}\",\"header\":\"{}\",\"depth\":{},\"verdict\":\"{}\",\
+             \"instances\":{},\"parallel_instances\":{},\"serial_cost\":{},\
+             \"best_cost\":{},\"ideal_cost\":{},\"gap\":{},\"limiters\":[",
+            json_escape(&l.func_name),
+            l.header,
+            l.depth,
+            l.verdict(),
+            l.instances,
+            l.parallel_instances,
+            l.serial_cost,
+            l.best_cost,
+            l.ideal_cost,
+            l.gap,
+        );
+        for (j, lim) in l.limiters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            limiter_json(&mut out, lim, l.best_cost);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Sanitizes one collapsed-stack frame name (the format reserves `;` as
+/// the frame separator and the final space as the weight separator).
+fn frame(s: &str) -> String {
+    s.replace([';', ' '], "_")
+}
+
+/// Flamegraph-compatible collapsed stacks of the dynamic region tree:
+/// one line per region, `frame;frame;... weight`, where frames are the
+/// function/loop-header nesting, the weight is the region's *exclusive*
+/// dynamic IR instructions, and each loop frame is annotated
+/// `_[serial]`/`_[parallel]` from the attribution's per-region verdict.
+/// Exclusive weights telescope: the emitted weights sum to the profile's
+/// `total_cost`, making coverage (Fig. 5) visually inspectable in any
+/// flamegraph viewer.
+#[must_use]
+pub fn collapsed_stacks(profile: &Profile, attr: &Attribution) -> String {
+    let mut out = String::new();
+    let mut stack: Vec<String> = Vec::new();
+    emit_region(profile, attr, 0, &mut stack, &mut out);
+    out
+}
+
+fn emit_region(
+    profile: &Profile,
+    attr: &Attribution,
+    idx: usize,
+    stack: &mut Vec<String>,
+    out: &mut String,
+) {
+    let region = &profile.regions[idx];
+    let name = match &region.kind {
+        RegionKind::Call { func } => frame(
+            profile
+                .func_names
+                .get(func.index())
+                .map_or("<unknown>", String::as_str),
+        ),
+        RegionKind::Loop(inst) => {
+            let meta = &profile.loop_meta[inst.meta];
+            let verdict = if attr.region_parallel.get(idx).copied().unwrap_or(false) {
+                "parallel"
+            } else {
+                "serial"
+            };
+            format!(
+                "loop@{}:{}_[{verdict}]",
+                frame(&meta.func_name),
+                meta.header
+            )
+        }
+    };
+    stack.push(name);
+    let child_cost: u64 = region
+        .children
+        .iter()
+        .map(|c| profile.regions[c.index()].serial_cost())
+        .sum();
+    let exclusive = region.serial_cost().saturating_sub(child_cost);
+    if exclusive > 0 {
+        let _ = writeln!(out, "{} {exclusive}", stack.join(";"));
+    }
+    for c in &region.children {
+        emit_region(profile, attr, c.index(), stack, out);
+    }
+    stack.pop();
 }
 
 /// The census as a two-column CSV (category, count).
@@ -163,6 +305,67 @@ mod tests {
         let csv = census_to_csv(&Census::default());
         assert_eq!(csv.lines().count(), 12); // header + 11 categories
         assert!(csv.contains("reduction_lcds,0"));
+    }
+
+    fn tiny_explained() -> (crate::profile::Profile, Attribution) {
+        let mut m = Module::new("explain");
+        let g = m.add_global(lp_ir::Global::zeroed("cell", 1));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let n = fb.const_i64(8);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let cell = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let v = fb.load(Type::I64, cell);
+        let v2 = fb.add(v, one);
+        fb.store(v2, cell);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        m.add_function(fb.finish().unwrap());
+        let analysis = analyze_module(&m);
+        let (p, _) = profile_module(&m, &analysis, &[], MachineConfig::default()).unwrap();
+        let (_, attr) = crate::eval::evaluate_explained(&p, ExecModel::Doall, Config::all()[0]);
+        (p, attr)
+    }
+
+    #[test]
+    fn attribution_json_is_valid_and_names_the_limiter() {
+        let (_, attr) = tiny_explained();
+        let json = attribution_to_json(&attr);
+        lp_obs::validate_json(&json).expect("explain.json must be valid");
+        assert!(json.contains("\"kind\":\"memory-raw\""), "{json}");
+        assert!(json.contains("\"verdict\":\"serial\""), "{json}");
+        assert!(json.contains("\"function\":\"main\""), "{json}");
+    }
+
+    #[test]
+    fn collapsed_stacks_weights_sum_to_total_cost() {
+        let (p, attr) = tiny_explained();
+        let collapsed = collapsed_stacks(&p, &attr);
+        let mut sum = 0u64;
+        for line in collapsed.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("frame weight");
+            assert!(!stack.is_empty());
+            sum += weight.parse::<u64>().unwrap();
+        }
+        assert_eq!(sum, p.total_cost, "exclusive weights must telescope");
+        assert!(collapsed.starts_with("main "), "{collapsed}");
+        assert!(
+            collapsed.contains("main;loop@main:b1_[serial] "),
+            "{collapsed}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod census;
 pub mod config;
 pub mod eval;
+pub mod explain;
 pub mod export;
 pub mod model;
 pub mod profile;
@@ -29,7 +30,12 @@ pub use census::Census;
 pub use config::{
     best_helix, best_pdoall, paper_rows, Config, DepMode, ExecModel, FnMode, ReducMode,
 };
-pub use eval::{evaluate, evaluate_with, EvalOptions, EvalReport, LoopSummary};
+pub use eval::{
+    evaluate, evaluate_explained, evaluate_explained_with, evaluate_with, EvalOptions, EvalReport,
+    LoopSummary,
+};
+pub use explain::{Attribution, Limiter, LimiterKind, LoopAttribution};
+pub use export::{attribution_to_json, collapsed_stacks};
 pub use profile::{CallClass, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind};
 pub use report::{geomean, geomean_coverage, geomean_speedup, mean, ProgramResult};
 pub use tracker::{profile_module, profile_module_with, Profiler, ProfilerOptions};

@@ -145,6 +145,16 @@ pub fn helix_cost_bounded(
     Some(latest)
 }
 
+/// The conflict-free ("ideal") cost of a loop instance: pure wave
+/// dispatch of its iteration lengths with no dependence of any kind.
+/// This is the floor the attribution layer measures every model's gap
+/// against — `doall_cost_bounded` with no conflicts and no forcing
+/// reduces to exactly this.
+#[must_use]
+pub fn ideal_cost(iter_lens: &[u64], cores: Option<u32>) -> u64 {
+    wave_cost(iter_lens, cores)
+}
+
 /// Dispatches `lens` in order over waves of `cores` (unbounded when
 /// `None`): the cost of a conflict-free parallel region.
 fn wave_cost(lens: &[u64], cores: Option<u32>) -> u64 {

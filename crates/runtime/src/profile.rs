@@ -180,6 +180,9 @@ pub struct Profile {
     pub loop_meta: Vec<LoopMeta>,
     /// Lookup from `(func, loop)` to `loop_meta` index.
     pub meta_index: HashMap<(u32, u32), usize>,
+    /// Function names indexed by [`FuncId`] — names the call frames in
+    /// the collapsed-stack export.
+    pub func_names: Vec<String>,
 }
 
 impl Profile {
@@ -287,6 +290,7 @@ mod tests {
             regions: vec![region],
             loop_meta: vec![dummy_meta()],
             meta_index: HashMap::new(),
+            func_names: vec!["f".to_string()],
         };
         let r = profile.region(RegionId(0));
         let RegionKind::Loop(inst) = &r.kind else {

@@ -20,7 +20,7 @@ use crate::profile::{
 use lp_analysis::{LcdClass, LoopId, ModuleAnalysis, Purity};
 use lp_interp::{EventSink, Machine, MachineConfig, MeteredSink, RunResult, Value, STACK_BASE};
 use lp_ir::{BlockId, Builtin, FuncId, Inst, Module, ValueId, ValueKind};
-use lp_obs::{span, Counter, Hist, PredictorKind};
+use lp_obs::{span, Counter, Hist, Histogram, PredictorKind};
 use lp_predict::HybridPredictor;
 use std::collections::{BTreeSet, HashMap};
 
@@ -96,6 +96,11 @@ pub struct Profiler<'a> {
     predictors: HashMap<(u32, u32), HybridPredictor>,
     options: ProfilerOptions,
     cactus_filter_hits: u64,
+    /// Function names by [`FuncId`] (for the collapsed-stack export).
+    func_names: Vec<String>,
+    /// Iteration distance of each cross-iteration RAW edge, accumulated
+    /// lock-free here and merged into the global registry at flush.
+    conflict_dists: Histogram,
 }
 
 impl<'a> Profiler<'a> {
@@ -173,6 +178,11 @@ impl<'a> Profiler<'a> {
         Profiler {
             analysis,
             program: module.name.clone(),
+            func_names: module
+                .iter_functions()
+                .map(|(_, f)| f.name.clone())
+                .collect(),
+            conflict_dists: Histogram::default(),
             header_loop,
             traced,
             watched,
@@ -283,6 +293,7 @@ impl<'a> Profiler<'a> {
                     al.conflicts.insert(al.cur_iter);
                     al.edges += 1;
                     let span = u64::from(al.cur_iter - w_iter);
+                    self.conflict_dists.record(span);
                     let skew = w_rel.saturating_sub(rel) / span;
                     if skew > al.max_skew {
                         al.max_skew = skew;
@@ -313,6 +324,7 @@ impl<'a> Profiler<'a> {
         c.add(Counter::LoopInstances, loops);
         c.add(Counter::RawConflicts, edges);
         c.add(Counter::CactusFilterHits, self.cactus_filter_hits);
+        lp_obs::merge_hist(Hist::ConflictDistance, &self.conflict_dists);
         let components = [
             PredictorKind::LastValue,
             PredictorKind::Stride,
@@ -355,6 +367,7 @@ impl<'a> Profiler<'a> {
             regions: self.regions,
             loop_meta: self.loop_meta,
             meta_index: self.meta_index,
+            func_names: self.func_names,
         }
     }
 }
@@ -690,6 +703,19 @@ mod tests {
         assert_eq!(inst.mem_conflict_iters.len(), 39);
         assert_eq!(inst.mem_conflict_iters[0], 1);
         assert!(inst.mem_edges >= 39);
+    }
+
+    #[test]
+    fn conflict_distances_and_func_names_are_captured() {
+        let before = lp_obs::registry().hist(Hist::ConflictDistance).count;
+        let m = serial_mem_module(40);
+        let p = profile(&m, &[]);
+        assert_eq!(p.func_names, vec!["main".to_string()]);
+        // Every iteration 1..40 consumes the previous store: 39 edges at
+        // iteration distance 1 merged into the global histogram. Other
+        // tests in this binary may add samples too, so bound from below.
+        let after = lp_obs::registry().hist(Hist::ConflictDistance).count;
+        assert!(after >= before + 39, "before={before} after={after}");
     }
 
     #[test]

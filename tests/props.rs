@@ -8,7 +8,7 @@ use lp_ir::builder::FunctionBuilder;
 use lp_ir::{Global, Module, Type, ValueId};
 use lp_predict::{HybridPredictor, LastValue, Predictor, Stride};
 use lp_runtime::model::{doall_cost, helix_cost, pdoall_cost};
-use lp_runtime::{evaluate, profile_module, Config, ExecModel, RegionKind};
+use lp_runtime::{evaluate, evaluate_explained, profile_module, Config, ExecModel, RegionKind};
 use lp_suite::kernels::counted_loop;
 use proptest::prelude::*;
 
@@ -174,6 +174,38 @@ proptest! {
                 prop_assert!(r.speedup >= 0.999);
                 prop_assert!(r.best_cost <= r.total_cost);
                 prop_assert!((0.0..=100.0).contains(&r.coverage));
+            }
+        }
+    }
+
+    #[test]
+    fn limiter_attribution_conserves_gaps_and_matches_plain_eval(
+        specs in prop::collection::vec(loop_spec(), 1..5)
+    ) {
+        let module = build_program(&specs);
+        let analysis = lp_analysis::analyze_module(&module);
+        let (profile, _) =
+            profile_module(&module, &analysis, &[], lp_interp::MachineConfig::default()).unwrap();
+        for model in ExecModel::all() {
+            for config in Config::all() {
+                // Asking for an explanation must not change the answer.
+                let plain = evaluate(&profile, model, config);
+                let (explained, attr) = evaluate_explained(&profile, model, config);
+                prop_assert_eq!(format!("{plain:?}"), format!("{explained:?}"));
+                // Conservation: per loop and for the program, limiter
+                // weights sum exactly to the gap above the ideal cost.
+                for l in &attr.loops {
+                    prop_assert!(l.ideal_cost <= l.best_cost, "{}", l.location());
+                    prop_assert!(l.best_cost <= l.serial_adj, "{}", l.location());
+                    prop_assert_eq!(l.gap, l.best_cost - l.ideal_cost);
+                    let sum: u64 = l.limiters.iter().map(|x| x.weight).sum();
+                    prop_assert_eq!(sum, l.gap, "weights must conserve the gap");
+                    for lim in &l.limiters {
+                        prop_assert!(lim.weight <= lim.savings.max(l.gap));
+                    }
+                }
+                let total: u64 = attr.limiters.iter().map(|x| x.weight).sum();
+                prop_assert_eq!(total, attr.total_gap());
             }
         }
     }
