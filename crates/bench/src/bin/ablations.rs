@@ -18,7 +18,9 @@
 use lp_analysis::analyze_module;
 use lp_bench::Cli;
 use lp_interp::MachineConfig;
-use lp_runtime::{evaluate_with, geomean, profile_module_with, EvalOptions, ProfilerOptions};
+use lp_runtime::{
+    evaluate_with, geomean, parallel_map, profile_module_with, EvalOptions, ProfilerOptions,
+};
 use lp_suite::SuiteId;
 
 fn main() {
@@ -26,6 +28,7 @@ fn main() {
     cli.expect_no_extra_args();
     cli.reject_explain_out("ablations");
     let scale = cli.scale;
+    let jobs = cli.jobs();
 
     // ---- 1. cactus-stack filter --------------------------------------
     println!("Ablation 1 — cactus-stack frame filter (PDOALL reduc1-dep2-fn2)\n");
@@ -35,12 +38,12 @@ fn main() {
     );
     let (model, config) = lp_runtime::best_pdoall();
     for suite in [SuiteId::Eembc, SuiteId::Cint2000] {
-        let mut with = Vec::new();
-        let mut without = Vec::new();
-        for b in lp_suite::suite(suite) {
+        // This ablation re-profiles on purpose (the profiler option under
+        // test changes the profile), so the benchmarks fan out instead.
+        let pairs = parallel_map(&lp_suite::suite(suite), jobs, |_, b| {
             let module = b.build(scale);
             let analysis = analyze_module(&module);
-            for (cactus, out) in [(true, &mut with), (false, &mut without)] {
+            let speedup_with_cactus = |cactus: bool| {
                 let (profile, _) = profile_module_with(
                     &module,
                     &analysis,
@@ -51,9 +54,11 @@ fn main() {
                     },
                 )
                 .expect("benchmark runs");
-                out.push(evaluate_with(&profile, model, config, EvalOptions::default()).speedup);
-            }
-        }
+                evaluate_with(&profile, model, config, EvalOptions::default()).speedup
+            };
+            (speedup_with_cactus(true), speedup_with_cactus(false))
+        });
+        let (with, without): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
         println!(
             "{:<12} {:>11.2}x {:>13.2}x",
             suite.label(),
@@ -69,9 +74,7 @@ fn main() {
     println!("{:<12} {:>10} {:>12}", "suite", "HELIX", "DOACROSS");
     let (hx_model, hx_config) = lp_runtime::best_helix();
     for suite in [SuiteId::Cint2000, SuiteId::Cint2006] {
-        let mut helix = Vec::new();
-        let mut doacross = Vec::new();
-        for b in lp_suite::suite(suite) {
+        let pairs = parallel_map(&lp_suite::suite(suite), jobs, |_, b| {
             let module = b.build(scale);
             let analysis = analyze_module(&module);
             let (profile, _) = profile_module_with(
@@ -82,21 +85,21 @@ fn main() {
                 ProfilerOptions::default(),
             )
             .expect("benchmark runs");
-            helix
-                .push(evaluate_with(&profile, hx_model, hx_config, EvalOptions::default()).speedup);
-            doacross.push(
-                evaluate_with(
-                    &profile,
-                    hx_model,
-                    hx_config,
-                    EvalOptions {
-                        doacross_single_sync: true,
-                        ..EvalOptions::default()
-                    },
-                )
-                .speedup,
-            );
-        }
+            let helix =
+                evaluate_with(&profile, hx_model, hx_config, EvalOptions::default()).speedup;
+            let doacross = evaluate_with(
+                &profile,
+                hx_model,
+                hx_config,
+                EvalOptions {
+                    doacross_single_sync: true,
+                    ..EvalOptions::default()
+                },
+            )
+            .speedup;
+            (helix, doacross)
+        });
+        let (helix, doacross): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
         println!(
             "{:<12} {:>9.2}x {:>11.2}x",
             suite.label(),

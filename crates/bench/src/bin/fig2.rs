@@ -1,11 +1,15 @@
 //! Figure 2: GEOMEAN limit speedups for the non-numeric suites
 //! (SPEC CINT2000 & CINT2006) under the 14 paper configurations.
 //!
+//! Profiles each benchmark once, then evaluates all `(benchmark, row)`
+//! cells on `--jobs N` workers; the printed figure is byte-identical for
+//! any worker count.
+//!
 //! ```text
-//! cargo run --release -p lp-bench --bin fig2 [test|small|default]
+//! cargo run --release -p lp-bench --bin fig2 [test|small|default] [--jobs N]
 //! ```
 
-use lp_bench::{log_bar, run_suites, suite_geomean_speedup, Cli};
+use lp_bench::{log_bar, run_suites, Cli, SweepTable};
 use lp_runtime::paper_rows;
 use lp_suite::SuiteId;
 
@@ -14,7 +18,8 @@ fn main() {
     cli.expect_no_extra_args();
     cli.reject_explain_out("fig2");
     let scale = cli.scale;
-    let runs = run_suites(&[SuiteId::Cint2000, SuiteId::Cint2006], scale);
+    let jobs = cli.jobs();
+    let runs = run_suites(&[SuiteId::Cint2000, SuiteId::Cint2006], scale, jobs);
 
     println!("Figure 2 — GEOMEAN speedups, non-numeric benchmarks ({scale:?} scale)");
     println!(
@@ -22,13 +27,13 @@ fn main() {
         "model", "config", "cint2000", "cint2006"
     );
     let rows = paper_rows();
-    let max = rows
-        .iter()
-        .map(|&(m, c)| suite_geomean_speedup(&runs, SuiteId::Cint2006, m, c))
+    let table = SweepTable::build(&runs, &rows, jobs);
+    let max = (0..rows.len())
+        .map(|j| table.geomean_speedup(&runs, SuiteId::Cint2006, j))
         .fold(1.0f64, f64::max);
-    for (model, config) in rows {
-        let s2000 = suite_geomean_speedup(&runs, SuiteId::Cint2000, model, config);
-        let s2006 = suite_geomean_speedup(&runs, SuiteId::Cint2006, model, config);
+    for (j, (model, config)) in rows.into_iter().enumerate() {
+        let s2000 = table.geomean_speedup(&runs, SuiteId::Cint2000, j);
+        let s2006 = table.geomean_speedup(&runs, SuiteId::Cint2006, j);
         println!(
             "{:<14} {:<18} {:>8.2}x {:>8.2}x   {}",
             model.to_string(),

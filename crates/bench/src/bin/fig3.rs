@@ -1,11 +1,15 @@
 //! Figure 3: GEOMEAN limit speedups for the numeric suites
 //! (EEMBC, SPEC CFP2000 & CFP2006) under the 14 paper configurations.
 //!
+//! Profiles each benchmark once, then evaluates all `(benchmark, row)`
+//! cells on `--jobs N` workers; the printed figure is byte-identical for
+//! any worker count.
+//!
 //! ```text
-//! cargo run --release -p lp-bench --bin fig3 [test|small|default]
+//! cargo run --release -p lp-bench --bin fig3 [test|small|default] [--jobs N]
 //! ```
 
-use lp_bench::{log_bar, run_suites, suite_geomean_speedup, Cli};
+use lp_bench::{log_bar, run_suites, Cli, SweepTable};
 use lp_runtime::paper_rows;
 use lp_suite::SuiteId;
 
@@ -14,8 +18,9 @@ fn main() {
     cli.expect_no_extra_args();
     cli.reject_explain_out("fig3");
     let scale = cli.scale;
+    let jobs = cli.jobs();
     let suites = [SuiteId::Eembc, SuiteId::Cfp2000, SuiteId::Cfp2006];
-    let runs = run_suites(&suites, scale);
+    let runs = run_suites(&suites, scale, jobs);
 
     println!("Figure 3 — GEOMEAN speedups, numeric benchmarks ({scale:?} scale)");
     println!(
@@ -23,14 +28,14 @@ fn main() {
         "model", "config", "eembc", "cfp2000", "cfp2006"
     );
     let rows = paper_rows();
-    let max = rows
-        .iter()
-        .map(|&(m, c)| suite_geomean_speedup(&runs, SuiteId::Cfp2000, m, c))
+    let table = SweepTable::build(&runs, &rows, jobs);
+    let max = (0..rows.len())
+        .map(|j| table.geomean_speedup(&runs, SuiteId::Cfp2000, j))
         .fold(1.0f64, f64::max);
-    for (model, config) in rows {
-        let eembc = suite_geomean_speedup(&runs, SuiteId::Eembc, model, config);
-        let cfp2000 = suite_geomean_speedup(&runs, SuiteId::Cfp2000, model, config);
-        let cfp2006 = suite_geomean_speedup(&runs, SuiteId::Cfp2006, model, config);
+    for (j, (model, config)) in rows.into_iter().enumerate() {
+        let eembc = table.geomean_speedup(&runs, SuiteId::Eembc, j);
+        let cfp2000 = table.geomean_speedup(&runs, SuiteId::Cfp2000, j);
+        let cfp2006 = table.geomean_speedup(&runs, SuiteId::Cfp2006, j);
         println!(
             "{:<14} {:<18} {:>8.2}x {:>8.2}x {:>8.2}x   {}",
             model.to_string(),

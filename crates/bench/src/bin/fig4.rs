@@ -2,11 +2,15 @@
 //! realistic PDOALL (`reduc1-dep2-fn2`) and best HELIX (`reduc1-dep1-fn2`)
 //! configurations, with the winner marked.
 //!
+//! Profiles each benchmark once, then evaluates both rows for every
+//! benchmark on `--jobs N` workers; the printed figure is byte-identical
+//! for any worker count.
+//!
 //! ```text
-//! cargo run --release -p lp-bench --bin fig4 [test|small|default]
+//! cargo run --release -p lp-bench --bin fig4 [test|small|default] [--jobs N]
 //! ```
 
-use lp_bench::{log_bar, run_suites, write_explain, Cli};
+use lp_bench::{log_bar, run_suites, write_explain, Cli, SweepTable};
 use lp_runtime::{best_helix, best_pdoall, geomean};
 use lp_suite::SuiteId;
 
@@ -14,16 +18,18 @@ fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
     let scale = cli.scale;
+    let jobs = cli.jobs();
     let spec = [
         SuiteId::Cint2000,
         SuiteId::Cfp2000,
         SuiteId::Cint2006,
         SuiteId::Cfp2006,
     ];
-    let runs = run_suites(&spec, scale);
+    let runs = run_suites(&spec, scale, jobs);
 
     let (pd_model, pd_config) = best_pdoall();
     let (hx_model, hx_config) = best_helix();
+    let table = SweepTable::build(&runs, &[(pd_model, pd_config), (hx_model, hx_config)], jobs);
 
     println!("Figure 4 — per-benchmark speedups, all SPEC ({scale:?} scale)");
     println!(
@@ -32,20 +38,14 @@ fn main() {
     );
     let mut pd_all = Vec::new();
     let mut hx_all = Vec::new();
-    let max = runs
-        .iter()
-        .map(|r| {
-            r.study
-                .evaluate(hx_model, hx_config)
-                .speedup
-                .max(r.study.evaluate(pd_model, pd_config).speedup)
-        })
+    let max = (0..runs.len())
+        .map(|i| table.report(i, 0).speedup.max(table.report(i, 1).speedup))
         .fold(1.0f64, f64::max);
     let mut pdoall_wins = 0usize;
     let mut attrs = Vec::new();
-    for run in &runs {
-        let pd = run.study.evaluate(pd_model, pd_config).speedup;
-        let hx = run.study.evaluate(hx_model, hx_config).speedup;
+    for (i, run) in runs.iter().enumerate() {
+        let pd = table.report(i, 0).speedup;
+        let hx = table.report(i, 1).speedup;
         pd_all.push(pd);
         hx_all.push(hx);
         let winner = if pd > hx { "PDOALL" } else { "HELIX" };

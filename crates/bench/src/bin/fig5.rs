@@ -3,11 +3,15 @@
 //! paper highlights: `reduc0-dep0-fn2` PDOALL, `reduc0-dep0-fn2` HELIX,
 //! and `reduc0-dep1-fn2` HELIX.
 //!
+//! Profiles each benchmark once, then evaluates all `(benchmark, row)`
+//! cells on `--jobs N` workers; the printed figure is byte-identical for
+//! any worker count.
+//!
 //! ```text
-//! cargo run --release -p lp-bench --bin fig5 [test|small|default]
+//! cargo run --release -p lp-bench --bin fig5 [test|small|default] [--jobs N]
 //! ```
 
-use lp_bench::{run_suites, suite_geomean_coverage, write_explain, Cli};
+use lp_bench::{run_suites, write_explain, Cli, SweepTable};
 use lp_runtime::{Config, ExecModel};
 use lp_suite::SuiteId;
 
@@ -15,8 +19,9 @@ fn main() {
     let cli = Cli::parse();
     cli.expect_no_extra_args();
     let scale = cli.scale;
+    let jobs = cli.jobs();
     let suites = SuiteId::all();
-    let runs = run_suites(&suites, scale);
+    let runs = run_suites(&suites, scale, jobs);
 
     let rows: [(&str, ExecModel, Config); 3] = [
         (
@@ -35,6 +40,8 @@ fn main() {
             "reduc0-dep1-fn2".parse().unwrap(),
         ),
     ];
+    let table_rows: Vec<(ExecModel, Config)> = rows.iter().map(|&(_, m, c)| (m, c)).collect();
+    let table = SweepTable::build(&runs, &table_rows, jobs);
 
     println!("Figure 5 — GEOMEAN dynamic coverage, percent ({scale:?} scale)");
     print!("{:<24}", "configuration");
@@ -42,10 +49,10 @@ fn main() {
         print!(" {:>9}", s.label());
     }
     println!();
-    for (label, model, config) in rows {
+    for (j, (label, _, _)) in rows.iter().enumerate() {
         print!("{label:<24}");
         for s in suites {
-            let cov = suite_geomean_coverage(&runs, s, model, config);
+            let cov = table.geomean_coverage(&runs, s, j);
             print!(" {cov:>8.1}%");
         }
         println!();

@@ -22,26 +22,27 @@
 //! ```
 
 use loopapalooza::Study;
-use lp_bench::{write_explain, Cli};
+use lp_bench::{run_suites, write_explain, Cli, SweepTable};
 use lp_obs::{lp_info, span};
-use lp_runtime::{best_helix, best_pdoall, ExecModel};
-use lp_suite::Scale;
+use lp_runtime::{best_helix, best_pdoall, geomean, ExecModel};
+use lp_suite::{Scale, SuiteId};
 
 /// Benchmark the no-input demo round-trips through the textual parser.
 const DEMO_BENCH: &str = "181.mcf";
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: lpstudy [<file.lp> | --bench <name> | --dump <name> | --analyze <file.lp|name>"
-    );
-    eprintln!("                | explain [<file.lp|name>]]");
-    eprintln!("               [--trace-out FILE] [--explain-out FILE] [--quiet]");
+    eprintln!("usage: lpstudy [<file.lp> | --bench <name> | --suite <name> | --dump <name>");
+    eprintln!("                | --analyze <file.lp|name> | explain [<file.lp|name>]]");
+    eprintln!("               [--jobs N] [--trace-out FILE] [--explain-out FILE] [--quiet]");
     eprintln!("  <file.lp>          study a textual-IR module");
     eprintln!("  --bench NAME       study a registered benchmark (e.g. 456.hmmer)");
+    eprintln!("  --suite NAME       study a whole suite (eembc, cint2000, cfp2000, ...)");
     eprintln!("  --dump NAME        print a registered benchmark as textual IR");
     eprintln!("  --analyze WHAT     print the compile-time analysis (loops, LCD classes)");
     eprintln!("  explain [WHAT]     rank, per loop, the limiters that block further speedup");
     eprintln!("  (no input)         study a built-in demo kernel ({DEMO_BENCH})");
+    eprintln!("  --jobs N           sweep worker count (default: LP_JOBS or all cores;");
+    eprintln!("                     the printed output is identical for any value)");
     eprintln!("  --trace-out FILE   write a Chrome trace_event JSON of the run");
     eprintln!("  --explain-out FILE write limiter-attribution JSON (+ .collapsed stacks)");
     eprintln!("  --quiet            suppress progress logging (see also LP_LOG=off|info|debug)");
@@ -84,6 +85,70 @@ fn demo_module(doing: &str) -> lp_ir::Module {
     let bench = lp_suite::find(DEMO_BENCH).expect("demo benchmark registered");
     let text = lp_ir::printer::print_module(&bench.build(Scale::Test));
     parse_text(&text)
+}
+
+/// The `--suite` mode: profile every benchmark of one suite (each
+/// exactly once, fanned over `--jobs` workers), evaluate the 14 paper
+/// rows for all of them through the parallel sweep engine, and print a
+/// per-row GEOMEAN table plus a per-benchmark summary under the best
+/// HELIX configuration. Output is byte-identical for any worker count.
+fn run_suite(cli: &Cli, name: &str) {
+    let Some(suite) = SuiteId::all().into_iter().find(|s| s.label() == name) else {
+        eprintln!("unknown suite {name:?}; expected one of:");
+        for s in SuiteId::all() {
+            eprintln!("  {}", s.label());
+        }
+        std::process::exit(2);
+    };
+    let jobs = cli.jobs();
+    let runs = run_suites(&[suite], cli.scale, jobs);
+    let rows = lp_runtime::paper_rows();
+    let table = SweepTable::build(&runs, &rows, jobs);
+
+    println!(
+        "suite {} — {} benchmarks, {} rows each ({:?} scale)\n",
+        suite.label(),
+        runs.len(),
+        rows.len(),
+        cli.scale
+    );
+    println!(
+        "{:<14} {:<18} {:>9} {:>9}",
+        "model", "config", "speedup", "coverage"
+    );
+    for (j, (model, config)) in rows.iter().enumerate() {
+        println!(
+            "{:<14} {:<18} {:>8.2}x {:>8.1}%",
+            model.to_string(),
+            config.to_string(),
+            table.geomean_speedup(&runs, suite, j),
+            table.geomean_coverage(&runs, suite, j)
+        );
+    }
+    let hx_row = rows
+        .iter()
+        .position(|&row| row == best_helix())
+        .expect("paper rows include best HELIX");
+    println!("\nper-benchmark speedup under best HELIX:");
+    let mut speedups = Vec::with_capacity(runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        let r = table.report(i, hx_row);
+        println!(
+            "  {:<18} {:>8.2}x  coverage {:>5.1}%",
+            run.name, r.speedup, r.coverage
+        );
+        speedups.push(r.speedup);
+    }
+    println!("  {:<18} {:>8.2}x  (GEOMEAN)", "all", geomean(&speedups));
+    if let Some(path) = &cli.explain_out {
+        let (model, config) = best_helix();
+        let attrs: Vec<_> = runs
+            .iter()
+            .map(|r| r.study.explain(model, config).1)
+            .collect();
+        write_explain(path, &attrs, None);
+    }
+    cli.finish("lpstudy");
 }
 
 /// The `explain` subcommand: evaluate the baseline DOALL row plus the
@@ -143,6 +208,12 @@ fn main() {
             let module = load(what);
             let analysis = lp_analysis::analyze_module(&module);
             print!("{}", lp_analysis::dump_module(&module, &analysis));
+            return;
+        }
+        Some("--suite") => {
+            let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            expect_consumed(args, 2);
+            run_suite(&cli, name);
             return;
         }
         Some("--bench") => {

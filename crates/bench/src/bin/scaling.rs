@@ -54,7 +54,7 @@ fn main() {
     cli.reject_explain_out("scaling");
     let scale = cli.scale;
     let suites = SuiteId::all();
-    let runs = run_suites(&suites, scale);
+    let runs = run_suites(&suites, scale, cli.jobs());
 
     for (label, (model, config)) in [
         ("best HELIX (reduc1-dep1-fn2)", best_helix()),

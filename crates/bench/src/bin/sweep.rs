@@ -2,48 +2,87 @@
 //! configurations, exported as CSV for external plotting. The
 //! machine-readable superset of Figures 2–4.
 //!
+//! Each benchmark is profiled **once**; the `(benchmark × model ×
+//! config)` lattice then fans out over `--jobs N` workers (default:
+//! `LP_JOBS` or the machine's available parallelism). The CSV on stdout
+//! is byte-identical for any worker count. `--suite NAME` (repeatable)
+//! restricts the sweep to one or more suites.
+//!
 //! ```text
 //! cargo run --release -p lp-bench --bin sweep -- default > results/sweep.csv
+//! cargo run --release -p lp-bench --bin sweep -- test --suite eembc --jobs 4
 //! ```
 
-use lp_bench::{run_suites, Cli};
+use lp_bench::{run_suites, Cli, SweepTable};
 use lp_obs::lp_info;
 use lp_runtime::export::{report_header, report_row};
 use lp_runtime::{Config, ExecModel};
 use lp_suite::SuiteId;
 
+fn parse_suite(name: &str) -> SuiteId {
+    SuiteId::all()
+        .into_iter()
+        .find(|s| s.label() == name)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown suite {name:?} (expected one of: {})",
+                SuiteId::all().map(|s| s.label()).join(", ")
+            );
+            std::process::exit(2);
+        })
+}
+
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
     cli.reject_explain_out("sweep");
-    let runs = run_suites(&SuiteId::all(), cli.scale);
+    let mut suites: Vec<SuiteId> = Vec::new();
+    let mut rest = cli.rest.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--suite" => match rest.next() {
+                Some(name) => suites.push(parse_suite(name)),
+                None => {
+                    eprintln!("--suite requires a suite name argument");
+                    std::process::exit(2);
+                }
+            },
+            extra => {
+                eprintln!(
+                    "unknown argument {extra:?} (expected test|small|default, --suite NAME, \
+                     --jobs N, --trace-out FILE, --quiet)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if suites.is_empty() {
+        suites.extend(SuiteId::all());
+    }
+    let jobs = cli.jobs();
+    let runs = run_suites(&suites, cli.scale, jobs);
 
     let reg = lp_obs::registry();
     let t0 = reg.now_ns();
-    let total = ExecModel::all().len() * Config::all().len() * runs.len();
+    let models = ExecModel::all();
+    let configs = Config::all();
+    let rows: Vec<_> = models
+        .iter()
+        .flat_map(|&m| configs.iter().map(move |&c| (m, c)))
+        .collect();
+    let table = SweepTable::build(&runs, &rows, jobs);
     println!("{}", report_header());
-    let mut rows = 0usize;
-    for (i, run) in runs.iter().enumerate() {
-        for model in ExecModel::all() {
-            for config in Config::all() {
-                let report = run.study.evaluate(model, config);
-                println!("{}", report_row(&report));
-                rows += 1;
-            }
+    for i in 0..runs.len() {
+        for j in 0..rows.len() {
+            println!("{}", report_row(table.report(i, j)));
         }
-        lp_info!(
-            "[{}/{}] evaluated {:<18} {rows}/{total} configs, {:.2}s elapsed",
-            i + 1,
-            runs.len(),
-            run.name,
-            reg.now_ns().saturating_sub(t0) as f64 / 1e9
-        );
     }
     lp_info!(
-        "wrote {rows} rows ({} benchmarks x {} models x {} configs)",
+        "wrote {} rows ({} benchmarks x {} models x {} configs) on {jobs} worker(s), {:.2}s",
+        runs.len() * rows.len(),
         runs.len(),
-        ExecModel::all().len(),
-        Config::all().len()
+        models.len(),
+        configs.len(),
+        reg.now_ns().saturating_sub(t0) as f64 / 1e9
     );
     cli.finish("sweep");
 }

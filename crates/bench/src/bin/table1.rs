@@ -16,7 +16,7 @@ fn main() {
     cli.expect_no_extra_args();
     cli.reject_explain_out("table1");
     let scale = cli.scale;
-    let runs = run_suites(&SuiteId::all(), scale);
+    let runs = run_suites(&SuiteId::all(), scale, cli.jobs());
 
     println!("Table I — ordering constraints and dependencies, quantified ({scale:?} scale)\n");
     for suite in SuiteId::all() {

@@ -14,15 +14,19 @@
 //! | `ablations` | DESIGN.md ablations (cactus stack, DOACROSS deltas, predictors) |
 //!
 //! Every binary accepts an optional scale argument (`test`, `small`,
-//! `default`) plus the shared observability flags `--trace-out FILE`
-//! (Chrome `trace_event` JSON), `--explain-out FILE` (limiter-attribution
-//! JSON, where supported), and `--quiet`; the `LP_LOG` environment
-//! variable (`off`, `info`, `debug`) filters progress output. Criterion
-//! performance benches live in `benches/`.
+//! `default`), a `--jobs N` worker count for the parallel sweep engine
+//! (default: `LP_JOBS` or the machine's available parallelism; output is
+//! byte-identical for any value), plus the shared observability flags
+//! `--trace-out FILE` (Chrome `trace_event` JSON), `--explain-out FILE`
+//! (limiter-attribution JSON, where supported), and `--quiet`; the
+//! `LP_LOG` environment variable (`off`, `info`, `debug`) filters
+//! progress output. Criterion performance benches live in `benches/`.
 
 use loopapalooza::Study;
-use lp_obs::{lp_debug, lp_info, Counter};
-use lp_runtime::{Attribution, Profile};
+use lp_obs::{lp_debug, lp_info};
+use lp_runtime::{
+    Attribution, Config, EvalOptions, EvalReport, ExecModel, Jobs, Profile, SweepPoint, SweepUnit,
+};
 use lp_suite::{Benchmark, Scale, SuiteId};
 use std::path::{Path, PathBuf};
 
@@ -42,6 +46,8 @@ pub struct Cli {
     pub explain_out: Option<PathBuf>,
     /// `--quiet` suppresses all progress logging.
     pub quiet: bool,
+    /// Explicit `--jobs N` worker count, if given (see [`Cli::jobs`]).
+    pub jobs: Option<usize>,
     /// Arguments this parser did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -64,6 +70,7 @@ impl Cli {
             trace_out: None,
             explain_out: None,
             quiet: false,
+            jobs: None,
             rest: Vec::new(),
         };
         let mut args = args.into_iter();
@@ -84,6 +91,13 @@ impl Cli {
                         std::process::exit(2);
                     }
                 },
+                "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => cli.jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer argument");
+                        std::process::exit(2);
+                    }
+                },
                 "test" => cli.scale = Scale::Test,
                 "small" => cli.scale = Scale::Small,
                 "default" => cli.scale = Scale::Default,
@@ -94,6 +108,15 @@ impl Cli {
         cli
     }
 
+    /// The resolved sweep worker count: explicit `--jobs N`, else the
+    /// `LP_JOBS` environment variable, else the machine's available
+    /// parallelism (see [`Jobs::resolve`]). Output is byte-identical for
+    /// any value — the knob only trades wall-clock time.
+    #[must_use]
+    pub fn jobs(&self) -> Jobs {
+        Jobs::resolve(self.jobs)
+    }
+
     /// Rejects leftover arguments (binaries without their own positionals).
     ///
     /// # Panics
@@ -101,8 +124,8 @@ impl Cli {
     pub fn expect_no_extra_args(&self) {
         if let Some(extra) = self.rest.first() {
             eprintln!(
-                "unknown argument {extra:?} (expected test|small|default, --trace-out FILE, \
-                 --explain-out FILE, --quiet)"
+                "unknown argument {extra:?} (expected test|small|default, --jobs N, \
+                 --trace-out FILE, --explain-out FILE, --quiet)"
             );
             std::process::exit(2);
         }
@@ -181,53 +204,128 @@ pub struct SuiteRun {
     pub study: Study,
 }
 
-/// Profiles the given benchmarks, emitting a per-benchmark heartbeat
-/// (`[done/total] name — elapsed, events/s`) at `info` level.
+/// Profiles the given benchmarks on `jobs` workers — each benchmark is
+/// profiled exactly once — emitting a per-benchmark heartbeat
+/// (`[i/total] name — elapsed, insts/s`) at `info` level. The returned
+/// runs are in `benchmarks` order regardless of the worker count (the
+/// heartbeats on stderr may interleave; stdout output never does).
 ///
 /// # Panics
 /// Panics if a benchmark fails to build or run — they are fixed program
 /// text, covered by the suite's tests.
 #[must_use]
-pub fn run_benchmarks(benchmarks: &[Benchmark], scale: Scale) -> Vec<SuiteRun> {
+pub fn run_benchmarks(benchmarks: &[Benchmark], scale: Scale, jobs: Jobs) -> Vec<SuiteRun> {
     let total = benchmarks.len();
     let reg = lp_obs::registry();
-    benchmarks
-        .iter()
-        .enumerate()
-        .map(|(i, b)| {
-            lp_debug!("profiling {} ({}/{})", b.name, i + 1, total);
-            let t0 = reg.now_ns();
-            let ev0 = lp_obs::counters().get(Counter::EventsConsumed);
-            let module = b.build(scale);
-            let study =
-                Study::of(&module).unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
-            let secs = reg.now_ns().saturating_sub(t0) as f64 / 1e9;
-            let events = lp_obs::counters().get(Counter::EventsConsumed) - ev0;
-            lp_info!(
-                "[{}/{}] profiled {:<18} {:>6.2}s  {:>6.1}M events/s",
-                i + 1,
-                total,
-                b.name,
-                secs,
-                events as f64 / 1e6 / secs.max(1e-9)
-            );
-            SuiteRun {
-                name: b.name,
-                suite: b.suite,
-                study,
-            }
-        })
-        .collect()
+    lp_runtime::parallel_map(benchmarks, jobs, |i, b| {
+        lp_debug!("profiling {} ({}/{})", b.name, i + 1, total);
+        let t0 = reg.now_ns();
+        let module = b.build(scale);
+        let study =
+            Study::of(&module).unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
+        let secs = reg.now_ns().saturating_sub(t0) as f64 / 1e9;
+        lp_info!(
+            "[{}/{}] profiled {:<18} {:>6.2}s  {:>6.1}M insts/s",
+            i + 1,
+            total,
+            b.name,
+            secs,
+            study.run_result().cost as f64 / 1e6 / secs.max(1e-9)
+        );
+        SuiteRun {
+            name: b.name,
+            suite: b.suite,
+            study,
+        }
+    })
 }
 
-/// Profiles every benchmark of the given suites.
+/// Profiles every benchmark of the given suites on `jobs` workers.
 #[must_use]
-pub fn run_suites(ids: &[SuiteId], scale: Scale) -> Vec<SuiteRun> {
+pub fn run_suites(ids: &[SuiteId], scale: Scale, jobs: Jobs) -> Vec<SuiteRun> {
     let benchmarks: Vec<Benchmark> = lp_suite::registry()
         .into_iter()
         .filter(|b| ids.contains(&b.suite))
         .collect();
-    run_benchmarks(&benchmarks, scale)
+    run_benchmarks(&benchmarks, scale, jobs)
+}
+
+/// A precomputed `(run × row)` table of evaluation reports, built by one
+/// parallel sweep over every `(benchmark, model, config)` point.
+///
+/// The figure binaries used to call `Study::evaluate` once per cell
+/// while rendering; building the whole table up front through
+/// [`lp_runtime::sweep_points`] lets all cells fan out over `--jobs`
+/// workers against the shared profiles, and the deterministic merge
+/// keeps every lookup — and therefore every rendered figure — identical
+/// for any worker count.
+#[derive(Debug)]
+pub struct SweepTable {
+    rows: Vec<(ExecModel, Config)>,
+    /// `reports[run * rows.len() + row]`, in stable `(run, row)` order.
+    reports: Vec<EvalReport>,
+}
+
+impl SweepTable {
+    /// Evaluates every `(run, row)` cell on `jobs` workers.
+    #[must_use]
+    pub fn build(runs: &[SuiteRun], rows: &[(ExecModel, Config)], jobs: Jobs) -> SweepTable {
+        let units: Vec<SweepUnit> = runs.iter().map(|r| r.study.sweep_unit()).collect();
+        let points: Vec<SweepPoint> = (0..units.len())
+            .flat_map(|unit| {
+                rows.iter().map(move |&(model, config)| SweepPoint {
+                    unit,
+                    model,
+                    config,
+                })
+            })
+            .collect();
+        let reports = lp_runtime::sweep_points(&units, &points, jobs, EvalOptions::default());
+        SweepTable {
+            rows: rows.to_vec(),
+            reports,
+        }
+    }
+
+    /// The evaluated rows, in table order.
+    #[must_use]
+    pub fn rows(&self) -> &[(ExecModel, Config)] {
+        &self.rows
+    }
+
+    /// The report for one `(run, row)` cell.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds for the built table.
+    #[must_use]
+    pub fn report(&self, run: usize, row: usize) -> &EvalReport {
+        assert!(row < self.rows.len(), "row {row} out of bounds");
+        &self.reports[run * self.rows.len() + row]
+    }
+
+    /// Geometric-mean speedup over the runs of one suite for one row.
+    #[must_use]
+    pub fn geomean_speedup(&self, runs: &[SuiteRun], suite: SuiteId, row: usize) -> f64 {
+        let values: Vec<f64> = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.suite == suite)
+            .map(|(i, _)| self.report(i, row).speedup)
+            .collect();
+        lp_runtime::geomean(&values)
+    }
+
+    /// Geometric-mean coverage over the runs of one suite for one row.
+    #[must_use]
+    pub fn geomean_coverage(&self, runs: &[SuiteRun], suite: SuiteId, row: usize) -> f64 {
+        let values: Vec<f64> = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.suite == suite)
+            .map(|(i, _)| self.report(i, row).coverage.max(0.01))
+            .collect();
+        lp_runtime::geomean(&values)
+    }
 }
 
 /// Renders a log-scale ASCII bar for a speedup figure (the figures in the
@@ -290,6 +388,8 @@ mod tests {
                 "/tmp/t.json",
                 "--explain-out",
                 "/tmp/e.json",
+                "--jobs",
+                "3",
                 "--bench",
                 "x.lp",
             ]
@@ -297,6 +397,8 @@ mod tests {
         );
         assert!(cli.quiet);
         assert_eq!(cli.scale, Scale::Small);
+        assert_eq!(cli.jobs, Some(3));
+        assert_eq!(cli.jobs().get(), 3);
         assert_eq!(
             cli.trace_out.as_deref(),
             Some(std::path::Path::new("/tmp/t.json"))
@@ -311,6 +413,8 @@ mod tests {
         assert_eq!(cli.scale, Scale::Default);
         assert!(!cli.quiet && cli.trace_out.is_none() && cli.rest.is_empty());
         assert!(cli.explain_out.is_none());
+        assert!(cli.jobs.is_none());
+        assert!(cli.jobs().get() >= 1);
         // Restore logging for the rest of the test process.
         lp_obs::log::set_level(lp_obs::Level::Off);
     }
@@ -349,10 +453,46 @@ mod tests {
 
     #[test]
     fn harness_runs_one_suite() {
-        let runs = run_suites(&[SuiteId::Eembc], Scale::Test);
+        let runs = run_suites(&[SuiteId::Eembc], Scale::Test, Jobs::serial());
         assert_eq!(runs.len(), 10);
         let (model, config) = lp_runtime::best_pdoall();
         let gm = suite_geomean_speedup(&runs, SuiteId::Eembc, model, config);
         assert!(gm >= 1.0);
+    }
+
+    #[test]
+    fn sweep_table_matches_pointwise_evaluation_at_any_job_count() {
+        let benchmarks: Vec<Benchmark> = ["eembc.matrix01", "eembc.rspeed01"]
+            .iter()
+            .map(|n| lp_suite::find(n).unwrap())
+            .collect();
+        let runs = run_benchmarks(&benchmarks, Scale::Test, Jobs::new(2));
+        // Parallel profiling preserves input order.
+        assert_eq!(runs[0].name, "eembc.matrix01");
+        assert_eq!(runs[1].name, "eembc.rspeed01");
+        let rows = lp_runtime::paper_rows();
+        let serial = SweepTable::build(&runs, &rows, Jobs::serial());
+        let parallel = SweepTable::build(&runs, &rows, Jobs::new(8));
+        for (i, run) in runs.iter().enumerate() {
+            for (j, &(model, config)) in rows.iter().enumerate() {
+                let reference = run.study.evaluate(model, config);
+                assert_eq!(
+                    format!("{reference:?}"),
+                    format!("{:?}", serial.report(i, j)),
+                    "{} row {j} (serial)",
+                    run.name
+                );
+                assert_eq!(
+                    format!("{:?}", serial.report(i, j)),
+                    format!("{:?}", parallel.report(i, j)),
+                    "{} row {j} (jobs=8)",
+                    run.name
+                );
+            }
+            let gm = serial.geomean_speedup(&runs, SuiteId::Eembc, 0);
+            assert!(gm >= 1.0);
+            assert!(serial.geomean_coverage(&runs, SuiteId::Eembc, 0) >= 0.0);
+        }
+        assert_eq!(serial.rows().len(), rows.len());
     }
 }

@@ -1,0 +1,99 @@
+//! Golden tests pinning the captured `results/` quickstart artifacts:
+//! regenerating them through the `lpstudy` binary must reproduce the
+//! committed files — byte-for-byte where the content is deterministic
+//! (the explain JSON and collapsed stacks), structurally where wall
+//! clock timings are embedded (the Chrome trace's span-name sequence).
+//!
+//! To refresh after an intentional pipeline change:
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin lpstudy -- explain \
+//!   --explain-out results/explain-quickstart.json
+//! cargo run --release -p lp-bench --bin lpstudy -- --trace-out results/trace-quickstart.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench; results/ sits at the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn lpstudy(args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lpstudy"))
+        .args(args)
+        .env("LP_LOG", "off")
+        .output()
+        .expect("lpstudy runs");
+    assert!(
+        out.status.success(),
+        "lpstudy {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn explain_quickstart_json_regenerates_byte_identically() {
+    let dir = std::env::temp_dir();
+    let json = dir.join(format!("lp-golden-explain-{}.json", std::process::id()));
+    lpstudy(&[
+        "explain",
+        "--quiet",
+        "--explain-out",
+        json.to_str().unwrap(),
+    ]);
+    let fresh = std::fs::read_to_string(&json).unwrap();
+    let golden =
+        std::fs::read_to_string(repo_root().join("results/explain-quickstart.json")).unwrap();
+    assert_eq!(
+        fresh, golden,
+        "explain-quickstart.json drifted — if the change is intentional, \
+         regenerate it (see this test's module docs)"
+    );
+    let fresh_collapsed = std::fs::read_to_string(json.with_extension("collapsed")).unwrap();
+    let golden_collapsed =
+        std::fs::read_to_string(repo_root().join("results/explain-quickstart.collapsed")).unwrap();
+    assert_eq!(
+        fresh_collapsed, golden_collapsed,
+        "explain-quickstart.collapsed drifted"
+    );
+    let _ = std::fs::remove_file(&json);
+    let _ = std::fs::remove_file(json.with_extension("collapsed"));
+}
+
+/// The ordered `"name"` values of a Chrome trace — the structural
+/// skeleton that survives timing jitter.
+fn span_names(trace: &str) -> Vec<String> {
+    lp_obs::validate_json(trace).expect("trace must be valid JSON");
+    let mut names = Vec::new();
+    let mut rest = trace;
+    while let Some(at) = rest.find("\"name\":\"") {
+        let tail = &rest[at + 8..];
+        let end = tail.find('"').expect("terminated name");
+        names.push(tail[..end].to_string());
+        rest = &tail[end..];
+    }
+    names
+}
+
+#[test]
+fn trace_quickstart_has_stable_span_structure() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("lp-golden-trace-{}.json", std::process::id()));
+    lpstudy(&["--quiet", "--trace-out", trace.to_str().unwrap()]);
+    let fresh = std::fs::read_to_string(&trace).unwrap();
+    let golden =
+        std::fs::read_to_string(repo_root().join("results/trace-quickstart.json")).unwrap();
+    assert_eq!(
+        span_names(&fresh),
+        span_names(&golden),
+        "trace-quickstart.json span structure drifted — if the change is \
+         intentional, regenerate it (see this test's module docs)"
+    );
+    let _ = std::fs::remove_file(&trace);
+}

@@ -1,0 +1,83 @@
+//! Differential determinism tests for the parallel sweep engine at the
+//! binary surface: the same sweep run with `--jobs 1`, `--jobs 2`, and
+//! `--jobs 8` must produce **byte-identical** stdout — CSV from the
+//! `sweep` binary and the human report from `lpstudy --suite` alike.
+//! Worker scheduling may interleave stderr heartbeats, but the
+//! deterministic index-ordered merge keeps every report stable.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        // The explicit --jobs flag must win over any ambient LP_JOBS.
+        .env("LP_JOBS", "3")
+        .env("LP_LOG", "off")
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout_for_jobs(bin: &str, args: &[&str], jobs: &str) -> String {
+    let mut full: Vec<&str> = args.to_vec();
+    full.extend_from_slice(&["--jobs", jobs]);
+    let out = run(bin, &full);
+    assert!(
+        out.status.success(),
+        "{bin} --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn sweep_csv_is_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_sweep");
+    let args = ["test", "--suite", "eembc", "--quiet"];
+    let serial = stdout_for_jobs(bin, &args, "1");
+    // 10 EEMBC benchmarks × 3 models × 32 configs + header.
+    assert_eq!(serial.lines().count(), 1 + 10 * 3 * 32);
+    assert!(serial.starts_with("program,model,config,"));
+    for jobs in ["2", "8"] {
+        let parallel = stdout_for_jobs(bin, &args, jobs);
+        assert_eq!(serial, parallel, "sweep CSV diverged at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn lpstudy_suite_report_is_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_lpstudy");
+    let args = ["--suite", "eembc", "test", "--quiet"];
+    let serial = stdout_for_jobs(bin, &args, "1");
+    assert!(serial.contains("suite eembc — 10 benchmarks"));
+    assert!(serial.contains("(GEOMEAN)"));
+    for jobs in ["2", "8"] {
+        let parallel = stdout_for_jobs(bin, &args, jobs);
+        assert_eq!(
+            serial, parallel,
+            "lpstudy --suite report diverged at --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn jobs_flag_rejects_garbage() {
+    let bin = env!("CARGO_BIN_EXE_sweep");
+    for bad in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "many"]] {
+        let mut args = vec!["test", "--suite", "eembc", "--quiet"];
+        args.extend_from_slice(bad);
+        let out = run(bin, &args);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--jobs requires a positive integer"),
+            "args {bad:?} must explain the usage"
+        );
+    }
+}
+
+#[test]
+fn sweep_rejects_unknown_suite() {
+    let bin = env!("CARGO_BIN_EXE_sweep");
+    let out = run(bin, &["test", "--suite", "nope", "--quiet"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown suite"));
+}

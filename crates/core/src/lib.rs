@@ -45,9 +45,11 @@ use lp_analysis::ModuleAnalysis;
 use lp_interp::{MachineConfig, RunResult};
 use lp_ir::Module;
 use lp_runtime::{
-    evaluate, evaluate_explained, Attribution, Census, Config, EvalReport, ExecModel, Profile,
+    evaluate, evaluate_explained, Attribution, Census, Config, EvalOptions, EvalReport, ExecModel,
+    Jobs, Profile, SweepUnit,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// Commonly used items, re-exported for `use loopapalooza::prelude::*`.
 pub mod prelude {
@@ -55,8 +57,8 @@ pub mod prelude {
     pub use lp_ir::builder::FunctionBuilder;
     pub use lp_ir::{Module, Type};
     pub use lp_runtime::{
-        best_helix, best_pdoall, paper_rows, Attribution, Config, DepMode, ExecModel, FnMode,
-        LimiterKind, ReducMode,
+        best_helix, best_pdoall, paper_rows, Attribution, Config, DepMode, ExecModel, FnMode, Jobs,
+        LimiterKind, ReducMode, SweepUnit,
     };
     pub use lp_suite::{self, Scale, SuiteId};
 }
@@ -101,10 +103,13 @@ impl From<lp_interp::InterpError> for Error {
 /// keeps the [`Profile`]. Every subsequent [`Study::evaluate`] call is a
 /// cheap fold over the recorded region tree — exactly the paper's
 /// "single instrumented run, many configurations" workflow.
+/// The profile is held behind an [`Arc`] so the parallel sweep engine
+/// can evaluate many `(model, config)` pairs concurrently against one
+/// shared, immutable profile (see [`Study::shared_profile`]).
 #[derive(Debug)]
 pub struct Study {
     analysis: ModuleAnalysis,
-    profile: Profile,
+    profile: Arc<Profile>,
     run: RunResult,
 }
 
@@ -136,7 +141,7 @@ impl Study {
         let (profile, run) = lp_runtime::profile_module(module, &analysis, &[], config)?;
         Ok(Study {
             analysis,
-            profile,
+            profile: Arc::new(profile),
             run,
         })
     }
@@ -175,6 +180,35 @@ impl Study {
         &self.profile
     }
 
+    /// A shareable handle to the profile for the parallel sweep engine:
+    /// profile once here, evaluate many `(model, config)` pairs on any
+    /// number of workers without re-profiling.
+    #[must_use]
+    pub fn shared_profile(&self) -> Arc<Profile> {
+        Arc::clone(&self.profile)
+    }
+
+    /// This study as a named [`SweepUnit`] (the unit borrows nothing —
+    /// it shares the profile via [`Study::shared_profile`]).
+    #[must_use]
+    pub fn sweep_unit(&self) -> SweepUnit {
+        SweepUnit::new(self.profile.program.clone(), self.shared_profile())
+    }
+
+    /// Evaluates the full `models × configs` lattice for this program on
+    /// `jobs` workers. Results come back in stable `(model, config)`
+    /// order — byte-identical whatever the worker count.
+    #[must_use]
+    pub fn sweep(&self, models: &[ExecModel], configs: &[Config], jobs: Jobs) -> Vec<EvalReport> {
+        lp_runtime::sweep(
+            &[self.sweep_unit()],
+            models,
+            configs,
+            jobs,
+            EvalOptions::default(),
+        )
+    }
+
     /// The compile-time analysis bundle.
     #[must_use]
     pub fn analysis(&self) -> &ModuleAnalysis {
@@ -190,7 +224,7 @@ impl Study {
     /// Table-I census for this program alone.
     #[must_use]
     pub fn census(&self) -> Census {
-        Census::over([&self.profile])
+        Census::over([self.profile.as_ref()])
     }
 }
 
@@ -225,6 +259,33 @@ mod tests {
         assert!(hx.speedup > pd.speedup, "hmmer prefers HELIX");
         let census = study.census();
         assert!(census.executed_loops > 0);
+    }
+
+    #[test]
+    fn study_sweep_matches_pointwise_evaluation() {
+        let bench = lp_suite::find("eembc.matrix01").unwrap();
+        let module = bench.build(Scale::Test);
+        let study = Study::of(&module).unwrap();
+        let models = ExecModel::all();
+        let configs = Config::all();
+        let swept = study.sweep(&models, &configs, Jobs::new(4));
+        assert_eq!(swept.len(), models.len() * configs.len());
+        let mut i = 0;
+        for &model in &models {
+            for &config in &configs {
+                let reference = study.evaluate(model, config);
+                assert_eq!(
+                    format!("{reference:?}"),
+                    format!("{:?}", swept[i]),
+                    "{model} {config}"
+                );
+                i += 1;
+            }
+        }
+        // The handle shares, not copies: one profile, two owners.
+        let shared = study.shared_profile();
+        assert_eq!(Arc::strong_count(&shared), 2);
+        assert_eq!(shared.program, study.profile().program);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! - **Typed counters & histograms** — events consumed, RAW conflicts,
 //!   cactus-stack filter hits, per-predictor hit/miss, regions created,
 //!   evaluations performed ([`Counter`], [`Hist`]);
+//! - **Per-worker accumulation** — parallel phases give each worker a
+//!   [`LocalStats`] that buffers counters, histograms, and its span
+//!   stream privately and merges everything into the registry in one
+//!   flush, so concurrent workers never race on a shared summary;
 //! - **Exporters** — a human summary for stderr ([`summary`]), plain
 //!   JSON ([`to_json`]), and Chrome `trace_event` JSON
 //!   ([`chrome_trace`]) loadable in `chrome://tracing` / Perfetto;
@@ -29,12 +33,14 @@
 //! ```
 
 pub mod export;
+pub mod local;
 pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod span;
 
 pub use export::{chrome_trace, json_escape, summary, to_json, validate_json, write_chrome_trace};
+pub use local::LocalStats;
 pub use log::Level;
 pub use metrics::{Counter, CounterBank, Hist, Histogram, PredictorKind, COUNTER_SLOTS};
 pub use registry::{Registry, MAX_SPANS};

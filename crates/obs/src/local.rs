@@ -1,0 +1,180 @@
+//! Per-worker metric accumulation for parallel phases.
+//!
+//! The global [`Registry`] is safe to hit from any thread — counters are
+//! relaxed atomics and spans/histograms sit behind mutexes — but a sweep
+//! worker that increments per-task would contend on those shared cells
+//! and interleave its span stream with every other worker's. A
+//! [`LocalStats`] gives each worker a private counter bank, histogram
+//! array, and span buffer; the worker records locally with plain stores
+//! and publishes everything in **one** [`LocalStats::flush`] when it
+//! finishes. Flushing is a handful of atomic adds plus a single lock
+//! acquisition per non-empty histogram and one for the whole span batch,
+//! so N workers × M increments always sum exactly — there is no shared
+//! mutable summary to race on.
+
+use crate::metrics::{Counter, Hist, Histogram, COUNTER_SLOTS};
+use crate::registry::Registry;
+use crate::span::SpanRecord;
+
+/// A thread-private accumulator of counters, histograms, and spans,
+/// merged into a [`Registry`] at flush time.
+#[derive(Debug)]
+pub struct LocalStats {
+    counts: [u64; COUNTER_SLOTS],
+    hists: [Histogram; Hist::ALL.len()],
+    spans: Vec<SpanRecord>,
+}
+
+impl Default for LocalStats {
+    fn default() -> LocalStats {
+        LocalStats {
+            counts: [0; COUNTER_SLOTS],
+            hists: std::array::from_fn(|_| Histogram::default()),
+            spans: Vec::new(),
+        }
+    }
+}
+
+impl LocalStats {
+    /// A fresh, empty accumulator.
+    #[must_use]
+    pub fn new() -> LocalStats {
+        LocalStats::default()
+    }
+
+    /// Adds `n` to the local slot of `counter` (no atomics).
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        self.counts[counter.slot()] += n;
+    }
+
+    /// Current local value of `counter`.
+    #[must_use]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counts[counter.slot()]
+    }
+
+    /// Records one histogram sample locally.
+    pub fn record_hist(&mut self, hist: Hist, value: u64) {
+        self.hists[hist.slot()].record(value);
+    }
+
+    /// Buffers one completed span for the batch append at flush time.
+    pub fn record_span(&mut self, record: SpanRecord) {
+        self.spans.push(record);
+    }
+
+    /// Times `f` as a locally-buffered span named `name` (the clock is
+    /// the registry's epoch so flushed spans line up with global ones).
+    pub fn time<R>(&mut self, reg: &Registry, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start_ns = reg.now_ns();
+        let out = f();
+        self.record_span(SpanRecord {
+            name,
+            start_ns,
+            end_ns: reg.now_ns(),
+            depth: 0,
+            tid: crate::span::thread_tid(),
+        });
+        out
+    }
+
+    /// Folds another worker's accumulator into this one (tree merges).
+    pub fn merge(&mut self, other: &LocalStats) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+        self.spans.extend(other.spans.iter().cloned());
+    }
+
+    /// Publishes everything into `reg` and empties `self`: counters via
+    /// one atomic add per non-zero slot, histograms via one
+    /// [`Registry::merge_hist`] per non-empty slot, spans via one batch
+    /// append. A flushed accumulator can be reused.
+    pub fn flush(&mut self, reg: &Registry) {
+        for counter in Counter::all() {
+            let slot = counter.slot();
+            if self.counts[slot] > 0 {
+                reg.counters().add(counter, self.counts[slot]);
+                self.counts[slot] = 0;
+            }
+        }
+        for h in Hist::ALL {
+            let slot = h.slot();
+            if self.hists[slot].count > 0 {
+                reg.merge_hist(h, &self.hists[slot]);
+                self.hists[slot] = Histogram::default();
+            }
+        }
+        if !self.spans.is_empty() {
+            reg.record_spans(std::mem::take(&mut self.spans));
+        }
+    }
+
+    /// As [`LocalStats::flush`] into the process-wide registry.
+    pub fn flush_global(&mut self) {
+        self.flush(crate::registry::global());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_counts_flush_into_a_registry_exactly() {
+        let reg = Registry::new();
+        let mut local = LocalStats::new();
+        local.add(Counter::EvalsPerformed, 3);
+        local.add(Counter::EvalsPerformed, 4);
+        local.add(Counter::SweepTasksStolen, 2);
+        local.record_hist(Hist::EvalNanos, 128);
+        assert_eq!(local.get(Counter::EvalsPerformed), 7);
+        local.flush(&reg);
+        assert_eq!(reg.counters().get(Counter::EvalsPerformed), 7);
+        assert_eq!(reg.counters().get(Counter::SweepTasksStolen), 2);
+        assert_eq!(reg.hist(Hist::EvalNanos).count, 1);
+        // Flush drained the local side; a second flush is a no-op.
+        assert_eq!(local.get(Counter::EvalsPerformed), 0);
+        local.flush(&reg);
+        assert_eq!(reg.counters().get(Counter::EvalsPerformed), 7);
+    }
+
+    #[test]
+    fn merge_folds_worker_trees() {
+        let reg = Registry::new();
+        let mut a = LocalStats::new();
+        let mut b = LocalStats::new();
+        a.add(Counter::SweepProfileCacheHits, 5);
+        b.add(Counter::SweepProfileCacheHits, 6);
+        b.record_hist(Hist::EvalNanos, 64);
+        b.record_span(SpanRecord {
+            name: "w",
+            start_ns: 1,
+            end_ns: 2,
+            depth: 0,
+            tid: 9,
+        });
+        a.merge(&b);
+        a.flush(&reg);
+        assert_eq!(reg.counters().get(Counter::SweepProfileCacheHits), 11);
+        assert_eq!(reg.hist(Hist::EvalNanos).count, 1);
+        assert_eq!(reg.spans().len(), 1);
+    }
+
+    #[test]
+    fn time_buffers_a_span_until_flush() {
+        let reg = Registry::new();
+        let mut local = LocalStats::new();
+        let out = local.time(&reg, "task", || 42);
+        assert_eq!(out, 42);
+        assert!(reg.spans().is_empty(), "span must stay local until flush");
+        local.flush(&reg);
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "task");
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+    }
+}

@@ -83,10 +83,17 @@ pub enum Counter {
     EvalsPerformed,
     /// Spans discarded because the registry hit its capacity.
     SpansDropped,
+    /// Sweep evaluations served from an already-shared profile (every
+    /// evaluation of a unit beyond its first reuses the `Arc<Profile>`
+    /// instead of re-profiling).
+    SweepProfileCacheHits,
+    /// Sweep tasks a worker claimed outside its static fair share (the
+    /// work-stealing index handed it another shard's task).
+    SweepTasksStolen,
 }
 
 /// Number of distinct counter slots.
-pub const COUNTER_SLOTS: usize = 16 + 2 * PredictorKind::ALL.len();
+pub const COUNTER_SLOTS: usize = 18 + 2 * PredictorKind::ALL.len();
 
 impl Counter {
     /// Every counter, in export order.
@@ -108,6 +115,8 @@ impl Counter {
             Counter::ProfilesTaken,
             Counter::EvalsPerformed,
             Counter::SpansDropped,
+            Counter::SweepProfileCacheHits,
+            Counter::SweepTasksStolen,
         ];
         for kind in PredictorKind::ALL {
             out.push(Counter::PredictorHit(kind));
@@ -135,10 +144,12 @@ impl Counter {
             Counter::ProfilesTaken => 12,
             Counter::EvalsPerformed => 13,
             Counter::SpansDropped => 14,
-            // Slot 15 is reserved so predictor slots stay stable if a
+            Counter::SweepProfileCacheHits => 15,
+            Counter::SweepTasksStolen => 16,
+            // Slot 17 is reserved so predictor slots stay stable if a
             // scalar counter is added.
-            Counter::PredictorHit(kind) => 16 + 2 * kind as usize,
-            Counter::PredictorMiss(kind) => 17 + 2 * kind as usize,
+            Counter::PredictorHit(kind) => 18 + 2 * kind as usize,
+            Counter::PredictorMiss(kind) => 19 + 2 * kind as usize,
         }
     }
 
@@ -161,6 +172,8 @@ impl Counter {
             Counter::ProfilesTaken => "profiles_taken".to_string(),
             Counter::EvalsPerformed => "evals_performed".to_string(),
             Counter::SpansDropped => "spans_dropped".to_string(),
+            Counter::SweepProfileCacheHits => "sweep_profile_cache_hits".to_string(),
+            Counter::SweepTasksStolen => "sweep_tasks_stolen".to_string(),
             Counter::PredictorHit(kind) => format!("predictor_hit_{}", kind.label()),
             Counter::PredictorMiss(kind) => format!("predictor_miss_{}", kind.label()),
         }

@@ -78,6 +78,34 @@ pub fn loops_to_csv(report: &EvalReport) -> String {
     out
 }
 
+/// Hand-rolled `sweep.json`: one object per evaluation point, in the
+/// order given (the sweep engine's deterministic `(unit, model, config)`
+/// order), so the document is byte-identical for any worker count.
+/// Validates against [`lp_obs::validate_json`].
+#[must_use]
+pub fn sweep_to_json(reports: &[EvalReport]) -> String {
+    let mut out = String::from("{\"sweep\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"program\":\"{}\",\"model\":\"{}\",\"config\":\"{}\",\
+             \"total_cost\":{},\"best_cost\":{},\"speedup\":{:.6},\"coverage_pct\":{:.3}}}",
+            json_escape(&r.program),
+            r.model,
+            r.config,
+            r.total_cost,
+            r.best_cost,
+            r.speedup,
+            r.coverage,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 fn limiter_json(out: &mut String, lim: &Limiter, best: u64) {
     let _ = write!(
         out,
@@ -298,6 +326,16 @@ mod tests {
         let csv = loops_to_csv(&r);
         assert!(csv.lines().count() >= 2);
         assert!(csv.contains("main"));
+    }
+
+    #[test]
+    fn sweep_json_is_valid_and_ordered() {
+        let r = tiny_report();
+        let json = sweep_to_json(&[r.clone(), r]);
+        lp_obs::validate_json(&json).expect("sweep.json must be valid");
+        assert!(json.starts_with("{\"sweep\":["), "{json}");
+        assert_eq!(json.matches("\"program\"").count(), 2);
+        assert!(json.contains("\"coverage_pct\""));
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   parallelism) into the limit speedup and coverage for any
 //!   `(model, config)` pair — one profile run serves all configurations;
 //! - [`census`] quantifies Table I; [`report`] provides the GEOMEAN
-//!   aggregation used by Figures 2–5.
+//!   aggregation used by Figures 2–5;
+//! - [`sweep`] fans the `(benchmark × model × config)` lattice over
+//!   scoped worker threads — profile once, evaluate many on a shared
+//!   [`std::sync::Arc`]`<Profile>` — with a deterministic merge so the
+//!   output is byte-identical for any `--jobs` count.
 
 pub mod census;
 pub mod config;
@@ -24,6 +28,7 @@ pub mod export;
 pub mod model;
 pub mod profile;
 pub mod report;
+pub mod sweep;
 pub mod tracker;
 
 pub use census::Census;
@@ -35,9 +40,10 @@ pub use eval::{
     LoopSummary,
 };
 pub use explain::{Attribution, Limiter, LimiterKind, LoopAttribution};
-pub use export::{attribution_to_json, collapsed_stacks};
+pub use export::{attribution_to_json, collapsed_stacks, sweep_to_json};
 pub use profile::{CallClass, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind};
 pub use report::{geomean, geomean_coverage, geomean_speedup, mean, ProgramResult};
+pub use sweep::{grid, parallel_map, sweep, sweep_points, Jobs, SweepPoint, SweepUnit};
 pub use tracker::{profile_module, profile_module_with, Profiler, ProfilerOptions};
 
 /// Address used to model the architectural stack pointer as a memory cell

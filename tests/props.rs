@@ -8,7 +8,10 @@ use lp_ir::builder::FunctionBuilder;
 use lp_ir::{Global, Module, Type, ValueId};
 use lp_predict::{HybridPredictor, LastValue, Predictor, Stride};
 use lp_runtime::model::{doall_cost, helix_cost, pdoall_cost};
-use lp_runtime::{evaluate, evaluate_explained, profile_module, Config, ExecModel, RegionKind};
+use lp_runtime::{
+    evaluate, evaluate_explained, profile_module, sweep, Config, EvalOptions, ExecModel, Jobs,
+    RegionKind, SweepUnit,
+};
 use lp_suite::kernels::counted_loop;
 use proptest::prelude::*;
 
@@ -174,6 +177,40 @@ proptest! {
                 prop_assert!(r.speedup >= 0.999);
                 prop_assert!(r.best_cost <= r.total_cost);
                 prop_assert!((0.0..=100.0).contains(&r.coverage));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_arc_profile_evaluates_identically_to_fresh_profile(
+        specs in prop::collection::vec(loop_spec(), 1..5)
+    ) {
+        // The sweep engine's profile-once/evaluate-many caching must be
+        // invisible: evaluating on a shared `Arc<Profile>` (as parallel
+        // sweep workers do) must equal evaluating on a profile taken by
+        // an independent fresh run, for every model and configuration.
+        let module = build_program(&specs);
+        let analysis = lp_analysis::analyze_module(&module);
+        let (cached, _) =
+            profile_module(&module, &analysis, &[], lp_interp::MachineConfig::default()).unwrap();
+        let (fresh, _) =
+            profile_module(&module, &analysis, &[], lp_interp::MachineConfig::default()).unwrap();
+        let units = [SweepUnit::new("prop", std::sync::Arc::new(cached))];
+        let models = ExecModel::all();
+        let configs = Config::all();
+        let swept = sweep(&units, &models, &configs, Jobs::new(2), EvalOptions::default());
+        let mut idx = 0;
+        for &model in &models {
+            for &config in &configs {
+                let reference = evaluate(&fresh, model, config);
+                prop_assert_eq!(
+                    format!("{reference:?}"),
+                    format!("{:?}", swept[idx]),
+                    "{} {}",
+                    model,
+                    config
+                );
+                idx += 1;
             }
         }
     }

@@ -1,0 +1,88 @@
+//! Library-level determinism differential for the parallel sweep
+//! engine: the full `(benchmark × model × config)` lattice evaluated
+//! with 1, 2, and 8 workers must produce **byte-identical** CSV and
+//! JSON exports, and every report must equal a freshly-evaluated serial
+//! reference. This is the contract the binaries inherit — if it holds
+//! here, `--jobs` can never change a figure.
+
+use loopapalooza::Study;
+use lp_runtime::export::reports_to_csv;
+use lp_runtime::{evaluate, sweep, sweep_to_json, Config, EvalOptions, ExecModel, Jobs, SweepUnit};
+use lp_suite::Scale;
+
+fn units() -> Vec<SweepUnit> {
+    ["eembc.matrix01", "eembc.rspeed01", "181.mcf"]
+        .iter()
+        .map(|name| {
+            let bench = lp_suite::find(name).expect("registered benchmark");
+            let study = Study::of(&bench.build(Scale::Test)).expect("benchmark runs");
+            study.sweep_unit()
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_exports_are_byte_identical_across_job_counts() {
+    let units = units();
+    let models = ExecModel::all();
+    let configs = Config::all();
+    let serial = sweep(
+        &units,
+        &models,
+        &configs,
+        Jobs::serial(),
+        EvalOptions::default(),
+    );
+    assert_eq!(serial.len(), units.len() * models.len() * configs.len());
+    let serial_csv = reports_to_csv(&serial);
+    let serial_json = sweep_to_json(&serial);
+    lp_obs::validate_json(&serial_json).expect("sweep JSON well-formed");
+    for jobs in [2, 8] {
+        let parallel = sweep(
+            &units,
+            &models,
+            &configs,
+            Jobs::new(jobs),
+            EvalOptions::default(),
+        );
+        assert_eq!(
+            serial_csv,
+            reports_to_csv(&parallel),
+            "CSV diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial_json,
+            sweep_to_json(&parallel),
+            "JSON diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn shared_profile_evaluations_match_fresh_serial_references() {
+    let units = units();
+    let models = ExecModel::all();
+    let configs = Config::all();
+    let swept = sweep(
+        &units,
+        &models,
+        &configs,
+        Jobs::new(4),
+        EvalOptions::default(),
+    );
+    let mut idx = 0;
+    for unit in &units {
+        for &model in &models {
+            for &config in &configs {
+                let reference = evaluate(&unit.profile, model, config);
+                assert_eq!(
+                    format!("{reference:?}"),
+                    format!("{:?}", swept[idx]),
+                    "{} {model} {config}",
+                    unit.name
+                );
+                idx += 1;
+            }
+        }
+    }
+}
