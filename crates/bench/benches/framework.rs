@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use lp_analysis::analyze_module;
 use lp_interp::{Machine, MachineConfig, NullSink};
 use lp_predict::HybridPredictor;
-use lp_runtime::{evaluate, paper_rows, profile_module_with, Profiler, ProfilerOptions};
+use lp_runtime::{evaluate, profile_module_with, table2_rows, Profiler, ProfilerOptions};
 use lp_suite::Scale;
 
 fn bench_interpreter(c: &mut Criterion) {
@@ -80,9 +80,9 @@ fn bench_evaluator(c: &mut Criterion) {
     )
     .unwrap();
     let mut group = c.benchmark_group("evaluator");
-    group.bench_function("all_14_paper_rows", |b| {
+    group.bench_function("all_14_table2_rows", |b| {
         b.iter(|| {
-            paper_rows()
+            table2_rows()
                 .into_iter()
                 .map(|(m, cfg)| evaluate(&profile, m, cfg).speedup)
                 .sum::<f64>()

@@ -19,16 +19,17 @@ use lp_analysis::analyze_module;
 use lp_bench::Cli;
 use lp_interp::MachineConfig;
 use lp_runtime::{
-    evaluate_with, geomean, parallel_map, profile_module_with, EvalOptions, ProfilerOptions,
+    evaluate_with, geomean, parallel_map, profile_module_cached, EvalOptions, ProfilerOptions,
 };
 use lp_suite::SuiteId;
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
-    cli.reject_explain_out("ablations");
+    cli.enforce("ablations");
     let scale = cli.scale;
     let jobs = cli.jobs();
+    let store = cli.store();
+    let store = store.as_ref();
 
     // ---- 1. cactus-stack filter --------------------------------------
     println!("Ablation 1 — cactus-stack frame filter (PDOALL reduc1-dep2-fn2)\n");
@@ -43,15 +44,17 @@ fn main() {
         let pairs = parallel_map(&lp_suite::suite(suite), jobs, |_, b| {
             let module = b.build(scale);
             let analysis = analyze_module(&module);
+            // The profiler option under test is part of the ProfileKey,
+            // so the two legs cache under distinct entries.
             let speedup_with_cactus = |cactus: bool| {
-                let (profile, _) = profile_module_with(
+                let (profile, _) = profile_module_cached(
                     &module,
                     &analysis,
-                    &[],
                     MachineConfig::default(),
                     ProfilerOptions {
                         cactus_stack: cactus,
                     },
+                    store,
                 )
                 .expect("benchmark runs");
                 evaluate_with(&profile, model, config, EvalOptions::default()).speedup
@@ -77,12 +80,12 @@ fn main() {
         let pairs = parallel_map(&lp_suite::suite(suite), jobs, |_, b| {
             let module = b.build(scale);
             let analysis = analyze_module(&module);
-            let (profile, _) = profile_module_with(
+            let (profile, _) = profile_module_cached(
                 &module,
                 &analysis,
-                &[],
                 MachineConfig::default(),
                 ProfilerOptions::default(),
+                store,
             )
             .expect("benchmark runs");
             let helix =

@@ -24,8 +24,7 @@ fn draw(label: &str, starts: &[u64], total: u64) {
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
-    cli.reject_explain_out("fig1");
+    cli.enforce("fig1");
     let lens = [ITER_LEN; N];
     println!("Figure 1 — parallel execution models (toy loop, {N} iterations, LCD at iter 2)\n");
 

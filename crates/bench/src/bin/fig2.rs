@@ -10,23 +10,28 @@
 //! ```
 
 use lp_bench::{log_bar, run_suites, Cli, SweepTable};
-use lp_runtime::paper_rows;
+use lp_runtime::table2_rows;
 use lp_suite::SuiteId;
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
-    cli.reject_explain_out("fig2");
+    cli.enforce("fig2");
     let scale = cli.scale;
     let jobs = cli.jobs();
-    let runs = run_suites(&[SuiteId::Cint2000, SuiteId::Cint2006], scale, jobs);
+    let store = cli.store();
+    let runs = run_suites(
+        &[SuiteId::Cint2000, SuiteId::Cint2006],
+        scale,
+        jobs,
+        store.as_ref(),
+    );
 
     println!("Figure 2 — GEOMEAN speedups, non-numeric benchmarks ({scale:?} scale)");
     println!(
         "{:<14} {:<18} {:>9} {:>9}   (log-scale bars: cint2006)",
         "model", "config", "cint2000", "cint2006"
     );
-    let rows = paper_rows();
+    let rows = table2_rows();
     let table = SweepTable::build(&runs, &rows, jobs);
     let max = (0..rows.len())
         .map(|j| table.geomean_speedup(&runs, SuiteId::Cint2006, j))

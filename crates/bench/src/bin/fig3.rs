@@ -10,24 +10,24 @@
 //! ```
 
 use lp_bench::{log_bar, run_suites, Cli, SweepTable};
-use lp_runtime::paper_rows;
+use lp_runtime::table2_rows;
 use lp_suite::SuiteId;
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
-    cli.reject_explain_out("fig3");
+    cli.enforce("fig3");
     let scale = cli.scale;
     let jobs = cli.jobs();
+    let store = cli.store();
     let suites = [SuiteId::Eembc, SuiteId::Cfp2000, SuiteId::Cfp2006];
-    let runs = run_suites(&suites, scale, jobs);
+    let runs = run_suites(&suites, scale, jobs, store.as_ref());
 
     println!("Figure 3 — GEOMEAN speedups, numeric benchmarks ({scale:?} scale)");
     println!(
         "{:<14} {:<18} {:>9} {:>9} {:>9}   (log-scale bars: cfp2000)",
         "model", "config", "eembc", "cfp2000", "cfp2006"
     );
-    let rows = paper_rows();
+    let rows = table2_rows();
     let table = SweepTable::build(&runs, &rows, jobs);
     let max = (0..rows.len())
         .map(|j| table.geomean_speedup(&runs, SuiteId::Cfp2000, j))

@@ -16,16 +16,17 @@ use lp_suite::SuiteId;
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
+    cli.enforce("fig4");
     let scale = cli.scale;
     let jobs = cli.jobs();
+    let store = cli.store();
     let spec = [
         SuiteId::Cint2000,
         SuiteId::Cfp2000,
         SuiteId::Cint2006,
         SuiteId::Cfp2006,
     ];
-    let runs = run_suites(&spec, scale, jobs);
+    let runs = run_suites(&spec, scale, jobs, store.as_ref());
 
     let (pd_model, pd_config) = best_pdoall();
     let (hx_model, hx_config) = best_helix();

@@ -17,11 +17,12 @@ use lp_suite::SuiteId;
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
+    cli.enforce("fig5");
     let scale = cli.scale;
     let jobs = cli.jobs();
+    let store = cli.store();
     let suites = SuiteId::all();
-    let runs = run_suites(&suites, scale, jobs);
+    let runs = run_suites(&suites, scale, jobs, store.as_ref());
 
     let rows: [(&str, ExecModel, Config); 3] = [
         (

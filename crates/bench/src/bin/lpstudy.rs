@@ -23,6 +23,7 @@
 
 use loopapalooza::Study;
 use lp_bench::{run_suites, write_explain, Cli, SweepTable};
+use lp_interp::MachineConfig;
 use lp_obs::{lp_info, span};
 use lp_runtime::{best_helix, best_pdoall, geomean, ExecModel};
 use lp_suite::{Scale, SuiteId};
@@ -33,7 +34,8 @@ const DEMO_BENCH: &str = "181.mcf";
 fn usage() -> ! {
     eprintln!("usage: lpstudy [<file.lp> | --bench <name> | --suite <name> | --dump <name>");
     eprintln!("                | --analyze <file.lp|name> | explain [<file.lp|name>]]");
-    eprintln!("               [--jobs N] [--trace-out FILE] [--explain-out FILE] [--quiet]");
+    eprintln!("               [--jobs N] [--profile-cache DIR] [--trace-out FILE]");
+    eprintln!("               [--explain-out FILE] [--quiet]");
     eprintln!("  <file.lp>          study a textual-IR module");
     eprintln!("  --bench NAME       study a registered benchmark (e.g. 456.hmmer)");
     eprintln!("  --suite NAME       study a whole suite (eembc, cint2000, cfp2000, ...)");
@@ -43,6 +45,8 @@ fn usage() -> ! {
     eprintln!("  (no input)         study a built-in demo kernel ({DEMO_BENCH})");
     eprintln!("  --jobs N           sweep worker count (default: LP_JOBS or all cores;");
     eprintln!("                     the printed output is identical for any value)");
+    eprintln!("  --profile-cache DIR persist profiles under DIR and warm-start from them");
+    eprintln!("                     (LP_PROFILE_CACHE=off|ro|rw selects the mode)");
     eprintln!("  --trace-out FILE   write a Chrome trace_event JSON of the run");
     eprintln!("  --explain-out FILE write limiter-attribution JSON (+ .collapsed stacks)");
     eprintln!("  --quiet            suppress progress logging (see also LP_LOG=off|info|debug)");
@@ -101,8 +105,9 @@ fn run_suite(cli: &Cli, name: &str) {
         std::process::exit(2);
     };
     let jobs = cli.jobs();
-    let runs = run_suites(&[suite], cli.scale, jobs);
-    let rows = lp_runtime::paper_rows();
+    let store = cli.store();
+    let runs = run_suites(&[suite], cli.scale, jobs, store.as_ref());
+    let rows = lp_runtime::table2_rows();
     let table = SweepTable::build(&runs, &rows, jobs);
 
     println!(
@@ -155,10 +160,12 @@ fn run_suite(cli: &Cli, name: &str) {
 /// best-realistic PDOALL and HELIX rows, printing the ranked
 /// limiter-attribution table for each and honouring `--explain-out`.
 fn run_explain(cli: &Cli, module: &lp_ir::Module) {
-    let study = Study::of(module).unwrap_or_else(|e| {
-        eprintln!("study failed: {e}");
-        std::process::exit(1);
-    });
+    let store = cli.store();
+    let study =
+        Study::with_store(module, MachineConfig::default(), store.as_ref()).unwrap_or_else(|e| {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        });
     let rows = [
         (
             ExecModel::Doall,
@@ -250,10 +257,12 @@ fn main() {
         None => demo_module("studying"),
     };
 
-    let study = Study::of(&module).unwrap_or_else(|e| {
-        eprintln!("study failed: {e}");
-        std::process::exit(1);
-    });
+    let store = cli.store();
+    let study = Study::with_store(&module, MachineConfig::default(), store.as_ref())
+        .unwrap_or_else(|e| {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        });
     println!(
         "program {} ran: result = {}, sequential cost = {} dynamic IR instructions\n",
         module.name,
@@ -264,7 +273,7 @@ fn main() {
         "{:<14} {:<18} {:>9} {:>9}",
         "model", "config", "speedup", "coverage"
     );
-    for r in study.paper_rows() {
+    for r in study.table2_rows() {
         println!(
             "{:<14} {:<18} {:>8.2}x {:>8.1}%",
             r.model.to_string(),

@@ -50,11 +50,11 @@ fn geomean_at(
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
-    cli.reject_explain_out("scaling");
+    cli.enforce("scaling");
     let scale = cli.scale;
+    let store = cli.store();
     let suites = SuiteId::all();
-    let runs = run_suites(&suites, scale, cli.jobs());
+    let runs = run_suites(&suites, scale, cli.jobs(), store.as_ref());
 
     for (label, (model, config)) in [
         ("best HELIX (reduc1-dep1-fn2)", best_helix()),

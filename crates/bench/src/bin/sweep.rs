@@ -34,7 +34,7 @@ fn parse_suite(name: &str) -> SuiteId {
 
 fn main() {
     let cli = Cli::parse();
-    cli.reject_explain_out("sweep");
+    cli.enforce("sweep");
     let mut suites: Vec<SuiteId> = Vec::new();
     let mut rest = cli.rest.iter();
     while let Some(arg) = rest.next() {
@@ -49,7 +49,7 @@ fn main() {
             extra => {
                 eprintln!(
                     "unknown argument {extra:?} (expected test|small|default, --suite NAME, \
-                     --jobs N, --trace-out FILE, --quiet)"
+                     --jobs N, --trace-out FILE, --profile-cache DIR, --quiet)"
                 );
                 std::process::exit(2);
             }
@@ -59,7 +59,8 @@ fn main() {
         suites.extend(SuiteId::all());
     }
     let jobs = cli.jobs();
-    let runs = run_suites(&suites, cli.scale, jobs);
+    let store = cli.store();
+    let runs = run_suites(&suites, cli.scale, jobs, store.as_ref());
 
     let reg = lp_obs::registry();
     let t0 = reg.now_ns();

@@ -13,10 +13,10 @@ use lp_suite::SuiteId;
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
-    cli.reject_explain_out("table1");
+    cli.enforce("table1");
     let scale = cli.scale;
-    let runs = run_suites(&SuiteId::all(), scale, cli.jobs());
+    let store = cli.store();
+    let runs = run_suites(&SuiteId::all(), scale, cli.jobs(), store.as_ref());
 
     println!("Table I — ordering constraints and dependencies, quantified ({scale:?} scale)\n");
     for suite in SuiteId::all() {

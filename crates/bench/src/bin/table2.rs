@@ -33,8 +33,7 @@ fn definition(config: &Config) -> [&'static str; 3] {
 
 fn main() {
     let cli = Cli::parse();
-    cli.expect_no_extra_args();
-    cli.reject_explain_out("table2");
+    cli.enforce("table2");
     println!("Table II — configuration flags and their definitions\n");
     let mut seen = std::collections::BTreeSet::new();
     for config in Config::all() {

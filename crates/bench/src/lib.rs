@@ -16,7 +16,9 @@
 //! Every binary accepts an optional scale argument (`test`, `small`,
 //! `default`), a `--jobs N` worker count for the parallel sweep engine
 //! (default: `LP_JOBS` or the machine's available parallelism; output is
-//! byte-identical for any value), plus the shared observability flags
+//! byte-identical for any value), a `--profile-cache DIR` persistent
+//! profile store (see `lp_runtime::store`; `LP_PROFILE_CACHE=off|ro|rw`
+//! selects the mode), plus the shared observability flags
 //! `--trace-out FILE` (Chrome `trace_event` JSON), `--explain-out FILE`
 //! (limiter-attribution JSON, where supported), and `--quiet`; the
 //! `LP_LOG` environment variable (`off`, `info`, `debug`) filters
@@ -25,15 +27,109 @@
 use loopapalooza::Study;
 use lp_obs::{lp_debug, lp_info};
 use lp_runtime::{
-    Attribution, Config, EvalOptions, EvalReport, ExecModel, Jobs, Profile, SweepPoint, SweepUnit,
+    Attribution, Config, EvalOptions, EvalReport, ExecModel, Export, Jobs, Profile, ProfileStore,
+    StoreMode, SweepPoint, SweepUnit,
 };
 use lp_suite::{Benchmark, Scale, SuiteId};
 use std::path::{Path, PathBuf};
 
+/// How a binary treats arguments the shared [`Cli`] parser did not
+/// consume (see [`FlagSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtraArgs {
+    /// Leftover arguments are a usage error (exit 2).
+    Rejected,
+    /// Leftover arguments are the binary's own positionals ([`Cli::rest`]).
+    Passthrough,
+}
+
+/// Declarative per-binary command-line contract. One row per experiment
+/// binary, checked by [`Cli::enforce`] — replacing the old ad-hoc
+/// `reject_explain_out` / `expect_no_extra_args` call pairs whose
+/// correctness depended on call order in every `main`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// Binary name as invoked (and as printed in usage errors).
+    pub binary: &'static str,
+    /// Whether the binary has a limiter attribution to export
+    /// (`--explain-out`).
+    pub explain_out: bool,
+    /// What happens to unconsumed arguments.
+    pub extra: ExtraArgs,
+}
+
+/// The command-line contract of every experiment binary, in one place.
+pub const FLAG_SPECS: &[FlagSpec] = &[
+    FlagSpec {
+        binary: "table1",
+        explain_out: false,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "table2",
+        explain_out: false,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "fig1",
+        explain_out: false,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "fig2",
+        explain_out: false,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "fig3",
+        explain_out: false,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "fig4",
+        explain_out: true,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "fig5",
+        explain_out: true,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "ablations",
+        explain_out: false,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "scaling",
+        explain_out: false,
+        extra: ExtraArgs::Rejected,
+    },
+    FlagSpec {
+        binary: "sweep",
+        explain_out: false,
+        extra: ExtraArgs::Passthrough,
+    },
+    FlagSpec {
+        binary: "lpstudy",
+        explain_out: true,
+        extra: ExtraArgs::Passthrough,
+    },
+];
+
+impl FlagSpec {
+    /// Looks up the contract of one binary.
+    #[must_use]
+    pub fn of(binary: &str) -> Option<&'static FlagSpec> {
+        FLAG_SPECS.iter().find(|s| s.binary == binary)
+    }
+}
+
 /// Shared command line of the experiment binaries: an optional scale
 /// positional (`test`, `small`, `default`) plus the observability flags.
-/// Anything unrecognized lands in [`Cli::rest`] for binaries with their
-/// own positionals (`lpstudy`); the rest call [`Cli::expect_no_extra_args`].
+/// Anything unrecognized lands in [`Cli::rest`]; each binary's
+/// [`FlagSpec`] (enforced via [`Cli::enforce`]) says whether that is a
+/// usage error or its own positionals (`lpstudy`, `sweep`).
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Benchmark scale (default [`Scale::Default`]).
@@ -48,6 +144,9 @@ pub struct Cli {
     pub quiet: bool,
     /// Explicit `--jobs N` worker count, if given (see [`Cli::jobs`]).
     pub jobs: Option<usize>,
+    /// Explicit `--profile-cache DIR` store directory, if given (see
+    /// [`Cli::store`]).
+    pub profile_cache: Option<PathBuf>,
     /// Arguments this parser did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -71,6 +170,7 @@ impl Cli {
             explain_out: None,
             quiet: false,
             jobs: None,
+            profile_cache: None,
             rest: Vec::new(),
         };
         let mut args = args.into_iter();
@@ -98,6 +198,13 @@ impl Cli {
                         std::process::exit(2);
                     }
                 },
+                "--profile-cache" => match args.next() {
+                    Some(dir) => cli.profile_cache = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--profile-cache requires a directory argument");
+                        std::process::exit(2);
+                    }
+                },
                 "test" => cli.scale = Scale::Test,
                 "small" => cli.scale = Scale::Small,
                 "default" => cli.scale = Scale::Default,
@@ -117,18 +224,92 @@ impl Cli {
         Jobs::resolve(self.jobs)
     }
 
+    /// The persistent profile store requested on this command line, if
+    /// any: `LP_PROFILE_CACHE=off|ro|rw` selects the mode (default
+    /// [`StoreMode::ReadWrite`] when `--profile-cache DIR` was given,
+    /// else off — no binary touches the filesystem unless asked);
+    /// `--profile-cache DIR` overrides the default directory
+    /// (`results/.lp-cache`). A store that cannot be opened degrades to
+    /// `None` with a warning — never an error exit.
+    ///
+    /// # Panics
+    /// Exits the process with a usage error (2) when `LP_PROFILE_CACHE`
+    /// holds an unrecognized value.
+    #[must_use]
+    pub fn store(&self) -> Option<ProfileStore> {
+        let mode = match StoreMode::from_env() {
+            Ok(Some(mode)) => mode,
+            Ok(None) if self.profile_cache.is_some() => StoreMode::ReadWrite,
+            Ok(None) => return None,
+            Err(bad) => {
+                eprintln!("LP_PROFILE_CACHE={bad:?} is not a store mode (expected off|ro|rw)");
+                std::process::exit(2);
+            }
+        };
+        if mode == StoreMode::Off {
+            return None;
+        }
+        let dir = self
+            .profile_cache
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(ProfileStore::DEFAULT_DIR));
+        match ProfileStore::open(&dir, mode) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open profile store {} ({e}); running without a cache",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn fail_extra_args(&self) {
+        if let Some(extra) = self.rest.first() {
+            eprintln!(
+                "unknown argument {extra:?} (expected test|small|default, --jobs N, \
+                 --trace-out FILE, --explain-out FILE, --profile-cache DIR, --quiet)"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    fn fail_explain_out(&self, binary: &str) {
+        if self.explain_out.is_some() {
+            eprintln!("{binary} does not support --explain-out (use lpstudy, fig4, or fig5)");
+            std::process::exit(2);
+        }
+    }
+
+    /// Checks this command line against the binary's [`FlagSpec`] table
+    /// row: leftover arguments first (when [`ExtraArgs::Rejected`]), then
+    /// `--explain-out` support — the same order the binaries used to
+    /// hand-roll, so the diagnostics are unchanged.
+    ///
+    /// # Panics
+    /// Panics when `binary` has no [`FLAG_SPECS`] row (a programming
+    /// error, not a user one); exits the process with a usage error (2)
+    /// when the command line violates the spec.
+    pub fn enforce(&self, binary: &str) -> &'static FlagSpec {
+        let spec = FlagSpec::of(binary)
+            .unwrap_or_else(|| panic!("binary {binary:?} has no FLAG_SPECS row"));
+        if spec.extra == ExtraArgs::Rejected {
+            self.fail_extra_args();
+        }
+        if !spec.explain_out {
+            self.fail_explain_out(spec.binary);
+        }
+        spec
+    }
+
     /// Rejects leftover arguments (binaries without their own positionals).
     ///
     /// # Panics
     /// Exits the process with a usage error when [`Cli::rest`] is non-empty.
+    #[deprecated(note = "use `Cli::enforce` with the binary's `FLAG_SPECS` row")]
     pub fn expect_no_extra_args(&self) {
-        if let Some(extra) = self.rest.first() {
-            eprintln!(
-                "unknown argument {extra:?} (expected test|small|default, --jobs N, \
-                 --trace-out FILE, --explain-out FILE, --quiet)"
-            );
-            std::process::exit(2);
-        }
+        self.fail_extra_args();
     }
 
     /// Rejects `--explain-out` in binaries that have no attribution to
@@ -136,11 +317,9 @@ impl Cli {
     ///
     /// # Panics
     /// Exits the process with a usage error when the flag was given.
+    #[deprecated(note = "use `Cli::enforce` with the binary's `FLAG_SPECS` row")]
     pub fn reject_explain_out(&self, binary: &str) {
-        if self.explain_out.is_some() {
-            eprintln!("{binary} does not support --explain-out (use lpstudy, fig4, or fig5)");
-            std::process::exit(2);
-        }
+        self.fail_explain_out(binary);
     }
 
     /// End-of-run hook: dumps the observability summary at debug level
@@ -172,7 +351,7 @@ impl Cli {
 /// Exits the process when a file cannot be written (mirrors the trace
 /// handling in [`Cli::finish`]).
 pub fn write_explain(path: &Path, attrs: &[Attribution], profile: Option<&Profile>) {
-    let parts: Vec<String> = attrs.iter().map(lp_runtime::attribution_to_json).collect();
+    let parts: Vec<String> = attrs.iter().map(Export::to_json).collect();
     let json = format!("{{\"attributions\":[{}]}}\n", parts.join(","));
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("cannot write explain JSON to {}: {e}", path.display());
@@ -209,20 +388,28 @@ pub struct SuiteRun {
 /// (`[i/total] name — elapsed, insts/s`) at `info` level. The returned
 /// runs are in `benchmarks` order regardless of the worker count (the
 /// heartbeats on stderr may interleave; stdout output never does).
+/// When a persistent [`ProfileStore`] is supplied (see [`Cli::store`]),
+/// each benchmark warm-starts from a cached profile when one exists and
+/// persists its fresh profile otherwise.
 ///
 /// # Panics
 /// Panics if a benchmark fails to build or run — they are fixed program
 /// text, covered by the suite's tests.
 #[must_use]
-pub fn run_benchmarks(benchmarks: &[Benchmark], scale: Scale, jobs: Jobs) -> Vec<SuiteRun> {
+pub fn run_benchmarks(
+    benchmarks: &[Benchmark],
+    scale: Scale,
+    jobs: Jobs,
+    store: Option<&ProfileStore>,
+) -> Vec<SuiteRun> {
     let total = benchmarks.len();
     let reg = lp_obs::registry();
     lp_runtime::parallel_map(benchmarks, jobs, |i, b| {
         lp_debug!("profiling {} ({}/{})", b.name, i + 1, total);
         let t0 = reg.now_ns();
         let module = b.build(scale);
-        let study =
-            Study::of(&module).unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
+        let study = Study::with_store(&module, lp_interp::MachineConfig::default(), store)
+            .unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
         let secs = reg.now_ns().saturating_sub(t0) as f64 / 1e9;
         lp_info!(
             "[{}/{}] profiled {:<18} {:>6.2}s  {:>6.1}M insts/s",
@@ -242,12 +429,17 @@ pub fn run_benchmarks(benchmarks: &[Benchmark], scale: Scale, jobs: Jobs) -> Vec
 
 /// Profiles every benchmark of the given suites on `jobs` workers.
 #[must_use]
-pub fn run_suites(ids: &[SuiteId], scale: Scale, jobs: Jobs) -> Vec<SuiteRun> {
+pub fn run_suites(
+    ids: &[SuiteId],
+    scale: Scale,
+    jobs: Jobs,
+    store: Option<&ProfileStore>,
+) -> Vec<SuiteRun> {
     let benchmarks: Vec<Benchmark> = lp_suite::registry()
         .into_iter()
         .filter(|b| ids.contains(&b.suite))
         .collect();
-    run_benchmarks(&benchmarks, scale, jobs)
+    run_benchmarks(&benchmarks, scale, jobs, store)
 }
 
 /// A precomputed `(run × row)` table of evaluation reports, built by one
@@ -390,6 +582,8 @@ mod tests {
                 "/tmp/e.json",
                 "--jobs",
                 "3",
+                "--profile-cache",
+                "/tmp/lp-cache",
                 "--bench",
                 "x.lp",
             ]
@@ -399,6 +593,10 @@ mod tests {
         assert_eq!(cli.scale, Scale::Small);
         assert_eq!(cli.jobs, Some(3));
         assert_eq!(cli.jobs().get(), 3);
+        assert_eq!(
+            cli.profile_cache.as_deref(),
+            Some(std::path::Path::new("/tmp/lp-cache"))
+        );
         assert_eq!(
             cli.trace_out.as_deref(),
             Some(std::path::Path::new("/tmp/t.json"))
@@ -415,8 +613,53 @@ mod tests {
         assert!(cli.explain_out.is_none());
         assert!(cli.jobs.is_none());
         assert!(cli.jobs().get() >= 1);
+        assert!(cli.profile_cache.is_none());
         // Restore logging for the rest of the test process.
         lp_obs::log::set_level(lp_obs::Level::Off);
+    }
+
+    #[test]
+    fn flag_specs_cover_every_binary_once() {
+        let mut seen = std::collections::HashSet::new();
+        for spec in FLAG_SPECS {
+            assert!(seen.insert(spec.binary), "duplicate row {:?}", spec.binary);
+        }
+        assert_eq!(FLAG_SPECS.len(), 11);
+        // The explain-capable binaries named in the usage message.
+        for binary in ["lpstudy", "fig4", "fig5"] {
+            assert!(FlagSpec::of(binary).unwrap().explain_out, "{binary}");
+        }
+        // Binaries with their own positionals pass extras through.
+        for binary in ["lpstudy", "sweep"] {
+            assert_eq!(
+                FlagSpec::of(binary).unwrap().extra,
+                ExtraArgs::Passthrough,
+                "{binary}"
+            );
+        }
+        assert!(FlagSpec::of("nonesuch").is_none());
+    }
+
+    #[test]
+    fn store_is_off_unless_requested() {
+        // Neither the flag nor LP_PROFILE_CACHE (the test harness does
+        // not set it): no store, no filesystem side effects.
+        let cli = Cli::parse_from(std::iter::empty());
+        lp_obs::log::set_level(lp_obs::Level::Off);
+        if std::env::var("LP_PROFILE_CACHE").is_err() {
+            assert!(cli.store().is_none());
+        }
+        // With the flag: a read-write store rooted at the given path.
+        let dir = std::env::temp_dir().join(format!("lp-bench-store-{}", std::process::id()));
+        let cli = Cli::parse_from(["--profile-cache".to_string(), dir.display().to_string()]);
+        lp_obs::log::set_level(lp_obs::Level::Off);
+        if std::env::var("LP_PROFILE_CACHE").is_err() {
+            let store = cli.store().expect("flag enables the store");
+            assert_eq!(store.mode(), StoreMode::ReadWrite);
+            assert_eq!(store.dir(), dir.as_path());
+            assert!(dir.is_dir(), "rw open creates the directory");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]
@@ -453,7 +696,7 @@ mod tests {
 
     #[test]
     fn harness_runs_one_suite() {
-        let runs = run_suites(&[SuiteId::Eembc], Scale::Test, Jobs::serial());
+        let runs = run_suites(&[SuiteId::Eembc], Scale::Test, Jobs::serial(), None);
         assert_eq!(runs.len(), 10);
         let (model, config) = lp_runtime::best_pdoall();
         let gm = suite_geomean_speedup(&runs, SuiteId::Eembc, model, config);
@@ -466,11 +709,11 @@ mod tests {
             .iter()
             .map(|n| lp_suite::find(n).unwrap())
             .collect();
-        let runs = run_benchmarks(&benchmarks, Scale::Test, Jobs::new(2));
+        let runs = run_benchmarks(&benchmarks, Scale::Test, Jobs::new(2), None);
         // Parallel profiling preserves input order.
         assert_eq!(runs[0].name, "eembc.matrix01");
         assert_eq!(runs[1].name, "eembc.rspeed01");
-        let rows = lp_runtime::paper_rows();
+        let rows = lp_runtime::table2_rows();
         let serial = SweepTable::build(&runs, &rows, Jobs::serial());
         let parallel = SweepTable::build(&runs, &rows, Jobs::new(8));
         for (i, run) in runs.iter().enumerate() {

@@ -1,0 +1,145 @@
+//! Pins the command-line contract of every experiment binary (the
+//! `FlagSpec` table): unknown or misplaced flags exit with status 2 and
+//! the exact historical diagnostics. A drift here breaks scripts that
+//! drive the binaries, so the messages are asserted byte-for-byte.
+
+use std::process::{Command, Output};
+
+/// The explain-capable binaries (per `FLAG_SPECS`).
+const EXPLAIN_OK: &[&str] = &["lpstudy", "fig4", "fig5"];
+
+/// Binary name → path, via the paths Cargo bakes into integration tests.
+fn exe(binary: &str) -> &'static str {
+    match binary {
+        "table1" => env!("CARGO_BIN_EXE_table1"),
+        "table2" => env!("CARGO_BIN_EXE_table2"),
+        "fig1" => env!("CARGO_BIN_EXE_fig1"),
+        "fig2" => env!("CARGO_BIN_EXE_fig2"),
+        "fig3" => env!("CARGO_BIN_EXE_fig3"),
+        "fig4" => env!("CARGO_BIN_EXE_fig4"),
+        "fig5" => env!("CARGO_BIN_EXE_fig5"),
+        "ablations" => env!("CARGO_BIN_EXE_ablations"),
+        "scaling" => env!("CARGO_BIN_EXE_scaling"),
+        "sweep" => env!("CARGO_BIN_EXE_sweep"),
+        "lpstudy" => env!("CARGO_BIN_EXE_lpstudy"),
+        other => panic!("unknown binary {other:?}"),
+    }
+}
+
+fn run(binary: &str, args: &[&str]) -> Output {
+    Command::new(exe(binary))
+        .args(args)
+        .env("LP_LOG", "off")
+        .env_remove("LP_PROFILE_CACHE")
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {binary}: {e}"))
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is UTF-8")
+}
+
+#[test]
+fn unknown_argument_exits_2_with_the_pinned_message() {
+    let rejecting = [
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "ablations",
+        "scaling",
+    ];
+    for binary in rejecting {
+        let out = run(binary, &["--bogus"]);
+        assert_eq!(out.status.code(), Some(2), "{binary}");
+        assert_eq!(
+            stderr_of(&out),
+            "unknown argument \"--bogus\" (expected test|small|default, --jobs N, \
+             --trace-out FILE, --explain-out FILE, --profile-cache DIR, --quiet)\n",
+            "{binary}"
+        );
+    }
+}
+
+#[test]
+fn explain_out_is_rejected_where_unsupported() {
+    let all = [
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "ablations",
+        "scaling",
+        "sweep",
+    ];
+    for binary in all {
+        assert!(!EXPLAIN_OK.contains(&binary));
+        let out = run(binary, &["--explain-out", "/tmp/never-written.json"]);
+        assert_eq!(out.status.code(), Some(2), "{binary}");
+        assert_eq!(
+            stderr_of(&out),
+            format!("{binary} does not support --explain-out (use lpstudy, fig4, or fig5)\n"),
+        );
+    }
+}
+
+#[test]
+fn sweep_rejects_extras_with_its_own_positional_list() {
+    let out = run("sweep", &["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr_of(&out),
+        "unknown argument \"--bogus\" (expected test|small|default, --suite NAME, \
+         --jobs N, --trace-out FILE, --profile-cache DIR, --quiet)\n"
+    );
+}
+
+#[test]
+fn lpstudy_prints_usage_on_unknown_flag() {
+    let out = run("lpstudy", &["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.starts_with("usage: lpstudy"), "got: {err}");
+    assert!(err.contains("--profile-cache DIR"), "got: {err}");
+}
+
+#[test]
+fn flags_missing_their_operand_exit_2() {
+    for (args, message) in [
+        (
+            &["--profile-cache"][..],
+            "--profile-cache requires a directory argument\n",
+        ),
+        (
+            &["--trace-out"][..],
+            "--trace-out requires a file argument\n",
+        ),
+        (
+            &["--jobs", "zero"][..],
+            "--jobs requires a positive integer argument\n",
+        ),
+    ] {
+        let out = run("fig1", args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert_eq!(stderr_of(&out), message, "{args:?}");
+    }
+}
+
+#[test]
+fn invalid_profile_cache_mode_exits_2() {
+    let out = Command::new(exe("table1"))
+        .args(["test", "--profile-cache", "/tmp/unused"])
+        .env("LP_LOG", "off")
+        .env("LP_PROFILE_CACHE", "frobnicate")
+        .output()
+        .expect("spawn table1");
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr_of(&out),
+        "LP_PROFILE_CACHE=\"frobnicate\" is not a store mode (expected off|ro|rw)\n"
+    );
+}

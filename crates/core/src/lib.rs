@@ -46,7 +46,7 @@ use lp_interp::{MachineConfig, RunResult};
 use lp_ir::Module;
 use lp_runtime::{
     evaluate, evaluate_explained, Attribution, Census, Config, EvalOptions, EvalReport, ExecModel,
-    Jobs, Profile, SweepUnit,
+    Jobs, Profile, ProfileStore, ProfilerOptions, SweepUnit,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -56,9 +56,11 @@ pub mod prelude {
     pub use crate::{Error, Study};
     pub use lp_ir::builder::FunctionBuilder;
     pub use lp_ir::{Module, Type};
+    #[allow(deprecated)]
+    pub use lp_runtime::paper_rows;
     pub use lp_runtime::{
-        best_helix, best_pdoall, paper_rows, Attribution, Config, DepMode, ExecModel, FnMode, Jobs,
-        LimiterKind, ReducMode, SweepUnit,
+        best_helix, best_pdoall, table2_rows, Attribution, Config, DepMode, ExecModel, FnMode,
+        Jobs, LimiterKind, ProfileStore, ReducMode, StoreMode, SweepUnit,
     };
     pub use lp_suite::{self, Scale, SuiteId};
 }
@@ -129,6 +131,23 @@ impl Study {
     /// # Errors
     /// As [`Study::of`].
     pub fn with_config(module: &Module, config: MachineConfig) -> Result<Study, Error> {
+        Study::with_store(module, config, None)
+    }
+
+    /// As [`Study::with_config`], consulting a persistent
+    /// [`ProfileStore`] first: on a cache hit the instrumented run is
+    /// skipped entirely (verification and the compile-time analyses are
+    /// cheap and always run), on a miss the fresh profile is persisted
+    /// for the next process.
+    ///
+    /// # Errors
+    /// As [`Study::of`]. Store problems never fail the call — they
+    /// degrade to profiling.
+    pub fn with_store(
+        module: &Module,
+        config: MachineConfig,
+        store: Option<&ProfileStore>,
+    ) -> Result<Study, Error> {
         {
             let _span = lp_obs::span!("verify");
             lp_ir::verify_module(module)?;
@@ -138,7 +157,13 @@ impl Study {
             let _span = lp_obs::span!("analyze");
             lp_analysis::analyze_module(module)
         };
-        let (profile, run) = lp_runtime::profile_module(module, &analysis, &[], config)?;
+        let (profile, run) = lp_runtime::profile_module_cached(
+            module,
+            &analysis,
+            config,
+            ProfilerOptions::default(),
+            store,
+        )?;
         Ok(Study {
             analysis,
             profile: Arc::new(profile),
@@ -165,13 +190,20 @@ impl Study {
         evaluate_explained(&self.profile, model, config)
     }
 
-    /// Evaluates all 14 rows of the paper's Figures 2–3.
+    /// Evaluates all 14 rows of the paper's Table II / Figures 2–3.
     #[must_use]
-    pub fn paper_rows(&self) -> Vec<EvalReport> {
-        lp_runtime::paper_rows()
+    pub fn table2_rows(&self) -> Vec<EvalReport> {
+        lp_runtime::table2_rows()
             .into_iter()
             .map(|(model, config)| self.evaluate(model, config))
             .collect()
+    }
+
+    /// Renamed: the rows are Table II's, not "the paper's" generically.
+    #[deprecated(note = "renamed to `table2_rows`")]
+    #[must_use]
+    pub fn paper_rows(&self) -> Vec<EvalReport> {
+        self.table2_rows()
     }
 
     /// The recorded profile.
@@ -240,7 +272,7 @@ mod tests {
         let module = bench.build(Scale::Test);
         let study = Study::of(&module).unwrap();
         assert!(study.run_result().cost > 1000);
-        let rows = study.paper_rows();
+        let rows = study.table2_rows();
         assert_eq!(rows.len(), 14);
         for r in &rows {
             assert!(r.speedup >= 0.999, "{}: {}", r.config, r.speedup);
@@ -286,6 +318,47 @@ mod tests {
         let shared = study.shared_profile();
         assert_eq!(Arc::strong_count(&shared), 2);
         assert_eq!(shared.program, study.profile().program);
+    }
+
+    #[test]
+    fn study_with_store_warm_start_matches_cold() {
+        use lp_runtime::StoreMode;
+        let dir = std::env::temp_dir().join(format!(
+            "lp-core-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ProfileStore::open(&dir, StoreMode::ReadWrite).unwrap();
+        let bench = lp_suite::find("eembc.matrix01").unwrap();
+        let module = bench.build(Scale::Test);
+        let cold = Study::with_store(&module, MachineConfig::default(), Some(&store)).unwrap();
+        let warm = Study::with_store(&module, MachineConfig::default(), Some(&store)).unwrap();
+        // meta_index is a HashMap (arbitrary Debug order); compare it
+        // sorted and the rest of the profile structurally.
+        let fingerprint = |p: &Profile| {
+            let mut idx: Vec<_> = p.meta_index.iter().collect();
+            idx.sort();
+            format!(
+                "{} {} {:?} {:?} {:?} {idx:?}",
+                p.program, p.total_cost, p.regions, p.loop_meta, p.func_names
+            )
+        };
+        assert_eq!(
+            fingerprint(cold.profile()),
+            fingerprint(warm.profile()),
+            "warm-start profile must be identical to cold-start"
+        );
+        assert_eq!(
+            format!("{:?}", cold.run_result()),
+            format!("{:?}", warm.run_result())
+        );
+        let (m, c) = best_helix();
+        assert_eq!(
+            format!("{:?}", cold.evaluate(m, c)),
+            format!("{:?}", warm.evaluate(m, c))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! serial-marked loop must name at least one concrete limiter.
 
 use loopapalooza::prelude::*;
-use lp_runtime::{attribution_to_json, collapsed_stacks};
+use lp_runtime::{collapsed_stacks, Export};
 
 #[test]
 fn explain_exports_are_valid_and_name_limiters() {
@@ -22,7 +22,7 @@ fn explain_exports_are_valid_and_name_limiters() {
         assert_eq!(report.best_cost, attr.best_cost);
 
         // The JSON export passes the hand-rolled validator.
-        let json = attribution_to_json(&attr);
+        let json = attr.to_json();
         lp_obs::validate_json(&json).expect("explain JSON must be well-formed");
         assert!(json.contains("\"program\":\"181.mcf\""));
         assert!(json.contains("\"limiters\":["));

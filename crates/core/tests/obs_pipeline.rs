@@ -16,7 +16,7 @@ fn study_populates_spans_counters_and_valid_chrome_trace() {
     let bench = lp_suite::find("181.mcf").expect("registered benchmark");
     let module = bench.build(Scale::Test);
     let study = Study::of(&module).expect("study runs");
-    let rows = study.paper_rows();
+    let rows = study.table2_rows();
     assert_eq!(rows.len(), 14);
 
     // Phase spans from every pipeline stage.

@@ -1,11 +1,13 @@
 //! Exporters: human-readable summary, machine-readable JSON, and Chrome
 //! `trace_event` JSON (loadable in `chrome://tracing` or Perfetto).
 //!
-//! All JSON is emitted by hand — the workspace has no serde — via a
-//! strict string escaper, and the Chrome output uses the object form
-//! (`{"traceEvents": [...]}`) with complete-event (`ph: "X"`) spans,
-//! one metadata (`ph: "M"`) process-name record, and a final counter
-//! (`ph: "C"`) sample carrying every non-zero pipeline counter.
+//! All JSON is emitted by hand — the workspace has no serde — through
+//! one shared [`JsonWriter`] (single escaper, compact and pretty modes)
+//! that every emitter in the workspace builds on. The Chrome output uses
+//! the object form (`{"traceEvents": [...]}`) with complete-event
+//! (`ph: "X"`) spans, one metadata (`ph: "M"`) process-name record, and
+//! a final counter (`ph: "C"`) sample carrying every non-zero pipeline
+//! counter.
 
 use crate::metrics::Hist;
 use crate::registry::Registry;
@@ -31,6 +33,186 @@ pub fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// The one JSON emitter every exporter in the workspace shares.
+///
+/// Hand-rolled emitters used to repeat the comma/escaping bookkeeping in
+/// three places (`sweep_to_json`, `attribution_to_json`, the Chrome-trace
+/// writer); the writer centralizes it behind a small push API:
+///
+/// ```
+/// use lp_obs::JsonWriter;
+///
+/// let mut w = JsonWriter::compact();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("demo");
+/// w.key("values");
+/// w.begin_array();
+/// w.uint(1);
+/// w.uint(2);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), "{\"name\":\"demo\",\"values\":[1,2]}");
+/// ```
+///
+/// Compact mode emits no whitespace at all — byte-identical to the
+/// historical hand-rolled documents — while pretty mode indents two
+/// spaces per level for human inspection. Both validate against
+/// [`validate_json`] as long as the begin/end calls balance.
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    pretty: bool,
+    /// Per open container: whether it already holds an entry (drives
+    /// comma insertion and closing-bracket placement in pretty mode).
+    has_entry: Vec<bool>,
+    /// The next value completes a `key:` pair — suppress the comma logic
+    /// the key already ran.
+    expect_value: bool,
+}
+
+impl JsonWriter {
+    /// A writer emitting no whitespace (the machine-readable default).
+    #[must_use]
+    pub fn compact() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            pretty: false,
+            has_entry: Vec::new(),
+            expect_value: false,
+        }
+    }
+
+    /// A writer indenting two spaces per nesting level.
+    #[must_use]
+    pub fn pretty() -> JsonWriter {
+        JsonWriter {
+            pretty: true,
+            ..JsonWriter::compact()
+        }
+    }
+
+    fn indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.has_entry.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Comma/indent bookkeeping before an array element or object key.
+    fn before_entry(&mut self) {
+        if self.expect_value {
+            self.expect_value = false;
+            return;
+        }
+        if let Some(has) = self.has_entry.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+            if self.pretty {
+                self.indent();
+            }
+        }
+    }
+
+    /// Closing-bracket bookkeeping: pretty mode drops the bracket to its
+    /// own line unless the container stayed empty.
+    fn close(&mut self, bracket: char) {
+        let had_entry = self.has_entry.pop().unwrap_or(false);
+        if self.pretty && had_entry {
+            self.indent();
+        }
+        self.out.push(bracket);
+    }
+
+    /// Opens an object (`{`), as a value or array element.
+    pub fn begin_object(&mut self) {
+        self.before_entry();
+        self.out.push('{');
+        self.has_entry.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.close('}');
+    }
+
+    /// Opens an array (`[`), as a value or array element.
+    pub fn begin_array(&mut self) {
+        self.before_entry();
+        self.out.push('[');
+        self.has_entry.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.close(']');
+    }
+
+    /// Writes an object key; the next write supplies its value.
+    pub fn key(&mut self, name: &str) {
+        self.before_entry();
+        let _ = write!(self.out, "\"{}\":", json_escape(name));
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.expect_value = true;
+    }
+
+    /// Writes an escaped string value.
+    pub fn string(&mut self, value: &str) {
+        self.before_entry();
+        let _ = write!(self.out, "\"{}\"", json_escape(value));
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn uint(&mut self, value: u64) {
+        self.before_entry();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a signed integer value.
+    pub fn int(&mut self, value: i64) {
+        self.before_entry();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a float with a fixed number of decimal places (the
+    /// workspace convention: speedups `.6`, coverages `.3`, factors `.4`).
+    pub fn fixed(&mut self, value: f64, decimals: usize) {
+        self.before_entry();
+        let _ = write!(self.out, "{value:.decimals$}");
+    }
+
+    /// Writes a float with the shortest round-trip `Display` form.
+    pub fn float(&mut self, value: f64) {
+        self.before_entry();
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, value: bool) {
+        self.before_entry();
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Consumes the writer and returns the document.
+    ///
+    /// # Panics
+    /// Panics if a container is still open — an unbalanced emitter is a
+    /// bug, not a runtime condition.
+    #[must_use]
+    pub fn finish(self) -> String {
+        assert!(
+            self.has_entry.is_empty(),
+            "JsonWriter finished with {} unclosed container(s)",
+            self.has_entry.len()
+        );
+        self.out
+    }
 }
 
 /// Strict JSON validation via a small recursive-descent parser — the
@@ -228,52 +410,56 @@ pub fn summary(reg: &Registry) -> String {
 /// Machine-readable JSON snapshot of spans, counters, and histograms.
 #[must_use]
 pub fn to_json(reg: &Registry) -> String {
-    let mut out = String::from("{\"spans\":[");
-    for (i, s) in reg.spans().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"depth\":{},\"tid\":{}}}",
-            json_escape(s.name),
-            s.start_ns,
-            s.end_ns,
-            s.depth,
-            s.tid
-        );
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("spans");
+    w.begin_array();
+    for s in reg.spans().iter() {
+        w.begin_object();
+        w.key("name");
+        w.string(s.name);
+        w.key("start_ns");
+        w.uint(s.start_ns);
+        w.key("end_ns");
+        w.uint(s.end_ns);
+        w.key("depth");
+        w.uint(u64::from(s.depth));
+        w.key("tid");
+        w.uint(s.tid);
+        w.end_object();
     }
-    out.push_str("],\"counters\":{");
-    for (i, (name, value)) in reg.counters().snapshot().iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+    w.end_array();
+    w.key("counters");
+    w.begin_object();
+    for (name, value) in reg.counters().snapshot() {
+        w.key(&name);
+        w.uint(value);
     }
-    out.push_str("},\"histograms\":{");
-    let mut first = true;
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
     for h in Hist::ALL {
         let hist = reg.hist(h);
         if hist.count == 0 {
             continue;
         }
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        let _ = write!(
-            out,
-            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
-            h.name(),
-            hist.count,
-            hist.sum,
-            hist.min,
-            hist.max,
-            hist.mean()
-        );
+        w.key(h.name());
+        w.begin_object();
+        w.key("count");
+        w.uint(hist.count);
+        w.key("sum");
+        w.uint(hist.sum);
+        w.key("min");
+        w.uint(hist.min);
+        w.key("max");
+        w.uint(hist.max);
+        w.key("mean");
+        w.float(hist.mean());
+        w.end_object();
     }
-    out.push_str("}}");
-    out
+    w.end_object();
+    w.end_object();
+    w.finish()
 }
 
 /// Chrome `trace_event` JSON for the registry's spans and counters.
@@ -285,47 +471,75 @@ pub fn to_json(reg: &Registry) -> String {
 #[must_use]
 pub fn chrome_trace(reg: &Registry, process_name: &str) -> String {
     let spans = reg.spans();
-    let mut out = String::from("{\"traceEvents\":[");
-    let _ = write!(
-        out,
-        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-         \"args\":{{\"name\":\"{}\"}}}}",
-        json_escape(process_name)
-    );
+    let counters = reg.counters().snapshot();
+    let counter_args = |w: &mut JsonWriter| {
+        w.begin_object();
+        for (name, value) in &counters {
+            w.key(name);
+            w.uint(*value);
+        }
+        w.end_object();
+    };
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+    w.begin_object();
+    w.key("name");
+    w.string("process_name");
+    w.key("ph");
+    w.string("M");
+    w.key("pid");
+    w.uint(1);
+    w.key("tid");
+    w.uint(0);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.string(process_name);
+    w.end_object();
+    w.end_object();
     let mut last_ts = 0.0f64;
     for s in &spans {
-        let ts = s.start_ns as f64 / 1e3;
-        let dur = s.duration_ns() as f64 / 1e3;
         last_ts = last_ts.max(s.end_ns as f64 / 1e3);
-        let _ = write!(
-            out,
-            ",{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
-             \"pid\":1,\"tid\":{}}}",
-            json_escape(s.name),
-            s.tid
-        );
+        w.begin_object();
+        w.key("name");
+        w.string(s.name);
+        w.key("cat");
+        w.string("phase");
+        w.key("ph");
+        w.string("X");
+        w.key("ts");
+        w.float(s.start_ns as f64 / 1e3);
+        w.key("dur");
+        w.float(s.duration_ns() as f64 / 1e3);
+        w.key("pid");
+        w.uint(1);
+        w.key("tid");
+        w.uint(s.tid);
+        w.end_object();
     }
-    let counters = reg.counters().snapshot();
     if !counters.is_empty() {
-        let mut args = String::new();
-        for (i, (name, value)) in counters.iter().enumerate() {
-            if i > 0 {
-                args.push(',');
-            }
-            let _ = write!(args, "\"{}\":{}", json_escape(name), value);
-        }
-        let _ = write!(
-            out,
-            ",{{\"name\":\"lp_counters\",\"ph\":\"C\",\"ts\":{last_ts},\"pid\":1,\
-             \"args\":{{{args}}}}}"
-        );
-        out.push_str(&format!(
-            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{{args}}}}}"
-        ));
-    } else {
-        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{}}");
+        w.begin_object();
+        w.key("name");
+        w.string("lp_counters");
+        w.key("ph");
+        w.string("C");
+        w.key("ts");
+        w.float(last_ts);
+        w.key("pid");
+        w.uint(1);
+        w.key("args");
+        counter_args(&mut w);
+        w.end_object();
     }
-    out
+    w.end_array();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.key("otherData");
+    counter_args(&mut w);
+    w.end_object();
+    w.finish()
 }
 
 /// Writes the global registry's Chrome trace to `path`.
@@ -360,6 +574,68 @@ mod tests {
         reg.counters().add(Counter::EvalsPerformed, 14);
         reg.record_hist(Hist::LoopIterations, 100);
         reg
+    }
+
+    #[test]
+    fn writer_compact_matches_handwritten_form() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        w.key("s");
+        w.string("a\"b");
+        w.key("n");
+        w.uint(7);
+        w.key("i");
+        w.int(-3);
+        w.key("f");
+        w.fixed(1.5, 3);
+        w.key("b");
+        w.boolean(true);
+        w.key("v");
+        w.begin_array();
+        w.uint(1);
+        w.begin_object();
+        w.end_object();
+        w.begin_array();
+        w.end_array();
+        w.end_array();
+        w.end_object();
+        let json = w.finish();
+        assert_eq!(
+            json,
+            "{\"s\":\"a\\\"b\",\"n\":7,\"i\":-3,\"f\":1.500,\"b\":true,\"v\":[1,{},[]]}"
+        );
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn writer_pretty_indents_and_validates() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("a");
+        w.uint(1);
+        w.key("v");
+        w.begin_array();
+        w.uint(2);
+        w.uint(3);
+        w.end_array();
+        w.key("empty");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        let json = w.finish();
+        assert_eq!(
+            json,
+            "{\n  \"a\": 1,\n  \"v\": [\n    2,\n    3\n  ],\n  \"empty\": {}\n}"
+        );
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed container")]
+    fn writer_panics_on_unbalanced_finish() {
+        let mut w = JsonWriter::compact();
+        w.begin_object();
+        let _ = w.finish();
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod metrics;
 pub mod registry;
 pub mod span;
 
-pub use export::{chrome_trace, json_escape, summary, to_json, validate_json, write_chrome_trace};
+pub use export::{
+    chrome_trace, json_escape, summary, to_json, validate_json, write_chrome_trace, JsonWriter,
+};
 pub use local::LocalStats;
 pub use log::Level;
 pub use metrics::{Counter, CounterBank, Hist, Histogram, PredictorKind, COUNTER_SLOTS};

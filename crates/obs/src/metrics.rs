@@ -90,10 +90,21 @@ pub enum Counter {
     /// Sweep tasks a worker claimed outside its static fair share (the
     /// work-stealing index handed it another shard's task).
     SweepTasksStolen,
+    /// Profile-store lookups served from the persistent cache (the
+    /// interpreter run was skipped entirely).
+    StoreHits,
+    /// Profile-store lookups that found no usable entry and fell back to
+    /// a fresh instrumented run.
+    StoreMisses,
+    /// Persistent cache entries discarded because they were corrupt,
+    /// truncated, or written by another format version.
+    StoreCorruptDiscarded,
 }
 
-/// Number of distinct counter slots.
-pub const COUNTER_SLOTS: usize = 18 + 2 * PredictorKind::ALL.len();
+/// Number of distinct counter slots (scalar slots 0..=17 plus one
+/// reserved, the per-predictor pairs, then the store slots appended
+/// after the predictor block so every historical slot stays stable).
+pub const COUNTER_SLOTS: usize = 21 + 2 * PredictorKind::ALL.len();
 
 impl Counter {
     /// Every counter, in export order.
@@ -117,6 +128,9 @@ impl Counter {
             Counter::SpansDropped,
             Counter::SweepProfileCacheHits,
             Counter::SweepTasksStolen,
+            Counter::StoreHits,
+            Counter::StoreMisses,
+            Counter::StoreCorruptDiscarded,
         ];
         for kind in PredictorKind::ALL {
             out.push(Counter::PredictorHit(kind));
@@ -150,6 +164,11 @@ impl Counter {
             // scalar counter is added.
             Counter::PredictorHit(kind) => 18 + 2 * kind as usize,
             Counter::PredictorMiss(kind) => 19 + 2 * kind as usize,
+            // The store slots sit after the predictor block (which ends
+            // at 18 + 2 * 4 + 1 = 27) so older slots never move.
+            Counter::StoreHits => 28,
+            Counter::StoreMisses => 29,
+            Counter::StoreCorruptDiscarded => 30,
         }
     }
 
@@ -174,6 +193,9 @@ impl Counter {
             Counter::SpansDropped => "spans_dropped".to_string(),
             Counter::SweepProfileCacheHits => "sweep_profile_cache_hits".to_string(),
             Counter::SweepTasksStolen => "sweep_tasks_stolen".to_string(),
+            Counter::StoreHits => "store_hits".to_string(),
+            Counter::StoreMisses => "store_misses".to_string(),
+            Counter::StoreCorruptDiscarded => "store_corrupt_discarded".to_string(),
             Counter::PredictorHit(kind) => format!("predictor_hit_{}", kind.label()),
             Counter::PredictorMiss(kind) => format!("predictor_miss_{}", kind.label()),
         }

@@ -62,9 +62,13 @@ impl Config {
         Config { reduc, dep, fnm }
     }
 
-    /// All 32 flag combinations (for exhaustive sweeps).
+    /// The canonical enumeration of the full flag lattice: all 32
+    /// combinations in reduc-major, then dep, then fn order. Every
+    /// consumer that needs "the configurations, in order" (sweeps, table
+    /// emitters, benches) must go through this one constructor so row
+    /// orderings can't drift between crates.
     #[must_use]
-    pub fn all() -> Vec<Config> {
+    pub fn lattice() -> Vec<Config> {
         let mut out = Vec::new();
         for reduc in [ReducMode::Reduc0, ReducMode::Reduc1] {
             for dep in [DepMode::Dep0, DepMode::Dep1, DepMode::Dep2, DepMode::Dep3] {
@@ -74,6 +78,12 @@ impl Config {
             }
         }
         out
+    }
+
+    /// All 32 flag combinations (alias of [`Config::lattice`]).
+    #[must_use]
+    pub fn all() -> Vec<Config> {
+        Config::lattice()
     }
 }
 
@@ -174,30 +184,45 @@ impl fmt::Display for ExecModel {
     }
 }
 
-/// The 14 `(model, config)` rows of the paper's Figures 2 and 3, bottom
-/// (most restrictive) to top.
+/// The 14 `(model, config)` rows of the paper's Table II / Figures 2
+/// and 3, bottom (most restrictive) to top.
+///
+/// The `Config` values are drawn from [`Config::lattice`] by their
+/// lattice position (`reduc*16 + dep*4 + fn`), so the flag combinations
+/// used by bench and runtime can never drift from the canonical
+/// enumeration.
+#[must_use]
+pub fn table2_rows() -> Vec<(ExecModel, Config)> {
+    use ExecModel::*;
+    let lattice = Config::lattice();
+    let pick = |r: usize, d: usize, n: usize| {
+        let config = lattice[r * 16 + d * 4 + n];
+        debug_assert_eq!(config.to_string(), format!("reduc{r}-dep{d}-fn{n}"));
+        config
+    };
+    vec![
+        (Doall, pick(0, 0, 0)),
+        (Doall, pick(1, 0, 0)),
+        (PartialDoall, pick(0, 0, 0)),
+        (PartialDoall, pick(0, 2, 0)),
+        (PartialDoall, pick(1, 2, 0)),
+        (PartialDoall, pick(0, 0, 2)),
+        (PartialDoall, pick(0, 2, 2)),
+        (PartialDoall, pick(1, 2, 2)),
+        (PartialDoall, pick(0, 3, 2)),
+        (PartialDoall, pick(0, 3, 3)),
+        (Helix, pick(0, 0, 2)),
+        (Helix, pick(1, 0, 2)),
+        (Helix, pick(0, 1, 2)),
+        (Helix, pick(1, 1, 2)),
+    ]
+}
+
+/// Renamed: the rows are Table II's, not "the paper's" generically.
+#[deprecated(note = "renamed to `table2_rows`")]
 #[must_use]
 pub fn paper_rows() -> Vec<(ExecModel, Config)> {
-    use DepMode::*;
-    use ExecModel::*;
-    use FnMode::*;
-    use ReducMode::*;
-    vec![
-        (Doall, Config::new(Reduc0, Dep0, Fn0)),
-        (Doall, Config::new(Reduc1, Dep0, Fn0)),
-        (PartialDoall, Config::new(Reduc0, Dep0, Fn0)),
-        (PartialDoall, Config::new(Reduc0, Dep2, Fn0)),
-        (PartialDoall, Config::new(Reduc1, Dep2, Fn0)),
-        (PartialDoall, Config::new(Reduc0, Dep0, Fn2)),
-        (PartialDoall, Config::new(Reduc0, Dep2, Fn2)),
-        (PartialDoall, Config::new(Reduc1, Dep2, Fn2)),
-        (PartialDoall, Config::new(Reduc0, Dep3, Fn2)),
-        (PartialDoall, Config::new(Reduc0, Dep3, Fn3)),
-        (Helix, Config::new(Reduc0, Dep0, Fn2)),
-        (Helix, Config::new(Reduc1, Dep0, Fn2)),
-        (Helix, Config::new(Reduc0, Dep1, Fn2)),
-        (Helix, Config::new(Reduc1, Dep1, Fn2)),
-    ]
+    table2_rows()
 }
 
 /// The paper's "best realistic" configurations used in Figures 4 and 5.
@@ -240,8 +265,8 @@ mod tests {
     }
 
     #[test]
-    fn paper_rows_are_fourteen_and_unique() {
-        let rows = paper_rows();
+    fn table2_rows_are_fourteen_and_unique() {
+        let rows = table2_rows();
         assert_eq!(rows.len(), 14);
         let mut seen = std::collections::HashSet::new();
         for r in &rows {
@@ -250,6 +275,43 @@ mod tests {
         // Headline row present.
         assert!(rows.contains(&best_helix()));
         assert!(rows.contains(&best_pdoall()));
+    }
+
+    #[test]
+    fn lattice_position_encodes_the_flag_triple() {
+        for (i, c) in Config::lattice().iter().enumerate() {
+            let (r, d, n) = (i / 16, (i / 4) % 4, i % 4);
+            assert_eq!(c.to_string(), format!("reduc{r}-dep{d}-fn{n}"));
+        }
+    }
+
+    #[test]
+    fn table2_row_order_is_pinned() {
+        // Figures 2/3 print rows in this exact order; a drift here would
+        // silently relabel the paper's bars.
+        let rendered: Vec<String> = table2_rows()
+            .iter()
+            .map(|(m, c)| format!("{m} {c}"))
+            .collect();
+        assert_eq!(
+            rendered,
+            [
+                "DOALL reduc0-dep0-fn0",
+                "DOALL reduc1-dep0-fn0",
+                "Partial-DOALL reduc0-dep0-fn0",
+                "Partial-DOALL reduc0-dep2-fn0",
+                "Partial-DOALL reduc1-dep2-fn0",
+                "Partial-DOALL reduc0-dep0-fn2",
+                "Partial-DOALL reduc0-dep2-fn2",
+                "Partial-DOALL reduc1-dep2-fn2",
+                "Partial-DOALL reduc0-dep3-fn2",
+                "Partial-DOALL reduc0-dep3-fn3",
+                "HELIX-style reduc0-dep0-fn2",
+                "HELIX-style reduc1-dep0-fn2",
+                "HELIX-style reduc0-dep1-fn2",
+                "HELIX-style reduc1-dep1-fn2",
+            ]
+        );
     }
 
     #[test]

@@ -1,13 +1,48 @@
 //! CSV, JSON, and collapsed-stack export of evaluation results — the
 //! machine-readable companions to the pretty-printing binaries, for
 //! plotting the figures (and flamegraphs) with external tools.
+//!
+//! Everything JSON goes through [`lp_obs::JsonWriter`] (the workspace's
+//! single escaper) behind the [`Export`] trait: an exportable value
+//! streams itself into a writer, and `to_json` / `to_json_pretty` pick
+//! the rendering. The legacy free functions (`sweep_to_json`,
+//! `attribution_to_json`) remain as deprecated wrappers with
+//! byte-identical compact output.
 
 use crate::census::Census;
 use crate::eval::EvalReport;
 use crate::explain::{Attribution, Limiter};
 use crate::profile::{Profile, RegionKind};
-use lp_obs::json_escape;
+use lp_obs::JsonWriter;
 use std::fmt::Write;
+
+/// A value that can render itself as a JSON document through the shared
+/// [`JsonWriter`].
+///
+/// Implementors stream exactly one JSON value into the writer; the
+/// provided methods wrap that in a compact (machine, byte-stable) or
+/// pretty (human) document.
+pub trait Export {
+    /// Streams `self` into `w` as one JSON value.
+    fn write_json(&self, w: &mut JsonWriter);
+
+    /// Renders the compact document (no whitespace; byte-identical to
+    /// the historical hand-rolled emitters).
+    #[must_use]
+    fn to_json(&self) -> String {
+        let mut w = JsonWriter::compact();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Renders the indented document for human inspection.
+    #[must_use]
+    fn to_json_pretty(&self) -> String {
+        let mut w = JsonWriter::pretty();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
 
 /// Escapes one CSV field (quotes when needed).
 fn field(s: &str) -> String {
@@ -78,104 +113,134 @@ pub fn loops_to_csv(report: &EvalReport) -> String {
     out
 }
 
-/// Hand-rolled `sweep.json`: one object per evaluation point, in the
-/// order given (the sweep engine's deterministic `(unit, model, config)`
-/// order), so the document is byte-identical for any worker count.
-/// Validates against [`lp_obs::validate_json`].
+/// A sweep result set as an exportable document: one object per
+/// evaluation point, in the order given (the sweep engine's
+/// deterministic `(unit, model, config)` order), so the document is
+/// byte-identical for any worker count. Validates against
+/// [`lp_obs::validate_json`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepExport<'a>(pub &'a [EvalReport]);
+
+impl Export for SweepExport<'_> {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("sweep");
+        w.begin_array();
+        for r in self.0 {
+            w.begin_object();
+            w.key("program");
+            w.string(&r.program);
+            w.key("model");
+            w.string(&r.model.to_string());
+            w.key("config");
+            w.string(&r.config.to_string());
+            w.key("total_cost");
+            w.uint(r.total_cost);
+            w.key("best_cost");
+            w.uint(r.best_cost);
+            w.key("speedup");
+            w.fixed(r.speedup, 6);
+            w.key("coverage_pct");
+            w.fixed(r.coverage, 3);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// Renders `sweep.json` (compact).
+#[deprecated(note = "use `SweepExport(reports).to_json()` via the `Export` trait")]
 #[must_use]
 pub fn sweep_to_json(reports: &[EvalReport]) -> String {
-    let mut out = String::from("{\"sweep\":[");
-    for (i, r) in reports.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"program\":\"{}\",\"model\":\"{}\",\"config\":\"{}\",\
-             \"total_cost\":{},\"best_cost\":{},\"speedup\":{:.6},\"coverage_pct\":{:.3}}}",
-            json_escape(&r.program),
-            r.model,
-            r.config,
-            r.total_cost,
-            r.best_cost,
-            r.speedup,
-            r.coverage,
-        );
-    }
-    out.push_str("]}");
-    out
+    SweepExport(reports).to_json()
 }
 
-fn limiter_json(out: &mut String, lim: &Limiter, best: u64) {
-    let _ = write!(
-        out,
-        "{{\"kind\":\"{}\",\"weight\":{},\"savings\":{},\"instances\":{},\
-         \"unlock_factor\":{:.4},\"describes\":\"{}\"}}",
-        json_escape(lim.kind.name()),
-        lim.weight,
-        lim.savings,
-        lim.instances,
-        lim.unlock_factor(best),
-        json_escape(lim.kind.describe()),
-    );
+fn write_limiter(w: &mut JsonWriter, lim: &Limiter, best: u64) {
+    w.begin_object();
+    w.key("kind");
+    w.string(lim.kind.name());
+    w.key("weight");
+    w.uint(lim.weight);
+    w.key("savings");
+    w.uint(lim.savings);
+    w.key("instances");
+    w.uint(lim.instances);
+    w.key("unlock_factor");
+    w.fixed(lim.unlock_factor(best), 4);
+    w.key("describes");
+    w.string(lim.kind.describe());
+    w.end_object();
 }
 
-/// Hand-rolled `explain.json`: the full [`Attribution`] following the
-/// workspace's no-serde escaper conventions. Validates against
+/// `explain.json`: the full attribution document. Validates against
 /// [`lp_obs::validate_json`].
+impl Export for Attribution {
+    fn write_json(&self, w: &mut JsonWriter) {
+        let speedup = self.total_cost.max(1) as f64 / self.best_cost.max(1) as f64;
+        w.begin_object();
+        w.key("program");
+        w.string(&self.program);
+        w.key("model");
+        w.string(&self.model.to_string());
+        w.key("config");
+        w.string(&self.config.to_string());
+        w.key("total_cost");
+        w.uint(self.total_cost);
+        w.key("best_cost");
+        w.uint(self.best_cost);
+        w.key("speedup");
+        w.fixed(speedup, 6);
+        w.key("total_gap");
+        w.uint(self.total_gap());
+        w.key("limiters");
+        w.begin_array();
+        for lim in &self.limiters {
+            write_limiter(w, lim, self.best_cost);
+        }
+        w.end_array();
+        w.key("loops");
+        w.begin_array();
+        for l in &self.loops {
+            w.begin_object();
+            w.key("function");
+            w.string(&l.func_name);
+            w.key("header");
+            w.string(&l.header.to_string());
+            w.key("depth");
+            w.uint(u64::from(l.depth));
+            w.key("verdict");
+            w.string(l.verdict());
+            w.key("instances");
+            w.uint(l.instances);
+            w.key("parallel_instances");
+            w.uint(l.parallel_instances);
+            w.key("serial_cost");
+            w.uint(l.serial_cost);
+            w.key("best_cost");
+            w.uint(l.best_cost);
+            w.key("ideal_cost");
+            w.uint(l.ideal_cost);
+            w.key("gap");
+            w.uint(l.gap);
+            w.key("limiters");
+            w.begin_array();
+            for lim in &l.limiters {
+                write_limiter(w, lim, l.best_cost);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+/// Renders `explain.json` (compact).
+#[deprecated(note = "use `Attribution::to_json` via the `Export` trait")]
 #[must_use]
 pub fn attribution_to_json(attr: &Attribution) -> String {
-    let mut out = String::from("{");
-    let speedup = attr.total_cost.max(1) as f64 / attr.best_cost.max(1) as f64;
-    let _ = write!(
-        out,
-        "\"program\":\"{}\",\"model\":\"{}\",\"config\":\"{}\",\
-         \"total_cost\":{},\"best_cost\":{},\"speedup\":{speedup:.6},\"total_gap\":{}",
-        json_escape(&attr.program),
-        attr.model,
-        attr.config,
-        attr.total_cost,
-        attr.best_cost,
-        attr.total_gap(),
-    );
-    out.push_str(",\"limiters\":[");
-    for (i, lim) in attr.limiters.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        limiter_json(&mut out, lim, attr.best_cost);
-    }
-    out.push_str("],\"loops\":[");
-    for (i, l) in attr.loops.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"function\":\"{}\",\"header\":\"{}\",\"depth\":{},\"verdict\":\"{}\",\
-             \"instances\":{},\"parallel_instances\":{},\"serial_cost\":{},\
-             \"best_cost\":{},\"ideal_cost\":{},\"gap\":{},\"limiters\":[",
-            json_escape(&l.func_name),
-            l.header,
-            l.depth,
-            l.verdict(),
-            l.instances,
-            l.parallel_instances,
-            l.serial_cost,
-            l.best_cost,
-            l.ideal_cost,
-            l.gap,
-        );
-        for (j, lim) in l.limiters.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            limiter_json(&mut out, lim, l.best_cost);
-        }
-        out.push_str("]}");
-    }
-    out.push_str("]}");
-    out
+    attr.to_json()
 }
 
 /// Sanitizes one collapsed-stack frame name (the format reserves `;` as
@@ -331,11 +396,38 @@ mod tests {
     #[test]
     fn sweep_json_is_valid_and_ordered() {
         let r = tiny_report();
-        let json = sweep_to_json(&[r.clone(), r]);
+        let json = SweepExport(&[r.clone(), r]).to_json();
         lp_obs::validate_json(&json).expect("sweep.json must be valid");
         assert!(json.starts_with("{\"sweep\":["), "{json}");
         assert_eq!(json.matches("\"program\"").count(), 2);
         assert!(json.contains("\"coverage_pct\""));
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_the_trait_byte_for_byte() {
+        let r = tiny_report();
+        let reports = [r.clone(), r];
+        #[allow(deprecated)]
+        let legacy = sweep_to_json(&reports);
+        assert_eq!(legacy, SweepExport(&reports).to_json());
+        let (_, attr) = tiny_explained();
+        #[allow(deprecated)]
+        let legacy = attribution_to_json(&attr);
+        assert_eq!(legacy, attr.to_json());
+    }
+
+    #[test]
+    fn pretty_export_is_valid_json_with_same_content() {
+        let (_, attr) = tiny_explained();
+        let pretty = attr.to_json_pretty();
+        lp_obs::validate_json(&pretty).expect("pretty explain.json must be valid");
+        // Same document modulo whitespace: stripping all spaces/newlines
+        // outside strings is overkill here — the field set is enough.
+        assert!(pretty.contains("\"limiters\": ["));
+        assert_eq!(
+            pretty.matches("\"kind\"").count(),
+            attr.to_json().matches("\"kind\"").count()
+        );
     }
 
     #[test]
@@ -381,7 +473,7 @@ mod tests {
     #[test]
     fn attribution_json_is_valid_and_names_the_limiter() {
         let (_, attr) = tiny_explained();
-        let json = attribution_to_json(&attr);
+        let json = attr.to_json();
         lp_obs::validate_json(&json).expect("explain.json must be valid");
         assert!(json.contains("\"kind\":\"memory-raw\""), "{json}");
         assert!(json.contains("\"verdict\":\"serial\""), "{json}");

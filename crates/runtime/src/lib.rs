@@ -28,21 +28,30 @@ pub mod export;
 pub mod model;
 pub mod profile;
 pub mod report;
+pub mod store;
 pub mod sweep;
 pub mod tracker;
 
 pub use census::Census;
+#[allow(deprecated)]
+pub use config::paper_rows;
 pub use config::{
-    best_helix, best_pdoall, paper_rows, Config, DepMode, ExecModel, FnMode, ReducMode,
+    best_helix, best_pdoall, table2_rows, Config, DepMode, ExecModel, FnMode, ReducMode,
 };
 pub use eval::{
     evaluate, evaluate_explained, evaluate_explained_with, evaluate_with, EvalOptions, EvalReport,
     LoopSummary,
 };
 pub use explain::{Attribution, Limiter, LimiterKind, LoopAttribution};
-pub use export::{attribution_to_json, collapsed_stacks, sweep_to_json};
+#[allow(deprecated)]
+pub use export::{attribution_to_json, sweep_to_json};
+pub use export::{collapsed_stacks, Export, SweepExport};
 pub use profile::{CallClass, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind};
 pub use report::{geomean, geomean_coverage, geomean_speedup, mean, ProgramResult};
+pub use store::{
+    decode_entry, encode_entry, profile_module_cached, CodecError, ProfileKey, ProfileStore,
+    StoreMode, PROFILE_FORMAT_VERSION,
+};
 pub use sweep::{grid, parallel_map, sweep, sweep_points, Jobs, SweepPoint, SweepUnit};
 pub use tracker::{profile_module, profile_module_with, Profiler, ProfilerOptions};
 

@@ -6,7 +6,7 @@ use lp_analysis::analyze_module;
 use lp_interp::{Machine, MachineConfig, MeteredSink, Value};
 use lp_ir::builder::FunctionBuilder;
 use lp_ir::{Global, IcmpPred, Module, Type};
-use lp_runtime::{evaluate, paper_rows, profile_module, Profiler};
+use lp_runtime::{evaluate, profile_module, table2_rows, Profiler};
 
 /// A loop carrying a RAW through one memory cell plus a nested callee, so
 /// the profile exercises regions, conflicts, predictors, and call classes.
@@ -76,7 +76,7 @@ fn metered_profile_and_reports_are_identical() {
         format!("{metered_profile:?}"),
         "metering perturbed the profile"
     );
-    for (model, config) in paper_rows() {
+    for (model, config) in table2_rows() {
         let a = evaluate(&plain_profile, model, config);
         let b = evaluate(&metered_profile, model, config);
         assert_eq!(format!("{a:?}"), format!("{b:?}"), "{model} {config}");

@@ -1,0 +1,207 @@
+//! Property tests for the profile-store binary codec (`lp_runtime::store`)
+//! over randomized profiles: build a random single-loop program whose
+//! body mixes reductions, non-computable register LCDs, array stores,
+//! and a shared-cell memory LCD, profile it under a random machine seed
+//! and cactus-stack setting, and check that
+//!
+//! - `decode(encode(entry))` succeeds and re-encodes byte-identically
+//!   (the codec is canonical, so byte equality is the strongest
+//!   round-trip check available without `PartialEq` on `Profile`);
+//! - the decoded profile is observationally equal: every Table II row
+//!   evaluates to the same report;
+//! - any random truncation or byte corruption is rejected with an error,
+//!   never a panic or a silently different profile.
+
+use lp_interp::MachineConfig;
+use lp_ir::builder::FunctionBuilder;
+use lp_ir::{BlockId, Global, IcmpPred, Module, Type, ValueId};
+use lp_runtime::{
+    decode_entry, encode_entry, evaluate, profile_module_with, table2_rows, ProfilerOptions,
+};
+use proptest::prelude::*;
+
+/// One loop-carried accumulator in the generated loop body.
+#[derive(Debug, Clone, Copy)]
+enum Acc {
+    /// `s += a[i % len]` — a reduction over memory.
+    SumArray,
+    /// `s ^= i` — an xor reduction over the induction variable.
+    XorIv,
+    /// `s = s * K + C` — a non-computable register LCD (LCG).
+    Lcg,
+}
+
+/// The generated program shape: one counted loop with `accs` carried
+/// accumulators, optionally storing to an array (iteration-local
+/// addresses) and bumping a shared cell (a frequent memory LCD).
+#[derive(Debug, Clone)]
+struct Spec {
+    trips: i64,
+    accs: Vec<(i64, Acc)>,
+    fill_mul: Option<i64>,
+    shared_cell: bool,
+    rng_seed: u64,
+    cactus: bool,
+}
+
+fn acc() -> impl Strategy<Value = Acc> {
+    prop_oneof![Just(Acc::SumArray), Just(Acc::XorIv), Just(Acc::Lcg),]
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        (
+            2i64..60,
+            prop::collection::vec((-100i64..100, acc()), 1..4),
+            prop_oneof![Just(None).boxed(), (1i64..50).prop_map(Some).boxed()],
+        ),
+        (any::<bool>(), any::<u64>(), any::<bool>()),
+    )
+        .prop_map(
+            |((trips, accs, fill_mul), (shared_cell, rng_seed, cactus))| Spec {
+                trips,
+                accs,
+                fill_mul,
+                shared_cell,
+                rng_seed,
+                cactus,
+            },
+        )
+}
+
+/// Builds `for i in 0..trips { body }` with the spec's accumulators.
+fn build(spec: &Spec) -> Module {
+    let mut module = Module::new("codec-prop");
+    let array = module.add_global(Global::zeroed("a", 64));
+    let cell = module.add_global(Global::zeroed("c", 2));
+    let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+    let base = fb.global_addr(array);
+    let cellp = fb.global_addr(cell);
+    let n = fb.const_i64(spec.trips);
+    let zero = fb.const_i64(0);
+    let one = fb.const_i64(1);
+    let len = fb.const_i64(64);
+    let inits: Vec<ValueId> = spec.accs.iter().map(|&(v, _)| fb.const_i64(v)).collect();
+
+    let header = fb.create_block("header");
+    let body = fb.create_block("body");
+    let exit = fb.create_block("exit");
+    fb.br(header);
+    fb.switch_to(header);
+    let i = fb.phi(Type::I64);
+    let accs: Vec<ValueId> = spec.accs.iter().map(|_| fb.phi(Type::I64)).collect();
+    let c = fb.icmp(IcmpPred::Slt, i, n);
+    fb.cond_br(c, body, exit);
+
+    fb.switch_to(body);
+    let i2 = fb.add(i, one);
+    let mut nexts = Vec::with_capacity(accs.len());
+    for (&phi, &(_, kind)) in accs.iter().zip(&spec.accs) {
+        let next = match kind {
+            Acc::SumArray => {
+                let idx = fb.srem(i, len);
+                let a = fb.gep(base, idx, 8, 0);
+                let v = fb.load(Type::I64, a);
+                fb.add(phi, v)
+            }
+            Acc::XorIv => fb.xor(phi, i),
+            Acc::Lcg => {
+                let k = fb.const_i64(6364136223846793005u64 as i64);
+                let add = fb.const_i64(1442695040888963407u64 as i64);
+                let t = fb.mul(phi, k);
+                fb.add(t, add)
+            }
+        };
+        nexts.push(next);
+    }
+    if let Some(mul) = spec.fill_mul {
+        let m = fb.const_i64(mul);
+        let t = fb.mul(i, m);
+        let idx = fb.srem(i, len);
+        let a = fb.gep(base, idx, 8, 0);
+        fb.store(t, a);
+    }
+    if spec.shared_cell {
+        let v = fb.load(Type::I64, cellp);
+        let v2 = fb.add(v, one);
+        fb.store(v2, cellp);
+    }
+    fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(i, body, i2);
+    for ((&phi, &init), &next) in accs.iter().zip(&inits).zip(&nexts) {
+        fb.add_phi_incoming(phi, BlockId::ENTRY, init);
+        fb.add_phi_incoming(phi, body, next);
+    }
+    fb.br(header);
+
+    fb.switch_to(exit);
+    let mut checksum = zero;
+    for &phi in &accs {
+        checksum = fb.xor(checksum, phi);
+    }
+    fb.ret(Some(checksum));
+    module.add_function(fb.finish().expect("generated program is complete"));
+    module
+}
+
+fn profile_of(spec: &Spec) -> (lp_runtime::Profile, lp_interp::RunResult) {
+    let module = build(spec);
+    let analysis = lp_analysis::analyze_module(&module);
+    profile_module_with(
+        &module,
+        &analysis,
+        &[],
+        MachineConfig {
+            rng_seed: spec.rng_seed,
+            ..MachineConfig::default()
+        },
+        ProfilerOptions {
+            cactus_stack: spec.cactus,
+        },
+    )
+    .expect("generated program runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_profiles_round_trip_canonically(s in spec()) {
+        let (profile, run) = profile_of(&s);
+        let bytes = encode_entry(&profile, &run);
+        let (decoded, run2) = decode_entry(&bytes).expect("fresh encoding decodes");
+        // Canonical codec: re-encoding the decoded entry reproduces the
+        // exact bytes, so every field survived.
+        prop_assert_eq!(&encode_entry(&decoded, &run2), &bytes);
+        prop_assert_eq!(format!("{:?}", run.ret), format!("{:?}", run2.ret));
+        prop_assert_eq!(run.cost, run2.cost);
+        // Observational equality: the evaluator cannot tell the decoded
+        // profile from the original on any Table II row.
+        for (model, config) in table2_rows() {
+            let a = evaluate(&profile, model, config);
+            let b = evaluate(&decoded, model, config);
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "{} {}", model, config);
+        }
+    }
+
+    #[test]
+    fn random_truncation_is_rejected(s in spec(), cut in 0usize..1000) {
+        let (profile, run) = profile_of(&s);
+        let bytes = encode_entry(&profile, &run);
+        let keep = (bytes.len() - 1) * cut / 1000;
+        prop_assert!(decode_entry(&bytes[..keep]).is_err(), "kept {keep} of {}", bytes.len());
+    }
+
+    #[test]
+    fn random_corruption_is_rejected(s in spec(), at in 0usize..1000, mask in 0u8..255) {
+        let (profile, run) = profile_of(&s);
+        let mut bytes = encode_entry(&profile, &run);
+        let idx = (bytes.len() - 1) * at / 1000;
+        let mask = mask + 1;
+        bytes[idx] ^= mask;
+        // Any corrupted byte must surface as a decode error (magic,
+        // version, framing, or checksum) — never a panic and never a
+        // silently different profile.
+        prop_assert!(decode_entry(&bytes).is_err(), "flip {mask:#x} at {idx}");
+    }
+}

@@ -42,7 +42,7 @@ fn main() -> Result<(), loopapalooza::Error> {
     }
 
     println!("\n{:<14} {:<18} {:>12}", "model", "config", "GEOMEAN");
-    for (model, config) in paper_rows() {
+    for (model, config) in table2_rows() {
         let speedups: Vec<f64> = studies
             .iter()
             .map(|s| s.evaluate(model, config).speedup)

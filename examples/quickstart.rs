@@ -79,7 +79,7 @@ fn main() -> Result<(), loopapalooza::Error> {
         "{:<14} {:<18} {:>10} {:>10}",
         "model", "config", "speedup", "coverage"
     );
-    for report in study.paper_rows() {
+    for report in study.table2_rows() {
         println!(
             "{:<14} {:<18} {:>9.2}x {:>9.1}%",
             report.model.to_string(),

@@ -26,7 +26,7 @@ fn all_benchmarks_profile_and_evaluate() {
             "{name}: suspiciously small run ({})",
             study.run_result().cost
         );
-        for report in study.paper_rows() {
+        for report in study.table2_rows() {
             assert!(
                 report.speedup >= 0.999,
                 "{name} {} {}: speedup {} < 1",
@@ -161,7 +161,7 @@ fn amdahl_consistency_between_speedup_and_coverage() {
     // speedup can therefore never exceed the Amdahl bound 1/(1 - c):
     // best_cost >= total_cost - covered.
     for (name, study) in studies(Scale::Test) {
-        for report in study.paper_rows() {
+        for report in study.table2_rows() {
             let c = report.coverage / 100.0;
             let bound = if c >= 1.0 {
                 f64::INFINITY

@@ -38,7 +38,7 @@ fn results() -> &'static SuiteResults {
         let mut speedups = HashMap::new();
         let mut coverage = HashMap::new();
         for (suite, studies) in &per_suite {
-            for (model, config) in paper_rows() {
+            for (model, config) in table2_rows() {
                 let sp: Vec<f64> = studies
                     .iter()
                     .map(|s| s.evaluate(model, config).speedup)
@@ -105,7 +105,7 @@ fn helix_dep1_is_the_headline_for_int() {
 
 #[test]
 fn numeric_suites_tower_over_int() {
-    for (model, config) in paper_rows() {
+    for (model, config) in table2_rows() {
         let fp = results().speedups[&(SuiteId::Cfp2000, model, config)];
         let int = results().speedups[&(SuiteId::Cint2000, model, config)];
         assert!(

@@ -1,0 +1,87 @@
+//! Warm-start differential for the persistent profile store: a sweep
+//! whose profiles came out of `results/.lp-cache`-style storage must
+//! export **byte-identical** CSV and JSON to a cold, freshly-profiled
+//! sweep — at 1, 2, and 8 workers — while actually hitting the store
+//! (`store.hits` counters advance). This is the end-to-end contract of
+//! `--profile-cache`: the cache can change wall-clock time, never a
+//! figure.
+
+use loopapalooza::prelude::*;
+use loopapalooza::Study;
+use lp_interp::MachineConfig;
+use lp_runtime::export::reports_to_csv;
+use lp_runtime::{sweep, EvalOptions, Export, SweepExport};
+use lp_suite::Scale;
+
+const BENCHES: [&str; 3] = ["eembc.matrix01", "eembc.rspeed01", "181.mcf"];
+
+fn scratch_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lp-warm-start-{}", std::process::id()))
+}
+
+fn units_with(store: Option<&ProfileStore>) -> Vec<SweepUnit> {
+    BENCHES
+        .iter()
+        .map(|name| {
+            let bench = lp_suite::find(name).expect("registered benchmark");
+            let module = bench.build(Scale::Test);
+            Study::with_store(&module, MachineConfig::default(), store)
+                .expect("benchmark runs")
+                .sweep_unit()
+        })
+        .collect()
+}
+
+#[test]
+fn warm_start_sweep_is_byte_identical_to_cold_at_any_job_count() {
+    let dir = scratch_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ProfileStore::open(&dir, StoreMode::ReadWrite).expect("open store");
+    let counters = lp_obs::registry().counters();
+
+    // Cold reference: no store at all.
+    let cold_units = units_with(None);
+    let models = ExecModel::all();
+    let configs = Config::all();
+    let run = |units: &[SweepUnit], jobs: usize| {
+        let reports = sweep(
+            units,
+            &models,
+            &configs,
+            Jobs::new(jobs),
+            EvalOptions::default(),
+        );
+        (reports_to_csv(&reports), SweepExport(&reports).to_json())
+    };
+    let (cold_csv, cold_json) = run(&cold_units, 1);
+
+    // First pass against the empty store: misses, then persists.
+    let misses_before = counters.get(lp_obs::Counter::StoreMisses);
+    let first_units = units_with(Some(&store));
+    assert!(
+        counters.get(lp_obs::Counter::StoreMisses) >= misses_before + BENCHES.len() as u64,
+        "first pass must miss once per benchmark"
+    );
+    let (first_csv, first_json) = run(&first_units, 1);
+    assert_eq!(cold_csv, first_csv, "populating pass diverged from cold");
+    assert_eq!(cold_json, first_json, "populating pass diverged from cold");
+
+    // Warm passes: profiles come from disk, output must not move a byte.
+    for jobs in [1usize, 2, 8] {
+        let hits_before = counters.get(lp_obs::Counter::StoreHits);
+        let warm_units = units_with(Some(&store));
+        assert!(
+            counters.get(lp_obs::Counter::StoreHits) >= hits_before + BENCHES.len() as u64,
+            "warm pass must hit once per benchmark (jobs={jobs})"
+        );
+        let (warm_csv, warm_json) = run(&warm_units, jobs);
+        assert_eq!(cold_csv, warm_csv, "CSV diverged warm at jobs={jobs}");
+        assert_eq!(cold_json, warm_json, "JSON diverged warm at jobs={jobs}");
+    }
+    assert_eq!(
+        counters.get(lp_obs::Counter::StoreCorruptDiscarded),
+        0,
+        "no entry may be discarded in a clean warm start"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,9 @@
 
 use loopapalooza::Study;
 use lp_runtime::export::reports_to_csv;
-use lp_runtime::{evaluate, sweep, sweep_to_json, Config, EvalOptions, ExecModel, Jobs, SweepUnit};
+use lp_runtime::{
+    evaluate, sweep, Config, EvalOptions, ExecModel, Export, Jobs, SweepExport, SweepUnit,
+};
 use lp_suite::Scale;
 
 fn units() -> Vec<SweepUnit> {
@@ -35,7 +37,7 @@ fn sweep_exports_are_byte_identical_across_job_counts() {
     );
     assert_eq!(serial.len(), units.len() * models.len() * configs.len());
     let serial_csv = reports_to_csv(&serial);
-    let serial_json = sweep_to_json(&serial);
+    let serial_json = SweepExport(&serial).to_json();
     lp_obs::validate_json(&serial_json).expect("sweep JSON well-formed");
     for jobs in [2, 8] {
         let parallel = sweep(
@@ -52,7 +54,7 @@ fn sweep_exports_are_byte_identical_across_job_counts() {
         );
         assert_eq!(
             serial_json,
-            sweep_to_json(&parallel),
+            SweepExport(&parallel).to_json(),
             "JSON diverged at jobs={jobs}"
         );
     }
