@@ -1,0 +1,368 @@
+//! lpbench — wall-clock throughput harness for the profiler inner loop.
+//!
+//! Measures, per benchmark, the plain interpreter (NullSink) and the
+//! fully instrumented profiler run (best of `--reps` repetitions), plus
+//! one end-to-end sweep (profile + full Table II evaluation lattice),
+//! and emits a machine-readable `BENCH_profiler.json`:
+//!
+//! ```text
+//! cargo run --release -p lp-bench --bin lpbench -- small --out results/BENCH_profiler.json
+//! ```
+//!
+//! `--baseline FILE` embeds the totals of a previous lpbench run into
+//! the new report (the before/after record the perf trajectory keeps);
+//! `--check FILE` compares the current *slowdown ratio* (interpreter
+//! throughput ÷ profiler throughput — hardware-independent, unlike raw
+//! instructions/sec) against a checked-in baseline and exits 1 when the
+//! profiler regressed more than 30%, which is what the CI smoke job
+//! gates on. Counters of the hot-path caches (`mem_page_cache_*`,
+//! `shadow_page_cache_*`) ride along in the `counters` object.
+
+use lp_analysis::analyze_module;
+use lp_bench::{run_benchmarks, Cli, SweepTable};
+use lp_interp::{Machine, MachineConfig, NullSink};
+use lp_obs::{lp_info, JsonWriter};
+use lp_suite::{Benchmark, Scale, SuiteId};
+use std::path::PathBuf;
+
+/// Allowed relative slowdown-ratio regression before `--check` fails.
+const CHECK_TOLERANCE: f64 = 0.30;
+
+/// Per-benchmark measurement: dynamic instructions and the best
+/// wall-clock time of each pipeline stage.
+struct Row {
+    name: &'static str,
+    insts: u64,
+    interp_ns: u64,
+    profile_ns: u64,
+}
+
+/// Millions of instructions per second (0 when the clock read 0).
+fn mips(insts: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        0.0
+    } else {
+        insts as f64 / ns as f64 * 1e3
+    }
+}
+
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Default => "default",
+    }
+}
+
+/// Extracts the flat object following `"key":{` (no nested objects).
+fn json_section<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":{{");
+    let start = text.find(&pat)? + pat.len();
+    let end = text[start..].find('}')? + start;
+    Some(&text[start..end])
+}
+
+/// Extracts the number following `"key":` in a compact JSON fragment.
+fn json_number(fragment: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = fragment.find(&pat)? + pat.len();
+    let rest = &fragment[start..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The baseline summary lifted out of a previous lpbench report.
+struct Baseline {
+    interp_mips: f64,
+    profile_mips: f64,
+    slowdown: f64,
+    /// `(name, profile_mips)` per benchmark present in the baseline.
+    per_bench: Vec<(String, f64)>,
+}
+
+fn read_baseline(path: &PathBuf) -> Option<Baseline> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let totals = json_section(&text, "totals")?;
+    let mut per_bench = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(i) = rest.find("{\"name\":\"") {
+        let frag = &rest[i..];
+        let name_start = i + "{\"name\":\"".len();
+        let name_end = rest[name_start..].find('"')? + name_start;
+        let entry_end = frag.find('}').unwrap_or(frag.len());
+        if let Some(pm) = json_number(&frag[..entry_end + 1], "profile_mips") {
+            per_bench.push((rest[name_start..name_end].to_string(), pm));
+        }
+        rest = &rest[name_end..];
+    }
+    Some(Baseline {
+        interp_mips: json_number(totals, "interp_mips")?,
+        profile_mips: json_number(totals, "profile_mips")?,
+        slowdown: json_number(totals, "slowdown")?,
+        per_bench,
+    })
+}
+
+/// Times one closure, returning `(wall_ns, result)`.
+fn timed<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let reg = lp_obs::registry();
+    let t0 = reg.now_ns();
+    let r = f();
+    (reg.now_ns().saturating_sub(t0), r)
+}
+
+fn measure(bench: &Benchmark, scale: Scale, reps: u32) -> Row {
+    let module = bench.build(scale);
+    let analysis = analyze_module(&module);
+    let mut insts = 0;
+    let mut interp_ns = u64::MAX;
+    let mut profile_ns = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let (ns, result) = timed(|| {
+            let mut sink = NullSink;
+            Machine::with_config(&module, &mut sink, MachineConfig::default()).run(&[])
+        });
+        let result = result.unwrap_or_else(|e| panic!("benchmark {} failed: {e}", bench.name));
+        insts = result.cost;
+        interp_ns = interp_ns.min(ns);
+
+        let (ns, result) =
+            timed(|| lp_runtime::profile_module(&module, &analysis, &[], MachineConfig::default()));
+        result.unwrap_or_else(|e| panic!("benchmark {} failed under profiling: {e}", bench.name));
+        profile_ns = profile_ns.min(ns);
+    }
+    Row {
+        name: bench.name,
+        insts,
+        interp_ns,
+        profile_ns,
+    }
+}
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: lpbench [test|small|default] [--bench NAME]... [--reps N] [--out FILE] \
+         [--baseline FILE] [--check FILE] [--jobs N] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let cli = Cli::parse();
+    cli.enforce("lpbench");
+    let mut reps: u32 = 3;
+    let mut out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut check_path: Option<PathBuf> = None;
+    let mut picked: Vec<Benchmark> = Vec::new();
+    let mut rest = cli.rest.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--bench" => match rest.next().map(|n| lp_suite::find(n)) {
+                Some(Some(b)) => picked.push(b),
+                Some(None) => {
+                    eprintln!("unknown benchmark (see lp_suite::registry)");
+                    std::process::exit(2);
+                }
+                None => usage_exit(),
+            },
+            "--reps" => match rest.next().and_then(|n| n.parse().ok()) {
+                Some(n) => reps = n,
+                None => usage_exit(),
+            },
+            "--out" => match rest.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => usage_exit(),
+            },
+            "--baseline" => match rest.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => usage_exit(),
+            },
+            "--check" => match rest.next() {
+                Some(p) => check_path = Some(PathBuf::from(p)),
+                None => usage_exit(),
+            },
+            _ => usage_exit(),
+        }
+    }
+    if picked.is_empty() {
+        picked = lp_suite::suite(SuiteId::Eembc);
+    }
+    let jobs = cli.jobs();
+
+    let rows: Vec<Row> = picked
+        .iter()
+        .map(|b| {
+            let row = measure(b, cli.scale, reps);
+            lp_info!(
+                "{:<18} {:>12} insts  interp {:>8.2} Mi/s  profile {:>8.2} Mi/s  ({:.2}x slowdown)",
+                row.name,
+                row.insts,
+                mips(row.insts, row.interp_ns),
+                mips(row.insts, row.profile_ns),
+                row.profile_ns as f64 / row.interp_ns.max(1) as f64
+            );
+            row
+        })
+        .collect();
+
+    // End-to-end: profile every picked benchmark once, evaluate the full
+    // Table II row lattice against the shared profiles.
+    let (sweep_ns, n_points) = timed(|| {
+        let runs = run_benchmarks(&picked, cli.scale, jobs, None);
+        let table_rows = lp_runtime::table2_rows();
+        let table = SweepTable::build(&runs, &table_rows, jobs);
+        runs.len() * table.rows().len()
+    });
+
+    let t_insts: u64 = rows.iter().map(|r| r.insts).sum();
+    let t_interp: u64 = rows.iter().map(|r| r.interp_ns).sum();
+    let t_profile: u64 = rows.iter().map(|r| r.profile_ns).sum();
+    let cur_slowdown = t_profile as f64 / t_interp.max(1) as f64;
+
+    let mut w = JsonWriter::compact();
+    w.begin_object();
+    w.key("schema");
+    w.string("lpbench-v1");
+    w.key("scale");
+    w.string(scale_label(cli.scale));
+    w.key("reps");
+    w.uint(u64::from(reps));
+    w.key("jobs");
+    w.uint(jobs.get() as u64);
+    w.key("benchmarks");
+    w.begin_array();
+    for r in &rows {
+        w.begin_object();
+        w.key("name");
+        w.string(r.name);
+        w.key("insts");
+        w.uint(r.insts);
+        w.key("interp_ns");
+        w.uint(r.interp_ns);
+        w.key("profile_ns");
+        w.uint(r.profile_ns);
+        w.key("interp_mips");
+        w.fixed(mips(r.insts, r.interp_ns), 3);
+        w.key("profile_mips");
+        w.fixed(mips(r.insts, r.profile_ns), 3);
+        w.key("slowdown");
+        w.fixed(r.profile_ns as f64 / r.interp_ns.max(1) as f64, 3);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("totals");
+    w.begin_object();
+    w.key("insts");
+    w.uint(t_insts);
+    w.key("interp_ns");
+    w.uint(t_interp);
+    w.key("profile_ns");
+    w.uint(t_profile);
+    w.key("interp_mips");
+    w.fixed(mips(t_insts, t_interp), 3);
+    w.key("profile_mips");
+    w.fixed(mips(t_insts, t_profile), 3);
+    w.key("slowdown");
+    w.fixed(cur_slowdown, 3);
+    w.end_object();
+    w.key("sweep");
+    w.begin_object();
+    w.key("benchmarks");
+    w.uint(picked.len() as u64);
+    w.key("points");
+    w.uint(n_points as u64);
+    w.key("wall_ns");
+    w.uint(sweep_ns);
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (name, value) in lp_obs::counters().snapshot() {
+        w.key(&name);
+        w.uint(value);
+    }
+    w.end_object();
+    if let Some(path) = &baseline_path {
+        match read_baseline(path) {
+            Some(base) => {
+                w.key("baseline");
+                w.begin_object();
+                w.key("interp_mips");
+                w.fixed(base.interp_mips, 3);
+                w.key("profile_mips");
+                w.fixed(base.profile_mips, 3);
+                w.key("slowdown");
+                w.fixed(base.slowdown, 3);
+                w.key("profile_speedup");
+                w.fixed(mips(t_insts, t_profile) / base.profile_mips.max(1e-9), 3);
+                w.key("slowdown_ratio");
+                w.fixed(base.slowdown / cur_slowdown.max(1e-9), 3);
+                w.key("per_bench");
+                w.begin_array();
+                for r in &rows {
+                    let Some((_, base_pm)) = base.per_bench.iter().find(|(n, _)| n == r.name)
+                    else {
+                        continue;
+                    };
+                    w.begin_object();
+                    w.key("name");
+                    w.string(r.name);
+                    w.key("baseline_profile_mips");
+                    w.fixed(*base_pm, 3);
+                    w.key("profile_mips");
+                    w.fixed(mips(r.insts, r.profile_ns), 3);
+                    w.key("profile_speedup");
+                    w.fixed(mips(r.insts, r.profile_ns) / base_pm.max(1e-9), 3);
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+            }
+            None => {
+                eprintln!("cannot read lpbench baseline {}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    w.end_object();
+    let json = w.finish() + "\n";
+
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            lp_info!("wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(path) = &check_path {
+        let Some(base) = read_baseline(path) else {
+            eprintln!("cannot read lpbench baseline {}", path.display());
+            std::process::exit(2);
+        };
+        // The slowdown ratio (profiler time per instruction over plain
+        // interpreter time per instruction) cancels out the machine's
+        // absolute speed, so a checked-in baseline transfers across CI
+        // runners; raw insts/sec would not.
+        let limit = base.slowdown * (1.0 + CHECK_TOLERANCE);
+        if cur_slowdown > limit {
+            eprintln!(
+                "lpbench check FAILED: profiler slowdown {cur_slowdown:.3}x exceeds baseline \
+                 {:.3}x by more than {:.0}% (limit {limit:.3}x)",
+                base.slowdown,
+                CHECK_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        lp_info!(
+            "lpbench check passed: slowdown {:.3}x vs baseline {:.3}x (limit {:.3}x)",
+            cur_slowdown,
+            base.slowdown,
+            limit
+        );
+    }
+    cli.finish("lpbench");
+}

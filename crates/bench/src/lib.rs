@@ -115,6 +115,11 @@ pub const FLAG_SPECS: &[FlagSpec] = &[
         explain_out: true,
         extra: ExtraArgs::Passthrough,
     },
+    FlagSpec {
+        binary: "lpbench",
+        explain_out: false,
+        extra: ExtraArgs::Passthrough,
+    },
 ];
 
 impl FlagSpec {
@@ -152,6 +157,11 @@ pub struct Cli {
 }
 
 impl Cli {
+    /// Default on-disk budget for the profile cache, enforced by a gc
+    /// pass every time a store is opened: 256 MiB holds thousands of
+    /// EEMBC-sized entries while bounding unattended growth.
+    pub const STORE_GC_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+
     /// Parses `std::env::args()` and initializes the log filter
     /// (`--quiet` wins over `LP_LOG`).
     #[must_use]
@@ -193,8 +203,14 @@ impl Cli {
                 },
                 "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                     Some(n) if n >= 1 => cli.jobs = Some(n),
+                    // An explicit zero clamps to serial (with a warning
+                    // from `Jobs::resolve`) rather than erroring out:
+                    // scripts that compute a worker count can floor at 0
+                    // without special-casing. Non-numeric input is still
+                    // a usage error.
+                    Some(0) => cli.jobs = Some(0),
                     _ => {
-                        eprintln!("--jobs requires a positive integer argument");
+                        eprintln!("--jobs requires a non-negative integer argument");
                         std::process::exit(2);
                     }
                 },
@@ -254,7 +270,23 @@ impl Cli {
             .clone()
             .unwrap_or_else(|| PathBuf::from(ProfileStore::DEFAULT_DIR));
         match ProfileStore::open(&dir, mode) {
-            Ok(store) => Some(store),
+            Ok(store) => {
+                // Bound the cache on every open so it cannot grow without
+                // limit across runs. Under budget this is one metadata
+                // sweep (counted as `store_gc_skipped`); failures only
+                // warn — a full disk should not fail the study run.
+                match store.gc(Self::STORE_GC_BUDGET_BYTES) {
+                    Ok(0) => {}
+                    Ok(n) => lp_info!("profile store: gc reclaimed {n} bytes"),
+                    Err(e) => {
+                        eprintln!(
+                            "warning: profile store gc failed in {} ({e})",
+                            dir.display()
+                        );
+                    }
+                }
+                Some(store)
+            }
             Err(e) => {
                 eprintln!(
                     "warning: cannot open profile store {} ({e}); running without a cache",
@@ -624,13 +656,13 @@ mod tests {
         for spec in FLAG_SPECS {
             assert!(seen.insert(spec.binary), "duplicate row {:?}", spec.binary);
         }
-        assert_eq!(FLAG_SPECS.len(), 11);
+        assert_eq!(FLAG_SPECS.len(), 12);
         // The explain-capable binaries named in the usage message.
         for binary in ["lpstudy", "fig4", "fig5"] {
             assert!(FlagSpec::of(binary).unwrap().explain_out, "{binary}");
         }
         // Binaries with their own positionals pass extras through.
-        for binary in ["lpstudy", "sweep"] {
+        for binary in ["lpstudy", "sweep", "lpbench"] {
             assert_eq!(
                 FlagSpec::of(binary).unwrap().extra,
                 ExtraArgs::Passthrough,

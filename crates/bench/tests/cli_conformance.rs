@@ -120,7 +120,7 @@ fn flags_missing_their_operand_exit_2() {
         ),
         (
             &["--jobs", "zero"][..],
-            "--jobs requires a positive integer argument\n",
+            "--jobs requires a non-negative integer argument\n",
         ),
     ] {
         let out = run("fig1", args);

@@ -60,18 +60,108 @@ fn lpstudy_suite_report_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn fig2_output_is_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_fig2");
+    let args = ["test", "--quiet"];
+    let serial = stdout_for_jobs(bin, &args, "1");
+    assert!(serial.starts_with("Figure 2"));
+    for jobs in ["2", "8"] {
+        let parallel = stdout_for_jobs(bin, &args, jobs);
+        assert_eq!(serial, parallel, "fig2 diverged at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn fig4_and_explain_json_are_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_fig4");
+    let dir = std::env::temp_dir().join(format!("lp-fig4-jobs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let mut outputs: Vec<(String, Vec<u8>)> = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let json = dir.join(format!("explain-{jobs}.json"));
+        let json_arg = json.to_str().expect("utf-8 path").to_string();
+        let args = ["test", "--quiet", "--explain-out", &json_arg];
+        let stdout = stdout_for_jobs(bin, &args, jobs);
+        let bytes = std::fs::read(&json).expect("explain JSON written");
+        outputs.push((stdout, bytes));
+    }
+    let (serial_stdout, serial_json) = &outputs[0];
+    assert!(serial_stdout.starts_with("Figure 4"));
+    assert!(serial_json.starts_with(b"{"));
+    for (i, jobs) in ["2", "8"].iter().enumerate() {
+        let (stdout, json) = &outputs[i + 1];
+        assert_eq!(
+            stdout, serial_stdout,
+            "fig4 stdout diverged at --jobs {jobs}"
+        );
+        assert_eq!(json, serial_json, "explain JSON diverged at --jobs {jobs}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn jobs_flag_rejects_garbage() {
     let bin = env!("CARGO_BIN_EXE_sweep");
-    for bad in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "many"]] {
+    for bad in [&["--jobs"][..], &["--jobs", "many"]] {
         let mut args = vec!["test", "--suite", "eembc", "--quiet"];
         args.extend_from_slice(bad);
         let out = run(bin, &args);
         assert_eq!(out.status.code(), Some(2), "args {bad:?} must be rejected");
         assert!(
-            String::from_utf8_lossy(&out.stderr).contains("--jobs requires a positive integer"),
+            String::from_utf8_lossy(&out.stderr).contains("--jobs requires a non-negative integer"),
             "args {bad:?} must explain the usage"
         );
     }
+}
+
+#[test]
+fn jobs_zero_clamps_to_serial_with_warning() {
+    // An explicit `--jobs 0` is degenerate but not an error: it runs the
+    // serial engine (identical output to `--jobs 1`) and warns.
+    let bin = env!("CARGO_BIN_EXE_sweep");
+    let args = ["test", "--suite", "eembc", "--quiet"];
+    let serial = stdout_for_jobs(bin, &args, "1");
+    // No --quiet here: the clamp warning must be visible on stderr.
+    let out = Command::new(bin)
+        .args(["test", "--suite", "eembc", "--jobs", "0"])
+        .env("LP_JOBS", "3")
+        .env("LP_LOG", "info")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "--jobs 0 must not be an error");
+    assert_eq!(
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        serial,
+        "--jobs 0 must take the serial path"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("clamping to 1 worker"),
+        "--jobs 0 must warn about the clamp"
+    );
+}
+
+#[test]
+fn lp_jobs_zero_env_clamps_to_serial_with_warning() {
+    let bin = env!("CARGO_BIN_EXE_sweep");
+    let args = ["test", "--suite", "eembc", "--quiet"];
+    let serial = stdout_for_jobs(bin, &args, "1");
+    // No --quiet here: the clamp warning must be visible on stderr.
+    let out = Command::new(bin)
+        .args(["test", "--suite", "eembc"])
+        .env("LP_JOBS", "0")
+        .env("LP_LOG", "info")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "LP_JOBS=0 must not be an error");
+    assert_eq!(
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        serial,
+        "LP_JOBS=0 must take the serial path"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("LP_JOBS=0 requested; clamping to 1 worker"),
+        "LP_JOBS=0 must warn about the clamp"
+    );
 }
 
 #[test]

@@ -334,11 +334,10 @@ mod tests {
         let module = bench.build(Scale::Test);
         let cold = Study::with_store(&module, MachineConfig::default(), Some(&store)).unwrap();
         let warm = Study::with_store(&module, MachineConfig::default(), Some(&store)).unwrap();
-        // meta_index is a HashMap (arbitrary Debug order); compare it
-        // sorted and the rest of the profile structurally.
+        // Compare meta_index entry-by-entry (MetaIndex::iter is in
+        // ascending key order) and the rest of the profile structurally.
         let fingerprint = |p: &Profile| {
-            let mut idx: Vec<_> = p.meta_index.iter().collect();
-            idx.sort();
+            let idx: Vec<_> = p.meta_index.iter().collect();
             format!(
                 "{} {} {:?} {:?} {:?} {idx:?}",
                 p.program, p.total_cost, p.regions, p.loop_meta, p.func_names

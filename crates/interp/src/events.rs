@@ -8,6 +8,7 @@
 //! sinks can timestamp producers and consumers at instruction
 //! granularity. All methods have no-op defaults.
 
+use crate::memory::MemStats;
 use crate::value::Value;
 use lp_ir::{BlockId, Builtin, FuncId, ValueId};
 
@@ -58,6 +59,13 @@ pub trait EventSink {
     fn value_defined(&mut self, func: FuncId, value: ValueId, val: Value, now: u64) {
         let _ = (func, value, val, now);
     }
+
+    /// The run completed; `stats` summarizes the memory fast path
+    /// (last-page cache hits/misses, pages allocated). Delivered once,
+    /// after the final instruction, only on successful runs.
+    fn mem_stats(&mut self, stats: MemStats) {
+        let _ = stats;
+    }
 }
 
 /// Forwarding impl so decorators like `MeteredSink` can borrow a sink
@@ -93,6 +101,10 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
 
     fn value_defined(&mut self, func: FuncId, value: ValueId, val: Value, now: u64) {
         (**self).value_defined(func, value, val, now);
+    }
+
+    fn mem_stats(&mut self, stats: MemStats) {
+        (**self).mem_stats(stats);
     }
 }
 

@@ -42,7 +42,7 @@ pub mod value;
 
 pub use events::{CountingSink, EventSink, NullSink};
 pub use machine::{Machine, MachineConfig, RunResult};
-pub use memory::{Memory, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
+pub use memory::{MemStats, Memory, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 pub use metered::{EventCounts, MeteredSink, TeeSink};
 pub use trace::{TraceEvent, TraceSink};
 pub use value::Value;

@@ -67,6 +67,15 @@ pub struct Machine<'a, S> {
     depth: u32,
     /// Per-function bitmap of watched value ids (empty vec = none).
     watched: Vec<Vec<bool>>,
+    /// Per-function register-file template with every constant value
+    /// (ints, floats, bools, null, global/function addresses) already
+    /// materialized. A frame starts as a memcpy of its template, so
+    /// operand evaluation is a plain indexed load with no `ValueKind`
+    /// dispatch on the hot path.
+    reg_templates: Vec<Vec<Value>>,
+    /// Reused scratch for two-phase phi resolution, so header re-entry
+    /// (every loop iteration) does not allocate.
+    phi_scratch: Vec<(ValueId, Value)>,
 }
 
 impl<'a, S: EventSink> Machine<'a, S> {
@@ -117,6 +126,24 @@ impl<'a, S: EventSink> Machine<'a, S> {
             }
             map[vid.index()] = true;
         }
+        let reg_templates = module
+            .functions
+            .iter()
+            .map(|func| {
+                func.values
+                    .iter()
+                    .map(|kind| match kind {
+                        ValueKind::Param(_) | ValueKind::Inst(_) => Value::Unit,
+                        ValueKind::ConstInt(c) => Value::I(*c),
+                        ValueKind::ConstFloat(c) => Value::F(*c),
+                        ValueKind::ConstBool(b) => Value::B(*b),
+                        ValueKind::ConstNull => Value::P(0),
+                        ValueKind::GlobalAddr(g) => Value::P(global_bases[g.index()]),
+                        ValueKind::FuncAddr(f) => Value::P(0xF000_0000_0000 | u64::from(f.0)),
+                    })
+                    .collect()
+            })
+            .collect();
         Machine {
             module,
             sink,
@@ -128,6 +155,8 @@ impl<'a, S: EventSink> Machine<'a, S> {
             output: Vec::new(),
             depth: 0,
             watched,
+            reg_templates,
+            phi_scratch: Vec::new(),
         }
     }
 
@@ -142,6 +171,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
             .entry()
             .map_err(|_| InterpError::TypeConfusion("missing main"))?;
         let ret = self.call_function(entry, args)?;
+        self.sink.mem_stats(self.memory.stats());
         Ok(RunResult {
             ret,
             cost: self.cost,
@@ -159,6 +189,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
             .function_by_name(name)
             .ok_or(InterpError::TypeConfusion("unknown function"))?;
         let ret = self.call_function(fid, args)?;
+        self.sink.mem_stats(self.memory.stats());
         Ok(RunResult {
             ret,
             cost: self.cost,
@@ -189,16 +220,12 @@ impl<'a, S: EventSink> Machine<'a, S> {
         Ok(())
     }
 
-    fn eval(&self, func: &lp_ir::Function, regs: &[Value], v: ValueId) -> Value {
-        match func.value(v) {
-            ValueKind::Param(_) | ValueKind::Inst(_) => regs[v.index()],
-            ValueKind::ConstInt(c) => Value::I(*c),
-            ValueKind::ConstFloat(c) => Value::F(*c),
-            ValueKind::ConstBool(b) => Value::B(*b),
-            ValueKind::ConstNull => Value::P(0),
-            ValueKind::GlobalAddr(g) => Value::P(self.global_bases[g.index()]),
-            ValueKind::FuncAddr(f) => Value::P(0xF000_0000_0000 | u64::from(f.0)),
-        }
+    /// Operand evaluation. Constants were materialized into the frame's
+    /// register file at entry (see `reg_templates`), so every operand —
+    /// param, instruction result, or constant — is a plain indexed load.
+    #[inline]
+    fn eval(&self, _func: &lp_ir::Function, regs: &[Value], v: ValueId) -> Value {
+        regs[v.index()]
     }
 
     fn call_function(&mut self, fid: FuncId, args: &[Value]) -> Result<Value> {
@@ -208,7 +235,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
         }
         let func = self.module.function(fid);
         debug_assert_eq!(args.len(), func.params.len());
-        let mut regs: Vec<Value> = vec![Value::Unit; func.values.len()];
+        let mut regs: Vec<Value> = self.reg_templates[fid.index()].clone();
         regs[..args.len()].copy_from_slice(args);
         let frame_mark = self.memory.stack_top();
         self.sink.func_entered(fid, frame_mark, self.cost);
@@ -223,7 +250,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
             // free (resolved on edges), so no cost is charged.
             if let Some(pred) = prev {
                 let blk = func.block(block);
-                let mut updates: Vec<(ValueId, Value)> = Vec::new();
+                let mut updates = std::mem::take(&mut self.phi_scratch);
                 for &iid in &blk.insts {
                     let data = func.inst(iid);
                     let Inst::Phi { incomings, .. } = &data.inst else {
@@ -235,10 +262,12 @@ impl<'a, S: EventSink> Machine<'a, S> {
                         .expect("verified phi covers predecessors");
                     updates.push((data.result, self.eval(func, &regs, *v)));
                 }
-                for (r, v) in updates {
+                for &(r, v) in &updates {
                     regs[r.index()] = v;
                     self.sink.phi_resolved(fid, block, r, v, self.cost);
                 }
+                updates.clear();
+                self.phi_scratch = updates;
             }
 
             // Body, charged one cost unit per instruction so producer and

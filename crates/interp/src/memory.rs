@@ -13,9 +13,22 @@
 //!   paper §II-E.
 //!
 //! All accesses are 8-byte words; unaligned or null-page accesses trap.
+//!
+//! # Hot-path layout
+//!
+//! Every dynamic load and store resolves an address here, so the page
+//! lookup must not hash (see DESIGN.md §10). Pages live in an arena
+//! (`Vec<Box<[u64; 512]>>`) and are located through a **two-level page
+//! directory**: the bounded dense directory covers every page below
+//! [`DIRECT_LIMIT`] — which contains all three allocator regions — with
+//! two array indexes, and a small Fx-hashed fallback map catches
+//! anything above it (e.g. synthetic function-pointer addresses). In
+//! front of both sits a small **direct-mapped page cache**, so loops
+//! that cycle through a few live pages (sequential walks, strided
+//! multi-array kernels) touch no directory at all.
 
 use crate::{InterpError, Result};
-use std::collections::HashMap;
+use lp_ir::fx::FxHashMap;
 
 /// Base address of the globals region.
 pub const GLOBAL_BASE: u64 = 0x1000_0000;
@@ -27,22 +40,77 @@ pub const STACK_BASE: u64 = 0x8000_0000;
 const PAGE_WORDS: usize = 512;
 const PAGE_BYTES: u64 = (PAGE_WORDS as u64) * 8;
 
+/// Pages per second-level directory node (and the number of first-level
+/// slots), giving `1024 × 1024` directly mapped pages.
+const L2_LEN: usize = 1024;
+const L2_BITS: u64 = 10;
+const L2_MASK: u64 = (L2_LEN as u64) - 1;
+
+/// First page number outside the dense directory (addresses ≥ 4 GiB).
+/// Globals, heap, and stack all start well below this; only synthetic
+/// far pointers (function addresses) fall through to the fallback map.
+const DIRECT_LIMIT: u64 = (L2_LEN as u64) * (L2_LEN as u64);
+
+/// Sentinel directory entry: page not allocated.
+const NO_PAGE: u32 = u32::MAX;
+
+/// Ways in the direct-mapped page cache (indexed by `page % ways`).
+const CACHE_WAYS: usize = 8;
+
+/// Counters of the memory fast path, reported through
+/// [`crate::EventSink::mem_stats`] at the end of a run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemStats {
+    /// Accesses served by the direct-mapped page cache.
+    pub page_cache_hits: u64,
+    /// Accesses that walked the page directory.
+    pub page_cache_misses: u64,
+    /// Pages allocated over the run.
+    pub pages_allocated: u64,
+}
+
 /// Paged word memory with region allocators.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    /// Page arena; directory entries hold indexes into it, so growing
+    /// the arena never invalidates a directory entry.
+    pages: Vec<Box<[u64; PAGE_WORDS]>>,
+    /// First directory level, densely covering pages `0..DIRECT_LIMIT`.
+    l1: Vec<Option<Box<[u32; L2_LEN]>>>,
+    /// Fallback for pages at or above [`DIRECT_LIMIT`].
+    far: FxHashMap<u64, u32>,
+    /// Direct-mapped page cache: page numbers and arena indexes of
+    /// recently resolved *allocated* pages, indexed by `page % ways`.
+    cache_page: [u64; CACHE_WAYS],
+    cache_idx: [u32; CACHE_WAYS],
     heap_top: u64,
     stack_top: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
 }
 
 impl Memory {
     /// An empty memory with both allocators at their region bases.
     #[must_use]
     pub fn new() -> Memory {
+        let mut l1 = Vec::new();
+        l1.resize_with(L2_LEN, || None);
         Memory {
-            pages: HashMap::new(),
+            pages: Vec::new(),
+            l1,
+            far: FxHashMap::default(),
+            cache_page: [u64::MAX; CACHE_WAYS],
+            cache_idx: [NO_PAGE; CACHE_WAYS],
             heap_top: HEAP_BASE,
             stack_top: STACK_BASE,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -56,16 +124,70 @@ impl Memory {
         Ok(())
     }
 
+    /// Resolves `page` to its arena index, or `None` if unallocated.
+    /// Updates the page cache on success.
+    #[inline]
+    fn lookup(&mut self, page: u64) -> Option<u32> {
+        let way = (page as usize) & (CACHE_WAYS - 1);
+        if page == self.cache_page[way] {
+            self.hits += 1;
+            return Some(self.cache_idx[way]);
+        }
+        self.misses += 1;
+        let idx = if page < DIRECT_LIMIT {
+            match &self.l1[(page >> L2_BITS) as usize] {
+                Some(l2) => l2[(page & L2_MASK) as usize],
+                None => NO_PAGE,
+            }
+        } else {
+            self.far.get(&page).copied().unwrap_or(NO_PAGE)
+        };
+        if idx == NO_PAGE {
+            return None;
+        }
+        self.cache_page[way] = page;
+        self.cache_idx[way] = idx;
+        Some(idx)
+    }
+
+    /// As [`Memory::lookup`], allocating the page if absent.
+    #[inline]
+    fn lookup_or_alloc(&mut self, page: u64) -> u32 {
+        if let Some(idx) = self.lookup(page) {
+            return idx;
+        }
+        let idx = self.pages.len() as u32;
+        assert!(idx != NO_PAGE, "page arena exhausted");
+        self.pages.push(Box::new([0u64; PAGE_WORDS]));
+        if page < DIRECT_LIMIT {
+            let l2 = self.l1[(page >> L2_BITS) as usize]
+                .get_or_insert_with(|| Box::new([NO_PAGE; L2_LEN]));
+            l2[(page & L2_MASK) as usize] = idx;
+        } else {
+            self.far.insert(page, idx);
+        }
+        let way = (page as usize) & (CACHE_WAYS - 1);
+        self.cache_page[way] = page;
+        self.cache_idx[way] = idx;
+        idx
+    }
+
     /// Reads the word at `addr`.
+    ///
+    /// Takes `&mut self` to maintain the last-page cache — the logical
+    /// memory state is unchanged.
     ///
     /// # Errors
     /// Traps on unaligned or null-page addresses. Unwritten words read as
     /// zero.
-    pub fn read(&self, addr: u64) -> Result<u64> {
+    pub fn read(&mut self, addr: u64) -> Result<u64> {
         Self::check(addr)?;
         let page = addr / PAGE_BYTES;
         let slot = ((addr % PAGE_BYTES) / 8) as usize;
-        Ok(self.pages.get(&page).map_or(0, |p| p[slot]))
+        Ok(match self.lookup(page) {
+            Some(idx) => self.pages[idx as usize][slot],
+            None => 0,
+        })
     }
 
     /// Writes the word at `addr`.
@@ -76,10 +198,19 @@ impl Memory {
         Self::check(addr)?;
         let page = addr / PAGE_BYTES;
         let slot = ((addr % PAGE_BYTES) / 8) as usize;
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]))[slot] = word;
+        let idx = self.lookup_or_alloc(page);
+        self.pages[idx as usize][slot] = word;
         Ok(())
+    }
+
+    /// Fast-path counters for observability exports.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            page_cache_hits: self.hits,
+            page_cache_misses: self.misses,
+            pages_allocated: self.pages.len() as u64,
+        }
     }
 
     /// Bump-allocates `bytes` on the heap (rounded up to whole words),
@@ -199,5 +330,33 @@ mod tests {
         m.write(base + 8, 2).unwrap();
         assert_eq!(m.read(base).unwrap(), 1);
         assert_eq!(m.read(base + 8).unwrap(), 2);
+    }
+
+    #[test]
+    fn far_pages_round_trip_through_the_fallback_map() {
+        // A synthetic function-pointer-like address, far above the
+        // dense directory's 4 GiB coverage.
+        let mut m = Memory::new();
+        let far = 0xF000_0000_0000u64 | 0x18;
+        m.write(far, 42).unwrap();
+        assert_eq!(m.read(far).unwrap(), 42);
+        assert_eq!(m.read(far + 8).unwrap(), 0);
+        // Near pages still work after a far allocation.
+        m.write(HEAP_BASE, 7).unwrap();
+        assert_eq!(m.read(HEAP_BASE).unwrap(), 7);
+        assert_eq!(m.read(far).unwrap(), 42);
+    }
+
+    #[test]
+    fn last_page_cache_counts_hits_and_misses() {
+        let mut m = Memory::new();
+        m.write(HEAP_BASE, 1).unwrap(); // miss (allocates)
+        m.write(HEAP_BASE + 8, 2).unwrap(); // hit
+        m.read(HEAP_BASE + 16).unwrap(); // hit
+        m.read(HEAP_BASE + PAGE_BYTES).unwrap(); // miss (absent page)
+        let s = m.stats();
+        assert_eq!(s.page_cache_hits, 2);
+        assert_eq!(s.page_cache_misses, 2);
+        assert_eq!(s.pages_allocated, 1);
     }
 }

@@ -122,6 +122,10 @@ impl<S: EventSink> EventSink for MeteredSink<S> {
         self.counts.defs += 1;
         self.inner.value_defined(func, value, val, now);
     }
+
+    fn mem_stats(&mut self, stats: crate::memory::MemStats) {
+        self.inner.mem_stats(stats);
+    }
 }
 
 /// Fans every event out to two sinks (`a` first, then `b`).
@@ -179,6 +183,11 @@ impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
     fn value_defined(&mut self, func: FuncId, value: ValueId, val: Value, now: u64) {
         self.a.value_defined(func, value, val, now);
         self.b.value_defined(func, value, val, now);
+    }
+
+    fn mem_stats(&mut self, stats: crate::memory::MemStats) {
+        self.a.mem_stats(stats);
+        self.b.mem_stats(stats);
     }
 }
 

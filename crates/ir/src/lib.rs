@@ -34,6 +34,7 @@
 
 pub mod builder;
 pub mod function;
+pub mod fx;
 pub mod inst;
 pub mod module;
 pub mod parser;

@@ -86,6 +86,18 @@ macro_rules! lp_info {
     };
 }
 
+/// Logs a warning: surprising-but-recoverable conditions. Emitted at
+/// `info` verbosity (there is no separate warn level) with a `warn` tag
+/// so it stands out in interleaved output.
+#[macro_export]
+macro_rules! lp_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit("warn", &format!($($arg)*));
+        }
+    };
+}
+
 /// Logs at `debug` level.
 #[macro_export]
 macro_rules! lp_debug {

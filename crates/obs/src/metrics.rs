@@ -99,12 +99,27 @@ pub enum Counter {
     /// Persistent cache entries discarded because they were corrupt,
     /// truncated, or written by another format version.
     StoreCorruptDiscarded,
+    /// Interpreter memory accesses served by the one-entry last-page
+    /// cache (no directory walk).
+    MemPageCacheHits,
+    /// Interpreter memory accesses that walked the page directory (the
+    /// last-page cache held a different page).
+    MemPageCacheMisses,
+    /// Shadow-memory stamp lookups served by a table's one-entry
+    /// last-page cache.
+    ShadowPageCacheHits,
+    /// Shadow-memory stamp lookups that walked the shadow directory.
+    ShadowPageCacheMisses,
+    /// Profile-store garbage collections skipped because the cheap size
+    /// pre-scan found the cache already under budget.
+    StoreGcSkipped,
 }
 
 /// Number of distinct counter slots (scalar slots 0..=17 plus one
 /// reserved, the per-predictor pairs, then the store slots appended
-/// after the predictor block so every historical slot stays stable).
-pub const COUNTER_SLOTS: usize = 21 + 2 * PredictorKind::ALL.len();
+/// after the predictor block, then the hot-path cache slots — every
+/// historical slot stays stable).
+pub const COUNTER_SLOTS: usize = 26 + 2 * PredictorKind::ALL.len();
 
 impl Counter {
     /// Every counter, in export order.
@@ -131,6 +146,11 @@ impl Counter {
             Counter::StoreHits,
             Counter::StoreMisses,
             Counter::StoreCorruptDiscarded,
+            Counter::StoreGcSkipped,
+            Counter::MemPageCacheHits,
+            Counter::MemPageCacheMisses,
+            Counter::ShadowPageCacheHits,
+            Counter::ShadowPageCacheMisses,
         ];
         for kind in PredictorKind::ALL {
             out.push(Counter::PredictorHit(kind));
@@ -169,6 +189,12 @@ impl Counter {
             Counter::StoreHits => 28,
             Counter::StoreMisses => 29,
             Counter::StoreCorruptDiscarded => 30,
+            // Hot-path cache slots, appended after the store block.
+            Counter::MemPageCacheHits => 31,
+            Counter::MemPageCacheMisses => 32,
+            Counter::ShadowPageCacheHits => 33,
+            Counter::ShadowPageCacheMisses => 34,
+            Counter::StoreGcSkipped => 35,
         }
     }
 
@@ -196,6 +222,11 @@ impl Counter {
             Counter::StoreHits => "store_hits".to_string(),
             Counter::StoreMisses => "store_misses".to_string(),
             Counter::StoreCorruptDiscarded => "store_corrupt_discarded".to_string(),
+            Counter::MemPageCacheHits => "mem_page_cache_hits".to_string(),
+            Counter::MemPageCacheMisses => "mem_page_cache_misses".to_string(),
+            Counter::ShadowPageCacheHits => "shadow_page_cache_hits".to_string(),
+            Counter::ShadowPageCacheMisses => "shadow_page_cache_misses".to_string(),
+            Counter::StoreGcSkipped => "store_gc_skipped".to_string(),
             Counter::PredictorHit(kind) => format!("predictor_hit_{}", kind.label()),
             Counter::PredictorMiss(kind) => format!("predictor_miss_{}", kind.label()),
         }

@@ -21,6 +21,33 @@
 //! integers as themselves, floats as IEEE bits).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Pass-through hasher for the FCM table: its keys are already FNV-1a
+/// context hashes, so the map has nothing left to mix. Rehashing a
+/// 64-bit hash through SipHash costs more than the table probe itself.
+#[derive(Debug, Default, Clone)]
+struct Prehashed {
+    hash: u64,
+}
+
+impl Hasher for Prehashed {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("FCM table keys are u64 hashes");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = n;
+    }
+}
+
+type PrehashedMap = HashMap<u64, u64, BuildHasherDefault<Prehashed>>;
 
 /// A single-stream value predictor.
 ///
@@ -150,8 +177,11 @@ impl Predictor for TwoDeltaStride {
 pub struct Fcm {
     order: usize,
     history: Vec<u64>,
-    table: HashMap<u64, u64>,
+    table: PrehashedMap,
     warm: usize,
+    /// FNV-1a hash of `history`, refreshed whenever the history shifts so
+    /// `predict` + `update` share one computation per observation.
+    ctx: u64,
 }
 
 /// Default FCM context length used by [`Fcm::new`] and the hybrid.
@@ -174,8 +204,9 @@ impl Fcm {
         Fcm {
             order,
             history: Vec::with_capacity(order),
-            table: HashMap::new(),
+            table: PrehashedMap::default(),
             warm: 0,
+            ctx: 0,
         }
     }
 
@@ -190,6 +221,34 @@ impl Fcm {
         }
         h
     }
+
+    /// Fused predict-then-update: returns what [`Predictor::predict`]
+    /// would have, trains on `actual`, and touches the context table once
+    /// instead of twice. Exactly equivalent to `predict()` + `update()`.
+    fn observe_value(&mut self, actual: u64) -> Option<u64> {
+        let predicted = if self.warm >= self.order {
+            match self.table.entry(self.ctx) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    Some(std::mem::replace(e.get_mut(), actual))
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(actual);
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        if self.history.len() == self.order {
+            self.history.remove(0);
+        }
+        self.history.push(actual);
+        self.warm += 1;
+        if self.warm >= self.order {
+            self.ctx = self.context_hash();
+        }
+        predicted
+    }
 }
 
 impl Default for Fcm {
@@ -203,18 +262,21 @@ impl Predictor for Fcm {
         if self.warm < self.order {
             return None;
         }
-        self.table.get(&self.context_hash()).copied()
+        self.table.get(&self.ctx).copied()
     }
 
     fn update(&mut self, actual: u64) {
         if self.warm >= self.order {
-            self.table.insert(self.context_hash(), actual);
+            self.table.insert(self.ctx, actual);
         }
         if self.history.len() == self.order {
             self.history.remove(0);
         }
         self.history.push(actual);
         self.warm += 1;
+        if self.warm >= self.order {
+            self.ctx = self.context_hash();
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -289,7 +351,7 @@ impl HybridPredictor {
             self.last_value.predict(),
             self.stride.predict(),
             self.two_delta.predict(),
-            self.fcm.predict(),
+            self.fcm.observe_value(actual),
         ];
         let mut any = false;
         for (i, p) in predictions.iter().enumerate() {
@@ -302,7 +364,6 @@ impl HybridPredictor {
         self.last_value.update(actual);
         self.stride.update(actual);
         self.two_delta.update(actual);
-        self.fcm.update(actual);
         self.stats.observed += 1;
         if any {
             self.stats.correct += 1;
@@ -367,7 +428,7 @@ impl ConfidenceHybrid {
             self.last_value.predict(),
             self.stride.predict(),
             self.two_delta.predict(),
-            self.fcm.predict(),
+            self.fcm.observe_value(actual),
         ];
         // Select the available component with the highest confidence.
         let selected = predictions
@@ -389,7 +450,6 @@ impl ConfidenceHybrid {
         self.last_value.update(actual);
         self.stride.update(actual);
         self.two_delta.update(actual);
-        self.fcm.update(actual);
         self.stats.observed += 1;
         if hit {
             self.stats.correct += 1;

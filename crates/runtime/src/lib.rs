@@ -46,7 +46,9 @@ pub use explain::{Attribution, Limiter, LimiterKind, LoopAttribution};
 #[allow(deprecated)]
 pub use export::{attribution_to_json, sweep_to_json};
 pub use export::{collapsed_stacks, Export, SweepExport};
-pub use profile::{CallClass, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind};
+pub use profile::{
+    CallClass, LoopInstance, LoopMeta, MetaIndex, Profile, Region, RegionId, RegionKind,
+};
 pub use report::{geomean, geomean_coverage, geomean_speedup, mean, ProgramResult};
 pub use store::{
     decode_entry, encode_entry, profile_module_cached, CodecError, ProfileKey, ProfileStore,

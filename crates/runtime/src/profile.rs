@@ -11,7 +11,6 @@
 
 use lp_analysis::{LcdClass, LoopId};
 use lp_ir::{BlockId, FuncId, ValueId};
-use std::collections::HashMap;
 
 /// Dense index of a region node in [`Profile::regions`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +128,63 @@ impl LoopInstance {
     }
 }
 
+/// Dense lookup from `(func, loop)` to a [`Profile::loop_meta`] index.
+///
+/// Two array indexes instead of a tuple-keyed hash map (see DESIGN.md
+/// §10): the outer vector is indexed by function id, the inner by loop
+/// id within that function. Not serialized — it is a pure function of
+/// `loop_meta`, rebuilt on decode via [`MetaIndex::from_meta`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaIndex {
+    /// `per_func[func][loop]` is the meta index, or [`MetaIndex::NONE`].
+    per_func: Vec<Vec<u32>>,
+}
+
+impl MetaIndex {
+    /// Sentinel: no meta entry for this `(func, loop)` slot.
+    const NONE: u32 = u32::MAX;
+
+    /// Rebuilds the index from the meta table it points into.
+    #[must_use]
+    pub fn from_meta(loop_meta: &[LoopMeta]) -> MetaIndex {
+        let mut index = MetaIndex::default();
+        for (i, m) in loop_meta.iter().enumerate() {
+            index.insert(m.func.0, m.loop_id.0, i);
+        }
+        index
+    }
+
+    /// Maps `(func, loop_id)` to `idx`, growing the tables as needed.
+    pub fn insert(&mut self, func: u32, loop_id: u32, idx: usize) {
+        let f = func as usize;
+        if self.per_func.len() <= f {
+            self.per_func.resize(f + 1, Vec::new());
+        }
+        let row = &mut self.per_func[f];
+        let l = loop_id as usize;
+        if row.len() <= l {
+            row.resize(l + 1, MetaIndex::NONE);
+        }
+        row[l] = u32::try_from(idx).expect("meta index fits in u32");
+    }
+
+    /// The meta index for `(func, loop_id)`, if registered.
+    #[must_use]
+    pub fn get(&self, func: u32, loop_id: u32) -> Option<usize> {
+        let v = *self.per_func.get(func as usize)?.get(loop_id as usize)?;
+        (v != MetaIndex::NONE).then_some(v as usize)
+    }
+
+    /// All entries as `((func, loop_id), idx)`, in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), usize)> + '_ {
+        self.per_func.iter().enumerate().flat_map(|(f, row)| {
+            row.iter().enumerate().filter_map(move |(l, &v)| {
+                (v != MetaIndex::NONE).then_some(((f as u32, l as u32), v as usize))
+            })
+        })
+    }
+}
+
 /// What a region node is.
 #[derive(Debug, Clone)]
 pub enum RegionKind {
@@ -179,7 +235,7 @@ pub struct Profile {
     /// Static loop metadata referenced by loop instances.
     pub loop_meta: Vec<LoopMeta>,
     /// Lookup from `(func, loop)` to `loop_meta` index.
-    pub meta_index: HashMap<(u32, u32), usize>,
+    pub meta_index: MetaIndex,
     /// Function names indexed by [`FuncId`] — names the call frames in
     /// the collapsed-stack export.
     pub func_names: Vec<String>,
@@ -289,7 +345,7 @@ mod tests {
             total_cost: 50,
             regions: vec![region],
             loop_meta: vec![dummy_meta()],
-            meta_index: HashMap::new(),
+            meta_index: MetaIndex::default(),
             func_names: vec!["f".to_string()],
         };
         let r = profile.region(RegionId(0));
@@ -299,6 +355,26 @@ mod tests {
         let lens = profile.iter_lengths(r, inst);
         assert_eq!(lens, vec![10, 15, 15]);
         assert_eq!(lens.iter().sum::<u64>(), r.serial_cost());
+    }
+
+    #[test]
+    fn meta_index_round_trips_and_iterates_in_key_order() {
+        let mut metas = Vec::new();
+        for (f, l) in [(2u32, 1u32), (0, 0), (2, 0)] {
+            let mut m = dummy_meta();
+            m.func = FuncId(f);
+            m.loop_id = LoopId(l);
+            metas.push(m);
+        }
+        let idx = MetaIndex::from_meta(&metas);
+        assert_eq!(idx.get(2, 1), Some(0));
+        assert_eq!(idx.get(0, 0), Some(1));
+        assert_eq!(idx.get(2, 0), Some(2));
+        assert_eq!(idx.get(1, 0), None);
+        assert_eq!(idx.get(2, 7), None);
+        assert_eq!(idx.get(9, 0), None);
+        let keys: Vec<_> = idx.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![(0, 0), (2, 0), (2, 1)]);
     }
 
     #[test]

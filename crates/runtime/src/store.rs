@@ -44,14 +44,14 @@
 //! the `store-io` span make cache effectiveness visible in traces.
 
 use crate::profile::{
-    CallClass, LcdInstance, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind,
+    CallClass, LcdInstance, LoopInstance, LoopMeta, MetaIndex, Profile, Region, RegionId,
+    RegionKind,
 };
 use crate::tracker::{profile_module_with, ProfilerOptions};
 use lp_analysis::{LcdClass, LoopId, ModuleAnalysis, ScevClass};
 use lp_interp::{MachineConfig, RunResult, Value};
 use lp_ir::{BinOp, BlockId, FuncId, Module, ValueId};
 use lp_obs::{lp_info, span, Counter};
-use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
@@ -687,10 +687,7 @@ fn dec_profile(d: &mut Dec<'_>) -> DecodeResult<Profile> {
     for _ in 0..n_regions {
         regions.push(dec_region(d, n_regions, n_meta)?);
     }
-    let mut meta_index = HashMap::with_capacity(loop_meta.len());
-    for (i, m) in loop_meta.iter().enumerate() {
-        meta_index.insert((m.func.0, m.loop_id.0), i);
-    }
+    let meta_index = MetaIndex::from_meta(&loop_meta);
     Ok(Profile {
         program,
         total_cost,
@@ -947,6 +944,11 @@ impl ProfileStore {
     /// Deletes oldest-modified entries until the cache holds at most
     /// `max_bytes` of entry data. Returns the number of bytes reclaimed.
     ///
+    /// The common steady state — a cache already under budget — exits
+    /// after one metadata sweep, counted as
+    /// [`Counter::StoreGcSkipped`], without sorting or deleting
+    /// anything.
+    ///
     /// # Errors
     /// Propagates directory-listing failures; individual file errors are
     /// skipped (another process may be collecting concurrently).
@@ -967,6 +969,10 @@ impl ProfileStore {
             entries.push((path, meta.len(), modified));
         }
         let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= max_bytes {
+            lp_obs::counters().add(Counter::StoreGcSkipped, 1);
+            return Ok(0);
+        }
         // Oldest first; ties broken by path for determinism.
         entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
         let mut reclaimed = 0;
@@ -1066,8 +1072,7 @@ mod tests {
             children: Vec::new(),
         };
         let meta = sample_meta();
-        let mut meta_index = HashMap::new();
-        meta_index.insert((meta.func.0, meta.loop_id.0), 0);
+        let meta_index = MetaIndex::from_meta(std::slice::from_ref(&meta));
         Profile {
             program: "demo".to_string(),
             total_cost: 60,
@@ -1088,10 +1093,9 @@ mod tests {
 
     fn assert_profiles_equal(a: &Profile, b: &Profile) {
         // Profile has no PartialEq; compare a rendering that covers every
-        // field but sorts the HashMap (whose Debug order is arbitrary).
+        // field (MetaIndex::iter is already in ascending key order).
         let fingerprint = |p: &Profile| {
-            let mut idx: Vec<_> = p.meta_index.iter().collect();
-            idx.sort();
+            let idx: Vec<_> = p.meta_index.iter().collect();
             format!(
                 "{} {} {:?} {:?} {:?} {idx:?}",
                 p.program, p.total_cost, p.regions, p.loop_meta, p.func_names
@@ -1108,7 +1112,7 @@ mod tests {
         let (p2, r2) = decode_entry(&bytes).unwrap();
         assert_profiles_equal(&profile, &p2);
         assert_eq!(format!("{run:?}"), format!("{r2:?}"));
-        assert_eq!(p2.meta_index.get(&(2, 1)), Some(&0));
+        assert_eq!(p2.meta_index.get(2, 1), Some(0));
     }
 
     #[test]
@@ -1249,6 +1253,28 @@ mod tests {
         let remaining = std::fs::read_dir(&dir).unwrap().count();
         assert!(remaining <= 2, "expected <=2 entries, found {remaining}");
         assert_eq!(store.gc(u64::MAX).unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_under_budget_is_a_counted_no_op() {
+        let dir = scratch_dir("gc-skip");
+        let store = ProfileStore::open(&dir, StoreMode::ReadWrite).unwrap();
+        let profile = sample_profile();
+        let run = sample_run();
+        store.put(ProfileKey(9), &profile, &run);
+        let skipped_before = lp_obs::counters().get(Counter::StoreGcSkipped);
+        assert_eq!(store.gc(u64::MAX).unwrap(), 0);
+        assert_eq!(
+            lp_obs::counters().get(Counter::StoreGcSkipped),
+            skipped_before + 1,
+            "an under-budget gc must count as skipped"
+        );
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "the entry must survive a skipped gc"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

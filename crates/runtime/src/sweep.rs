@@ -62,18 +62,27 @@ impl Jobs {
     }
 
     /// Resolves the worker count with the binaries' precedence:
-    /// an explicit `--jobs N` flag wins, else a valid positive `LP_JOBS`
+    /// an explicit `--jobs N` flag wins, else a numeric `LP_JOBS`
     /// environment variable, else [`Jobs::available`].
+    ///
+    /// A zero from either source is an explicit-but-degenerate request:
+    /// it clamps to one worker with a warning rather than silently
+    /// falling back to full parallelism (running wide when the caller
+    /// asked for "none" is the more surprising failure mode).
     #[must_use]
     pub fn resolve(flag: Option<usize>) -> Jobs {
         if let Some(n) = flag {
+            if n == 0 {
+                lp_obs::lp_warn!("--jobs 0 requested; clamping to 1 worker");
+            }
             return Jobs::new(n);
         }
         if let Ok(v) = std::env::var("LP_JOBS") {
             if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return Jobs(n);
+                if n == 0 {
+                    lp_obs::lp_warn!("LP_JOBS=0 requested; clamping to 1 worker");
                 }
+                return Jobs::new(n);
             }
         }
         Jobs::available()
@@ -343,6 +352,9 @@ mod tests {
         assert_eq!(Jobs::serial().get(), 1);
         assert!(Jobs::available().get() >= 1);
         assert_eq!(Jobs::resolve(Some(3)).get(), 3);
+        // An explicit zero clamps to the serial engine, not to the
+        // machine's full parallelism.
+        assert_eq!(Jobs::resolve(Some(0)).get(), 1);
         // The flag wins even when LP_JOBS is set; with neither, the
         // machine decides. (Environment manipulation is avoided here —
         // LP_JOBS handling is covered by the bench CLI tests.)

@@ -13,30 +13,192 @@
 //!   recording mispredicted iterations (`dep2`) and maximum producer
 //!   offsets (`dep1` HELIX sync deltas);
 //! - the worst dynamic call class per loop instance (`fn0..fn3` gate).
+//!
+//! # Hot-path layout
+//!
+//! Every load/store event consults last-writer state, and every block
+//! entry consults the loop tables — so neither may hash (DESIGN.md §10).
+//! Last-writer state lives in **one run-global shadow memory**
+//! ([`ShadowTable`]) stamping each word with its last store's *absolute*
+//! time: a store writes one stamp no matter how deep the loop nest, a
+//! load compares that stamp against each level's instance/iteration start
+//! (two compares; iteration numbers are re-derived by binary search only
+//! on the rare conflict path), and stale stamps die by time comparison,
+//! so loop entry invalidates nothing. The per-`(func, value)` /
+//! per-`(func, block)` side tables are interned into dense vectors indexed
+//! directly by ids, with `u32::MAX` as the "not tracked" sentinel.
 
 use crate::profile::{
-    CallClass, LcdInstance, LoopInstance, LoopMeta, Profile, Region, RegionId, RegionKind,
+    CallClass, LcdInstance, LoopInstance, LoopMeta, MetaIndex, Profile, Region, RegionId,
+    RegionKind,
 };
-use lp_analysis::{LcdClass, LoopId, ModuleAnalysis, Purity};
-use lp_interp::{EventSink, Machine, MachineConfig, MeteredSink, RunResult, Value, STACK_BASE};
+use lp_analysis::{LcdClass, ModuleAnalysis, Purity};
+use lp_interp::{
+    EventSink, Machine, MachineConfig, MemStats, MeteredSink, RunResult, Value, STACK_BASE,
+};
+use lp_ir::fx::FxHashMap;
 use lp_ir::{BlockId, Builtin, FuncId, Inst, Module, ValueId, ValueKind};
 use lp_obs::{span, Counter, Hist, Histogram, PredictorKind};
 use lp_predict::HybridPredictor;
-use std::collections::{BTreeSet, HashMap};
+
+/// Sentinel for "no entry" in the dense interning tables.
+const NONE: u32 = u32::MAX;
+
+// Shadow-memory geometry: one stamp per 8-byte word, 512 words (4 KiB of
+// address space) per page, same two-level directory shape as the
+// interpreter's memory.
+const SHADOW_PAGE_WORDS: usize = 512;
+const SHADOW_WORD_BITS: u64 = 3;
+const SHADOW_PAGE_BITS: u64 = 9;
+const SHADOW_PAGE_MASK: u64 = (SHADOW_PAGE_WORDS as u64) - 1;
+const SHADOW_L2_LEN: usize = 1024;
+const SHADOW_L2_BITS: u64 = 10;
+const SHADOW_L2_MASK: u64 = (SHADOW_L2_LEN as u64) - 1;
+const SHADOW_DIRECT_LIMIT: u64 = (SHADOW_L2_LEN as u64) * (SHADOW_L2_LEN as u64);
+const SHADOW_CACHE_WAYS: usize = 8;
+
+/// Last-writer stamp for one 8-byte word: the absolute time of the most
+/// recent store and the push time of the stack frame it wrote through
+/// (0 for non-stack stores). `t == u64::MAX` means "never written" —
+/// always time-excluded, since real stamps satisfy `t <= now`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Stamp {
+    t: u64,
+    push: u64,
+}
+
+const EMPTY_STAMP: Stamp = Stamp {
+    t: u64::MAX,
+    push: 0,
+};
+
+/// Run-global last-writer shadow memory.
+///
+/// Replaces the per-instance `HashMap<addr, (iter, rel)>`: one table
+/// serves every active loop level, because a stamp records the *absolute*
+/// store time — each level decides by comparing against its own instance
+/// and iteration start stamps whether the store is a cross-iteration
+/// producer, so no per-level state and no invalidation are needed at all.
+/// Address resolution reuses the interpreter memory's two-level page
+/// directory plus a small direct-mapped page cache, so the common case (a
+/// handful of live pages, as in strided array walks) touches no directory
+/// at all.
+#[derive(Debug)]
+struct ShadowTable {
+    /// Stamp-page arena; directory entries hold indexes into it.
+    pages: Vec<Box<[Stamp; SHADOW_PAGE_WORDS]>>,
+    /// First directory level, densely covering pages `0..SHADOW_DIRECT_LIMIT`.
+    l1: Vec<Option<Box<[u32; SHADOW_L2_LEN]>>>,
+    /// Fallback for far pages (synthetic function-pointer addresses).
+    far: FxHashMap<u64, u32>,
+    /// Direct-mapped page cache, indexed by `page % ways`. A single entry
+    /// thrashes on strided multi-array access (e.g. matmul rows); a few
+    /// ways keep every live page of a typical inner loop resident.
+    cache_page: [u64; SHADOW_CACHE_WAYS],
+    cache_idx: [u32; SHADOW_CACHE_WAYS],
+    hits: u64,
+    misses: u64,
+}
+
+impl ShadowTable {
+    fn new() -> ShadowTable {
+        let mut l1 = Vec::new();
+        l1.resize_with(SHADOW_L2_LEN, || None);
+        ShadowTable {
+            pages: Vec::new(),
+            l1,
+            far: FxHashMap::default(),
+            cache_page: [u64::MAX; SHADOW_CACHE_WAYS],
+            cache_idx: [NONE; SHADOW_CACHE_WAYS],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Resolves a stamp page to its arena index, if allocated.
+    #[inline]
+    fn lookup(&mut self, page: u64) -> Option<u32> {
+        let way = (page as usize) & (SHADOW_CACHE_WAYS - 1);
+        if page == self.cache_page[way] {
+            self.hits += 1;
+            return Some(self.cache_idx[way]);
+        }
+        self.misses += 1;
+        let idx = if page < SHADOW_DIRECT_LIMIT {
+            match &self.l1[(page >> SHADOW_L2_BITS) as usize] {
+                Some(l2) => l2[(page & SHADOW_L2_MASK) as usize],
+                None => NONE,
+            }
+        } else {
+            self.far.get(&page).copied().unwrap_or(NONE)
+        };
+        if idx == NONE {
+            return None;
+        }
+        self.cache_page[way] = page;
+        self.cache_idx[way] = idx;
+        Some(idx)
+    }
+
+    /// As [`ShadowTable::lookup`], allocating the page if absent.
+    #[inline]
+    fn lookup_or_alloc(&mut self, page: u64) -> u32 {
+        if let Some(idx) = self.lookup(page) {
+            return idx;
+        }
+        let idx = self.pages.len() as u32;
+        self.pages.push(Box::new([EMPTY_STAMP; SHADOW_PAGE_WORDS]));
+        if page < SHADOW_DIRECT_LIMIT {
+            let l2 = self.l1[(page >> SHADOW_L2_BITS) as usize]
+                .get_or_insert_with(|| Box::new([NONE; SHADOW_L2_LEN]));
+            l2[(page & SHADOW_L2_MASK) as usize] = idx;
+        } else {
+            self.far.insert(page, idx);
+        }
+        let way = (page as usize) & (SHADOW_CACHE_WAYS - 1);
+        self.cache_page[way] = page;
+        self.cache_idx[way] = idx;
+        idx
+    }
+
+    /// Records `addr`'s last writer: store time `t`, owning-frame push
+    /// time `push`.
+    #[inline]
+    fn record_store(&mut self, addr: u64, t: u64, push: u64) {
+        let word = addr >> SHADOW_WORD_BITS;
+        let idx = self.lookup_or_alloc(word >> SHADOW_PAGE_BITS);
+        self.pages[idx as usize][(word & SHADOW_PAGE_MASK) as usize] = Stamp { t, push };
+    }
+
+    /// The last-writer stamp of `addr` ([`EMPTY_STAMP`] if never written).
+    #[inline]
+    fn last_writer(&mut self, addr: u64) -> Stamp {
+        let word = addr >> SHADOW_WORD_BITS;
+        match self.lookup(word >> SHADOW_PAGE_BITS) {
+            Some(idx) => self.pages[idx as usize][(word & SHADOW_PAGE_MASK) as usize],
+            None => EMPTY_STAMP,
+        }
+    }
+}
 
 /// An actively executing loop instance (moved into the region tree when
-/// the loop exits).
+/// the loop exits). Last-writer state lives in the run-global
+/// [`ShadowTable`]; this records only per-level iteration stamps and
+/// conflict tallies.
 #[derive(Debug)]
 struct ActiveLoop {
     region: RegionId,
     func: u32,
     loop_id: u32,
+    /// Index into [`Profiler::loop_meta`] (and `loop_blocks`).
+    meta: usize,
     frame_depth: u32,
     cur_iter: u32,
     iter_start: u64,
     iter_starts: Vec<u64>,
-    last_writer: HashMap<u64, (u32, u64)>,
-    conflicts: BTreeSet<u32>,
+    /// Conflicting iterations in ascending order (pushes arrive with
+    /// nondecreasing `cur_iter`, deduplicated against the last element).
+    conflicts: Vec<u32>,
     max_skew: u64,
     max_producer_rel: u64,
     min_consumer_rel: u64,
@@ -78,24 +240,37 @@ impl Default for ProfilerOptions {
 pub struct Profiler<'a> {
     analysis: &'a ModuleAnalysis,
     program: String,
-    /// Per function: header block -> loop id.
-    header_loop: Vec<HashMap<u32, LoopId>>,
-    /// `(func, phi value)` -> `(loop, traced-lcd index)`.
-    traced: HashMap<(u32, u32), (u32, usize)>,
-    /// `(func, latch incoming value)` -> traced LCDs it feeds.
-    watched: HashMap<(u32, u32), Vec<(u32, usize)>>,
+    /// Per function, per block: the loop id this block heads, or [`NONE`].
+    header_loop: Vec<Vec<u32>>,
+    /// Per function, per value: index into `traced_slots`, or [`NONE`].
+    traced: Vec<Vec<u32>>,
+    /// `(loop id, traced-lcd index)` per traced phi; parallel to
+    /// `predictors`.
+    traced_slots: Vec<(u32, u32)>,
+    /// Per function, per value: index into `watch_lists`, or [`NONE`].
+    watched: Vec<Vec<u32>>,
+    /// The traced LCDs each watched latch value feeds.
+    watch_lists: Vec<Vec<(u32, u32)>>,
+    /// Per function, per loop id: index into `loop_meta`, or [`NONE`].
+    meta_of: Vec<Vec<u32>>,
+    /// Per meta index, per block: loop membership bitmap.
+    loop_blocks: Vec<Vec<bool>>,
     loop_meta: Vec<LoopMeta>,
-    meta_index: HashMap<(u32, u32), usize>,
     // Dynamic state.
     now: u64,
     regions: Vec<Region>,
     region_stack: Vec<RegionId>,
     loop_stack: Vec<ActiveLoop>,
+    /// Run-global last-writer shadow memory, shared by all loop levels.
+    shadow: ShadowTable,
     frames: Vec<FrameRec>,
     call_depth: u32,
-    predictors: HashMap<(u32, u32), HybridPredictor>,
+    /// One predictor per traced phi, parallel to `traced_slots`.
+    predictors: Vec<HybridPredictor>,
     options: ProfilerOptions,
     cactus_filter_hits: u64,
+    /// Interpreter memory fast-path stats, delivered at end of run.
+    mem_stats: MemStats,
     /// Function names by [`FuncId`] (for the collapsed-stack export).
     func_names: Vec<String>,
     /// Iteration distance of each cross-iteration RAW edge, accumulated
@@ -117,17 +292,26 @@ impl<'a> Profiler<'a> {
         analysis: &'a ModuleAnalysis,
         options: ProfilerOptions,
     ) -> Profiler<'a> {
-        let mut header_loop: Vec<HashMap<u32, LoopId>> = Vec::new();
-        let mut traced = HashMap::new();
-        let mut watched: HashMap<(u32, u32), Vec<(u32, usize)>> = HashMap::new();
+        let n_funcs = module.iter_functions().count();
+        let mut header_loop: Vec<Vec<u32>> = vec![Vec::new(); n_funcs];
+        let mut traced: Vec<Vec<u32>> = vec![Vec::new(); n_funcs];
+        let mut watched: Vec<Vec<u32>> = vec![Vec::new(); n_funcs];
+        let mut meta_of: Vec<Vec<u32>> = vec![Vec::new(); n_funcs];
+        let mut traced_slots: Vec<(u32, u32)> = Vec::new();
+        let mut watch_lists: Vec<Vec<(u32, u32)>> = Vec::new();
+        let mut loop_blocks: Vec<Vec<bool>> = Vec::new();
         let mut loop_meta = Vec::new();
-        let mut meta_index = HashMap::new();
 
         for (fid, func) in module.iter_functions() {
             let fa = analysis.function(fid);
-            let mut headers = HashMap::new();
+            let fi = fid.index();
+            if fa.lcds.is_empty() {
+                continue;
+            }
+            header_loop[fi] = vec![NONE; func.blocks.len()];
+            meta_of[fi] = vec![NONE; fa.lcds.len()];
             for (lid, lp) in fa.loops.iter() {
-                headers.insert(lp.header.0, lid);
+                header_loop[fi][lp.header.index()] = lid.0;
                 let lcds = &fa.lcds[lid.index()];
                 let traced_phis: Vec<(ValueId, LcdClass)> = lcds
                     .phis
@@ -137,12 +321,21 @@ impl<'a> Profiler<'a> {
                     .collect();
                 let computable = lcds.phis.len() - traced_phis.len();
                 let meta_idx = loop_meta.len();
-                meta_index.insert((fid.0, lid.0), meta_idx);
+                meta_of[fi][lid.index()] = meta_idx as u32;
+                let mut membership = vec![false; func.blocks.len()];
+                for &b in &lp.blocks {
+                    membership[b.index()] = true;
+                }
+                loop_blocks.push(membership);
                 // Register traced phis and their latch producers.
                 if lp.latches.len() == 1 {
                     let latch = lp.latches[0];
                     for (idx, (phi, _)) in traced_phis.iter().enumerate() {
-                        traced.insert((fid.0, phi.0), (lid.0, idx));
+                        if traced[fi].is_empty() {
+                            traced[fi] = vec![NONE; func.values.len()];
+                        }
+                        traced[fi][phi.index()] = traced_slots.len() as u32;
+                        traced_slots.push((lid.0, idx as u32));
                         if let ValueKind::Inst(iid) = func.value(*phi) {
                             if let Inst::Phi { incomings, .. } = &func.inst(*iid).inst {
                                 if let Some((_, update)) =
@@ -152,10 +345,16 @@ impl<'a> Profiler<'a> {
                                     // events; invariant updates produce at
                                     // offset 0 anyway.
                                     if matches!(func.value(*update), ValueKind::Inst(_)) {
-                                        watched
-                                            .entry((fid.0, update.0))
-                                            .or_default()
-                                            .push((lid.0, idx));
+                                        if watched[fi].is_empty() {
+                                            watched[fi] = vec![NONE; func.values.len()];
+                                        }
+                                        let slot = watched[fi][update.index()];
+                                        if slot == NONE {
+                                            watched[fi][update.index()] = watch_lists.len() as u32;
+                                            watch_lists.push(vec![(lid.0, idx as u32)]);
+                                        } else {
+                                            watch_lists[slot as usize].push((lid.0, idx as u32));
+                                        }
                                     }
                                 }
                             }
@@ -172,8 +371,11 @@ impl<'a> Profiler<'a> {
                     computable_phis: computable as u32,
                 });
             }
-            header_loop.push(headers);
         }
+
+        let predictors = std::iter::repeat_with(HybridPredictor::default)
+            .take(traced_slots.len())
+            .collect();
 
         Profiler {
             analysis,
@@ -185,28 +387,38 @@ impl<'a> Profiler<'a> {
             conflict_dists: Histogram::default(),
             header_loop,
             traced,
+            traced_slots,
             watched,
+            watch_lists,
+            meta_of,
+            loop_blocks,
             loop_meta,
-            meta_index,
             now: 0,
             regions: Vec::new(),
             region_stack: Vec::new(),
             loop_stack: Vec::new(),
+            shadow: ShadowTable::new(),
             frames: Vec::new(),
             call_depth: 0,
-            predictors: HashMap::new(),
+            predictors,
             options,
             cactus_filter_hits: 0,
+            mem_stats: MemStats::default(),
         }
     }
 
     /// The `(func, value)` pairs the machine must report definitions for.
     #[must_use]
     pub fn watched_values(&self) -> Vec<(FuncId, ValueId)> {
-        self.watched
-            .keys()
-            .map(|&(f, v)| (FuncId(f), ValueId(v)))
-            .collect()
+        let mut out = Vec::new();
+        for (f, row) in self.watched.iter().enumerate() {
+            for (v, &slot) in row.iter().enumerate() {
+                if slot != NONE {
+                    out.push((FuncId(f as u32), ValueId(v as u32)));
+                }
+            }
+        }
+        out
     }
 
     fn push_region(&mut self, kind: RegionKind) -> RegionId {
@@ -238,13 +450,12 @@ impl<'a> Profiler<'a> {
             .pop()
             .expect("loop region on region stack");
         debug_assert_eq!(rid, al.region, "region stack out of sync");
-        let meta = self.meta_index[&(al.func, al.loop_id)];
         let region = &mut self.regions[rid.index()];
         region.end = stamp;
         region.kind = RegionKind::Loop(LoopInstance {
-            meta,
+            meta: al.meta,
             iter_starts: al.iter_starts,
-            mem_conflict_iters: al.conflicts.into_iter().collect(),
+            mem_conflict_iters: al.conflicts,
             mem_max_skew: al.max_skew,
             mem_max_producer_rel: al.max_producer_rel,
             mem_min_consumer_rel: al.min_consumer_rel,
@@ -262,53 +473,89 @@ impl<'a> Profiler<'a> {
         }
     }
 
-    fn track_access(&mut self, addr: u64, is_store: bool, now: u64) {
-        // Cactus-stack filter: find the owning frame's push time for stack
-        // addresses. Frames have strictly increasing bases, so the owner
-        // is the last frame with base <= addr.
-        let frame_push = if self.options.cactus_stack && addr >= STACK_BASE {
-            let i = self.frames.partition_point(|fr| fr.base <= addr);
-            if i == 0 {
-                0
-            } else {
-                self.frames[i - 1].push_cost
-            }
-        } else {
+    /// The push time of the stack frame owning `addr` (0 for non-stack
+    /// addresses or when the cactus-stack assumption is off). Frames have
+    /// strictly increasing bases, so the owner is the last frame with
+    /// `base <= addr`.
+    fn owner_frame_push(&self, addr: u64) -> u64 {
+        if !self.options.cactus_stack || addr < STACK_BASE {
+            return 0;
+        }
+        let i = self.frames.partition_point(|fr| fr.base <= addr);
+        if i == 0 {
             0
-        };
+        } else {
+            self.frames[i - 1].push_cost
+        }
+    }
+
+    fn track_access(&mut self, addr: u64, is_store: bool, now: u64) {
         self.now = self.now.max(now);
+        if is_store {
+            // One stamp serves every loop level: each level re-derives
+            // iteration numbers from the absolute time on the (rare)
+            // conflict path.
+            let push = self.owner_frame_push(addr);
+            self.shadow.record_store(addr, now, push);
+            return;
+        }
+        let Some(top) = self.loop_stack.last() else {
+            return;
+        };
+        let w = self.shadow.last_writer(addr);
+        // Fast path: last written during the innermost loop's current
+        // iteration (or never — EMPTY_STAMP's `t` is `u64::MAX`). Inner
+        // iteration starts bound all outer ones, so no level conflicts.
+        if w.t >= top.iter_start {
+            return;
+        }
+        let load_push = self.owner_frame_push(addr);
         for al in &mut self.loop_stack {
-            // Frame created during this instance's current iteration: the
-            // access is iteration-local (disjoint cactus-stack frames,
-            // paper §II-E) — skip conflict tracking at this level.
-            if frame_push >= al.iter_start && frame_push > 0 {
+            // Stamp from before this instance began: not a producer here.
+            // (This is what makes stale stamps harmless without any
+            // per-instance invalidation.)
+            if w.t < al.iter_starts[0] || w.t >= al.iter_start {
+                continue;
+            }
+            // Cactus-stack filter, paper §II-E: a frame created during
+            // this level's current iteration is iteration-local — both
+            // the consumer's frame (checked against the load) and the
+            // producer's frame (checked against the store's own
+            // iteration) generate no cross-iteration conflict.
+            if load_push > 0 && load_push >= al.iter_start {
                 self.cactus_filter_hits += 1;
                 continue;
             }
-            let rel = now.saturating_sub(al.iter_start);
-            if is_store {
-                al.last_writer.insert(addr, (al.cur_iter, rel));
-            } else if let Some(&(w_iter, w_rel)) = al.last_writer.get(&addr) {
-                if w_iter < al.cur_iter {
-                    al.conflicts.insert(al.cur_iter);
-                    al.edges += 1;
-                    let span = u64::from(al.cur_iter - w_iter);
-                    self.conflict_dists.record(span);
-                    let skew = w_rel.saturating_sub(rel) / span;
-                    if skew > al.max_skew {
-                        al.max_skew = skew;
-                    }
-                    al.max_producer_rel = al.max_producer_rel.max(w_rel);
-                    al.min_consumer_rel = al.min_consumer_rel.min(rel);
-                }
+            // 0-based iteration containing the store, by binary search on
+            // this level's iteration start stamps.
+            let w_iter = al.iter_starts.partition_point(|s| *s <= w.t) as u32 - 1;
+            let w_iter_start = al.iter_starts[w_iter as usize];
+            if w.push > 0 && w.push >= w_iter_start {
+                self.cactus_filter_hits += 1;
+                continue;
             }
+            if al.conflicts.last() != Some(&al.cur_iter) {
+                al.conflicts.push(al.cur_iter);
+            }
+            al.edges += 1;
+            let rel = now.saturating_sub(al.iter_start);
+            let w_rel = w.t - w_iter_start;
+            let span = u64::from(al.cur_iter - w_iter);
+            self.conflict_dists.record(span);
+            let skew = w_rel.saturating_sub(rel) / span;
+            if skew > al.max_skew {
+                al.max_skew = skew;
+            }
+            al.max_producer_rel = al.max_producer_rel.max(w_rel);
+            al.min_consumer_rel = al.min_consumer_rel.min(rel);
         }
     }
 
     /// Publishes this run's tallies into the process-wide [`lp_obs`]
     /// counter bank: regions/loops built, RAW conflict edges, cactus-stack
-    /// filter hits, per-iteration-count histogram samples, and per-kind
-    /// value-predictor hit/miss totals.
+    /// filter hits, per-iteration-count histogram samples, memory and
+    /// shadow last-page cache hit rates, and per-kind value-predictor
+    /// hit/miss totals.
     fn flush_counters(&self) {
         let c = lp_obs::counters();
         c.add(Counter::RegionsCreated, self.regions.len() as u64);
@@ -324,6 +571,13 @@ impl<'a> Profiler<'a> {
         c.add(Counter::LoopInstances, loops);
         c.add(Counter::RawConflicts, edges);
         c.add(Counter::CactusFilterHits, self.cactus_filter_hits);
+        c.add(Counter::MemPageCacheHits, self.mem_stats.page_cache_hits);
+        c.add(
+            Counter::MemPageCacheMisses,
+            self.mem_stats.page_cache_misses,
+        );
+        c.add(Counter::ShadowPageCacheHits, self.shadow.hits);
+        c.add(Counter::ShadowPageCacheMisses, self.shadow.misses);
         lp_obs::merge_hist(Hist::ConflictDistance, &self.conflict_dists);
         let components = [
             PredictorKind::LastValue,
@@ -331,7 +585,7 @@ impl<'a> Profiler<'a> {
             PredictorKind::TwoDeltaStride,
             PredictorKind::Fcm,
         ];
-        for pred in self.predictors.values() {
+        for pred in &self.predictors {
             let s = pred.stats();
             c.add(Counter::PredictorHit(PredictorKind::Hybrid), s.correct);
             c.add(
@@ -365,8 +619,8 @@ impl<'a> Profiler<'a> {
             program: self.program,
             total_cost: self.now,
             regions: self.regions,
+            meta_index: MetaIndex::from_meta(&self.loop_meta),
             loop_meta: self.loop_meta,
-            meta_index: self.meta_index,
             func_names: self.func_names,
         }
     }
@@ -381,18 +635,20 @@ impl EventSink for Profiler<'_> {
             if top.frame_depth != self.call_depth || top.func != func.0 {
                 break;
             }
-            let fa = self.analysis.function(func);
-            let lp = fa.loops.loop_(LoopId(top.loop_id));
-            if lp.contains(block) {
+            if self.loop_blocks[top.meta][block.index()] {
                 break;
             }
             self.close_top_loop(stamp);
         }
         // Header entry: new iteration of the top instance, or a new
         // instance.
-        if let Some(&lid) = self.header_loop[func.index()].get(&block.0) {
+        let lid = self.header_loop[func.index()]
+            .get(block.index())
+            .copied()
+            .unwrap_or(NONE);
+        if lid != NONE {
             let is_top = self.loop_stack.last().is_some_and(|t| {
-                t.frame_depth == self.call_depth && t.func == func.0 && t.loop_id == lid.0
+                t.frame_depth == self.call_depth && t.func == func.0 && t.loop_id == lid
             });
             if is_top {
                 let t = self.loop_stack.last_mut().expect("checked above");
@@ -400,7 +656,7 @@ impl EventSink for Profiler<'_> {
                 t.iter_start = stamp;
                 t.iter_starts.push(stamp);
             } else {
-                let meta = self.meta_index[&(func.0, lid.0)];
+                let meta = self.meta_of[func.index()][lid as usize] as usize;
                 let n_lcds = self.loop_meta[meta].traced_phis.len();
                 let region = self.push_region(RegionKind::Loop(LoopInstance {
                     meta,
@@ -417,13 +673,13 @@ impl EventSink for Profiler<'_> {
                 self.loop_stack.push(ActiveLoop {
                     region,
                     func: func.0,
-                    loop_id: lid.0,
+                    loop_id: lid,
+                    meta,
                     frame_depth: self.call_depth,
                     cur_iter: 0,
                     iter_start: stamp,
                     iter_starts: vec![stamp],
-                    last_writer: HashMap::new(),
-                    conflicts: BTreeSet::new(),
+                    conflicts: Vec::new(),
                     max_skew: 0,
                     max_producer_rel: 0,
                     min_consumer_rel: u64::MAX,
@@ -443,24 +699,30 @@ impl EventSink for Profiler<'_> {
         value: Value,
         _now: u64,
     ) {
-        if let Some(&(lid, idx)) = self.traced.get(&(func.0, phi.0)) {
-            if let Some(al) = self
-                .loop_stack
-                .iter_mut()
-                .rev()
-                .find(|a| a.func == func.0 && a.loop_id == lid)
-            {
-                let pred = self.predictors.entry((func.0, phi.0)).or_default();
-                let hit = pred.observe(value.fingerprint());
-                let lcd = &mut al.lcds[idx];
-                lcd.observed += 1;
-                if hit {
-                    lcd.predicted += 1;
-                } else if al.cur_iter >= 1 {
-                    // Iteration 0 consumes the loop-invariant initial
-                    // value — not a cross-iteration dependency.
-                    lcd.mispredict_iters.push(al.cur_iter);
-                }
+        let slot = self.traced[func.index()]
+            .get(phi.index())
+            .copied()
+            .unwrap_or(NONE);
+        if slot == NONE {
+            return;
+        }
+        let (lid, idx) = self.traced_slots[slot as usize];
+        if let Some(al) = self
+            .loop_stack
+            .iter_mut()
+            .rev()
+            .find(|a| a.func == func.0 && a.loop_id == lid)
+        {
+            let pred = &mut self.predictors[slot as usize];
+            let hit = pred.observe(value.fingerprint());
+            let lcd = &mut al.lcds[idx as usize];
+            lcd.observed += 1;
+            if hit {
+                lcd.predicted += 1;
+            } else if al.cur_iter >= 1 {
+                // Iteration 0 consumes the loop-invariant initial
+                // value — not a cross-iteration dependency.
+                lcd.mispredict_iters.push(al.cur_iter);
             }
         }
     }
@@ -526,11 +788,15 @@ impl EventSink for Profiler<'_> {
 
     fn value_defined(&mut self, func: FuncId, value: ValueId, _val: Value, now: u64) {
         self.now = self.now.max(now);
-        let Some(list) = self.watched.get(&(func.0, value.0)) else {
+        let slot = self.watched[func.index()]
+            .get(value.index())
+            .copied()
+            .unwrap_or(NONE);
+        if slot == NONE {
             return;
-        };
-        let list = list.clone();
-        for (lid, idx) in list {
+        }
+        for k in 0..self.watch_lists[slot as usize].len() {
+            let (lid, idx) = self.watch_lists[slot as usize][k];
             if let Some(al) = self
                 .loop_stack
                 .iter_mut()
@@ -538,11 +804,16 @@ impl EventSink for Profiler<'_> {
                 .find(|a| a.func == func.0 && a.loop_id == lid)
             {
                 let rel = now.saturating_sub(al.iter_start);
-                if rel > al.lcds[idx].max_def_rel {
-                    al.lcds[idx].max_def_rel = rel;
+                let lcd = &mut al.lcds[idx as usize];
+                if rel > lcd.max_def_rel {
+                    lcd.max_def_rel = rel;
                 }
             }
         }
+    }
+
+    fn mem_stats(&mut self, stats: MemStats) {
+        self.mem_stats = stats;
     }
 }
 
@@ -731,5 +1002,102 @@ mod tests {
                 assert!(child.start >= r.start && child.end <= r.end);
             }
         }
+    }
+
+    #[test]
+    fn shadow_table_overwrites_and_reports_empty_words() {
+        let mut t = ShadowTable::new();
+        t.record_store(0x1000_0000, 3, 17);
+        assert_eq!(t.last_writer(0x1000_0000), Stamp { t: 3, push: 17 });
+        assert_eq!(t.last_writer(0x1000_0008), EMPTY_STAMP);
+        // Later store to the same word replaces the stamp.
+        t.record_store(0x1000_0000, 9, 0);
+        assert_eq!(t.last_writer(0x1000_0000), Stamp { t: 9, push: 0 });
+        // An empty stamp's time always fails `t < iter_start` exclusion.
+        assert_eq!(EMPTY_STAMP.t, u64::MAX);
+    }
+
+    #[test]
+    fn shadow_table_far_addresses_round_trip() {
+        // Synthetic function-pointer addresses live above the dense
+        // directory and fall through to the Fx map.
+        let far_addr = 0xF000_0000_0000u64 | 8;
+        let mut t = ShadowTable::new();
+        t.record_store(far_addr, 2, 9);
+        assert_eq!(t.last_writer(far_addr), Stamp { t: 2, push: 9 });
+        assert_eq!(t.last_writer(far_addr + 8), EMPTY_STAMP);
+    }
+
+    #[test]
+    fn reentered_loop_instance_starts_with_clean_shadow_state() {
+        // An outer loop runs an inner loop twice. The inner loop stores to
+        // `cell` only on (outer 0, inner 0) and loads `cell` every inner
+        // iteration. The first inner instance therefore carries real RAW
+        // conflicts (iters 1..=4 consume iter 0's store); the second must
+        // have none — a stale last-writer stamp escaping the
+        // instance-start time exclusion would fabricate them.
+        let mut m = Module::new("reentry");
+        let g = m.add_global(Global::zeroed("cell", 1));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let two = fb.const_i64(2);
+        let five = fb.const_i64(5);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let cell = fb.global_addr(g);
+        let outer_header = fb.create_block("outer_header");
+        let outer_body = fb.create_block("outer_body");
+        let inner_header = fb.create_block("inner_header");
+        let inner_body = fb.create_block("inner_body");
+        let do_store = fb.create_block("do_store");
+        let after = fb.create_block("after");
+        let outer_latch = fb.create_block("outer_latch");
+        let exit = fb.create_block("exit");
+        fb.br(outer_header);
+        fb.switch_to(outer_header);
+        let j = fb.phi(Type::I64);
+        let cj = fb.icmp(IcmpPred::Slt, j, two);
+        fb.cond_br(cj, outer_body, exit);
+        fb.switch_to(outer_body);
+        fb.br(inner_header);
+        fb.switch_to(inner_header);
+        let i = fb.phi(Type::I64);
+        let ci = fb.icmp(IcmpPred::Slt, i, five);
+        fb.cond_br(ci, inner_body, outer_latch);
+        fb.switch_to(inner_body);
+        let s = fb.add(i, j);
+        let first = fb.icmp(IcmpPred::Eq, s, zero);
+        fb.cond_br(first, do_store, after);
+        fb.switch_to(do_store);
+        fb.store(one, cell);
+        fb.br(after);
+        fb.switch_to(after);
+        fb.load(Type::I64, cell);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, outer_body, zero);
+        fb.add_phi_incoming(i, after, i2);
+        fb.br(inner_header);
+        fb.switch_to(outer_latch);
+        let j2 = fb.add(j, one);
+        fb.add_phi_incoming(j, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(j, outer_latch, j2);
+        fb.br(outer_header);
+        fb.switch_to(exit);
+        fb.ret(Some(zero));
+        m.add_function(fb.finish().unwrap());
+
+        let p = profile(&m, &[]);
+        let inner: Vec<_> = p
+            .loop_instances()
+            .filter(|(_, _, inst)| p.loop_meta[inst.meta].depth == 2)
+            .collect();
+        assert_eq!(inner.len(), 2, "two inner instances");
+        let (_, _, first_inst) = inner[0];
+        let (_, _, second_inst) = inner[1];
+        assert_eq!(first_inst.mem_conflict_iters, vec![1, 2, 3, 4]);
+        assert!(
+            second_inst.mem_conflict_iters.is_empty(),
+            "stale shadow stamps leaked into the re-entered instance: {:?}",
+            second_inst.mem_conflict_iters
+        );
     }
 }
