@@ -15,7 +15,10 @@
 //! throughput ÷ profiler throughput — hardware-independent, unlike raw
 //! instructions/sec) against a checked-in baseline and exits 1 when the
 //! profiler regressed more than 30%, which is what the CI smoke job
-//! gates on. Counters of the hot-path caches (`mem_page_cache_*`,
+//! gates on. Each benchmark is additionally profiled with the
+//! flight-recorder journal disabled; `--check` also fails when the
+//! always-on journaling overhead (`journal_overhead` in `totals`)
+//! exceeds 3%. Counters of the hot-path caches (`mem_page_cache_*`,
 //! `shadow_page_cache_*`) ride along in the `counters` object.
 
 use lp_analysis::analyze_module;
@@ -28,6 +31,10 @@ use std::path::PathBuf;
 /// Allowed relative slowdown-ratio regression before `--check` fails.
 const CHECK_TOLERANCE: f64 = 0.30;
 
+/// Allowed always-on flight-recorder overhead (profiler run with the
+/// journal enabled vs disabled) before `--check` fails.
+const JOURNAL_TOLERANCE: f64 = 0.03;
+
 /// Per-benchmark measurement: dynamic instructions and the best
 /// wall-clock time of each pipeline stage.
 struct Row {
@@ -35,6 +42,9 @@ struct Row {
     insts: u64,
     interp_ns: u64,
     profile_ns: u64,
+    /// Profiler run with the flight-recorder journal disabled — the
+    /// reference the always-on journaling overhead gate compares against.
+    profile_nojournal_ns: u64,
 }
 
 /// Millions of instructions per second (0 when the clock read 0).
@@ -117,6 +127,8 @@ fn measure(bench: &Benchmark, scale: Scale, reps: u32) -> Row {
     let mut insts = 0;
     let mut interp_ns = u64::MAX;
     let mut profile_ns = u64::MAX;
+    let mut profile_nojournal_ns = u64::MAX;
+    let journal = lp_obs::journal::global();
     for _ in 0..reps.max(1) {
         let (ns, result) = timed(|| {
             let mut sink = NullSink;
@@ -130,12 +142,20 @@ fn measure(bench: &Benchmark, scale: Scale, reps: u32) -> Row {
             timed(|| lp_runtime::profile_module(&module, &analysis, &[], MachineConfig::default()));
         result.unwrap_or_else(|e| panic!("benchmark {} failed under profiling: {e}", bench.name));
         profile_ns = profile_ns.min(ns);
+
+        journal.set_enabled(false);
+        let (ns, result) =
+            timed(|| lp_runtime::profile_module(&module, &analysis, &[], MachineConfig::default()));
+        journal.set_enabled(true);
+        result.unwrap_or_else(|e| panic!("benchmark {} failed under profiling: {e}", bench.name));
+        profile_nojournal_ns = profile_nojournal_ns.min(ns);
     }
     Row {
         name: bench.name,
         insts,
         interp_ns,
         profile_ns,
+        profile_nojournal_ns,
     }
 }
 
@@ -218,7 +238,11 @@ fn main() {
     let t_insts: u64 = rows.iter().map(|r| r.insts).sum();
     let t_interp: u64 = rows.iter().map(|r| r.interp_ns).sum();
     let t_profile: u64 = rows.iter().map(|r| r.profile_ns).sum();
+    let t_nojournal: u64 = rows.iter().map(|r| r.profile_nojournal_ns).sum();
     let cur_slowdown = t_profile as f64 / t_interp.max(1) as f64;
+    // Relative cost of always-on journaling (negative values are timer
+    // noise — the journal cannot speed a run up).
+    let journal_overhead = t_profile as f64 / t_nojournal.max(1) as f64 - 1.0;
 
     let mut w = JsonWriter::compact();
     w.begin_object();
@@ -242,6 +266,8 @@ fn main() {
         w.uint(r.interp_ns);
         w.key("profile_ns");
         w.uint(r.profile_ns);
+        w.key("profile_nojournal_ns");
+        w.uint(r.profile_nojournal_ns);
         w.key("interp_mips");
         w.fixed(mips(r.insts, r.interp_ns), 3);
         w.key("profile_mips");
@@ -259,12 +285,16 @@ fn main() {
     w.uint(t_interp);
     w.key("profile_ns");
     w.uint(t_profile);
+    w.key("profile_nojournal_ns");
+    w.uint(t_nojournal);
     w.key("interp_mips");
     w.fixed(mips(t_insts, t_interp), 3);
     w.key("profile_mips");
     w.fixed(mips(t_insts, t_profile), 3);
     w.key("slowdown");
     w.fixed(cur_slowdown, 3);
+    w.key("journal_overhead");
+    w.fixed(journal_overhead, 4);
     w.end_object();
     w.key("sweep");
     w.begin_object();
@@ -357,11 +387,22 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if journal_overhead > JOURNAL_TOLERANCE {
+            eprintln!(
+                "lpbench check FAILED: always-on journaling overhead {:.1}% exceeds {:.0}% \
+                 (profile {t_profile} ns vs journal-free {t_nojournal} ns)",
+                journal_overhead * 100.0,
+                JOURNAL_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
         lp_info!(
-            "lpbench check passed: slowdown {:.3}x vs baseline {:.3}x (limit {:.3}x)",
+            "lpbench check passed: slowdown {:.3}x vs baseline {:.3}x (limit {:.3}x), \
+             journal overhead {:.2}%",
             cur_slowdown,
             base.slowdown,
-            limit
+            limit,
+            journal_overhead * 100.0
         );
     }
     cli.finish("lpbench");

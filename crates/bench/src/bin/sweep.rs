@@ -49,7 +49,8 @@ fn main() {
             extra => {
                 eprintln!(
                     "unknown argument {extra:?} (expected test|small|default, --suite NAME, \
-                     --jobs N, --trace-out FILE, --profile-cache DIR, --quiet)"
+                     --jobs N, --trace-out FILE, --profile-cache DIR, --flight-out FILE, \
+                     --metrics-out FILE, --sample-hz N, --quiet)"
                 );
                 std::process::exit(2);
             }

@@ -25,7 +25,7 @@
 //! progress output. Criterion performance benches live in `benches/`.
 
 use loopapalooza::Study;
-use lp_obs::{lp_debug, lp_info};
+use lp_obs::{lp_debug, lp_info, lp_warn};
 use lp_runtime::{
     Attribution, Config, EvalOptions, EvalReport, ExecModel, Export, Jobs, Profile, ProfileStore,
     StoreMode, SweepPoint, SweepUnit,
@@ -152,6 +152,15 @@ pub struct Cli {
     /// Explicit `--profile-cache DIR` store directory, if given (see
     /// [`Cli::store`]).
     pub profile_cache: Option<PathBuf>,
+    /// Where to dump the flight-recorder journal (`--flight-out`), if
+    /// requested. The journal is also dumped there on panic or SIGUSR1.
+    pub flight_out: Option<PathBuf>,
+    /// Where to write the Prometheus text exposition of the metrics
+    /// registry (`--metrics-out`), if requested.
+    pub metrics_out: Option<PathBuf>,
+    /// Explicit `--sample-hz N` self-profiler sampling rate, if given
+    /// (consumed by `lpstudy dispatch-heat`).
+    pub sample_hz: Option<u64>,
     /// Arguments this parser did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -181,6 +190,9 @@ impl Cli {
             quiet: false,
             jobs: None,
             profile_cache: None,
+            flight_out: None,
+            metrics_out: None,
+            sample_hz: None,
             rest: Vec::new(),
         };
         let mut args = args.into_iter();
@@ -221,6 +233,27 @@ impl Cli {
                         std::process::exit(2);
                     }
                 },
+                "--flight-out" => match args.next() {
+                    Some(path) => cli.flight_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--flight-out requires a file argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--metrics-out" => match args.next() {
+                    Some(path) => cli.metrics_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--metrics-out requires a file argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--sample-hz" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => cli.sample_hz = Some(n),
+                    _ => {
+                        eprintln!("--sample-hz requires a positive integer argument");
+                        std::process::exit(2);
+                    }
+                },
                 "test" => cli.scale = Scale::Test,
                 "small" => cli.scale = Scale::Small,
                 "default" => cli.scale = Scale::Default,
@@ -228,6 +261,11 @@ impl Cli {
             }
         }
         lp_obs::log::init(cli.quiet);
+        if let Some(path) = &cli.flight_out {
+            // Arms the panic hook and SIGUSR1 handler in addition to the
+            // end-of-run dump in `Cli::finish`.
+            lp_obs::journal::arm(path);
+        }
         cli
     }
 
@@ -279,17 +317,14 @@ impl Cli {
                     Ok(0) => {}
                     Ok(n) => lp_info!("profile store: gc reclaimed {n} bytes"),
                     Err(e) => {
-                        eprintln!(
-                            "warning: profile store gc failed in {} ({e})",
-                            dir.display()
-                        );
+                        lp_warn!("profile store gc failed in {} ({e})", dir.display());
                     }
                 }
                 Some(store)
             }
             Err(e) => {
-                eprintln!(
-                    "warning: cannot open profile store {} ({e}); running without a cache",
+                lp_warn!(
+                    "cannot open profile store {} ({e}); running without a cache",
                     dir.display()
                 );
                 None
@@ -301,7 +336,8 @@ impl Cli {
         if let Some(extra) = self.rest.first() {
             eprintln!(
                 "unknown argument {extra:?} (expected test|small|default, --jobs N, \
-                 --trace-out FILE, --explain-out FILE, --profile-cache DIR, --quiet)"
+                 --trace-out FILE, --explain-out FILE, --profile-cache DIR, \
+                 --flight-out FILE, --metrics-out FILE, --sample-hz N, --quiet)"
             );
             std::process::exit(2);
         }
@@ -355,7 +391,9 @@ impl Cli {
     }
 
     /// End-of-run hook: dumps the observability summary at debug level
-    /// and writes the Chrome trace when `--trace-out` was given.
+    /// and writes the Chrome trace (`--trace-out`), the Prometheus text
+    /// exposition (`--metrics-out`), and the flight-recorder journal
+    /// (`--flight-out`) when requested.
     pub fn finish(&self, process: &str) {
         if lp_obs::log::enabled(lp_obs::Level::Debug) {
             eprint!("{}", lp_obs::summary(lp_obs::registry()));
@@ -365,6 +403,24 @@ impl Cli {
                 Ok(()) => lp_info!("wrote Chrome trace to {}", path.display()),
                 Err(e) => {
                     eprintln!("cannot write trace to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            match std::fs::write(path, lp_obs::prometheus::render_global()) {
+                Ok(()) => lp_info!("wrote metrics exposition to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write metrics to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &self.flight_out {
+            match lp_obs::journal::global().write_dump(path) {
+                Ok(()) => lp_info!("wrote flight-recorder dump to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write flight dump to {}: {e}", path.display());
                     std::process::exit(1);
                 }
             }
@@ -616,6 +672,10 @@ mod tests {
                 "3",
                 "--profile-cache",
                 "/tmp/lp-cache",
+                "--metrics-out",
+                "/tmp/m.prom",
+                "--sample-hz",
+                "997",
                 "--bench",
                 "x.lp",
             ]
@@ -637,6 +697,11 @@ mod tests {
             cli.explain_out.as_deref(),
             Some(std::path::Path::new("/tmp/e.json"))
         );
+        assert_eq!(
+            cli.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/m.prom"))
+        );
+        assert_eq!(cli.sample_hz, Some(997));
         assert_eq!(cli.rest, vec!["--bench".to_string(), "x.lp".to_string()]);
 
         let cli = Cli::parse_from(std::iter::empty());
@@ -646,6 +711,7 @@ mod tests {
         assert!(cli.jobs.is_none());
         assert!(cli.jobs().get() >= 1);
         assert!(cli.profile_cache.is_none());
+        assert!(cli.flight_out.is_none() && cli.metrics_out.is_none() && cli.sample_hz.is_none());
         // Restore logging for the rest of the test process.
         lp_obs::log::set_level(lp_obs::Level::Off);
     }

@@ -22,6 +22,7 @@ fn exe(binary: &str) -> &'static str {
         "scaling" => env!("CARGO_BIN_EXE_scaling"),
         "sweep" => env!("CARGO_BIN_EXE_sweep"),
         "lpstudy" => env!("CARGO_BIN_EXE_lpstudy"),
+        "lpbench" => env!("CARGO_BIN_EXE_lpbench"),
         other => panic!("unknown binary {other:?}"),
     }
 }
@@ -58,7 +59,8 @@ fn unknown_argument_exits_2_with_the_pinned_message() {
         assert_eq!(
             stderr_of(&out),
             "unknown argument \"--bogus\" (expected test|small|default, --jobs N, \
-             --trace-out FILE, --explain-out FILE, --profile-cache DIR, --quiet)\n",
+             --trace-out FILE, --explain-out FILE, --profile-cache DIR, \
+             --flight-out FILE, --metrics-out FILE, --sample-hz N, --quiet)\n",
             "{binary}"
         );
     }
@@ -94,7 +96,8 @@ fn sweep_rejects_extras_with_its_own_positional_list() {
     assert_eq!(
         stderr_of(&out),
         "unknown argument \"--bogus\" (expected test|small|default, --suite NAME, \
-         --jobs N, --trace-out FILE, --profile-cache DIR, --quiet)\n"
+         --jobs N, --trace-out FILE, --profile-cache DIR, --flight-out FILE, \
+         --metrics-out FILE, --sample-hz N, --quiet)\n"
     );
 }
 
@@ -122,11 +125,136 @@ fn flags_missing_their_operand_exit_2() {
             &["--jobs", "zero"][..],
             "--jobs requires a non-negative integer argument\n",
         ),
+        (
+            &["--flight-out"][..],
+            "--flight-out requires a file argument\n",
+        ),
+        (
+            &["--metrics-out"][..],
+            "--metrics-out requires a file argument\n",
+        ),
+        (
+            &["--sample-hz", "fast"][..],
+            "--sample-hz requires a positive integer argument\n",
+        ),
     ] {
         let out = run("fig1", args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
         assert_eq!(stderr_of(&out), message, "{args:?}");
     }
+}
+
+#[test]
+fn quiet_silences_stderr_byte_exactly_across_every_binary() {
+    // --quiet must suppress heartbeats and lp_warn! alike, in every one
+    // of the 12 binaries. The profile cache is pointed at a regular
+    // file, so ProfileStore::open fails and emits an lp_warn! — a quiet
+    // run must swallow even that.
+    let dir = std::env::temp_dir();
+    let bad_cache = dir.join(format!("lp-quiet-cache-{}", std::process::id()));
+    std::fs::write(&bad_cache, b"not a directory").unwrap();
+    let cache = bad_cache.to_str().unwrap().to_string();
+
+    let standard = [
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "ablations",
+        "scaling",
+    ];
+    let mut invocations: Vec<(&str, Vec<String>)> = standard
+        .iter()
+        .map(|&b| {
+            let args = ["test", "--quiet", "--profile-cache", &cache]
+                .map(String::from)
+                .to_vec();
+            (b, args)
+        })
+        .collect();
+    invocations.push((
+        "sweep",
+        [
+            "test",
+            "--suite",
+            "eembc",
+            "--quiet",
+            "--profile-cache",
+            &cache,
+        ]
+        .map(String::from)
+        .to_vec(),
+    ));
+    invocations.push((
+        "lpstudy",
+        ["--bench", "eembc.matrix01", "--quiet"]
+            .map(String::from)
+            .to_vec(),
+    ));
+    invocations.push((
+        "lpbench",
+        [
+            "test",
+            "--bench",
+            "eembc.matrix01",
+            "--reps",
+            "1",
+            "--quiet",
+        ]
+        .map(String::from)
+        .to_vec(),
+    ));
+    assert_eq!(invocations.len(), 12, "cover every binary");
+
+    for (binary, args) in &invocations {
+        let out = Command::new(exe(binary))
+            .args(args)
+            .env_remove("LP_LOG")
+            .env_remove("LP_PROFILE_CACHE")
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {binary}: {e}"));
+        assert!(
+            out.status.success(),
+            "{binary} failed under --quiet: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            out.stderr,
+            b"",
+            "{binary} wrote to stderr under --quiet: {:?}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let _ = std::fs::remove_file(&bad_cache);
+}
+
+#[test]
+fn metrics_out_round_trips_every_counter() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lp-metrics-{}.prom", std::process::id()));
+    let out = run(
+        "fig1",
+        &["test", "--quiet", "--metrics-out", path.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "fig1: {}", stderr_of(&out));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let samples = lp_obs::prometheus::parse(&text)
+        .expect("--metrics-out must be valid Prometheus text exposition");
+    for counter in lp_obs::Counter::all() {
+        let (family, label) = lp_obs::prometheus::counter_series(counter);
+        let found = samples.iter().any(|s| {
+            s.name == family
+                && match label {
+                    None => true,
+                    Some((k, v)) => s.labels.iter().any(|(lk, lv)| lk == k && lv == v),
+                }
+        });
+        assert!(found, "counter {family} {label:?} missing from exposition");
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -5,9 +5,24 @@ use crate::memory::Memory;
 use crate::value::Value;
 use crate::{InterpError, Result};
 use lp_ir::{
-    BinOp, BlockId, Builtin, Callee, CastKind, FcmpPred, FuncId, IcmpPred, Inst, Module, Term,
-    ValueId, ValueKind,
+    BinOp, BlockId, Builtin, Callee, CastKind, FcmpPred, FuncId, IcmpPred, Inst, Module, Opcode,
+    Term, ValueId, ValueKind,
 };
+
+/// Dispatch-heat collection state, allocated only when
+/// `lp_obs::sampler::collecting()` is on at machine construction. While
+/// live, every dispatched opcode (1) bumps the exact count of its
+/// dynamic `(previous, current)` opcode pair and (2) publishes the
+/// packed `(func, block, prev, cur)` progress word for the sampling
+/// self-profiler. When absent the hot loop pays one `Option` check per
+/// instruction and nothing else.
+#[derive(Debug)]
+struct Heat {
+    /// Exact pair counts, `prev * OPCODE_LIMIT + cur`.
+    pairs: Vec<u64>,
+    /// Opcode of the previously dispatched instruction.
+    prev: u8,
+}
 
 /// Resource limits and reproducibility knobs.
 #[derive(Debug, Clone)]
@@ -76,6 +91,8 @@ pub struct Machine<'a, S> {
     /// Reused scratch for two-phase phi resolution, so header re-entry
     /// (every loop iteration) does not allocate.
     phi_scratch: Vec<(ValueId, Value)>,
+    /// Dispatch-heat collection, on only while a sampler is live.
+    heat: Option<Box<Heat>>,
 }
 
 impl<'a, S: EventSink> Machine<'a, S> {
@@ -157,6 +174,12 @@ impl<'a, S: EventSink> Machine<'a, S> {
             watched,
             reg_templates,
             phi_scratch: Vec::new(),
+            heat: lp_obs::sampler::collecting().then(|| {
+                Box::new(Heat {
+                    pairs: vec![0; lp_obs::sampler::PAIR_SLOTS],
+                    prev: 0,
+                })
+            }),
         }
     }
 
@@ -170,7 +193,9 @@ impl<'a, S: EventSink> Machine<'a, S> {
             .module
             .entry()
             .map_err(|_| InterpError::TypeConfusion("missing main"))?;
-        let ret = self.call_function(entry, args)?;
+        let ret = self.call_function(entry, args);
+        self.flush_heat();
+        let ret = ret?;
         self.sink.mem_stats(self.memory.stats());
         Ok(RunResult {
             ret,
@@ -188,7 +213,9 @@ impl<'a, S: EventSink> Machine<'a, S> {
             .module
             .function_by_name(name)
             .ok_or(InterpError::TypeConfusion("unknown function"))?;
-        let ret = self.call_function(fid, args)?;
+        let ret = self.call_function(fid, args);
+        self.flush_heat();
+        let ret = ret?;
         self.sink.mem_stats(self.memory.stats());
         Ok(RunResult {
             ret,
@@ -210,6 +237,35 @@ impl<'a, S: EventSink> Machine<'a, S> {
     #[must_use]
     pub fn global_base(&self, g: lp_ir::GlobalId) -> u64 {
         self.global_bases[g.index()]
+    }
+
+    /// Folds any collected dispatch-heat pair counts into the global
+    /// table, even if the run errored mid-way.
+    fn flush_heat(&mut self) {
+        if let Some(heat) = self.heat.take() {
+            lp_obs::sampler::merge_pairs(&heat.pairs);
+        }
+    }
+
+    /// Dispatch-heat bookkeeping for one dispatched opcode: bumps the
+    /// exact `(prev, cur)` pair count and publishes the packed progress
+    /// word for the sampling self-profiler. One `Option` check when no
+    /// sampler is live.
+    #[inline]
+    fn heat_tick(&mut self, fid: FuncId, block: BlockId, op: Opcode) {
+        let Some(heat) = self.heat.as_deref_mut() else {
+            return;
+        };
+        let cur = op as u8;
+        let idx = heat.prev as usize * lp_obs::sampler::OPCODE_LIMIT + cur as usize;
+        heat.pairs[idx] = heat.pairs[idx].saturating_add(1);
+        lp_obs::sampler::publish(lp_obs::sampler::pack_progress(
+            fid.index() as u32,
+            block.index() as u32,
+            heat.prev,
+            cur,
+        ));
+        heat.prev = cur;
     }
 
     fn charge(&mut self, c: u64) -> Result<()> {
@@ -264,6 +320,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
                 }
                 for &(r, v) in &updates {
                     regs[r.index()] = v;
+                    self.heat_tick(fid, block, Opcode::Phi);
                     self.sink.phi_resolved(fid, block, r, v, self.cost);
                 }
                 updates.clear();
@@ -279,6 +336,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
                 if data.inst.is_phi() {
                     continue;
                 }
+                self.heat_tick(fid, block, data.inst.opcode());
                 self.charge(1)?;
                 let result = self.exec_inst(fid, func, &mut regs, &data.inst)?;
                 regs[data.result.index()] = result;
@@ -289,6 +347,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
             }
 
             // Terminator (one cost unit).
+            self.heat_tick(fid, block, func.block(block).term.opcode());
             self.charge(1)?;
             match &func.block(block).term {
                 Term::Br(t) => {
@@ -619,6 +678,40 @@ mod tests {
         assert_eq!(sink.blocks, 1);
         assert_eq!(sink.calls, 1); // main itself
         assert_eq!(r.cost, sink.cost);
+    }
+
+    #[test]
+    fn dispatch_heat_counts_pairs_when_collecting() {
+        use lp_obs::sampler;
+        // Store-then-load body: the exact (store, load) adjacency must
+        // land in the pair table, and load dispatches must cover the
+        // sink's load count. Other tests may run machines concurrently
+        // while collection is on, so assertions are lower bounds.
+        let mut m = Module::new("heat");
+        let g = m.add_global(Global::zeroed("buf", 4));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let p = fb.global_addr(g);
+        let x = fb.const_i64(5);
+        fb.store(x, p);
+        let y = fb.load(Type::I64, p);
+        fb.ret(Some(y));
+        m.add_function(fb.finish().unwrap());
+
+        sampler::reset_pairs();
+        sampler::set_collecting(true);
+        let mut sink = CountingSink::default();
+        let r = Machine::new(&m, &mut sink).run(&[]).unwrap();
+        sampler::set_collecting(false);
+        assert_eq!(r.ret, Value::I(5));
+
+        let pairs = sampler::pair_counts();
+        let load_dispatches: u64 = (0..sampler::OPCODE_LIMIT)
+            .map(|prev| pairs[prev * sampler::OPCODE_LIMIT + Opcode::Load as usize])
+            .sum();
+        assert!(load_dispatches >= sink.loads);
+        let idx = Opcode::Store as usize * sampler::OPCODE_LIMIT + Opcode::Load as usize;
+        assert!(pairs[idx] >= 1, "store->load pair missing from heat table");
+        sampler::reset_pairs();
     }
 
     #[test]

@@ -52,6 +52,10 @@ impl EventCounts {
 pub struct MeteredSink<S> {
     inner: S,
     counts: EventCounts,
+    /// Cost at the most recent block entry — the best "how far did the
+    /// run get" stamp available when the end-of-run journal record is
+    /// cut in [`EventSink::mem_stats`].
+    last_now: u64,
 }
 
 impl<S> MeteredSink<S> {
@@ -60,6 +64,7 @@ impl<S> MeteredSink<S> {
         MeteredSink {
             inner,
             counts: EventCounts::default(),
+            last_now: 0,
         }
     }
 
@@ -85,6 +90,7 @@ impl<S> MeteredSink<S> {
 impl<S: EventSink> EventSink for MeteredSink<S> {
     fn block_entered(&mut self, func: FuncId, block: BlockId, cost: u64, now: u64) {
         self.counts.blocks += 1;
+        self.last_now = now;
         self.inner.block_entered(func, block, cost, now);
     }
 
@@ -124,6 +130,14 @@ impl<S: EventSink> EventSink for MeteredSink<S> {
     }
 
     fn mem_stats(&mut self, stats: crate::memory::MemStats) {
+        // Delivered once per successful run, so it doubles as the
+        // flight-recorder's end-of-run mark: total events delivered and
+        // the cost reached by the last block entry.
+        lp_obs::journal::record(
+            lp_obs::EventKind::RunCompleted,
+            self.counts.total(),
+            self.last_now,
+        );
         self.inner.mem_stats(stats);
     }
 }
@@ -235,6 +249,20 @@ mod tests {
         assert_eq!(counts.funcs, 1);
         assert_eq!(counts.exits, 1);
         assert_eq!(counts.builtins, 1);
+    }
+
+    #[test]
+    fn metered_run_cuts_a_journal_record() {
+        let m = sample_module();
+        let journal = lp_obs::journal::global();
+        let (before, _) = journal.snapshot();
+        let mut metered = MeteredSink::new(CountingSink::default());
+        Machine::new(&m, &mut metered).run(&[]).unwrap();
+        let (after, records) = journal.snapshot();
+        assert!(after > before, "run completion was not journaled");
+        assert!(records
+            .iter()
+            .any(|r| r.kind == lp_obs::EventKind::RunCompleted && r.a == metered.counts().total()));
     }
 
     #[test]

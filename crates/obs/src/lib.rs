@@ -13,8 +13,15 @@
 //!   stream privately and merges everything into the registry in one
 //!   flush, so concurrent workers never race on a shared summary;
 //! - **Exporters** — a human summary for stderr ([`summary`]), plain
-//!   JSON ([`to_json`]), and Chrome `trace_event` JSON
-//!   ([`chrome_trace`]) loadable in `chrome://tracing` / Perfetto;
+//!   JSON ([`to_json`]), Chrome `trace_event` JSON ([`chrome_trace`])
+//!   loadable in `chrome://tracing` / Perfetto, and Prometheus text
+//!   exposition ([`prometheus`]) with a coherent registry freeze;
+//! - **Flight recorder** — an always-on bounded ring journal of coarse
+//!   lifecycle events ([`journal`]), dumped to JSON on panic, on
+//!   `SIGUSR1`, or via the binaries' `--flight-out` flag;
+//! - **Sampling self-profiler** — the interpreter publishes its
+//!   dispatch position through a relaxed atomic and a sampler thread
+//!   attributes wall time per opcode pair ([`sampler`]);
 //! - **Logging** — `lp_info!` / `lp_debug!` macros filtered by the
 //!   `LP_LOG` environment variable and the binaries' `--quiet` flag.
 //!
@@ -33,15 +40,19 @@
 //! ```
 
 pub mod export;
+pub mod journal;
 pub mod local;
 pub mod log;
 pub mod metrics;
+pub mod prometheus;
 pub mod registry;
+pub mod sampler;
 pub mod span;
 
 pub use export::{
     chrome_trace, json_escape, summary, to_json, validate_json, write_chrome_trace, JsonWriter,
 };
+pub use journal::{EventKind, Journal, JournalRecord, JOURNAL_CAP};
 pub use local::LocalStats;
 pub use log::Level;
 pub use metrics::{Counter, CounterBank, Hist, Histogram, PredictorKind, COUNTER_SLOTS};

@@ -12,17 +12,19 @@
 //! so N workers × M increments always sum exactly — there is no shared
 //! mutable summary to race on.
 
+use crate::journal::{EventKind, JournalRecord};
 use crate::metrics::{Counter, Hist, Histogram, COUNTER_SLOTS};
 use crate::registry::Registry;
 use crate::span::SpanRecord;
 
-/// A thread-private accumulator of counters, histograms, and spans,
-/// merged into a [`Registry`] at flush time.
+/// A thread-private accumulator of counters, histograms, spans, and
+/// journal records, merged into a [`Registry`] at flush time.
 #[derive(Debug)]
 pub struct LocalStats {
     counts: [u64; COUNTER_SLOTS],
     hists: [Histogram; Hist::ALL.len()],
     spans: Vec<SpanRecord>,
+    journal: Vec<JournalRecord>,
 }
 
 impl Default for LocalStats {
@@ -31,6 +33,7 @@ impl Default for LocalStats {
             counts: [0; COUNTER_SLOTS],
             hists: std::array::from_fn(|_| Histogram::default()),
             spans: Vec::new(),
+            journal: Vec::new(),
         }
     }
 }
@@ -63,6 +66,13 @@ impl LocalStats {
         self.spans.push(record);
     }
 
+    /// Buffers one flight-recorder event, stamped "now", for the batch
+    /// append into the global journal at flush time — sweep workers
+    /// journal per-task progress without touching the journal mutex.
+    pub fn record_journal(&mut self, kind: EventKind, a: u64, b: u64) {
+        self.journal.push(JournalRecord::now(kind, a, b));
+    }
+
     /// Times `f` as a locally-buffered span named `name` (the clock is
     /// the registry's epoch so flushed spans line up with global ones).
     pub fn time<R>(&mut self, reg: &Registry, name: &'static str, f: impl FnOnce() -> R) -> R {
@@ -87,6 +97,7 @@ impl LocalStats {
             a.merge(b);
         }
         self.spans.extend(other.spans.iter().cloned());
+        self.journal.extend(other.journal.iter().copied());
     }
 
     /// Publishes everything into `reg` and empties `self`: counters via
@@ -110,6 +121,13 @@ impl LocalStats {
         }
         if !self.spans.is_empty() {
             reg.record_spans(std::mem::take(&mut self.spans));
+        }
+        // Journal records always land in the process-wide journal (the
+        // flight recorder has no per-registry variant), one lock for
+        // the whole batch.
+        if !self.journal.is_empty() {
+            crate::journal::global().record_batch(&self.journal);
+            self.journal.clear();
         }
     }
 
@@ -162,6 +180,23 @@ mod tests {
         assert_eq!(reg.counters().get(Counter::SweepProfileCacheHits), 11);
         assert_eq!(reg.hist(Hist::EvalNanos).count, 1);
         assert_eq!(reg.spans().len(), 1);
+    }
+
+    #[test]
+    fn journal_records_buffer_until_flush() {
+        let journal = crate::journal::global();
+        let before = journal.snapshot().0;
+        let mut a = LocalStats::new();
+        let mut b = LocalStats::new();
+        a.record_journal(EventKind::SweepTaskDone, 1, 4);
+        b.record_journal(EventKind::SweepTaskDone, 2, 4);
+        a.merge(&b);
+        assert_eq!(journal.snapshot().0, before, "must stay local until flush");
+        a.flush(&Registry::new());
+        assert_eq!(journal.snapshot().0, before + 2);
+        // Flush drained the buffer; flushing again adds nothing.
+        a.flush(&Registry::new());
+        assert_eq!(journal.snapshot().0, before + 2);
     }
 
     #[test]

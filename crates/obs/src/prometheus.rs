@@ -1,0 +1,418 @@
+//! Prometheus text-exposition of the registry.
+//!
+//! [`snapshot`] freezes the registry coherently — every counter read in
+//! one pass, every histogram cloned under a single lock — and
+//! [`render`] emits the snapshot in the Prometheus text exposition
+//! format (`# TYPE` headers, `name{label="value"} value` samples,
+//! cumulative `_bucket`/`_sum`/`_count` histogram series). This is the
+//! exact payload a future `lpd` daemon's `/metrics` endpoint serves,
+//! and what the binaries' shared `--metrics-out PATH` flag writes at
+//! exit.
+//!
+//! The workspace has no Prometheus client (or any dependency at all),
+//! so [`parse`] is a small hand-rolled validator for the format; the
+//! unit tests round-trip every counter in the registry through
+//! render → parse.
+
+use crate::metrics::{Counter, Hist, Histogram};
+use crate::registry::Registry;
+use std::fmt::Write as _;
+
+/// A coherent freeze of the registry (plus journal occupancy).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Every counter with its value (zeros included), export order.
+    pub counters: Vec<(Counter, u64)>,
+    /// Every histogram slot, export order.
+    pub hists: Vec<(Hist, Histogram)>,
+    /// Spans currently retained by the registry.
+    pub spans_retained: u64,
+    /// Journal records ever recorded.
+    pub journal_total: u64,
+    /// Journal records currently retained in the ring.
+    pub journal_retained: u64,
+}
+
+/// Freezes `reg` (and the process-wide journal) into a [`Snapshot`].
+#[must_use]
+pub fn snapshot(reg: &Registry) -> Snapshot {
+    let counters = Counter::all()
+        .into_iter()
+        .map(|c| (c, reg.counters().get(c)))
+        .collect();
+    let hists = Hist::ALL
+        .iter()
+        .zip(reg.hists_snapshot())
+        .map(|(&h, hist)| (h, hist))
+        .collect();
+    let (journal_total, journal_records) = crate::journal::global().snapshot();
+    Snapshot {
+        counters,
+        hists,
+        spans_retained: reg.span_count() as u64,
+        journal_total,
+        journal_retained: journal_records.len() as u64,
+    }
+}
+
+/// The exposition family and optional label a counter renders as:
+/// per-predictor counters share the two `lp_predictor_{hits,misses}`
+/// families with a `kind` label; everything else is its own family.
+#[must_use]
+pub fn counter_series(counter: Counter) -> (String, Option<(&'static str, &'static str)>) {
+    match counter {
+        Counter::PredictorHit(kind) => (
+            "lp_predictor_hits_total".to_string(),
+            Some(("kind", kind.label())),
+        ),
+        Counter::PredictorMiss(kind) => (
+            "lp_predictor_misses_total".to_string(),
+            Some(("kind", kind.label())),
+        ),
+        c => (format!("lp_{}_total", c.name()), None),
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+#[must_use]
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for &(counter, value) in &snap.counters {
+        let (family, label) = counter_series(counter);
+        if typed.insert(family.clone()) {
+            let _ = writeln!(out, "# TYPE {family} counter");
+        }
+        match label {
+            Some((k, v)) => {
+                let _ = writeln!(out, "{family}{{{k}=\"{v}\"}} {value}");
+            }
+            None => {
+                let _ = writeln!(out, "{family} {value}");
+            }
+        }
+    }
+    let gauges = [
+        ("lp_spans_retained", snap.spans_retained),
+        ("lp_journal_records_retained", snap.journal_retained),
+    ];
+    for (name, value) in gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    let _ = writeln!(out, "# TYPE lp_journal_records_total counter");
+    let _ = writeln!(out, "lp_journal_records_total {}", snap.journal_total);
+    for (h, hist) in &snap.hists {
+        let family = format!("lp_{}", h.name());
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        let mut cumulative = 0u64;
+        for (k, &n) in hist.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            // Power-of-two bucket k covers values up to 2^(k+1) - 1.
+            let le = if k >= 63 {
+                u64::MAX
+            } else {
+                (1u64 << (k + 1)) - 1
+            };
+            let _ = writeln!(out, "{family}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{family}_sum {}", hist.sum);
+        let _ = writeln!(out, "{family}_count {}", hist.count);
+    }
+    out
+}
+
+/// Renders the process-wide registry.
+#[must_use]
+pub fn render_global() -> String {
+    render(&snapshot(crate::registry::global()))
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms this keeps the `_bucket`/`_sum`/
+    /// `_count` suffix).
+    pub name: String,
+    /// Label pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn parse_name(line: &str) -> Result<(String, &str), String> {
+    let mut chars = line.char_indices();
+    match chars.next() {
+        Some((_, c)) if is_name_start(c) => {}
+        _ => return Err(format!("bad metric name start: {line:?}")),
+    }
+    let end = line
+        .char_indices()
+        .find(|&(_, c)| !is_name_char(c))
+        .map_or(line.len(), |(i, _)| i);
+    Ok((line[..end].to_string(), &line[end..]))
+}
+
+/// Parsed label pairs plus the unconsumed remainder of the line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+fn parse_labels(mut rest: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    rest = &rest[1..]; // consume '{'
+    loop {
+        rest = rest.trim_start();
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        let (key, after_key) = parse_name(rest)?;
+        let after_eq = after_key
+            .strip_prefix('=')
+            .ok_or_else(|| format!("missing '=' in label: {rest:?}"))?;
+        let after_quote = after_eq
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value: {rest:?}"))?;
+        let mut value = String::new();
+        let mut chars = after_quote.char_indices();
+        let close = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break i,
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or("truncated label escape")?;
+                    match esc {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => return Err(format!("bad label escape \\{other}")),
+                    }
+                }
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        rest = &after_quote[close + 1..];
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+        }
+    }
+}
+
+/// Validates Prometheus text exposition and returns the samples.
+///
+/// Checks line structure (`# TYPE`/`# HELP` comments, sample lines),
+/// metric-name lexing, label quoting/escaping, numeric values, and
+/// that every sample's family was declared by a preceding `# TYPE`
+/// line (histogram samples match their base family).
+///
+/// # Errors
+/// Returns a description of the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE without name".into()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE without kind".into()))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(format!("unknown metric type {kind:?}")));
+                }
+                let (parsed, rest) = parse_name(name).map_err(err)?;
+                if !rest.is_empty() {
+                    return Err(err(format!("bad metric name {name:?}")));
+                }
+                declared.insert(parsed);
+            }
+            // `# HELP` and other comments pass through unchecked.
+            continue;
+        }
+        let (name, rest) = parse_name(line).map_err(err)?;
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest).map_err(err)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let mut fields = rest.split_whitespace();
+        let value_text = fields
+            .next()
+            .ok_or_else(|| err(format!("sample {name:?} has no value")))?;
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|e| err(format!("bad value {v:?}: {e}")))?,
+        };
+        // At most one optional timestamp may follow.
+        if let Some(ts) = fields.next() {
+            ts.parse::<i64>()
+                .map_err(|e| err(format!("bad timestamp {ts:?}: {e}")))?;
+        }
+        if fields.next().is_some() {
+            return Err(err(format!("trailing fields after sample {name:?}")));
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| declared.contains(*base))
+            .unwrap_or(&name);
+        if !declared.contains(family) {
+            return Err(err(format!("sample {name:?} has no preceding # TYPE")));
+        }
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PredictorKind;
+
+    fn seeded() -> Registry {
+        let reg = Registry::new();
+        reg.counters().add(Counter::Loads, 1780096);
+        reg.counters().add(Counter::PhisResolved, 42);
+        reg.counters()
+            .add(Counter::PredictorHit(PredictorKind::Fcm), 7);
+        reg.record_hist(Hist::LoopIterations, 3);
+        reg.record_hist(Hist::LoopIterations, 1000);
+        reg
+    }
+
+    #[test]
+    fn render_parses_and_round_trips_every_counter() {
+        let reg = seeded();
+        let snap = snapshot(&reg);
+        let text = render(&snap);
+        let samples = parse(&text).unwrap();
+        // Every counter in the registry (zeros included) must come back
+        // with its exact value under its exposition series name.
+        for (counter, value) in &snap.counters {
+            let (family, label) = counter_series(*counter);
+            let hit = samples.iter().find(|s| {
+                s.name == family
+                    && match label {
+                        Some((k, v)) => s.labels == vec![(k.to_string(), v.to_string())],
+                        None => s.labels.is_empty(),
+                    }
+            });
+            let hit = hit.unwrap_or_else(|| panic!("{} missing from exposition", family));
+            assert_eq!(hit.value as u64, *value, "{family} value drifted");
+        }
+        assert_eq!(
+            samples
+                .iter()
+                .filter(|s| s.name == "lp_predictor_hits_total")
+                .count(),
+            PredictorKind::ALL.len()
+        );
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_with_inf_bucket() {
+        let text = render(&snapshot(&seeded()));
+        let samples = parse(&text).unwrap();
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "lp_loop_iterations_bucket")
+            .collect();
+        // Samples 3 and 1000 land in buckets le=3 and le=1023, plus +Inf.
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].labels, vec![("le".to_string(), "3".to_string())]);
+        assert_eq!(buckets[0].value, 1.0);
+        assert_eq!(
+            buckets[1].labels,
+            vec![("le".to_string(), "1023".to_string())]
+        );
+        assert_eq!(buckets[1].value, 2.0);
+        assert_eq!(
+            buckets[2].labels,
+            vec![("le".to_string(), "+Inf".to_string())]
+        );
+        assert_eq!(buckets[2].value, 2.0);
+        let count = samples
+            .iter()
+            .find(|s| s.name == "lp_loop_iterations_count")
+            .unwrap();
+        assert_eq!(count.value, 2.0);
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "lp_loop_iterations_sum")
+            .unwrap();
+        assert_eq!(sum.value, 1003.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_exposition() {
+        assert!(parse("lp_x 1").is_err(), "sample without TYPE");
+        assert!(parse("# TYPE lp_x counter\nlp_x").is_err(), "no value");
+        assert!(parse("# TYPE lp_x counter\nlp_x abc").is_err(), "bad value");
+        assert!(parse("# TYPE lp_x widget\nlp_x 1").is_err(), "bad type");
+        assert!(
+            parse("# TYPE lp_x counter\nlp_x{k=unquoted} 1").is_err(),
+            "unquoted label"
+        );
+        assert!(
+            parse("# TYPE lp_x counter\nlp_x{k=\"v} 1").is_err(),
+            "unterminated label"
+        );
+        assert!(
+            parse("# TYPE lp_x counter\n9bad 1").is_err(),
+            "bad name start"
+        );
+        assert!(
+            parse("# TYPE lp_x counter\nlp_x 1 12345 extra").is_err(),
+            "trailing fields"
+        );
+    }
+
+    #[test]
+    fn parser_accepts_labels_escapes_and_timestamps() {
+        let text = "# HELP lp_x helpful text\n# TYPE lp_x counter\nlp_x{a=\"q\\\"uo\\\\te\\n\",b=\"2\"} 4 1700000000\n";
+        let samples = parse(text).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].labels[0].1, "q\"uo\\te\n");
+        assert_eq!(samples[0].value, 4.0);
+    }
+
+    #[test]
+    fn gauges_and_journal_series_are_present() {
+        let text = render(&snapshot(&Registry::new()));
+        assert!(text.contains("# TYPE lp_spans_retained gauge"));
+        assert!(text.contains("# TYPE lp_journal_records_retained gauge"));
+        assert!(text.contains("# TYPE lp_journal_records_total counter"));
+        parse(&text).unwrap();
+    }
+}

@@ -128,6 +128,19 @@ impl Registry {
         self.hists.lock().expect("hist registry poisoned")[hist.slot()].clone()
     }
 
+    /// A coherent copy of every histogram slot under **one** lock
+    /// acquisition (the freeze used by [`crate::prometheus::snapshot`]).
+    #[must_use]
+    pub fn hists_snapshot(&self) -> [Histogram; Hist::ALL.len()] {
+        self.hists.lock().expect("hist registry poisoned").clone()
+    }
+
+    /// Number of retained spans (lossy fast read, no lock).
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.span_len.load(Ordering::Relaxed)
+    }
+
     /// Clears spans, counters, and histograms (the epoch is preserved so
     /// timestamps from before and after a reset stay comparable).
     pub fn reset(&self) {

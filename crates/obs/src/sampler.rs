@@ -1,0 +1,300 @@
+//! The sampling self-profiler.
+//!
+//! Where does interpreter wall time go, *by opcode and by dynamic
+//! opcode pair*? The dispatch loop publishes its current position —
+//! `(func, block, previous opcode, current opcode)` packed into one
+//! word — through a relaxed atomic ([`publish`]); a sampler thread
+//! ([`Sampler`]) reads that word at a fixed rate and builds a wall-time
+//! attribution. Publication is gated on [`collecting`] (one relaxed
+//! load per run when off), so the always-on cost is effectively zero
+//! and the per-instruction store only exists while a sampler is live.
+//!
+//! This crate knows nothing about opcodes beyond their 5-bit encoding
+//! (`lp-obs` sits below `lp-ir`); publishers assign the numbers and
+//! consumers (the `lpstudy dispatch-heat` report) assign the names.
+//!
+//! Alongside the statistical sampler, interpreters that see
+//! [`collecting`] also count *exact* dynamic opcode-pair executions
+//! locally and fold them into the global heat table ([`merge_pairs`])
+//! at run end — the deterministic side of the dispatch-heat report,
+//! checkable against the event counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Opcodes must fit in 5 bits (32 codes; `lp-ir` currently uses 14).
+pub const OPCODE_LIMIT: usize = 32;
+
+/// Entries in a dynamic opcode-pair heat table
+/// (`prev * OPCODE_LIMIT + cur`).
+pub const PAIR_SLOTS: usize = OPCODE_LIMIT * OPCODE_LIMIT;
+
+/// The progress word the dispatch loop publishes.
+static PROGRESS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether interpreters should publish progress and collect pair heat.
+static COLLECT: AtomicBool = AtomicBool::new(false);
+
+/// Packs a dispatch position into one progress word:
+/// `func:16 | block:24 | prev:8 | cur:8` (opcodes above
+/// [`OPCODE_LIMIT`] are clamped into range).
+#[must_use]
+pub fn pack_progress(func: u32, block: u32, prev_op: u8, cur_op: u8) -> u64 {
+    (u64::from(func & 0xFFFF) << 48)
+        | (u64::from(block & 0x00FF_FFFF) << 16)
+        | (u64::from(prev_op.min(OPCODE_LIMIT as u8 - 1)) << 8)
+        | u64::from(cur_op.min(OPCODE_LIMIT as u8 - 1))
+}
+
+/// Inverse of [`pack_progress`]: `(func, block, prev_op, cur_op)`.
+#[must_use]
+pub fn unpack_progress(word: u64) -> (u32, u32, u8, u8) {
+    (
+        ((word >> 48) & 0xFFFF) as u32,
+        ((word >> 16) & 0x00FF_FFFF) as u32,
+        ((word >> 8) & 0xFF) as u8,
+        (word & 0xFF) as u8,
+    )
+}
+
+/// Publishes the dispatch loop's current position (relaxed store).
+pub fn publish(word: u64) {
+    PROGRESS.store(word, Ordering::Relaxed);
+}
+
+/// Whether a consumer asked interpreters to publish progress and
+/// collect pair heat (checked once per run, not per instruction).
+#[must_use]
+pub fn collecting() -> bool {
+    COLLECT.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off process-wide.
+pub fn set_collecting(on: bool) {
+    COLLECT.store(on, Ordering::Relaxed);
+    if !on {
+        PROGRESS.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The global exact pair-heat table (lazily allocated; `PAIR_SLOTS`
+/// saturating counters).
+fn heat() -> &'static Mutex<Vec<u64>> {
+    static HEAT: OnceLock<Mutex<Vec<u64>>> = OnceLock::new();
+    HEAT.get_or_init(|| Mutex::new(vec![0; PAIR_SLOTS]))
+}
+
+/// Folds one run's local pair counts into the global heat table under
+/// a single lock acquisition. `local` must have [`PAIR_SLOTS`] entries.
+pub fn merge_pairs(local: &[u64]) {
+    debug_assert_eq!(local.len(), PAIR_SLOTS);
+    let mut table = heat().lock().expect("heat table poisoned");
+    for (a, b) in table.iter_mut().zip(local) {
+        *a = a.saturating_add(*b);
+    }
+}
+
+/// A copy of the global pair-heat table.
+#[must_use]
+pub fn pair_counts() -> Vec<u64> {
+    heat().lock().expect("heat table poisoned").clone()
+}
+
+/// Zeroes the global pair-heat table.
+pub fn reset_pairs() {
+    for slot in heat().lock().expect("heat table poisoned").iter_mut() {
+        *slot = 0;
+    }
+}
+
+/// `(prev, cur, count)` rows of a pair table, non-zero only, hottest
+/// first (ties broken by pair index for determinism).
+#[must_use]
+pub fn ranked_pairs(table: &[u64]) -> Vec<(u8, u8, u64)> {
+    let mut rows: Vec<(u8, u8, u64)> = table
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| ((i / OPCODE_LIMIT) as u8, (i % OPCODE_LIMIT) as u8, n))
+        .collect();
+    rows.sort_by_key(|&(p, c, n)| (std::cmp::Reverse(n), p, c));
+    rows
+}
+
+/// Per-opcode totals of a pair table (attributed to the *current*
+/// opcode of each pair), hottest first.
+#[must_use]
+pub fn ranked_opcodes(table: &[u64]) -> Vec<(u8, u64)> {
+    let mut per_op = [0u64; OPCODE_LIMIT];
+    for (i, &n) in table.iter().enumerate() {
+        per_op[i % OPCODE_LIMIT] = per_op[i % OPCODE_LIMIT].saturating_add(n);
+    }
+    let mut rows: Vec<(u8, u64)> = per_op
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(op, &n)| (op as u8, n))
+        .collect();
+    rows.sort_by_key(|&(op, n)| (std::cmp::Reverse(n), op));
+    rows
+}
+
+/// What a finished [`Sampler`] saw.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// Configured sampling rate.
+    pub hz: u32,
+    /// Samples that caught a live dispatch position.
+    pub taken: u64,
+    /// Samples that caught an idle interpreter (progress word 0).
+    pub idle: u64,
+    /// `(progress word, samples)` per distinct position, most-sampled
+    /// first (ties broken by word for determinism).
+    pub by_word: Vec<(u64, u64)>,
+}
+
+impl SampleReport {
+    /// Sample counts folded into a [`PAIR_SLOTS`] pair table.
+    #[must_use]
+    pub fn pair_table(&self) -> Vec<u64> {
+        let mut table = vec![0u64; PAIR_SLOTS];
+        for &(word, n) in &self.by_word {
+            let (_, _, prev, cur) = unpack_progress(word);
+            let idx = prev as usize * OPCODE_LIMIT + cur as usize;
+            table[idx] = table[idx].saturating_add(n);
+        }
+        table
+    }
+}
+
+/// A live sampling thread. Construction enables [`collecting`];
+/// [`Sampler::stop`] disables it and returns the attribution.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: std::sync::Arc<AtomicBool>,
+    handle: JoinHandle<(u64, u64, std::collections::HashMap<u64, u64>)>,
+    hz: u32,
+}
+
+impl Sampler {
+    /// Starts sampling the progress word at `hz` (clamped to
+    /// `1..=100_000`) and tells interpreters to publish.
+    #[must_use]
+    pub fn start(hz: u32) -> Sampler {
+        let hz = hz.clamp(1, 100_000);
+        set_collecting(true);
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop_flag = std::sync::Arc::clone(&stop);
+        let period = Duration::from_nanos(1_000_000_000 / u64::from(hz));
+        let handle = std::thread::Builder::new()
+            .name("lp-sampler".into())
+            .spawn(move || {
+                let mut counts: std::collections::HashMap<u64, u64> =
+                    std::collections::HashMap::new();
+                let (mut taken, mut idle) = (0u64, 0u64);
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let word = PROGRESS.load(Ordering::Relaxed);
+                    if word == 0 {
+                        idle += 1;
+                    } else {
+                        taken += 1;
+                        *counts.entry(word).or_insert(0) += 1;
+                    }
+                    std::thread::sleep(period);
+                }
+                (taken, idle, counts)
+            })
+            .expect("sampler thread spawns");
+        Sampler { stop, handle, hz }
+    }
+
+    /// Stops the thread, disables collection, and returns the report.
+    #[must_use]
+    pub fn stop(self) -> SampleReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let (taken, idle, counts) = self.handle.join().expect("sampler thread joins");
+        set_collecting(false);
+        let mut by_word: Vec<(u64, u64)> = counts.into_iter().collect();
+        by_word.sort_by_key(|&(word, n)| (std::cmp::Reverse(n), word));
+        SampleReport {
+            hz: self.hz,
+            taken,
+            idle,
+            by_word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_word_round_trips() {
+        let w = pack_progress(7, 123_456, 3, 11);
+        assert_eq!(unpack_progress(w), (7, 123_456, 3, 11));
+        // Out-of-range opcodes clamp instead of corrupting neighbours.
+        let w = pack_progress(0xFFFF_FFFF, 0xFFFF_FFFF, 255, 255);
+        let (f, b, p, c) = unpack_progress(w);
+        assert_eq!((f, b), (0xFFFF, 0x00FF_FFFF));
+        assert_eq!((p, c), (31, 31));
+    }
+
+    #[test]
+    fn ranked_pairs_orders_hottest_first_deterministically() {
+        let mut table = vec![0u64; PAIR_SLOTS];
+        table[OPCODE_LIMIT + 2] = 5; // (1, 2) x5
+        table[3] = 9; // (0, 3) x9
+        table[2 * OPCODE_LIMIT] = 5; // (2, 0) x5
+        assert_eq!(ranked_pairs(&table), vec![(0, 3, 9), (1, 2, 5), (2, 0, 5)]);
+        assert_eq!(ranked_opcodes(&table), vec![(3, 9), (0, 5), (2, 5)]);
+    }
+
+    #[test]
+    fn merge_accumulates_and_reset_clears() {
+        reset_pairs();
+        let mut local = vec![0u64; PAIR_SLOTS];
+        local[5] = 2;
+        merge_pairs(&local);
+        merge_pairs(&local);
+        assert_eq!(pair_counts()[5], 4);
+        reset_pairs();
+        assert_eq!(pair_counts()[5], 0);
+    }
+
+    #[test]
+    fn sampler_attributes_published_progress() {
+        let sampler = Sampler::start(2000);
+        assert!(collecting());
+        let word = pack_progress(1, 2, 3, 4);
+        // The progress word persists until overwritten, so one publish
+        // is enough; give the sampler ample time to observe it.
+        publish(word);
+        std::thread::sleep(Duration::from_millis(300));
+        let report = sampler.stop();
+        assert!(!collecting());
+        assert!(report.taken > 0, "sampler saw no published progress");
+        assert_eq!(report.by_word[0].0, word);
+        let pairs = report.pair_table();
+        assert_eq!(pairs[3 * OPCODE_LIMIT + 4], report.taken);
+    }
+
+    #[test]
+    fn sample_report_pair_table_folds_words() {
+        let report = SampleReport {
+            hz: 997,
+            taken: 7,
+            idle: 1,
+            by_word: vec![
+                (pack_progress(0, 0, 1, 2), 4),
+                (pack_progress(9, 9, 1, 2), 2),
+                (pack_progress(0, 1, 2, 3), 1),
+            ],
+        };
+        let table = report.pair_table();
+        assert_eq!(table[OPCODE_LIMIT + 2], 6);
+        assert_eq!(table[2 * OPCODE_LIMIT + 3], 1);
+    }
+}

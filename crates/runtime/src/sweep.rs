@@ -198,14 +198,20 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let reg = lp_obs::registry();
+    let total = items.len();
+    // Progress/ETA marks at the quartiles (coarse flight-recorder
+    // breadcrumbs, not a live progress bar).
+    let milestones = [total / 4, total / 2, total * 3 / 4];
 
     let mut harvests: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 let next = &next;
+                let completed = &completed;
                 let f = &f;
                 scope.spawn(move || {
                     let mut local = lp_obs::LocalStats::new();
@@ -221,6 +227,17 @@ where
                             stolen += 1;
                         }
                         out.push((i, f(i, &items[i])));
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        local.record_journal(
+                            lp_obs::EventKind::SweepTaskDone,
+                            done as u64,
+                            total as u64,
+                        );
+                        if done > 0 && milestones.contains(&done) {
+                            let elapsed_ms = reg.now_ns().saturating_sub(start_ns) / 1_000_000;
+                            let eta_ms = elapsed_ms * (total - done) as u64 / done as u64;
+                            local.record_journal(lp_obs::EventKind::SweepEta, done as u64, eta_ms);
+                        }
                     }
                     local.record_span(lp_obs::SpanRecord {
                         name: "sweep-worker",
@@ -273,6 +290,11 @@ pub fn sweep_points(
     options: EvalOptions,
 ) -> Vec<EvalReport> {
     let _span = lp_obs::span!("sweep");
+    lp_obs::journal::record(
+        lp_obs::EventKind::SweepStarted,
+        points.len() as u64,
+        jobs.get() as u64,
+    );
     let reports = parallel_map(points, jobs, |_, p| {
         evaluate_with(&units[p.unit].profile, p.model, p.config, options)
     });
@@ -280,6 +302,11 @@ pub fn sweep_points(
     lp_obs::counters().add(
         lp_obs::Counter::SweepProfileCacheHits,
         (points.len() - distinct.len()) as u64,
+    );
+    lp_obs::journal::record(
+        lp_obs::EventKind::SweepCompleted,
+        points.len() as u64,
+        distinct.len() as u64,
     );
     reports
 }
@@ -448,6 +475,30 @@ mod tests {
                 "jobs={jobs} diverged"
             );
         }
+    }
+
+    #[test]
+    fn sweep_journals_progress_breadcrumbs() {
+        let units = [unit_of("bread", 12)];
+        let points = grid(1, &ExecModel::all(), &Config::all());
+        let journal = lp_obs::journal::global();
+        let (before, _) = journal.snapshot();
+        let _ = sweep_points(&units, &points, Jobs::new(4), EvalOptions::default());
+        let (after, records) = journal.snapshot();
+        assert!(after > before);
+        let kinds: Vec<lp_obs::EventKind> = records.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&lp_obs::EventKind::SweepStarted));
+        assert!(kinds.contains(&lp_obs::EventKind::SweepCompleted));
+        assert!(kinds.contains(&lp_obs::EventKind::SweepTaskDone));
+        // Per-task breadcrumbs carry (done, total) with done <= total.
+        let done_recs: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == lp_obs::EventKind::SweepTaskDone)
+            .collect();
+        assert!(done_recs.iter().all(|r| r.a >= 1 && r.a <= r.b));
+        assert!(done_recs
+            .iter()
+            .any(|r| r.b == points.len() as u64 && r.a == r.b));
     }
 
     #[test]

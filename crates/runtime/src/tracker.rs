@@ -492,6 +492,18 @@ impl<'a> Profiler<'a> {
     fn track_access(&mut self, addr: u64, is_store: bool, now: u64) {
         self.now = self.now.max(now);
         if is_store {
+            // A store with no loop active can never become a
+            // cross-iteration producer: every later instance's first
+            // iteration starts after it, so the `w.t < iter_starts[0]`
+            // exclusion would always discard the stamp, and an unstamped
+            // word takes the same EMPTY fast path. Skipping the stamp
+            // avoids paging in shadow memory for init-phase stores and
+            // keeps the shadow cache's reference stream (loop traffic
+            // only) distinct from the interpreter page cache's (every
+            // access).
+            if self.loop_stack.is_empty() {
+                return;
+            }
             // One stamp serves every loop level: each level re-derives
             // iteration numbers from the absolute time on the (rare)
             // conflict path.
@@ -987,6 +999,73 @@ mod tests {
         // tests in this binary may add samples too, so bound from below.
         let after = lp_obs::registry().hist(Hist::ConflictDistance).count;
         assert!(after >= before + 39, "before={before} after={after}");
+    }
+
+    #[test]
+    fn shadow_and_mem_cache_counters_diverge_on_store_heavy_kernel() {
+        // Regression: BENCH_profiler.json once reported byte-identical
+        // `mem_page_cache_*` and `shadow_page_cache_*` pairs because the
+        // shadow table replayed the interpreter's full reference stream,
+        // init-phase stores included. The shadow cache must see loop
+        // traffic only, so on a kernel dominated by outside-loop stores
+        // the two pairs diverge.
+        let n = 64i64;
+        let mut m = Module::new("init_then_scan");
+        let g = m.add_global(Global::zeroed("a", n as u64));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let nn = fb.const_i64(n);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let base = fb.global_addr(g);
+        // Init phase: straight-line stores before any loop begins.
+        for k in 0..n {
+            let kk = fb.const_i64(k);
+            let addr = fb.gep(base, kk, 8, 0);
+            fb.store(kk, addr);
+        }
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, nn);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.gep(base, i, 8, 0);
+        fb.load(Type::I64, addr);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, lp_ir::BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(zero));
+        m.add_function(fb.finish().unwrap());
+
+        let analysis = analyze_module(&m);
+        let mut profiler = Profiler::new(&m, &analysis);
+        let cfg = MachineConfig {
+            watched_values: profiler.watched_values(),
+            ..Default::default()
+        };
+        let mut metered = MeteredSink::new(&mut profiler);
+        Machine::with_config(&m, &mut metered, cfg)
+            .run(&[])
+            .unwrap();
+        let _ = metered;
+
+        let mem = (
+            profiler.mem_stats.page_cache_hits,
+            profiler.mem_stats.page_cache_misses,
+        );
+        let shadow = (profiler.shadow.hits, profiler.shadow.misses);
+        assert!(mem.0 + mem.1 > 0, "interpreter cache saw no traffic");
+        assert!(shadow.0 + shadow.1 > 0, "shadow cache saw no traffic");
+        assert_ne!(mem, shadow, "cache counter pairs must diverge");
+        assert!(
+            shadow.0 + shadow.1 < mem.0 + mem.1,
+            "shadow stream (loop-only) must be a strict subset: {shadow:?} vs {mem:?}"
+        );
     }
 
     #[test]
