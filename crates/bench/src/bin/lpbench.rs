@@ -17,9 +17,17 @@
 //! profiler regressed more than 30%, which is what the CI smoke job
 //! gates on. Each benchmark is additionally profiled with the
 //! flight-recorder journal disabled; `--check` also fails when the
-//! always-on journaling overhead (`journal_overhead` in `totals`)
-//! exceeds 3%. Counters of the hot-path caches (`mem_page_cache_*`,
+//! always-on journaling overhead (`journal_overhead` in `totals`, the
+//! median over per-rep aggregates) exceeds 3% beyond its own MAD-based
+//! noise allowance. Counters of the hot-path caches (`mem_page_cache_*`,
 //! `shadow_page_cache_*`) ride along in the `counters` object.
+//!
+//! `--trend FILE` appends one `lp-trend-v1` record (bench id, reps,
+//! median-of-reps throughput, machine digest, key counters, optional
+//! `--label`) to an append-only run ledger; the `lpbench trend`
+//! subcommand summarises a ledger, and `lpbench trend --check` exits 2
+//! when the newest record falls below the robust noise band of its own
+//! history (see `lp_obs::trend`).
 
 use lp_analysis::analyze_module;
 use lp_bench::{run_benchmarks, Cli, SweepTable};
@@ -35,8 +43,9 @@ const CHECK_TOLERANCE: f64 = 0.30;
 /// journal enabled vs disabled) before `--check` fails.
 const JOURNAL_TOLERANCE: f64 = 0.03;
 
-/// Per-benchmark measurement: dynamic instructions and the best
-/// wall-clock time of each pipeline stage.
+/// Per-benchmark measurement: dynamic instructions, the best wall-clock
+/// time of each pipeline stage, and every per-rep sample behind it (the
+/// robust gates work on medians over the rep vectors, not the minima).
 struct Row {
     name: &'static str,
     insts: u64,
@@ -45,6 +54,10 @@ struct Row {
     /// Profiler run with the flight-recorder journal disabled — the
     /// reference the always-on journaling overhead gate compares against.
     profile_nojournal_ns: u64,
+    /// Per-rep samples, index = rep.
+    interp_reps: Vec<u64>,
+    profile_reps: Vec<u64>,
+    profile_nojournal_reps: Vec<u64>,
 }
 
 /// Millions of instructions per second (0 when the clock read 0).
@@ -125,9 +138,9 @@ fn measure(bench: &Benchmark, scale: Scale, reps: u32) -> Row {
     let module = bench.build(scale);
     let analysis = analyze_module(&module);
     let mut insts = 0;
-    let mut interp_ns = u64::MAX;
-    let mut profile_ns = u64::MAX;
-    let mut profile_nojournal_ns = u64::MAX;
+    let mut interp_reps = Vec::with_capacity(reps.max(1) as usize);
+    let mut profile_reps = Vec::with_capacity(reps.max(1) as usize);
+    let mut profile_nojournal_reps = Vec::with_capacity(reps.max(1) as usize);
     let journal = lp_obs::journal::global();
     for _ in 0..reps.max(1) {
         let (ns, result) = timed(|| {
@@ -136,44 +149,173 @@ fn measure(bench: &Benchmark, scale: Scale, reps: u32) -> Row {
         });
         let result = result.unwrap_or_else(|e| panic!("benchmark {} failed: {e}", bench.name));
         insts = result.cost;
-        interp_ns = interp_ns.min(ns);
+        interp_reps.push(ns);
 
         let (ns, result) =
             timed(|| lp_runtime::profile_module(&module, &analysis, &[], MachineConfig::default()));
         result.unwrap_or_else(|e| panic!("benchmark {} failed under profiling: {e}", bench.name));
-        profile_ns = profile_ns.min(ns);
+        profile_reps.push(ns);
 
         journal.set_enabled(false);
         let (ns, result) =
             timed(|| lp_runtime::profile_module(&module, &analysis, &[], MachineConfig::default()));
         journal.set_enabled(true);
         result.unwrap_or_else(|e| panic!("benchmark {} failed under profiling: {e}", bench.name));
-        profile_nojournal_ns = profile_nojournal_ns.min(ns);
+        profile_nojournal_reps.push(ns);
     }
     Row {
         name: bench.name,
         insts,
-        interp_ns,
-        profile_ns,
-        profile_nojournal_ns,
+        interp_ns: interp_reps.iter().copied().min().unwrap_or(u64::MAX),
+        profile_ns: profile_reps.iter().copied().min().unwrap_or(u64::MAX),
+        profile_nojournal_ns: profile_nojournal_reps
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(u64::MAX),
+        interp_reps,
+        profile_reps,
+        profile_nojournal_reps,
     }
 }
 
 fn usage_exit() -> ! {
     eprintln!(
         "usage: lpbench [test|small|default] [--bench NAME]... [--reps N] [--out FILE] \
-         [--baseline FILE] [--check FILE] [--jobs N] [--quiet]"
+         [--baseline FILE] [--check FILE] [--trend FILE] [--label TEXT] [--jobs N] [--quiet]\n\
+         \x20      lpbench trend [--ledger FILE] [--check] [--window N] [--min-history N]"
     );
     std::process::exit(2);
+}
+
+/// Stable fingerprint of the measuring machine: the cost-model knobs
+/// that shape the numbers plus the host architecture and OS. Records
+/// from different machines land in different trend series.
+fn machine_digest() -> String {
+    let text = format!(
+        "{:?}|{}|{}",
+        MachineConfig::default(),
+        std::env::consts::ARCH,
+        std::env::consts::OS
+    );
+    format!("{:016x}", lp_obs::trend::fnv1a(text.as_bytes()))
+}
+
+/// The `lpbench trend` subcommand: summarise the run ledger and, with
+/// `--check`, judge the newest record against the MAD noise band of its
+/// own series — exit 2 on a regression (the distinct code CI gates on).
+fn run_trend(cli: &Cli) -> ! {
+    let mut ledger = PathBuf::from("results/BENCH_trend.jsonl");
+    let mut check = false;
+    let mut window = lp_obs::trend::DEFAULT_WINDOW;
+    let mut min_history = lp_obs::trend::DEFAULT_MIN_HISTORY;
+    let mut rest = cli.rest.iter().skip(1);
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--ledger" => match rest.next() {
+                Some(p) => ledger = PathBuf::from(p),
+                None => usage_exit(),
+            },
+            "--check" => check = true,
+            "--window" => match rest.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => window = n,
+                _ => usage_exit(),
+            },
+            "--min-history" => match rest.next().and_then(|n| n.parse().ok()) {
+                Some(n) => min_history = n,
+                _ => usage_exit(),
+            },
+            _ => usage_exit(),
+        }
+    }
+    let records = lp_obs::trend::read_ledger(&ledger).unwrap_or_else(|e| {
+        eprintln!("cannot read trend ledger: {e}");
+        std::process::exit(1);
+    });
+    if records.is_empty() {
+        println!("trend ledger {} is empty", ledger.display());
+        if check {
+            eprintln!("nothing to check");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+    // One line per series: run count, newest point, noise band when the
+    // series is deep enough to have one.
+    let mut keys: Vec<String> = Vec::new();
+    for r in &records {
+        let key = r.series_key();
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    println!(
+        "trend ledger {} — {} record(s), {} series",
+        ledger.display(),
+        records.len(),
+        keys.len()
+    );
+    for key in &keys {
+        let series: Vec<&lp_obs::TrendRecord> =
+            records.iter().filter(|r| &r.series_key() == key).collect();
+        let newest = series.last().expect("series is non-empty");
+        let history: Vec<f64> = series[..series.len() - 1]
+            .iter()
+            .map(|r| r.profile_mips)
+            .collect();
+        let recent = &history[history.len().saturating_sub(window)..];
+        let band = if recent.len() >= min_history.max(1) {
+            let b = lp_obs::trend::noise_band(
+                recent,
+                lp_obs::trend::BAND_K,
+                lp_obs::trend::BAND_REL_FLOOR,
+            );
+            format!(
+                "band [{:.2}, {:.2}] over {} prior",
+                b.lower,
+                b.upper,
+                recent.len()
+            )
+        } else {
+            format!("{} prior run(s), no band yet", recent.len())
+        };
+        let label = if newest.label.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", newest.label)
+        };
+        println!(
+            "  {} {} ({}): {} run(s), latest {:.2} Mi/s{label}, {band}",
+            newest.bench,
+            newest.scale,
+            &newest.machine[..8.min(newest.machine.len())],
+            series.len(),
+            newest.profile_mips,
+        );
+    }
+    if check {
+        let verdict =
+            lp_obs::trend::check_latest(&records, window, min_history).expect("non-empty ledger");
+        println!("{}", verdict.render());
+        if !verdict.passed() {
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(0);
 }
 
 fn main() {
     let cli = Cli::parse();
     cli.enforce("lpbench");
+    if cli.rest.first().map(String::as_str) == Some("trend") {
+        run_trend(&cli);
+    }
     let mut reps: u32 = 3;
     let mut out: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut check_path: Option<PathBuf> = None;
+    let mut trend_path: Option<PathBuf> = None;
+    let mut label = String::new();
     let mut picked: Vec<Benchmark> = Vec::new();
     let mut rest = cli.rest.iter();
     while let Some(arg) = rest.next() {
@@ -200,6 +342,14 @@ fn main() {
             },
             "--check" => match rest.next() {
                 Some(p) => check_path = Some(PathBuf::from(p)),
+                None => usage_exit(),
+            },
+            "--trend" => match rest.next() {
+                Some(p) => trend_path = Some(PathBuf::from(p)),
+                None => usage_exit(),
+            },
+            "--label" => match rest.next() {
+                Some(l) => label = l.clone(),
                 None => usage_exit(),
             },
             _ => usage_exit(),
@@ -240,9 +390,34 @@ fn main() {
     let t_profile: u64 = rows.iter().map(|r| r.profile_ns).sum();
     let t_nojournal: u64 = rows.iter().map(|r| r.profile_nojournal_ns).sum();
     let cur_slowdown = t_profile as f64 / t_interp.max(1) as f64;
-    // Relative cost of always-on journaling (negative values are timer
-    // noise — the journal cannot speed a run up).
-    let journal_overhead = t_profile as f64 / t_nojournal.max(1) as f64 - 1.0;
+
+    // Robust per-rep statistics: rep r's aggregate is the sum across
+    // benchmarks of that rep's sample, so the rep vectors line up into
+    // `reps` paired aggregate observations of each pipeline stage.
+    let nreps = reps.max(1) as usize;
+    let agg = |pick: &dyn Fn(&Row) -> &Vec<u64>| -> Vec<f64> {
+        (0..nreps)
+            .map(|r| rows.iter().map(|row| pick(row)[r]).sum::<u64>() as f64)
+            .collect()
+    };
+    let interp_agg = agg(&|row| &row.interp_reps);
+    let profile_agg = agg(&|row| &row.profile_reps);
+    let nojournal_agg = agg(&|row| &row.profile_nojournal_reps);
+    let interp_med_ns = lp_obs::trend::median(&mut interp_agg.clone());
+    let profile_med_ns = lp_obs::trend::median(&mut profile_agg.clone());
+    let nojournal_med_ns = lp_obs::trend::median(&mut nojournal_agg.clone());
+    // Relative cost of always-on journaling, per rep (pairing reps
+    // cancels slow-machine moments that hit both runs alike); the point
+    // estimate is the median so one noisy rep cannot trip the gate, and
+    // the MAD feeds the gate's noise allowance. Negative values are
+    // timer noise — the journal cannot speed a run up.
+    let mut overheads: Vec<f64> = profile_agg
+        .iter()
+        .zip(&nojournal_agg)
+        .map(|(p, n)| p / n.max(1.0) - 1.0)
+        .collect();
+    let journal_overhead = lp_obs::trend::median(&mut overheads);
+    let journal_overhead_mad = lp_obs::trend::mad(&overheads, journal_overhead);
 
     let mut w = JsonWriter::compact();
     w.begin_object();
@@ -293,8 +468,16 @@ fn main() {
     w.fixed(mips(t_insts, t_profile), 3);
     w.key("slowdown");
     w.fixed(cur_slowdown, 3);
+    w.key("interp_med_ns");
+    w.fixed(interp_med_ns, 0);
+    w.key("profile_med_ns");
+    w.fixed(profile_med_ns, 0);
+    w.key("profile_nojournal_med_ns");
+    w.fixed(nojournal_med_ns, 0);
     w.key("journal_overhead");
     w.fixed(journal_overhead, 4);
+    w.key("journal_overhead_mad");
+    w.fixed(journal_overhead_mad, 4);
     w.end_object();
     w.key("sweep");
     w.begin_object();
@@ -368,6 +551,31 @@ fn main() {
         None => print!("{json}"),
     }
 
+    if let Some(path) = &trend_path {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let record = lp_obs::TrendRecord {
+            bench: picked.iter().map(|b| b.name).collect::<Vec<_>>().join("+"),
+            scale: scale_label(cli.scale).to_string(),
+            label: label.clone(),
+            reps: u64::from(reps),
+            unix_ms,
+            machine: machine_digest(),
+            profile_mips: mips(t_insts, profile_med_ns as u64),
+            interp_mips: mips(t_insts, interp_med_ns as u64),
+            slowdown: profile_med_ns / interp_med_ns.max(1.0),
+            journal_overhead,
+            counters: lp_obs::counters().snapshot(),
+        };
+        if let Err(e) = lp_obs::trend::append_ledger(path, &record) {
+            eprintln!("cannot append trend record to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        lp_info!("appended trend record to {}", path.display());
+    }
+
     if let Some(path) = &check_path {
         let Some(base) = read_baseline(path) else {
             eprintln!("cannot read lpbench baseline {}", path.display());
@@ -387,22 +595,28 @@ fn main() {
             );
             std::process::exit(1);
         }
-        if journal_overhead > JOURNAL_TOLERANCE {
+        // Median-of-reps overhead, discounted by its own scaled MAD: the
+        // gate only fires when even the measurement's noise band cannot
+        // explain the excess, so a single slow rep no longer flakes CI.
+        let overhead_floor = journal_overhead - 1.4826 * journal_overhead_mad;
+        if overhead_floor > JOURNAL_TOLERANCE {
             eprintln!(
-                "lpbench check FAILED: always-on journaling overhead {:.1}% exceeds {:.0}% \
-                 (profile {t_profile} ns vs journal-free {t_nojournal} ns)",
+                "lpbench check FAILED: always-on journaling overhead {:.1}% (median of {nreps} \
+                 rep(s), MAD {:.2}%) exceeds {:.0}% beyond measurement noise",
                 journal_overhead * 100.0,
+                journal_overhead_mad * 100.0,
                 JOURNAL_TOLERANCE * 100.0
             );
             std::process::exit(1);
         }
         lp_info!(
             "lpbench check passed: slowdown {:.3}x vs baseline {:.3}x (limit {:.3}x), \
-             journal overhead {:.2}%",
+             journal overhead {:.2}% (MAD {:.2}%)",
             cur_slowdown,
             base.slowdown,
             limit,
-            journal_overhead * 100.0
+            journal_overhead * 100.0,
+            journal_overhead_mad * 100.0
         );
     }
     cli.finish("lpbench");

@@ -34,10 +34,12 @@ const DEMO_BENCH: &str = "181.mcf";
 fn usage() -> ! {
     eprintln!("usage: lpstudy [<file.lp> | --bench <name> | --suite <name> | --dump <name>");
     eprintln!("                | --analyze <file.lp|name> | explain [<file.lp|name>]");
-    eprintln!("                | dispatch-heat [--suite <name>]]");
+    eprintln!("                | dispatch-heat [--suite <name>]");
+    eprintln!("                | diff <a.json> <b.json> [--json] [--include-timing]");
+    eprintln!("                       [--noise-floor N] | audit <snap.json>]");
     eprintln!("               [--jobs N] [--profile-cache DIR] [--trace-out FILE]");
     eprintln!("               [--explain-out FILE] [--flight-out FILE] [--metrics-out FILE]");
-    eprintln!("               [--sample-hz N] [--quiet]");
+    eprintln!("               [--snapshot-out FILE] [--sample-hz N] [--quiet]");
     eprintln!("  <file.lp>          study a textual-IR module");
     eprintln!("  --bench NAME       study a registered benchmark (e.g. 456.hmmer)");
     eprintln!("  --suite NAME       study a whole suite (eembc, cint2000, cfp2000, ...)");
@@ -46,6 +48,10 @@ fn usage() -> ! {
     eprintln!("  explain [WHAT]     rank, per loop, the limiters that block further speedup");
     eprintln!("  dispatch-heat      profile the interpreter itself: ranked opcode and");
     eprintln!("                     opcode-pair dispatch heat over a suite (default eembc)");
+    eprintln!("  diff A B           rank counter/histogram divergences between two");
+    eprintln!("                     --snapshot-out captures (last line: N significant ...)");
+    eprintln!("  audit SNAP         check cross-counter conservation laws over a snapshot");
+    eprintln!("                     (exit 1 on any violation)");
     eprintln!("  (no input)         study a built-in demo kernel ({DEMO_BENCH})");
     eprintln!("  --jobs N           sweep worker count (default: LP_JOBS or all cores;");
     eprintln!("                     the printed output is identical for any value)");
@@ -55,6 +61,7 @@ fn usage() -> ! {
     eprintln!("  --explain-out FILE write limiter-attribution JSON (+ .collapsed stacks)");
     eprintln!("  --flight-out FILE  dump the flight-recorder journal (also on panic/SIGUSR1)");
     eprintln!("  --metrics-out FILE write a Prometheus text exposition of all counters");
+    eprintln!("  --snapshot-out FILE write the cross-run registry snapshot (diff/audit input)");
     eprintln!("  --sample-hz N      dispatch-heat sampling rate (default 997 Hz)");
     eprintln!("  --quiet            suppress progress logging (see also LP_LOG=off|info|debug)");
     std::process::exit(2);
@@ -335,10 +342,83 @@ fn run_dispatch_heat(cli: &Cli, args: &[String]) {
     cli.finish("lpstudy");
 }
 
+fn read_snapshot(path: &str) -> lp_obs::RunSnapshot {
+    lp_obs::RunSnapshot::read(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load snapshot: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// The `diff` subcommand: load two `--snapshot-out` captures and print
+/// the ranked divergences (human by default, `--json` for the
+/// `lp-diff-v1` document). The human report always ends with
+/// `N significant divergence(s)` so CI can `grep '^0 significant'`.
+fn run_diff(args: &[String]) {
+    let mut paths = Vec::new();
+    let mut opts = lp_obs::DiffOptions::default();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--include-timing" => {
+                opts.include_timing = true;
+                i += 1;
+            }
+            "--noise-floor" => match args.get(i + 1).and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => {
+                    opts.noise_floor = n;
+                    i += 2;
+                }
+                None => {
+                    eprintln!("--noise-floor requires an integer argument");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => usage(),
+            path => {
+                paths.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [a, b] = paths.as_slice() else { usage() };
+    let diff = lp_obs::diff::diff(&read_snapshot(a), &read_snapshot(b), &opts);
+    if json {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render());
+    }
+}
+
+/// The `audit` subcommand: assert the cross-counter conservation laws
+/// over one snapshot; any violated law is a non-zero exit.
+fn run_audit(args: &[String]) {
+    let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    expect_consumed(args, 2);
+    let snap = read_snapshot(path);
+    let checks = lp_runtime::audit_snapshot(&snap);
+    print!("{}", lp_runtime::render_audit(&checks));
+    if lp_runtime::audit::failures(&checks) > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
     let args = &cli.rest;
     let module = match args.first().map(String::as_str) {
+        Some("diff") => {
+            run_diff(args);
+            return;
+        }
+        Some("audit") => {
+            run_audit(args);
+            return;
+        }
         Some("--dump") => {
             let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             expect_consumed(args, 2);

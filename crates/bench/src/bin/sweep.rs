@@ -50,7 +50,7 @@ fn main() {
                 eprintln!(
                     "unknown argument {extra:?} (expected test|small|default, --suite NAME, \
                      --jobs N, --trace-out FILE, --profile-cache DIR, --flight-out FILE, \
-                     --metrics-out FILE, --sample-hz N, --quiet)"
+                     --metrics-out FILE, --snapshot-out FILE, --sample-hz N, --quiet)"
                 );
                 std::process::exit(2);
             }

@@ -20,7 +20,9 @@
 //! profile store (see `lp_runtime::store`; `LP_PROFILE_CACHE=off|ro|rw`
 //! selects the mode), plus the shared observability flags
 //! `--trace-out FILE` (Chrome `trace_event` JSON), `--explain-out FILE`
-//! (limiter-attribution JSON, where supported), and `--quiet`; the
+//! (limiter-attribution JSON, where supported), `--snapshot-out FILE`
+//! (cross-run registry snapshot, diffable with `lpstudy diff`), and
+//! `--quiet`; the
 //! `LP_LOG` environment variable (`off`, `info`, `debug`) filters
 //! progress output. Criterion performance benches live in `benches/`.
 
@@ -158,6 +160,10 @@ pub struct Cli {
     /// Where to write the Prometheus text exposition of the metrics
     /// registry (`--metrics-out`), if requested.
     pub metrics_out: Option<PathBuf>,
+    /// Where to write the cross-run registry snapshot
+    /// (`--snapshot-out`, schema `lp-snapshot-v1`), if requested — the
+    /// input format of `lpstudy diff` and `lpstudy audit`.
+    pub snapshot_out: Option<PathBuf>,
     /// Explicit `--sample-hz N` self-profiler sampling rate, if given
     /// (consumed by `lpstudy dispatch-heat`).
     pub sample_hz: Option<u64>,
@@ -192,6 +198,7 @@ impl Cli {
             profile_cache: None,
             flight_out: None,
             metrics_out: None,
+            snapshot_out: None,
             sample_hz: None,
             rest: Vec::new(),
         };
@@ -244,6 +251,13 @@ impl Cli {
                     Some(path) => cli.metrics_out = Some(PathBuf::from(path)),
                     None => {
                         eprintln!("--metrics-out requires a file argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--snapshot-out" => match args.next() {
+                    Some(path) => cli.snapshot_out = Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("--snapshot-out requires a file argument");
                         std::process::exit(2);
                     }
                 },
@@ -337,7 +351,8 @@ impl Cli {
             eprintln!(
                 "unknown argument {extra:?} (expected test|small|default, --jobs N, \
                  --trace-out FILE, --explain-out FILE, --profile-cache DIR, \
-                 --flight-out FILE, --metrics-out FILE, --sample-hz N, --quiet)"
+                 --flight-out FILE, --metrics-out FILE, --snapshot-out FILE, \
+                 --sample-hz N, --quiet)"
             );
             std::process::exit(2);
         }
@@ -412,6 +427,15 @@ impl Cli {
                 Ok(()) => lp_info!("wrote metrics exposition to {}", path.display()),
                 Err(e) => {
                     eprintln!("cannot write metrics to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &self.snapshot_out {
+            match lp_obs::snapshot::capture_global(process).write(path) {
+                Ok(()) => lp_info!("wrote registry snapshot to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write snapshot to {}: {e}", path.display());
                     std::process::exit(1);
                 }
             }
@@ -674,6 +698,8 @@ mod tests {
                 "/tmp/lp-cache",
                 "--metrics-out",
                 "/tmp/m.prom",
+                "--snapshot-out",
+                "/tmp/s.json",
                 "--sample-hz",
                 "997",
                 "--bench",
@@ -701,6 +727,10 @@ mod tests {
             cli.metrics_out.as_deref(),
             Some(std::path::Path::new("/tmp/m.prom"))
         );
+        assert_eq!(
+            cli.snapshot_out.as_deref(),
+            Some(std::path::Path::new("/tmp/s.json"))
+        );
         assert_eq!(cli.sample_hz, Some(997));
         assert_eq!(cli.rest, vec!["--bench".to_string(), "x.lp".to_string()]);
 
@@ -712,6 +742,7 @@ mod tests {
         assert!(cli.jobs().get() >= 1);
         assert!(cli.profile_cache.is_none());
         assert!(cli.flight_out.is_none() && cli.metrics_out.is_none() && cli.sample_hz.is_none());
+        assert!(cli.snapshot_out.is_none());
         // Restore logging for the rest of the test process.
         lp_obs::log::set_level(lp_obs::Level::Off);
     }

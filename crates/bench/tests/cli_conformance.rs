@@ -60,7 +60,8 @@ fn unknown_argument_exits_2_with_the_pinned_message() {
             stderr_of(&out),
             "unknown argument \"--bogus\" (expected test|small|default, --jobs N, \
              --trace-out FILE, --explain-out FILE, --profile-cache DIR, \
-             --flight-out FILE, --metrics-out FILE, --sample-hz N, --quiet)\n",
+             --flight-out FILE, --metrics-out FILE, --snapshot-out FILE, \
+             --sample-hz N, --quiet)\n",
             "{binary}"
         );
     }
@@ -97,7 +98,7 @@ fn sweep_rejects_extras_with_its_own_positional_list() {
         stderr_of(&out),
         "unknown argument \"--bogus\" (expected test|small|default, --suite NAME, \
          --jobs N, --trace-out FILE, --profile-cache DIR, --flight-out FILE, \
-         --metrics-out FILE, --sample-hz N, --quiet)\n"
+         --metrics-out FILE, --snapshot-out FILE, --sample-hz N, --quiet)\n"
     );
 }
 
@@ -132,6 +133,10 @@ fn flags_missing_their_operand_exit_2() {
         (
             &["--metrics-out"][..],
             "--metrics-out requires a file argument\n",
+        ),
+        (
+            &["--snapshot-out"][..],
+            "--snapshot-out requires a file argument\n",
         ),
         (
             &["--sample-hz", "fast"][..],

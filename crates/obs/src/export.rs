@@ -38,8 +38,8 @@ pub fn json_escape(s: &str) -> String {
 /// The one JSON emitter every exporter in the workspace shares.
 ///
 /// Hand-rolled emitters used to repeat the comma/escaping bookkeeping in
-/// three places (`sweep_to_json`, `attribution_to_json`, the Chrome-trace
-/// writer); the writer centralizes it behind a small push API:
+/// three places (the sweep, attribution, and Chrome-trace writers); the
+/// writer centralizes it behind a small push API:
 ///
 /// ```
 /// use lp_obs::JsonWriter;
@@ -218,21 +218,118 @@ impl JsonWriter {
 /// Strict JSON validation via a small recursive-descent parser — the
 /// workspace has no serde, so every hand-rolled exporter is checked
 /// against this in tests and in the binaries' `--explain-out` smoke
-/// paths.
+/// paths. Delegates to [`JsonValue::parse`] and discards the tree.
 ///
 /// # Errors
 /// Returns a short description of the first syntax error, or of trailing
 /// garbage after the top-level value.
 pub fn validate_json(text: &str) -> Result<(), String> {
-    let rest = parse_value(text)?;
-    let rest = skip_ws(rest);
-    if rest.is_empty() {
-        Ok(())
-    } else {
-        Err(format!(
-            "trailing garbage: {:?}",
-            &rest[..rest.len().min(24)]
-        ))
+    JsonValue::parse(text).map(|_| ())
+}
+
+/// A parsed JSON document — the read-side companion to [`JsonWriter`],
+/// used by the snapshot/diff/trend machinery to load documents the
+/// workspace wrote in earlier runs.
+///
+/// Numbers keep their raw source token: `u64` counters round-trip
+/// exactly ([`JsonValue::as_u64`] reparses the token as an integer)
+/// instead of being squeezed through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw (validated) source token.
+    Num(String),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, entries in source order (duplicate keys kept as-is).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON document.
+    ///
+    /// # Errors
+    /// Returns a short description of the first syntax error, or of
+    /// trailing garbage after the top-level value.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let (value, rest) = parse_value(text)?;
+        let rest = skip_ws(rest);
+        if rest.is_empty() {
+            Ok(value)
+        } else {
+            Err(format!(
+                "trailing garbage: {:?}",
+                &rest[..rest.len().min(24)]
+            ))
+        }
+    }
+
+    /// Object field lookup (first entry wins); `None` for non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's entries, in source order.
+    #[must_use]
+    pub fn entries(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array's elements.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string's decoded text.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer, if its token is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as a float.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean's value.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
     }
 }
 
@@ -240,15 +337,27 @@ fn skip_ws(s: &str) -> &str {
     s.trim_start_matches([' ', '\t', '\n', '\r'])
 }
 
-fn parse_value(s: &str) -> Result<&str, String> {
+fn parse_value(s: &str) -> Result<(JsonValue, &str), String> {
     let s = skip_ws(s);
     match s.chars().next() {
         Some('{') => parse_object(s),
         Some('[') => parse_array(s),
-        Some('"') => parse_string(s),
-        Some('t') => s.strip_prefix("true").ok_or_else(|| bad(s)),
-        Some('f') => s.strip_prefix("false").ok_or_else(|| bad(s)),
-        Some('n') => s.strip_prefix("null").ok_or_else(|| bad(s)),
+        Some('"') => {
+            let (text, rest) = parse_string(s)?;
+            Ok((JsonValue::Str(text), rest))
+        }
+        Some('t') => s
+            .strip_prefix("true")
+            .map(|rest| (JsonValue::Bool(true), rest))
+            .ok_or_else(|| bad(s)),
+        Some('f') => s
+            .strip_prefix("false")
+            .map(|rest| (JsonValue::Bool(false), rest))
+            .ok_or_else(|| bad(s)),
+        Some('n') => s
+            .strip_prefix("null")
+            .map(|rest| (JsonValue::Null, rest))
+            .ok_or_else(|| bad(s)),
         Some(c) if c == '-' || c.is_ascii_digit() => parse_number(s),
         _ => Err(bad(s)),
     }
@@ -258,71 +367,97 @@ fn bad(s: &str) -> String {
     format!("unexpected input at {:?}", &s[..s.len().min(24)])
 }
 
-fn parse_string(s: &str) -> Result<&str, String> {
+fn parse_string(s: &str) -> Result<(String, &str), String> {
     if !s.starts_with('"') {
         return Err(bad(s));
     }
+    let mut out = String::new();
     let mut it = s.char_indices().skip(1);
     while let Some((i, c)) = it.next() {
         match c {
-            '"' => return Ok(&s[i + 1..]),
+            '"' => return Ok((out, &s[i + 1..])),
             '\\' => {
                 let (_, esc) = it.next().ok_or("truncated escape")?;
-                if esc == 'u' {
-                    for _ in 0..4 {
-                        let (_, h) = it.next().ok_or("truncated \\u escape")?;
-                        if !h.is_ascii_hexdigit() {
-                            return Err(format!("bad hex digit {h:?}"));
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = it.next().ok_or("truncated \\u escape")?;
+                            let digit = h.to_digit(16).ok_or(format!("bad hex digit {h:?}"))?;
+                            code = code * 16 + digit;
                         }
+                        // Lone surrogates cannot form a char; emit the
+                        // replacement character (the writer never emits
+                        // surrogate escapes, so this is belt-and-braces).
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                     }
-                } else if !matches!(esc, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') {
-                    return Err(format!("bad escape \\{esc}"));
+                    _ => return Err(format!("bad escape \\{esc}")),
                 }
             }
             c if (c as u32) < 0x20 => return Err("raw control char in string".into()),
-            _ => {}
+            c => out.push(c),
         }
     }
     Err("unterminated string".into())
 }
 
-fn parse_number(s: &str) -> Result<&str, String> {
+fn parse_number(s: &str) -> Result<(JsonValue, &str), String> {
     let end = s
         .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
         .unwrap_or(s.len());
     s[..end].parse::<f64>().map_err(|e| e.to_string())?;
-    Ok(&s[end..])
+    Ok((JsonValue::Num(s[..end].to_string()), &s[end..]))
 }
 
-fn parse_array(s: &str) -> Result<&str, String> {
+fn parse_array(s: &str) -> Result<(JsonValue, &str), String> {
+    let mut items = Vec::new();
     let mut s = skip_ws(&s[1..]);
     if let Some(rest) = s.strip_prefix(']') {
-        return Ok(rest);
+        return Ok((JsonValue::Arr(items), rest));
     }
     loop {
-        s = skip_ws(parse_value(s)?);
+        let (value, rest) = parse_value(s)?;
+        items.push(value);
+        s = skip_ws(rest);
         if let Some(rest) = s.strip_prefix(',') {
             s = rest;
         } else {
-            return s.strip_prefix(']').ok_or_else(|| bad(s));
+            return s
+                .strip_prefix(']')
+                .map(|rest| (JsonValue::Arr(items), rest))
+                .ok_or_else(|| bad(s));
         }
     }
 }
 
-fn parse_object(s: &str) -> Result<&str, String> {
+fn parse_object(s: &str) -> Result<(JsonValue, &str), String> {
+    let mut entries = Vec::new();
     let mut s = skip_ws(&s[1..]);
     if let Some(rest) = s.strip_prefix('}') {
-        return Ok(rest);
+        return Ok((JsonValue::Obj(entries), rest));
     }
     loop {
         s = skip_ws(s);
-        s = parse_string(s)?;
-        s = skip_ws(s).strip_prefix(':').ok_or("missing colon")?;
-        s = skip_ws(parse_value(s)?);
+        let (key, rest) = parse_string(s)?;
+        s = skip_ws(rest).strip_prefix(':').ok_or("missing colon")?;
+        let (value, rest) = parse_value(s)?;
+        entries.push((key, value));
+        s = skip_ws(rest);
         if let Some(rest) = s.strip_prefix(',') {
             s = rest;
         } else {
-            return s.strip_prefix('}').ok_or_else(|| bad(s));
+            return s
+                .strip_prefix('}')
+                .map(|rest| (JsonValue::Obj(entries), rest))
+                .ok_or_else(|| bad(s));
         }
     }
 }
@@ -666,6 +801,45 @@ mod tests {
         assert!(validate_json("{} trailing").is_err());
         assert!(validate_json("\"bad \\q escape\"").is_err());
         assert!(validate_json("").is_err());
+    }
+
+    #[test]
+    fn json_value_parses_and_navigates() {
+        let v = JsonValue::parse(
+            "{\"s\":\"a\\n\\u0041\",\"n\":18446744073709551615,\"f\":-2.5e3,\
+             \"b\":false,\"z\":null,\"arr\":[1,2,3]}",
+        )
+        .unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("a\nA"));
+        // The full u64 range round-trips (raw-token numbers, not f64).
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(-2500.0));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(v.get("z"), Some(&JsonValue::Null));
+        assert_eq!(v.get("arr").and_then(JsonValue::as_array).unwrap().len(), 3);
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.entries().unwrap().len(), 6);
+        // Scalar accessors reject mismatched variants.
+        assert!(v.get("s").unwrap().as_u64().is_none());
+        assert!(v.get("n").unwrap().as_str().is_none());
+    }
+
+    #[test]
+    fn json_value_round_trips_writer_output() {
+        let reg = seeded();
+        let v = JsonValue::parse(&to_json(&reg)).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("evals_performed"))
+                .and_then(JsonValue::as_u64),
+            Some(14)
+        );
+        let spans = v.get("spans").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[0].get("name").and_then(JsonValue::as_str),
+            Some("parse")
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   JSON ([`to_json`]), Chrome `trace_event` JSON ([`chrome_trace`])
 //!   loadable in `chrome://tracing` / Perfetto, and Prometheus text
 //!   exposition ([`prometheus`]) with a coherent registry freeze;
+//! - **Cross-run layer** — a serializable registry freeze
+//!   ([`snapshot`], `--snapshot-out`), a ranked two-snapshot comparison
+//!   ([`diff`], `lpstudy diff`), and an append-only run ledger with a
+//!   MAD-band regression check ([`trend`], `lpbench trend --check`);
 //! - **Flight recorder** — an always-on bounded ring journal of coarse
 //!   lifecycle events ([`journal`]), dumped to JSON on panic, on
 //!   `SIGUSR1`, or via the binaries' `--flight-out` flag;
@@ -39,6 +43,7 @@
 //! assert!(trace.contains("\"name\":\"parse\""));
 //! ```
 
+pub mod diff;
 pub mod export;
 pub mod journal;
 pub mod local;
@@ -47,17 +52,23 @@ pub mod metrics;
 pub mod prometheus;
 pub mod registry;
 pub mod sampler;
+pub mod snapshot;
 pub mod span;
+pub mod trend;
 
+pub use diff::{Diff, DiffOptions};
 pub use export::{
-    chrome_trace, json_escape, summary, to_json, validate_json, write_chrome_trace, JsonWriter,
+    chrome_trace, json_escape, summary, to_json, validate_json, write_chrome_trace, JsonValue,
+    JsonWriter,
 };
 pub use journal::{EventKind, Journal, JournalRecord, JOURNAL_CAP};
 pub use local::LocalStats;
 pub use log::Level;
 pub use metrics::{Counter, CounterBank, Hist, Histogram, PredictorKind, COUNTER_SLOTS};
 pub use registry::{Registry, MAX_SPANS};
+pub use snapshot::RunSnapshot;
 pub use span::{SpanGuard, SpanRecord};
+pub use trend::TrendRecord;
 
 /// The process-wide registry (spans, counters, histograms).
 #[must_use]

@@ -280,7 +280,7 @@ impl CounterBank {
 }
 
 /// A power-of-two-bucket histogram of `u64` samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// `buckets[k]` counts samples with `floor(log2(v)) == k` (`v == 0`
     /// lands in bucket 0).

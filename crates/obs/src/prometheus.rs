@@ -73,6 +73,45 @@ pub fn counter_series(counter: Counter) -> (String, Option<(&'static str, &'stat
     }
 }
 
+/// Escapes a label value per the text exposition format: backslash,
+/// double quote, and line feed become `\\`, `\"`, and `\n`.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the exposition format: only backslash and
+/// line feed are escaped (`\\`, `\n`) — quotes are legal verbatim.
+#[must_use]
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn counter_help(counter: Counter) -> String {
+    match counter {
+        Counter::PredictorHit(_) => "Value-predictor hits by predictor kind.".to_string(),
+        Counter::PredictorMiss(_) => "Value-predictor misses by predictor kind.".to_string(),
+        c => format!("Cumulative {} events.", c.name()),
+    }
+}
+
 /// Renders a snapshot in the Prometheus text exposition format.
 #[must_use]
 pub fn render(snap: &Snapshot) -> String {
@@ -81,11 +120,16 @@ pub fn render(snap: &Snapshot) -> String {
     for &(counter, value) in &snap.counters {
         let (family, label) = counter_series(counter);
         if typed.insert(family.clone()) {
+            let _ = writeln!(
+                out,
+                "# HELP {family} {}",
+                escape_help(&counter_help(counter))
+            );
             let _ = writeln!(out, "# TYPE {family} counter");
         }
         match label {
             Some((k, v)) => {
-                let _ = writeln!(out, "{family}{{{k}=\"{v}\"}} {value}");
+                let _ = writeln!(out, "{family}{{{k}=\"{}\"}} {value}", escape_label_value(v));
             }
             None => {
                 let _ = writeln!(out, "{family} {value}");
@@ -93,17 +137,35 @@ pub fn render(snap: &Snapshot) -> String {
         }
     }
     let gauges = [
-        ("lp_spans_retained", snap.spans_retained),
-        ("lp_journal_records_retained", snap.journal_retained),
+        (
+            "lp_spans_retained",
+            snap.spans_retained,
+            "Spans retained by the registry.",
+        ),
+        (
+            "lp_journal_records_retained",
+            snap.journal_retained,
+            "Flight-recorder records retained in the ring.",
+        ),
     ];
-    for (name, value) in gauges {
+    for (name, value, help) in gauges {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {value}");
     }
+    let _ = writeln!(
+        out,
+        "# HELP lp_journal_records_total Flight-recorder records ever recorded."
+    );
     let _ = writeln!(out, "# TYPE lp_journal_records_total counter");
     let _ = writeln!(out, "lp_journal_records_total {}", snap.journal_total);
     for (h, hist) in &snap.hists {
         let family = format!("lp_{}", h.name());
+        let _ = writeln!(
+            out,
+            "# HELP {family} {}",
+            escape_help(&format!("Log2-bucket histogram of {} samples.", h.name()))
+        );
         let _ = writeln!(out, "# TYPE {family} histogram");
         let mut cumulative = 0u64;
         for (k, &n) in hist.buckets.iter().enumerate() {
@@ -248,8 +310,24 @@ pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
                     return Err(err(format!("bad metric name {name:?}")));
                 }
                 declared.insert(parsed);
+            } else if let Some(decl) = comment.strip_prefix("HELP ") {
+                let (_, help) = parse_name(decl).map_err(err)?;
+                // Only `\\` and `\n` are legal escapes in HELP text.
+                let mut chars = help.trim_start().chars();
+                while let Some(c) = chars.next() {
+                    if c != '\\' {
+                        continue;
+                    }
+                    match chars.next() {
+                        Some('\\' | 'n') => {}
+                        Some(other) => {
+                            return Err(err(format!("bad HELP escape \\{other}")));
+                        }
+                        None => return Err(err("truncated HELP escape".into())),
+                    }
+                }
             }
-            // `# HELP` and other comments pass through unchecked.
+            // Other comments pass through unchecked.
             continue;
         }
         let (name, rest) = parse_name(line).map_err(err)?;
@@ -405,6 +483,50 @@ mod tests {
         assert_eq!(samples.len(), 1);
         assert_eq!(samples[0].labels[0].1, "q\"uo\\te\n");
         assert_eq!(samples[0].value, 4.0);
+    }
+
+    #[test]
+    fn label_and_help_escaping_round_trips_specials() {
+        let nasty = "back\\slash \"quoted\"\nnext line";
+        assert_eq!(
+            escape_label_value(nasty),
+            "back\\\\slash \\\"quoted\\\"\\nnext line"
+        );
+        // HELP escaping leaves quotes verbatim.
+        assert_eq!(escape_help(nasty), "back\\\\slash \"quoted\"\\nnext line");
+        let text = format!(
+            "# HELP lp_x {}\n# TYPE lp_x counter\nlp_x{{k=\"{}\"}} 1\n",
+            escape_help(nasty),
+            escape_label_value(nasty)
+        );
+        let samples = parse(&text).unwrap();
+        assert_eq!(
+            samples[0].labels,
+            vec![("k".to_string(), nasty.to_string())]
+        );
+    }
+
+    #[test]
+    fn parser_rejects_bad_help_escapes() {
+        assert!(parse("# HELP lp_x fine \\n and \\\\ text\n").is_ok());
+        assert!(parse("# HELP lp_x bad \\q escape\n").is_err());
+        assert!(parse("# HELP lp_x truncated \\").is_err());
+        assert!(parse("# HELP 9bad name\n").is_err());
+    }
+
+    #[test]
+    fn every_family_has_help_before_type() {
+        let text = render(&snapshot(&seeded()));
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(decl) = line.strip_prefix("# TYPE ") {
+                let family = decl.split_whitespace().next().unwrap();
+                assert!(
+                    lines[i - 1].starts_with(&format!("# HELP {family} ")),
+                    "{family} has no HELP line"
+                );
+            }
+        }
     }
 
     #[test]

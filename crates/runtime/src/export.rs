@@ -5,9 +5,7 @@
 //! Everything JSON goes through [`lp_obs::JsonWriter`] (the workspace's
 //! single escaper) behind the [`Export`] trait: an exportable value
 //! streams itself into a writer, and `to_json` / `to_json_pretty` pick
-//! the rendering. The legacy free functions (`sweep_to_json`,
-//! `attribution_to_json`) remain as deprecated wrappers with
-//! byte-identical compact output.
+//! the rendering.
 
 use crate::census::Census;
 use crate::eval::EvalReport;
@@ -149,13 +147,6 @@ impl Export for SweepExport<'_> {
     }
 }
 
-/// Renders `sweep.json` (compact).
-#[deprecated(note = "use `SweepExport(reports).to_json()` via the `Export` trait")]
-#[must_use]
-pub fn sweep_to_json(reports: &[EvalReport]) -> String {
-    SweepExport(reports).to_json()
-}
-
 fn write_limiter(w: &mut JsonWriter, lim: &Limiter, best: u64) {
     w.begin_object();
     w.key("kind");
@@ -234,13 +225,6 @@ impl Export for Attribution {
         w.end_array();
         w.end_object();
     }
-}
-
-/// Renders `explain.json` (compact).
-#[deprecated(note = "use `Attribution::to_json` via the `Export` trait")]
-#[must_use]
-pub fn attribution_to_json(attr: &Attribution) -> String {
-    attr.to_json()
 }
 
 /// Sanitizes one collapsed-stack frame name (the format reserves `;` as
@@ -401,19 +385,6 @@ mod tests {
         assert!(json.starts_with("{\"sweep\":["), "{json}");
         assert_eq!(json.matches("\"program\"").count(), 2);
         assert!(json.contains("\"coverage_pct\""));
-    }
-
-    #[test]
-    fn deprecated_wrappers_match_the_trait_byte_for_byte() {
-        let r = tiny_report();
-        let reports = [r.clone(), r];
-        #[allow(deprecated)]
-        let legacy = sweep_to_json(&reports);
-        assert_eq!(legacy, SweepExport(&reports).to_json());
-        let (_, attr) = tiny_explained();
-        #[allow(deprecated)]
-        let legacy = attribution_to_json(&attr);
-        assert_eq!(legacy, attr.to_json());
     }
 
     #[test]

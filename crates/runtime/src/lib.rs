@@ -20,6 +20,7 @@
 //!   [`std::sync::Arc`]`<Profile>` — with a deterministic merge so the
 //!   output is byte-identical for any `--jobs` count.
 
+pub mod audit;
 pub mod census;
 pub mod config;
 pub mod eval;
@@ -32,6 +33,7 @@ pub mod store;
 pub mod sweep;
 pub mod tracker;
 
+pub use audit::{audit_snapshot, render_audit, Check, Verdict};
 pub use census::Census;
 #[allow(deprecated)]
 pub use config::paper_rows;
@@ -43,8 +45,6 @@ pub use eval::{
     LoopSummary,
 };
 pub use explain::{Attribution, Limiter, LimiterKind, LoopAttribution};
-#[allow(deprecated)]
-pub use export::{attribution_to_json, sweep_to_json};
 pub use export::{collapsed_stacks, Export, SweepExport};
 pub use profile::{
     CallClass, LoopInstance, LoopMeta, MetaIndex, Profile, Region, RegionId, RegionKind,
