@@ -22,6 +22,7 @@
 //! everything the interpreter and the run-time component need.
 
 pub mod callgraph;
+pub mod certify;
 pub mod cfg;
 pub mod classify;
 pub mod dom;
@@ -32,12 +33,13 @@ pub mod scev;
 pub mod ssa;
 
 pub use callgraph::{CallGraph, Purity};
+pub use certify::{certify_function, certify_module, CertPhi, CertifiedLoop};
 pub use cfg::Cfg;
 pub use classify::{LcdClass, LoopLcds, ReductionKind};
 pub use dom::DomTree;
 pub use dump::{dump_function, dump_module};
 pub use loops::{Loop, LoopForest, LoopId};
-pub use scev::{ScevClass, ScevInfo};
+pub use scev::{derive_step, ScevClass, ScevInfo, StepSpec};
 pub use ssa::verify_ssa;
 
 use lp_ir::{FuncId, Function, Module};

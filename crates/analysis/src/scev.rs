@@ -191,6 +191,75 @@ fn decompose(
     }
 }
 
+/// A derivable per-iteration step: `konst + Σ coeff·value` over
+/// loop-invariant integer values. The replay certifier hands this to the
+/// interpreter so it can seed any iteration's induction value in closed
+/// form (`entry + k·step`) without running the preceding iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepSpec {
+    /// Constant term.
+    pub konst: i64,
+    /// `(value, coefficient)` terms, every value loop-invariant `I64`,
+    /// sorted by value id for determinism.
+    pub terms: Vec<(ValueId, i64)>,
+}
+
+/// Derives the exact per-iteration step of header phi `phi` of `lp`, or
+/// `None` when the phi is not a plain add-recurrence.
+///
+/// This is stricter than [`ScevClass::Induction`]: the latch update must
+/// decompose affinely with a self-coefficient of exactly 1 (so
+/// `phi(k) = phi(0) + k·step`), reference no other header phi, and every
+/// remaining term must be a loop-invariant integer. Mutual-induction and
+/// reset (`self-coefficient 0`) phis are rejected — their closed forms
+/// are not a single step expression.
+#[must_use]
+pub fn derive_step(func: &Function, lp: &Loop, phi: ValueId) -> Option<StepSpec> {
+    if lp.latches.len() != 1 || func.value_type(phi) != Type::I64 {
+        return None;
+    }
+    let latch = lp.latches[0];
+    let header = func.block(lp.header);
+    let mut phis: Vec<ValueId> = Vec::new();
+    for &iid in &header.insts {
+        let data = func.inst(iid);
+        if data.inst.is_phi() {
+            phis.push(data.result);
+        } else {
+            break;
+        }
+    }
+    let ValueKind::Inst(iid) = func.value(phi) else {
+        return None;
+    };
+    let Inst::Phi { incomings, .. } = &func.inst(*iid).inst else {
+        return None;
+    };
+    let (_, update) = incomings.iter().find(|(b, _)| *b == latch)?;
+    let a = decompose(func, lp, &phis, *update, 16)?;
+    // step = update − phi: the self term must carry coefficient exactly
+    // 1, and what remains must be free of other header phis.
+    let mut terms: Vec<(ValueId, i64)> = Vec::new();
+    let mut self_coeff = 0i64;
+    for (&v, &c) in &a.terms {
+        if v == phi {
+            self_coeff = c;
+        } else if phis.contains(&v) {
+            return None;
+        } else {
+            terms.push((v, c));
+        }
+    }
+    if self_coeff != 1 {
+        return None;
+    }
+    terms.sort_unstable_by_key(|(v, _)| v.index());
+    Some(StepSpec {
+        konst: a.konst,
+        terms,
+    })
+}
+
 /// Classifies the header phis of one loop.
 fn classify_loop_phis(func: &Function, lp: &Loop) -> Vec<(ValueId, ScevClass)> {
     let header = func.block(lp.header);

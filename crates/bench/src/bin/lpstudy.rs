@@ -25,7 +25,7 @@ use loopapalooza::Study;
 use lp_bench::{run_suites, write_explain, Cli, SweepTable};
 use lp_interp::MachineConfig;
 use lp_obs::{lp_info, span};
-use lp_runtime::{best_helix, best_pdoall, geomean, ExecModel};
+use lp_runtime::{best_helix, best_pdoall, geomean, ExecModel, Export, RejectReason};
 use lp_suite::{Scale, SuiteId};
 
 /// Benchmark the no-input demo round-trips through the textual parser.
@@ -35,6 +35,7 @@ fn usage() -> ! {
     eprintln!("usage: lpstudy [<file.lp> | --bench <name> | --suite <name> | --dump <name>");
     eprintln!("                | --analyze <file.lp|name> | explain [<file.lp|name>]");
     eprintln!("                | dispatch-heat [--suite <name>]");
+    eprintln!("                | replay [--suite <name>] [--replay-out FILE]");
     eprintln!("                | diff <a.json> <b.json> [--json] [--include-timing]");
     eprintln!("                       [--noise-floor N] | audit <snap.json>]");
     eprintln!("               [--jobs N] [--profile-cache DIR] [--trace-out FILE]");
@@ -48,6 +49,11 @@ fn usage() -> ! {
     eprintln!("  explain [WHAT]     rank, per loop, the limiters that block further speedup");
     eprintln!("  dispatch-heat      profile the interpreter itself: ranked opcode and");
     eprintln!("                     opcode-pair dispatch heat over a suite (default eembc)");
+    eprintln!("  replay             execute certified DOALL loops across real threads and");
+    eprintln!("                     byte-compare every run against a serial reference;");
+    eprintln!("                     prints measured vs predicted speedup per loop and ends");
+    eprintln!("                     with `N divergence(s)` (exit 1 on any divergence)");
+    eprintln!("  --replay-out FILE  write the lp-replay-v1 JSON document (replay only)");
     eprintln!("  diff A B           rank counter/histogram divergences between two");
     eprintln!("                     --snapshot-out captures (last line: N significant ...)");
     eprintln!("  audit SNAP         check cross-counter conservation laws over a snapshot");
@@ -342,6 +348,137 @@ fn run_dispatch_heat(cli: &Cli, args: &[String]) {
     cli.finish("lpstudy");
 }
 
+/// The `replay` subcommand: certify DOALL loops statically, gate them on
+/// the run-time independence witness, execute the survivors' iterations
+/// across real worker threads, and differentially validate every
+/// replayed run against a plain serial reference. Prints a
+/// measured-vs-predicted speedup table per benchmark; the last line is
+/// always `... N divergence(s)` so CI can `grep '0 divergence(s)'`. Any
+/// divergence is a hard failure (exit 1) naming the culprit loop.
+fn run_replay(cli: &Cli, args: &[String]) {
+    let mut suite_name = "eembc".to_string();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--suite" => match args.get(i + 1) {
+                Some(name) => {
+                    suite_name = name.clone();
+                    i += 2;
+                }
+                None => {
+                    eprintln!("--suite requires a suite name");
+                    std::process::exit(2);
+                }
+            },
+            "--replay-out" => match args.get(i + 1) {
+                Some(path) => {
+                    out = Some(std::path::PathBuf::from(path));
+                    i += 2;
+                }
+                None => {
+                    eprintln!("--replay-out requires a file argument");
+                    std::process::exit(2);
+                }
+            },
+            _ => usage(),
+        }
+    }
+    let Some(suite) = SuiteId::all().into_iter().find(|s| s.label() == suite_name) else {
+        eprintln!("unknown suite {suite_name:?}; expected one of:");
+        for s in SuiteId::all() {
+            eprintln!("  {}", s.label());
+        }
+        std::process::exit(2);
+    };
+    let jobs = cli.jobs();
+    println!(
+        "parallel DOALL replay: suite {}, {} worker(s)",
+        suite.label(),
+        jobs.get()
+    );
+
+    let mut benches = Vec::new();
+    for b in lp_suite::suite(suite) {
+        let module = {
+            let _span = span!("parse");
+            b.build(cli.scale)
+        };
+        let r = lp_runtime::replay_module(&module, &[], jobs).unwrap_or_else(|e| {
+            eprintln!("replay of {} failed: {e}", b.name);
+            std::process::exit(1);
+        });
+        println!(
+            "\n{}: {} loop(s) replayed, {} rejected",
+            b.name,
+            r.loops.len(),
+            r.rejected.len()
+        );
+        if !r.loops.is_empty() {
+            println!(
+                "  {:<22} {:>8} {:>6} {:>10} {:>10} {:>10}",
+                "function", "header", "insts", "iters", "predicted", "measured"
+            );
+            for l in &r.loops {
+                println!(
+                    "  {:<22} {:>8} {:>6} {:>10} {:>9.2}x {:>9.2}x",
+                    l.func_name,
+                    l.header.to_string(),
+                    l.instances,
+                    l.iterations,
+                    l.predicted_speedup,
+                    l.measured_speedup()
+                );
+            }
+        }
+        for rej in &r.rejected {
+            match &rej.reason {
+                RejectReason::Violation(v) => println!(
+                    "  rejected {}:{} — witness {} conflict at {:#x} (iterations {} and {})",
+                    rej.func_name,
+                    rej.header,
+                    v.kind.tag(),
+                    v.addr,
+                    v.earlier_iter,
+                    v.later_iter
+                ),
+                RejectReason::NeverExecuted => println!(
+                    "  rejected {}:{} — never executed, no witness",
+                    rej.func_name, rej.header
+                ),
+            }
+        }
+        if let Some(d) = &r.divergence {
+            println!("  DIVERGENCE {d}");
+        }
+        benches.push(r);
+    }
+
+    let replayed: usize = benches.iter().map(|b| b.loops.len()).sum();
+    let rejected: usize = benches.iter().map(|b| b.rejected.len()).sum();
+    let divergences = benches.iter().filter(|b| b.divergence.is_some()).count();
+    if let Some(path) = &out {
+        let doc = lp_runtime::ReplayExport {
+            suite: suite.label(),
+            jobs: jobs.get(),
+            benches: &benches,
+        };
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        lp_info!("wrote lp-replay-v1 document to {}", path.display());
+    }
+    println!(
+        "\nreplay: {replayed} loop(s) certified and replayed, {rejected} rejected, \
+         {divergences} divergence(s)"
+    );
+    cli.finish("lpstudy");
+    if divergences > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn read_snapshot(path: &str) -> lp_obs::RunSnapshot {
     lp_obs::RunSnapshot::read(std::path::Path::new(path)).unwrap_or_else(|e| {
         eprintln!("cannot load snapshot: {e}");
@@ -461,6 +598,10 @@ fn main() {
         }
         Some("dispatch-heat") => {
             run_dispatch_heat(&cli, args);
+            return;
+        }
+        Some("replay") => {
+            run_replay(&cli, args);
             return;
         }
         Some("explain") => {

@@ -10,6 +10,8 @@
 //! cargo run --release -p lp-bench --bin lpstudy -- explain \
 //!   --explain-out results/explain-quickstart.json
 //! cargo run --release -p lp-bench --bin lpstudy -- --trace-out results/trace-quickstart.json
+//! cargo run --release -p lp-bench --bin lpstudy -- replay test --jobs 2 \
+//!   --replay-out results/replay-quickstart.json
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -79,6 +81,61 @@ fn span_names(trace: &str) -> Vec<String> {
         rest = &tail[end..];
     }
     names
+}
+
+/// Masks the wall-clock-derived values of an `lp-replay-v1` document
+/// (`serial_ns`, `parallel_ns`, `measured_speedup`) so the rest — the
+/// schema, loop/rejection structure, iteration counts, and predicted
+/// speedups — can be compared byte-for-byte.
+fn mask_replay_timings(json: &str) -> String {
+    lp_obs::validate_json(json).expect("lp-replay-v1 must be valid JSON");
+    json.lines()
+        .map(|line| {
+            let trimmed = line.trim_start();
+            for key in [
+                "\"serial_ns\":",
+                "\"parallel_ns\":",
+                "\"measured_speedup\":",
+            ] {
+                if trimmed.starts_with(key) {
+                    let indent = &line[..line.len() - trimmed.len()];
+                    let comma = if trimmed.trim_end().ends_with(',') {
+                        ","
+                    } else {
+                        ""
+                    };
+                    return format!("{indent}{key} <t>{comma}");
+                }
+            }
+            line.to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn replay_quickstart_has_stable_schema_and_loop_structure() {
+    let dir = std::env::temp_dir();
+    let json = dir.join(format!("lp-golden-replay-{}.json", std::process::id()));
+    lpstudy(&[
+        "replay",
+        "test",
+        "--quiet",
+        "--jobs",
+        "2",
+        "--replay-out",
+        json.to_str().unwrap(),
+    ]);
+    let fresh = std::fs::read_to_string(&json).unwrap();
+    let golden =
+        std::fs::read_to_string(repo_root().join("results/replay-quickstart.json")).unwrap();
+    assert_eq!(
+        mask_replay_timings(&fresh),
+        mask_replay_timings(&golden),
+        "replay-quickstart.json structure drifted — if the change is \
+         intentional, regenerate it (see this test's module docs)"
+    );
+    let _ = std::fs::remove_file(&json);
 }
 
 #[test]

@@ -37,6 +37,7 @@ pub mod events;
 pub mod machine;
 pub mod memory;
 pub mod metered;
+pub mod replay;
 pub mod trace;
 pub mod value;
 
@@ -44,6 +45,10 @@ pub use events::{CountingSink, EventSink, NullSink};
 pub use machine::{Machine, MachineConfig, RunResult};
 pub use memory::{MemStats, Memory, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 pub use metered::{EventCounts, MeteredSink, TeeSink};
+pub use replay::{
+    run_chunk, ChunkOut, ChunkRequest, ChunkSpec, LoopShape, ParallelExec, PhiKind, ReplayPlan,
+    SerialExec, StepExpr,
+};
 pub use trace::{TraceEvent, TraceSink};
 pub use value::Value;
 

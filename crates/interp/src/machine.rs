@@ -1,7 +1,11 @@
 //! The interpreter core.
 
-use crate::events::EventSink;
+use crate::events::{EventSink, NullSink};
 use crate::memory::Memory;
+use crate::replay::{
+    reduction_identity, ChunkOut, ChunkRequest, ChunkSpec, LoopShape, PhiKind, ReplayCtl,
+    ReplayPlan,
+};
 use crate::value::Value;
 use crate::{InterpError, Result};
 use lp_ir::{
@@ -93,6 +97,11 @@ pub struct Machine<'a, S> {
     phi_scratch: Vec<(ValueId, Value)>,
     /// Dispatch-heat collection, on only while a sampler is live.
     heat: Option<Box<Heat>>,
+    /// Parallel replay control: when armed, entering a planned certified
+    /// loop header from outside the loop fans its iterations out through
+    /// the executor instead of running them serially. One `Option` check
+    /// per block entry when disarmed.
+    replay: Option<ReplayCtl<'a>>,
 }
 
 impl<'a, S: EventSink> Machine<'a, S> {
@@ -180,7 +189,20 @@ impl<'a, S: EventSink> Machine<'a, S> {
                     prev: 0,
                 })
             }),
+            replay: None,
         }
+    }
+
+    /// Arms parallel replay: certified loops in `plan` will be executed
+    /// across `exec`'s workers instead of serially.
+    #[must_use]
+    pub fn with_replay(
+        mut self,
+        plan: &'a ReplayPlan,
+        exec: &'a dyn crate::replay::ParallelExec,
+    ) -> Machine<'a, S> {
+        self.replay = Some(ReplayCtl { plan, exec });
+        self
     }
 
     /// Runs `main` with the given arguments.
@@ -188,7 +210,17 @@ impl<'a, S: EventSink> Machine<'a, S> {
     /// # Errors
     /// Propagates traps and resource-limit failures, or an
     /// [`InterpError::TypeConfusion`] if the module has no `main`.
-    pub fn run(mut self, args: &[Value]) -> Result<RunResult> {
+    pub fn run(self, args: &[Value]) -> Result<RunResult> {
+        self.run_keep_memory(args).map(|(result, _)| result)
+    }
+
+    /// As [`Machine::run`], additionally returning the final memory
+    /// image. The replay engine byte-compares the images of a serial and
+    /// a replayed run to detect divergence.
+    ///
+    /// # Errors
+    /// As [`Machine::run`].
+    pub fn run_keep_memory(mut self, args: &[Value]) -> Result<(RunResult, Memory)> {
         let entry = self
             .module
             .entry()
@@ -197,11 +229,14 @@ impl<'a, S: EventSink> Machine<'a, S> {
         self.flush_heat();
         let ret = ret?;
         self.sink.mem_stats(self.memory.stats());
-        Ok(RunResult {
-            ret,
-            cost: self.cost,
-            output: self.output,
-        })
+        Ok((
+            RunResult {
+                ret,
+                cost: self.cost,
+                output: self.output,
+            },
+            self.memory,
+        ))
     }
 
     /// Runs an arbitrary function by name (for tests and examples).
@@ -327,6 +362,15 @@ impl<'a, S: EventSink> Machine<'a, S> {
                 self.phi_scratch = updates;
             }
 
+            // Parallel replay interception: entering a planned certified
+            // header from outside its loop (phis hold iteration-0 values)
+            // runs all iterations across workers and leaves the exit phi
+            // values in `regs`; the header then executes once more below
+            // and exits through its ordinary compare.
+            if self.replay.is_some() {
+                self.maybe_replay(fid, func, block, prev, &mut regs)?;
+            }
+
             // Body, charged one cost unit per instruction so producer and
             // consumer timestamps have instruction granularity. `func`
             // borrows from the module (lifetime `'a`), not from `self`, so
@@ -377,6 +421,222 @@ impl<'a, S: EventSink> Machine<'a, S> {
         Ok(ret)
     }
 
+    /// Replays a certified loop across workers if `block` is a planned
+    /// header being entered from outside its loop. On return, `regs`
+    /// holds the loop's exit phi values, memory holds every iteration's
+    /// writes, and exactly the serial cost has been charged — minus the
+    /// final header evaluation, which the caller performs next.
+    ///
+    /// Falls through (leaving everything untouched) when the header is
+    /// not planned, is being re-entered from its latch, or runs fewer
+    /// than two iterations.
+    fn maybe_replay(
+        &mut self,
+        fid: FuncId,
+        func: &lp_ir::Function,
+        block: BlockId,
+        prev: Option<BlockId>,
+        regs: &mut [Value],
+    ) -> Result<()> {
+        let Some(ctl) = self.replay else {
+            return Ok(());
+        };
+        let Some(shape) = ctl.plan.shape_at(fid, block) else {
+            return Ok(());
+        };
+        if prev.is_some_and(|p| shape.contains(p)) {
+            // Latch re-entry: the serial tail of a loop the probe
+            // declined to replay (fewer than two iterations).
+            return Ok(());
+        }
+
+        // Loop-invariant step values, evaluated once at entry.
+        let mut steps = Vec::with_capacity(shape.phis.len());
+        for (_, kind) in &shape.phis {
+            steps.push(match kind {
+                PhiKind::Affine { step } => step.eval(regs)?,
+                PhiKind::Reduction { .. } => 0,
+            });
+        }
+        let probe_budget = (self.config.max_cost - self.cost) / func.block_cost(block).max(1) + 2;
+        let n = probe_trip_count(func, shape, regs, &steps, probe_budget)?;
+        if n < 2 {
+            return Ok(());
+        }
+
+        // Seed one register file per chunk.
+        let entries: Vec<Value> = shape.phis.iter().map(|(v, _)| regs[v.index()]).collect();
+        let ranges = lp_ir::split_iterations(n, ctl.plan.jobs());
+        let mut chunks = Vec::with_capacity(ranges.len());
+        for (ci, range) in ranges.iter().enumerate() {
+            let mut cregs = regs.to_vec();
+            for (pi, (v, kind)) in shape.phis.iter().enumerate() {
+                cregs[v.index()] = match kind {
+                    PhiKind::Affine { .. } => Value::I(
+                        entries[pi]
+                            .as_i64()?
+                            .wrapping_add((range.start as i64).wrapping_mul(steps[pi])),
+                    ),
+                    PhiKind::Reduction { .. } if ci == 0 => {
+                        // First chunk carries the live-in value; make
+                        // sure it really is an integer before workers
+                        // start folding.
+                        Value::I(entries[pi].as_i64()?)
+                    }
+                    PhiKind::Reduction { op } => Value::I(reduction_identity(*op).ok_or(
+                        InterpError::TypeConfusion("non-integer reduction in replay"),
+                    )?),
+                };
+            }
+            chunks.push(ChunkSpec {
+                index: ci,
+                iters: range.end - range.start,
+                regs: cregs,
+            });
+        }
+
+        // Fan out. Workers inherit the remaining fuel and call depth;
+        // certified loops cannot print, draw random numbers, or touch
+        // the allocators, so no other machine state needs to travel.
+        let worker_config = MachineConfig {
+            max_cost: self.config.max_cost - self.cost,
+            max_call_depth: self.config.max_call_depth - self.depth,
+            rng_seed: self.config.rng_seed,
+            capture_output: false,
+            watched_values: Vec::new(),
+        };
+        let request = ChunkRequest {
+            module: self.module,
+            shape,
+            memory: &self.memory,
+            config: &worker_config,
+            chunks,
+        };
+        let outs = ctl.exec.run_chunks(request)?;
+        if outs.len() != ranges.len() {
+            return Err(InterpError::TypeConfusion(
+                "replay executor returned wrong chunk count",
+            ));
+        }
+
+        // Charge every worker's cost before touching memory, so fuel
+        // exhaustion surfaces exactly as it would have serially.
+        for out in &outs {
+            self.charge(out.cost)?;
+        }
+        // Deterministic delta merge: apply chunk logs in chunk (=
+        // iteration) order. Addresses at or above the loop-entry stack
+        // top are worker-private scratch frames (dead on both sides)
+        // and are skipped; live caller-frame and global/heap writes land.
+        let stack_mark = self.memory.stack_top();
+        for out in &outs {
+            for &(addr, word) in &out.log {
+                if addr < stack_mark {
+                    self.memory.write(addr, word)?;
+                }
+            }
+        }
+        // Exit phi values: affine phis in closed form, reduction phis
+        // as the in-chunk-order fold of the partials.
+        for (pi, (v, kind)) in shape.phis.iter().enumerate() {
+            regs[v.index()] = match kind {
+                PhiKind::Affine { .. } => Value::I(
+                    entries[pi]
+                        .as_i64()?
+                        .wrapping_add((n as i64).wrapping_mul(steps[pi])),
+                ),
+                PhiKind::Reduction { op } => {
+                    let mut acc = outs[0].phi_out[pi];
+                    for out in &outs[1..] {
+                        acc = exec_bin(*op, acc, out.phi_out[pi])?;
+                    }
+                    acc
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// Executes `iters` iterations of a certified loop, starting at the
+    /// header with `regs` pre-seeded for the chunk's first iteration.
+    /// Stops on the latch→header arrival after the last iteration,
+    /// leaving the next iteration's phi inputs in `regs` (the chunk's
+    /// partials / exit values).
+    fn exec_chunk(&mut self, shape: &LoopShape, regs: &mut [Value], iters: u64) -> Result<()> {
+        let fid = shape.func;
+        let func = self.module.function(fid);
+        let mut done = 0u64;
+        let mut block = shape.header;
+        let mut prev: Option<BlockId> = None;
+        loop {
+            if !shape.contains(block) {
+                return Err(InterpError::TypeConfusion(
+                    "certified loop escaped during replay",
+                ));
+            }
+            // Two-phase phi resolution, as in `call_function` (free).
+            if let Some(pred) = prev {
+                let blk = func.block(block);
+                let mut updates = std::mem::take(&mut self.phi_scratch);
+                for &iid in &blk.insts {
+                    let data = func.inst(iid);
+                    let Inst::Phi { incomings, .. } = &data.inst else {
+                        break;
+                    };
+                    let (_, v) = incomings
+                        .iter()
+                        .find(|(b, _)| *b == pred)
+                        .expect("verified phi covers predecessors");
+                    updates.push((data.result, regs[v.index()]));
+                }
+                for &(r, v) in &updates {
+                    regs[r.index()] = v;
+                }
+                updates.clear();
+                self.phi_scratch = updates;
+            }
+            // A latch→header arrival completes one iteration; stop
+            // before re-executing the header once the chunk is done, so
+            // the header's compare runs exactly once per iteration.
+            if block == shape.header && prev.is_some() {
+                done += 1;
+                if done == iters {
+                    return Ok(());
+                }
+            }
+            for &iid in &func.block(block).insts {
+                let data = func.inst(iid);
+                if data.inst.is_phi() {
+                    continue;
+                }
+                self.charge(1)?;
+                let result = self.exec_inst(fid, func, regs, &data.inst)?;
+                regs[data.result.index()] = result;
+            }
+            self.charge(1)?;
+            match &func.block(block).term {
+                Term::Br(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Term::CondBr {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let c = regs[cond.index()].as_bool()?;
+                    prev = Some(block);
+                    block = if c { *then_blk } else { *else_blk };
+                }
+                Term::Ret(_) => {
+                    return Err(InterpError::TypeConfusion(
+                        "certified loop escaped during replay",
+                    ));
+                }
+            }
+        }
+    }
+
     fn exec_inst(
         &mut self,
         fid: FuncId,
@@ -385,61 +645,12 @@ impl<'a, S: EventSink> Machine<'a, S> {
         inst: &Inst,
     ) -> Result<Value> {
         match inst {
-            Inst::Bin { op, lhs, rhs } => {
-                let l = self.eval(func, regs, *lhs);
-                let r = self.eval(func, regs, *rhs);
-                exec_bin(*op, l, r)
-            }
-            Inst::Icmp { pred, lhs, rhs } => {
-                let l = self.eval(func, regs, *lhs);
-                let r = self.eval(func, regs, *rhs);
-                let (l, r) = match (l, r) {
-                    (Value::P(a), Value::P(b)) => (a as i64, b as i64),
-                    (a, b) => (a.as_i64()?, b.as_i64()?),
-                };
-                Ok(Value::B(match pred {
-                    IcmpPred::Eq => l == r,
-                    IcmpPred::Ne => l != r,
-                    IcmpPred::Slt => l < r,
-                    IcmpPred::Sle => l <= r,
-                    IcmpPred::Sgt => l > r,
-                    IcmpPred::Sge => l >= r,
-                }))
-            }
-            Inst::Fcmp { pred, lhs, rhs } => {
-                let l = self.eval(func, regs, *lhs).as_f64()?;
-                let r = self.eval(func, regs, *rhs).as_f64()?;
-                Ok(Value::B(match pred {
-                    FcmpPred::Oeq => l == r,
-                    FcmpPred::One => l != r,
-                    FcmpPred::Olt => l < r,
-                    FcmpPred::Ole => l <= r,
-                    FcmpPred::Ogt => l > r,
-                    FcmpPred::Oge => l >= r,
-                }))
-            }
-            Inst::Select {
-                cond,
-                then_val,
-                else_val,
-            } => {
-                let c = self.eval(func, regs, *cond).as_bool()?;
-                Ok(if c {
-                    self.eval(func, regs, *then_val)
-                } else {
-                    self.eval(func, regs, *else_val)
-                })
-            }
-            Inst::Cast { kind, val } => {
-                let v = self.eval(func, regs, *val);
-                Ok(match kind {
-                    CastKind::SiToFp => Value::F(v.as_i64()? as f64),
-                    CastKind::FpToSi => Value::I(v.as_f64()? as i64),
-                    CastKind::PtrToInt => Value::I(v.as_ptr()? as i64),
-                    CastKind::IntToPtr => Value::P(v.as_i64()? as u64),
-                    CastKind::BoolToInt => Value::I(i64::from(v.as_bool()?)),
-                })
-            }
+            Inst::Bin { .. }
+            | Inst::Icmp { .. }
+            | Inst::Fcmp { .. }
+            | Inst::Select { .. }
+            | Inst::Cast { .. }
+            | Inst::Gep { .. } => exec_pure(regs, inst),
             Inst::Load { ty, addr } => {
                 let a = self.eval(func, regs, *addr).as_ptr()?;
                 let bits = self.memory.read(a)?;
@@ -452,19 +663,6 @@ impl<'a, S: EventSink> Machine<'a, S> {
                 self.memory.write(a, v)?;
                 self.sink.store(a, self.cost);
                 Ok(Value::Unit)
-            }
-            Inst::Gep {
-                base,
-                index,
-                scale,
-                offset,
-            } => {
-                let b = self.eval(func, regs, *base).as_ptr()?;
-                let i = self.eval(func, regs, *index).as_i64()?;
-                let addr = (b as i64)
-                    .wrapping_add(i.wrapping_mul(*scale))
-                    .wrapping_add(*offset) as u64;
-                Ok(Value::P(addr))
             }
             Inst::Alloca { words } => {
                 let base = self.memory.stack_alloc(u64::from(*words));
@@ -597,6 +795,179 @@ fn exec_bin(op: BinOp, l: Value, r: Value) -> Result<Value> {
         BinOp::SMax => a.max(b),
         _ => unreachable!(),
     }))
+}
+
+/// Evaluates a register-pure instruction against `regs` — no memory, no
+/// allocators, no calls. This is both the interpreter's fast path for
+/// such instructions and the replay trip-count probe's evaluator (the
+/// only instruction kinds certification admits into a certified header).
+fn exec_pure(regs: &[Value], inst: &Inst) -> Result<Value> {
+    let get = |v: &ValueId| regs[v.index()];
+    match inst {
+        Inst::Bin { op, lhs, rhs } => exec_bin(*op, get(lhs), get(rhs)),
+        Inst::Icmp { pred, lhs, rhs } => {
+            let (l, r) = match (get(lhs), get(rhs)) {
+                (Value::P(a), Value::P(b)) => (a as i64, b as i64),
+                (a, b) => (a.as_i64()?, b.as_i64()?),
+            };
+            Ok(Value::B(match pred {
+                IcmpPred::Eq => l == r,
+                IcmpPred::Ne => l != r,
+                IcmpPred::Slt => l < r,
+                IcmpPred::Sle => l <= r,
+                IcmpPred::Sgt => l > r,
+                IcmpPred::Sge => l >= r,
+            }))
+        }
+        Inst::Fcmp { pred, lhs, rhs } => {
+            let l = get(lhs).as_f64()?;
+            let r = get(rhs).as_f64()?;
+            Ok(Value::B(match pred {
+                FcmpPred::Oeq => l == r,
+                FcmpPred::One => l != r,
+                FcmpPred::Olt => l < r,
+                FcmpPred::Ole => l <= r,
+                FcmpPred::Ogt => l > r,
+                FcmpPred::Oge => l >= r,
+            }))
+        }
+        Inst::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            let c = get(cond).as_bool()?;
+            Ok(if c { get(then_val) } else { get(else_val) })
+        }
+        Inst::Cast { kind, val } => {
+            let v = get(val);
+            Ok(match kind {
+                CastKind::SiToFp => Value::F(v.as_i64()? as f64),
+                CastKind::FpToSi => Value::I(v.as_f64()? as i64),
+                CastKind::PtrToInt => Value::I(v.as_ptr()? as i64),
+                CastKind::IntToPtr => Value::P(v.as_i64()? as u64),
+                CastKind::BoolToInt => Value::I(i64::from(v.as_bool()?)),
+            })
+        }
+        Inst::Gep {
+            base,
+            index,
+            scale,
+            offset,
+        } => {
+            let b = get(base).as_ptr()?;
+            let i = get(index).as_i64()?;
+            let addr = (b as i64)
+                .wrapping_add(i.wrapping_mul(*scale))
+                .wrapping_add(*offset) as u64;
+            Ok(Value::P(addr))
+        }
+        _ => Err(InterpError::TypeConfusion(
+            "impure instruction in pure context",
+        )),
+    }
+}
+
+/// Derives a certified loop's exact trip count by evaluating the
+/// header's pure instructions against closed-form induction values
+/// `entry + k·step` for `k = 0, 1, …` until the header's branch selects
+/// an exit successor. Charges nothing; `budget` bounds the walk so a
+/// diverging loop surfaces as fuel exhaustion just like it would
+/// serially.
+fn probe_trip_count(
+    func: &lp_ir::Function,
+    shape: &LoopShape,
+    regs: &[Value],
+    steps: &[i64],
+    budget: u64,
+) -> Result<u64> {
+    let mut scratch = regs.to_vec();
+    // Reduction phis never feed the exit condition (certification
+    // guarantees it), so only affine entries matter below.
+    let entries: Vec<i64> = shape
+        .phis
+        .iter()
+        .map(|(v, kind)| match kind {
+            PhiKind::Affine { .. } => scratch[v.index()].as_i64(),
+            PhiKind::Reduction { .. } => Ok(0),
+        })
+        .collect::<Result<_>>()?;
+    let header = func.block(shape.header);
+    for k in 0..=budget {
+        for (pi, (v, kind)) in shape.phis.iter().enumerate() {
+            if matches!(kind, PhiKind::Affine { .. }) {
+                scratch[v.index()] =
+                    Value::I(entries[pi].wrapping_add((k as i64).wrapping_mul(steps[pi])));
+            }
+        }
+        for &iid in &header.insts {
+            let data = func.inst(iid);
+            if data.inst.is_phi() {
+                continue;
+            }
+            scratch[data.result.index()] = exec_pure(&scratch, &data.inst)?;
+        }
+        let Term::CondBr {
+            cond,
+            then_blk,
+            else_blk,
+        } = &header.term
+        else {
+            return Err(InterpError::TypeConfusion(
+                "certified header must end in a conditional branch",
+            ));
+        };
+        let taken = if scratch[cond.index()].as_bool()? {
+            *then_blk
+        } else {
+            *else_blk
+        };
+        if !shape.contains(taken) {
+            return Ok(k);
+        }
+    }
+    Err(InterpError::FuelExhausted)
+}
+
+/// Runs one replay chunk on a fresh worker machine over a clone of the
+/// parent memory, returning the chunk's write log, cost, and final phi
+/// values. Workers carry no replay plan, so any nested loop inside the
+/// chunk runs serially.
+///
+/// # Errors
+/// Propagates interpreter traps, fuel exhaustion, and the defensive
+/// escape check (control leaving the certified loop's blocks — which
+/// certification should make impossible).
+///
+/// # Panics
+/// Panics if a chunk register file has the wrong length for the loop's
+/// function (the machine that built the [`ChunkSpec`] guarantees this).
+pub fn run_chunk(req: &ChunkRequest<'_>, spec: &ChunkSpec) -> Result<ChunkOut> {
+    let mut sink = NullSink;
+    let mut machine = Machine::with_config(req.module, &mut sink, req.config.clone());
+    machine.memory = req.memory.clone();
+    machine.memory.enable_write_log();
+    let mut regs = spec.regs.clone();
+    assert_eq!(
+        regs.len(),
+        req.module.function(req.shape.func).values.len(),
+        "chunk register file length"
+    );
+    machine.exec_chunk(req.shape, &mut regs, spec.iters)?;
+    let cost = machine.cost;
+    let log = machine.memory.take_write_log();
+    let phi_out = req
+        .shape
+        .phis
+        .iter()
+        .map(|(v, _)| regs[v.index()])
+        .collect();
+    Ok(ChunkOut {
+        index: spec.index,
+        cost,
+        log,
+        phi_out,
+    })
 }
 
 #[cfg(test)]
@@ -942,4 +1313,111 @@ mod tests {
     }
 
     use lp_ir::{BlockId, IcmpPred};
+
+    /// sum_module's loop shape, hand-built: header L1, body/latch L2,
+    /// phi 0 = i (affine, step 1), phi 1 = s (integer add reduction).
+    fn sum_shape(m: &Module) -> crate::replay::LoopShape {
+        use crate::replay::{LoopShape, PhiKind, StepExpr};
+        let func = m.function_by_name("main").unwrap();
+        let f = m.function(func);
+        let header = BlockId(1);
+        let phis: Vec<ValueId> = f
+            .block(header)
+            .insts
+            .iter()
+            .map(|&iid| f.inst(iid))
+            .take_while(|d| d.inst.is_phi())
+            .map(|d| d.result)
+            .collect();
+        // First phi is the induction variable (step 1); a second, if
+        // present, is an integer add reduction.
+        let mut kinds = vec![(
+            phis[0],
+            PhiKind::Affine {
+                step: StepExpr::constant(1),
+            },
+        )];
+        if let Some(&s) = phis.get(1) {
+            kinds.push((s, PhiKind::Reduction { op: BinOp::Add }));
+        }
+        LoopShape {
+            func,
+            header,
+            latch: BlockId(2),
+            blocks: vec![BlockId(1), BlockId(2)],
+            phis: kinds,
+        }
+    }
+
+    #[test]
+    fn replayed_sum_matches_serial_result_and_cost() {
+        use crate::replay::{ReplayPlan, SerialExec};
+        let m = sum_module();
+        for n in [0i64, 1, 2, 3, 10, 97] {
+            let serial = run_main(&m, &[Value::I(n)]);
+            for jobs in [1usize, 2, 3, 8] {
+                let plan = ReplayPlan::new(vec![sum_shape(&m)], jobs);
+                let mut sink = NullSink;
+                let r = Machine::new(&m, &mut sink)
+                    .with_replay(&plan, &SerialExec)
+                    .run(&[Value::I(n)])
+                    .unwrap();
+                assert_eq!(r.ret, serial.ret, "n={n} jobs={jobs}");
+                assert_eq!(
+                    r.cost, serial.cost,
+                    "replay cost invariant n={n} jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replayed_memory_image_is_byte_identical() {
+        use crate::replay::{ReplayPlan, SerialExec};
+        // a[i] = i * 3 over a 64-word global; the final images of the
+        // serial and replayed runs must not differ in a single word.
+        let mut m = Module::new("fill");
+        let g = m.add_global(Global::zeroed("a", 64));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let base = fb.global_addr(g);
+        let n = fb.const_i64(64);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let three = fb.const_i64(3);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let v = fb.mul(i, three);
+        let p = fb.gep(base, i, 8, 0);
+        fb.store(v, p);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(zero));
+        m.add_function(fb.finish().unwrap());
+
+        let mut sink = NullSink;
+        let (_, mut serial_mem) = Machine::new(&m, &mut sink).run_keep_memory(&[]).unwrap();
+        let plan = ReplayPlan::new(vec![sum_shape(&m)], 4);
+        let mut sink = NullSink;
+        let (_, mut replay_mem) = Machine::new(&m, &mut sink)
+            .with_replay(&plan, &SerialExec)
+            .run_keep_memory(&[])
+            .unwrap();
+        assert_eq!(serial_mem.first_difference(&mut replay_mem), None);
+        assert_eq!(
+            replay_mem
+                .read(crate::memory::GLOBAL_BASE + 8 * 63)
+                .unwrap(),
+            189
+        );
+    }
 }

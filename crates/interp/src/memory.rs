@@ -70,7 +70,7 @@ pub struct MemStats {
 }
 
 /// Paged word memory with region allocators.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Memory {
     /// Page arena; directory entries hold indexes into it, so growing
     /// the arena never invalidates a directory entry.
@@ -87,6 +87,11 @@ pub struct Memory {
     stack_top: u64,
     hits: u64,
     misses: u64,
+    /// When armed, every successful [`Memory::write`] appends
+    /// `(addr, word)` here in program order. Replay workers run on a
+    /// clone of the parent memory with the log enabled, so the log *is*
+    /// the chunk's memory delta and can be re-applied deterministically.
+    write_log: Option<Vec<(u64, u64)>>,
 }
 
 impl Default for Memory {
@@ -111,7 +116,20 @@ impl Memory {
             stack_top: STACK_BASE,
             hits: 0,
             misses: 0,
+            write_log: None,
         }
+    }
+
+    /// Starts recording every subsequent write into the delta log,
+    /// discarding any previously recorded entries.
+    pub fn enable_write_log(&mut self) {
+        self.write_log = Some(Vec::new());
+    }
+
+    /// Stops logging and returns the recorded `(addr, word)` writes in
+    /// program order. Returns an empty log if logging was never enabled.
+    pub fn take_write_log(&mut self) -> Vec<(u64, u64)> {
+        self.write_log.take().unwrap_or_default()
     }
 
     fn check(addr: u64) -> Result<()> {
@@ -200,7 +218,53 @@ impl Memory {
         let slot = ((addr % PAGE_BYTES) / 8) as usize;
         let idx = self.lookup_or_alloc(page);
         self.pages[idx as usize][slot] = word;
+        if let Some(log) = &mut self.write_log {
+            log.push((addr, word));
+        }
         Ok(())
+    }
+
+    /// Compares the global and heap regions of two memories word by
+    /// word, returning the first differing `(addr, self_word, other_word)`
+    /// in address order, or `None` when byte-identical. Unallocated
+    /// pages read as zero on either side; the stack region is excluded
+    /// (frames are dead after the run and reuse addresses freely).
+    ///
+    /// This is the replay engine's divergence oracle: a parallel replay
+    /// is correct iff its final image is identical to the serial run's.
+    #[must_use]
+    pub fn first_difference(&mut self, other: &mut Memory) -> Option<(u64, u64, u64)> {
+        let mut pages: Vec<u64> = self
+            .allocated_pages()
+            .chain(other.allocated_pages())
+            .filter(|&p| p * PAGE_BYTES < STACK_BASE)
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for page in pages {
+            let a = self.lookup(page);
+            let b = other.lookup(page);
+            for slot in 0..PAGE_WORDS {
+                let wa = a.map_or(0, |idx| self.pages[idx as usize][slot]);
+                let wb = b.map_or(0, |idx| other.pages[idx as usize][slot]);
+                if wa != wb {
+                    return Some((page * PAGE_BYTES + (slot as u64) * 8, wa, wb));
+                }
+            }
+        }
+        None
+    }
+
+    /// Page numbers of every allocated page, in no particular order.
+    fn allocated_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        let dense = self.l1.iter().enumerate().flat_map(|(hi, l2)| {
+            l2.iter().flat_map(move |l2| {
+                l2.iter().enumerate().filter_map(move |(lo, &idx)| {
+                    (idx != NO_PAGE).then_some(((hi as u64) << L2_BITS) | lo as u64)
+                })
+            })
+        });
+        dense.chain(self.far.keys().copied())
     }
 
     /// Fast-path counters for observability exports.
@@ -345,6 +409,52 @@ mod tests {
         m.write(HEAP_BASE, 7).unwrap();
         assert_eq!(m.read(HEAP_BASE).unwrap(), 7);
         assert_eq!(m.read(far).unwrap(), 42);
+    }
+
+    #[test]
+    fn write_log_records_in_program_order() {
+        let mut m = Memory::new();
+        m.write(GLOBAL_BASE, 1).unwrap(); // not logged
+        m.enable_write_log();
+        m.write(GLOBAL_BASE + 8, 2).unwrap();
+        m.write(GLOBAL_BASE, 3).unwrap();
+        let log = m.take_write_log();
+        assert_eq!(log, vec![(GLOBAL_BASE + 8, 2), (GLOBAL_BASE, 3)]);
+        // Taking the log disarms it.
+        m.write(GLOBAL_BASE + 16, 4).unwrap();
+        assert!(m.take_write_log().is_empty());
+    }
+
+    #[test]
+    fn first_difference_finds_lowest_divergent_address() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.write(GLOBAL_BASE, 1).unwrap();
+        b.write(GLOBAL_BASE, 1).unwrap();
+        assert_eq!(a.first_difference(&mut b), None);
+        b.write(HEAP_BASE + 24, 9).unwrap();
+        b.write(GLOBAL_BASE + 8, 5).unwrap();
+        assert_eq!(
+            a.first_difference(&mut b),
+            Some((GLOBAL_BASE + 8, 0, 5)),
+            "lowest differing address wins even against unallocated pages"
+        );
+        // Stack divergence is ignored: frames are dead after the run.
+        let mut c = a.clone();
+        c.write(STACK_BASE + 64, 77).unwrap();
+        b.write(GLOBAL_BASE + 8, 0).unwrap();
+        b.write(HEAP_BASE + 24, 0).unwrap();
+        assert_eq!(a.first_difference(&mut c), None);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Memory::new();
+        a.write(HEAP_BASE, 11).unwrap();
+        let mut b = a.clone();
+        b.write(HEAP_BASE, 22).unwrap();
+        assert_eq!(a.read(HEAP_BASE).unwrap(), 11);
+        assert_eq!(b.read(HEAP_BASE).unwrap(), 22);
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod verifier;
 pub use function::{Block, BlockId, Function, InstData, InstId};
 pub use inst::{BinOp, Builtin, Callee, CastKind, FcmpPred, IcmpPred, Inst, Opcode, Term};
 pub use module::{FuncId, Global, GlobalId, Module};
-pub use transform::{eliminate_dead_code, fold_constants, simplify, SimplifyStats};
+pub use transform::{
+    eliminate_dead_code, fold_constants, simplify, split_iterations, SimplifyStats,
+};
 pub use types::Type;
 pub use value::{ValueId, ValueKind};
 pub use verifier::{verify_function, verify_module};

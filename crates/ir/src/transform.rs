@@ -344,11 +344,67 @@ pub fn simplify(module: &mut crate::Module) -> SimplifyStats {
     stats
 }
 
+/// Splits an iteration space of `total` iterations into at most `parts`
+/// contiguous, balanced, non-overlapping half-open ranges covering
+/// `0..total` in order.
+///
+/// The first `total % parts` ranges get one extra iteration, so sizes
+/// differ by at most one. Used by the parallel replay engine to carve a
+/// certified DOALL loop's trip count into per-worker chunks; keeping the
+/// split here (next to the IR the loop came from) lets any future code
+/// motion pass reuse the same partitioning contract.
+///
+/// Degenerate inputs collapse gracefully: `total == 0` yields no ranges,
+/// and `parts == 0` is treated as 1. When `total < parts` only `total`
+/// singleton ranges are produced — never an empty range.
+#[must_use]
+pub fn split_iterations(total: u64, parts: usize) -> Vec<std::ops::Range<u64>> {
+    let parts = (parts.max(1) as u64).min(total);
+    let mut out = Vec::with_capacity(parts as usize);
+    if parts == 0 {
+        return out;
+    }
+    let base = total / parts;
+    let extra = total % parts;
+    let mut lo = 0u64;
+    for k in 0..parts {
+        let len = base + u64::from(k < extra);
+        out.push(lo..lo + len);
+        lo += len;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
     use crate::{Module, Type};
+
+    #[test]
+    fn split_iterations_covers_and_balances() {
+        for total in [0u64, 1, 2, 3, 7, 8, 100, 101] {
+            for parts in [0usize, 1, 2, 3, 8, 200] {
+                let ranges = split_iterations(total, parts);
+                // Exact cover, in order, no empty ranges.
+                let mut next = 0u64;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "{total}/{parts}");
+                    assert!(r.end > r.start, "{total}/{parts}");
+                    next = r.end;
+                }
+                assert_eq!(next, total, "{total}/{parts}");
+                assert_eq!(ranges.len() as u64, (parts.max(1) as u64).min(total));
+                // Balanced: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.end - r.start).min(),
+                    ranges.iter().map(|r| r.end - r.start).max(),
+                ) {
+                    assert!(max - min <= 1, "{total}/{parts}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn folds_constant_arithmetic() {

@@ -199,6 +199,12 @@ impl JsonWriter {
         self.out.push_str(if value { "true" } else { "false" });
     }
 
+    /// Writes a JSON `null`.
+    pub fn null(&mut self) {
+        self.before_entry();
+        self.out.push_str("null");
+    }
+
     /// Consumes the writer and returns the document.
     ///
     /// # Panics

@@ -113,13 +113,23 @@ pub enum Counter {
     /// Profile-store garbage collections skipped because the cheap size
     /// pre-scan found the cache already under budget.
     StoreGcSkipped,
+    /// Loops that passed the full replay certification (static DOALL
+    /// classification, observed-dependence absence, and the independence
+    /// witness) and were executed across threads.
+    ReplayLoopsCertified,
+    /// Candidate loops the independence witness rejected before any
+    /// parallel execution (footprints overlapped across iterations).
+    ReplayWitnessRejected,
+    /// Replayed runs whose final memory image or observable output
+    /// diverged from the serial reference (hard failures).
+    ReplayDivergences,
 }
 
 /// Number of distinct counter slots (scalar slots 0..=17 plus one
 /// reserved, the per-predictor pairs, then the store slots appended
-/// after the predictor block, then the hot-path cache slots — every
-/// historical slot stays stable).
-pub const COUNTER_SLOTS: usize = 26 + 2 * PredictorKind::ALL.len();
+/// after the predictor block, then the hot-path cache slots, then the
+/// replay slots — every historical slot stays stable).
+pub const COUNTER_SLOTS: usize = 29 + 2 * PredictorKind::ALL.len();
 
 impl Counter {
     /// Every counter, in export order.
@@ -151,6 +161,9 @@ impl Counter {
             Counter::MemPageCacheMisses,
             Counter::ShadowPageCacheHits,
             Counter::ShadowPageCacheMisses,
+            Counter::ReplayLoopsCertified,
+            Counter::ReplayWitnessRejected,
+            Counter::ReplayDivergences,
         ];
         for kind in PredictorKind::ALL {
             out.push(Counter::PredictorHit(kind));
@@ -195,6 +208,10 @@ impl Counter {
             Counter::ShadowPageCacheHits => 33,
             Counter::ShadowPageCacheMisses => 34,
             Counter::StoreGcSkipped => 35,
+            // Replay slots, appended after the hot-path cache block.
+            Counter::ReplayLoopsCertified => 36,
+            Counter::ReplayWitnessRejected => 37,
+            Counter::ReplayDivergences => 38,
         }
     }
 
@@ -227,6 +244,9 @@ impl Counter {
             Counter::ShadowPageCacheHits => "shadow_page_cache_hits".to_string(),
             Counter::ShadowPageCacheMisses => "shadow_page_cache_misses".to_string(),
             Counter::StoreGcSkipped => "store_gc_skipped".to_string(),
+            Counter::ReplayLoopsCertified => "replay_loops_certified".to_string(),
+            Counter::ReplayWitnessRejected => "replay_witness_rejected".to_string(),
+            Counter::ReplayDivergences => "replay_divergences".to_string(),
             Counter::PredictorHit(kind) => format!("predictor_hit_{}", kind.label()),
             Counter::PredictorMiss(kind) => format!("predictor_miss_{}", kind.label()),
         }

@@ -28,10 +28,12 @@ pub mod explain;
 pub mod export;
 pub mod model;
 pub mod profile;
+pub mod replay;
 pub mod report;
 pub mod store;
 pub mod sweep;
 pub mod tracker;
+pub mod witness;
 
 pub use audit::{audit_snapshot, render_audit, Check, Verdict};
 pub use census::Census;
@@ -49,6 +51,10 @@ pub use export::{collapsed_stacks, Export, SweepExport};
 pub use profile::{
     CallClass, LoopInstance, LoopMeta, MetaIndex, Profile, Region, RegionId, RegionKind,
 };
+pub use replay::{
+    prediction_config, replay_module, BenchReplay, Divergence, DivergenceKind, LoopReplay,
+    RejectReason, RejectedLoop, ReplayExport, ThreadedExec,
+};
 pub use report::{geomean, geomean_coverage, geomean_speedup, mean, ProgramResult};
 pub use store::{
     decode_entry, encode_entry, profile_module_cached, CodecError, ProfileKey, ProfileStore,
@@ -56,6 +62,9 @@ pub use store::{
 };
 pub use sweep::{grid, parallel_map, sweep, sweep_points, Jobs, SweepPoint, SweepUnit};
 pub use tracker::{profile_module, profile_module_with, Profiler, ProfilerOptions};
+pub use witness::{
+    profile_module_witnessed, ConflictKind, IndependenceWitness, WitnessReport, WitnessViolation,
+};
 
 /// Address used to model the architectural stack pointer as a memory cell
 /// when the cactus-stack assumption is disabled (see

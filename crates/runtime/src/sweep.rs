@@ -93,6 +93,18 @@ impl Jobs {
     pub fn get(self) -> usize {
         self.0
     }
+
+    /// Effective fan-out width for a work-list of `items` tasks: the
+    /// worker count clamped so no thread is spawned without work. This
+    /// is the single place every fan-out site ([`parallel_map`], and
+    /// through it the sweep engine and the replay chunk executor)
+    /// computes its width — in particular `items < jobs` narrows the
+    /// pool to `items` real threads, it does **not** serialize (only
+    /// `effective ≤ 1` takes the in-order serial path).
+    #[must_use]
+    pub fn effective(self, items: usize) -> usize {
+        self.0.min(items)
+    }
 }
 
 impl Default for Jobs {
@@ -192,7 +204,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = jobs.get().min(items.len());
+    let workers = jobs.effective(items.len());
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -426,6 +438,43 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(&empty, Jobs::new(8), |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[5u32], Jobs::new(8), |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn effective_width_clamps_to_work_not_to_serial() {
+        assert_eq!(Jobs::new(8).effective(3), 3);
+        assert_eq!(Jobs::new(2).effective(100), 2);
+        assert_eq!(Jobs::new(8).effective(0), 0);
+        // Jobs::new(0) itself clamps to one worker at construction.
+        assert_eq!(Jobs::new(0).effective(5), 1);
+    }
+
+    /// Pins that `items.len() < jobs` narrows the pool rather than
+    /// serializing: with two items and eight requested workers, both
+    /// items must be in flight *concurrently* (the barrier only opens
+    /// when two distinct threads reach it; a serial fallback would
+    /// deadlock here, failing the test by timeout) on distinct spawned
+    /// threads.
+    #[test]
+    fn parallel_map_runs_concurrently_when_items_below_jobs() {
+        use std::sync::{Barrier, Mutex};
+        let barrier = Barrier::new(2);
+        let tids = Mutex::new(Vec::new());
+        let items = [0u32, 1];
+        let out = parallel_map(&items, Jobs::new(8), |i, &x| {
+            barrier.wait();
+            tids.lock().unwrap().push(std::thread::current().id());
+            assert_eq!(i as u32, x);
+            x + 10
+        });
+        assert_eq!(out, vec![10, 11]);
+        let tids = tids.into_inner().unwrap();
+        assert_eq!(tids.len(), 2);
+        assert_ne!(tids[0], tids[1], "both items must run on distinct workers");
+        assert!(
+            !tids.contains(&std::thread::current().id()),
+            "workers are spawned threads, not the caller"
+        );
     }
 
     #[test]

@@ -32,7 +32,8 @@ use crate::profile::{
     CallClass, LcdInstance, LoopInstance, LoopMeta, MetaIndex, Profile, Region, RegionId,
     RegionKind,
 };
-use lp_analysis::{LcdClass, ModuleAnalysis, Purity};
+use crate::witness::{WitnessReport, WitnessState};
+use lp_analysis::{LcdClass, LoopId, ModuleAnalysis, Purity};
 use lp_interp::{
     EventSink, Machine, MachineConfig, MemStats, MeteredSink, RunResult, Value, STACK_BASE,
 };
@@ -263,6 +264,9 @@ pub struct Profiler<'a> {
     loop_stack: Vec<ActiveLoop>,
     /// Run-global last-writer shadow memory, shared by all loop levels.
     shadow: ShadowTable,
+    /// Optional independence-witness engine (replay certification);
+    /// boxed to keep the common no-witness profiler lean.
+    witness: Option<Box<WitnessState>>,
     frames: Vec<FrameRec>,
     call_depth: u32,
     /// One predictor per traced phi, parallel to `traced_slots`.
@@ -398,6 +402,7 @@ impl<'a> Profiler<'a> {
             region_stack: Vec::new(),
             loop_stack: Vec::new(),
             shadow: ShadowTable::new(),
+            witness: None,
             frames: Vec::new(),
             call_depth: 0,
             predictors,
@@ -405,6 +410,13 @@ impl<'a> Profiler<'a> {
             cactus_filter_hits: 0,
             mem_stats: MemStats::default(),
         }
+    }
+
+    /// Arms the independence-witness engine for `targets`; `exempt`
+    /// lists word addresses excluded from the disjointness check
+    /// (designated reduction slots — normally empty).
+    pub fn enable_witness(&mut self, targets: &[(FuncId, LoopId)], exempt: Vec<u64>) {
+        self.witness = Some(Box::new(WitnessState::new(targets, exempt)));
     }
 
     /// The `(func, value)` pairs the machine must report definitions for.
@@ -445,6 +457,9 @@ impl<'a> Profiler<'a> {
 
     fn close_top_loop(&mut self, stamp: u64) {
         let al = self.loop_stack.pop().expect("active loop to close");
+        if let Some(wit) = self.witness.as_deref_mut() {
+            wit.deactivate(self.loop_stack.len(), al.cur_iter);
+        }
         let rid = self
             .region_stack
             .pop()
@@ -489,8 +504,32 @@ impl<'a> Profiler<'a> {
         }
     }
 
+    /// Feeds one access to every active witness instance, applying the
+    /// exempt-address and cactus-stack (iteration-local frame) rules per
+    /// level.
+    fn witness_access(&mut self, addr: u64, is_store: bool) {
+        let push = self.owner_frame_push(addr);
+        let Some(wit) = self.witness.as_deref_mut() else {
+            return;
+        };
+        if wit.is_exempt(addr) {
+            return;
+        }
+        for aw in wit.active_mut() {
+            let al = &self.loop_stack[aw.depth()];
+            if push > 0 && push >= al.iter_start {
+                aw.note_exempt();
+                continue;
+            }
+            aw.observe(addr, al.cur_iter, is_store);
+        }
+    }
+
     fn track_access(&mut self, addr: u64, is_store: bool, now: u64) {
         self.now = self.now.max(now);
+        if self.witness.as_ref().is_some_and(|w| w.any_active()) {
+            self.witness_access(addr, is_store);
+        }
         if is_store {
             // A store with no loop active can never become a
             // cross-iteration producer: every later instance's first
@@ -611,6 +650,24 @@ impl<'a> Profiler<'a> {
         }
     }
 
+    /// As [`Profiler::finish`], additionally returning the gathered
+    /// independence witnesses (empty report when
+    /// [`Profiler::enable_witness`] was never called).
+    #[must_use]
+    pub fn finish_with_witness(mut self) -> (Profile, WitnessReport) {
+        // Close still-open loops first so their witnesses finalize, then
+        // detach the engine before the ordinary finish path.
+        let stamp = self.now;
+        while !self.loop_stack.is_empty() {
+            self.close_top_loop(stamp);
+        }
+        let report = self
+            .witness
+            .take()
+            .map_or_else(WitnessReport::default, |w| w.into_report());
+        (self.finish(), report)
+    }
+
     /// Finalizes the profile. Call after the machine run completes.
     ///
     /// # Panics
@@ -699,6 +756,11 @@ impl EventSink for Profiler<'_> {
                     lcds: vec![LcdInstance::default(); n_lcds],
                     call_class: CallClass::NoCalls,
                 });
+                if let Some(wit) = self.witness.as_deref_mut() {
+                    if wit.is_target(func.0, lid) {
+                        wit.activate(self.loop_stack.len() - 1, func.0, lid);
+                    }
+                }
             }
         }
     }

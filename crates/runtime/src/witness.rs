@@ -1,0 +1,468 @@
+//! Independence witnesses: machine-checkable evidence that a loop's
+//! iterations touched pairwise-disjoint memory.
+//!
+//! Static DOALL certification (`lp_analysis::certify`) plus an
+//! observed-dependence-free profile is still not enough to hand a loop
+//! to real threads: the profiler tracks cross-iteration *RAW* flow only,
+//! so a loop whose iterations silently overwrite each other (a WAW-only
+//! conflict, e.g. every iteration also storing to slot 0) profiles
+//! clean yet replays nondeterministically. The witness closes that gap
+//! by recording, per target loop instance, every word each iteration
+//! read or wrote and checking the footprints pairwise-disjoint *online*:
+//!
+//! - a **write** in iteration `k` conflicts with *any* earlier access to
+//!   the same word from an iteration `j ≠ k` (covers WAW and WAR; the
+//!   symmetric RAW case is caught when the later read arrives);
+//! - a **read** in iteration `k` conflicts with an earlier *write* from
+//!   `j ≠ k`;
+//! - read–read sharing is allowed (loop-invariant inputs);
+//! - words inside stack frames pushed during the current iteration are
+//!   exempt (the cactus-stack rule of §II-E: iteration-local scratch);
+//! - an explicit, normally empty, exempt set covers designated
+//!   reduction slots.
+//!
+//! The check is exact over the *profiled* execution — the same
+//! profile-once/evaluate-many bargain the limit study itself makes —
+//! and every replayed run is additionally byte-compared against a
+//! serial run, so a witness that slips through still cannot produce a
+//! silently wrong result.
+
+use crate::profile::Profile;
+use crate::tracker::Profiler;
+use lp_analysis::{LoopId, ModuleAnalysis};
+use lp_interp::{InterpError, Machine, MachineConfig, MeteredSink, RunResult, Value};
+use lp_ir::fx::FxHashMap;
+use lp_ir::{FuncId, Module};
+
+/// Sentinel iteration meaning "no access recorded yet".
+const NO_ITER: u32 = u32::MAX;
+
+/// How two iterations collided on one word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Two different iterations wrote the word.
+    WriteWrite,
+    /// One iteration wrote a word another iteration read (either order).
+    ReadWrite,
+}
+
+impl ConflictKind {
+    /// Short human-readable tag (used by reports and exports).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            ConflictKind::WriteWrite => "write-write",
+            ConflictKind::ReadWrite => "read-write",
+        }
+    }
+}
+
+/// The first footprint-disjointness violation observed in one loop
+/// instance — enough to name the offending word and iteration pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WitnessViolation {
+    /// The conflicting word's address.
+    pub addr: u64,
+    /// The earlier iteration involved (0-based).
+    pub earlier_iter: u32,
+    /// The later iteration (the one whose access exposed the conflict).
+    pub later_iter: u32,
+    /// Conflict flavour.
+    pub kind: ConflictKind,
+}
+
+/// Per-instance independence evidence for one target loop.
+#[derive(Debug, Clone)]
+pub struct IndependenceWitness {
+    /// Containing function.
+    pub func: FuncId,
+    /// Loop id within that function's forest.
+    pub loop_id: LoopId,
+    /// Completed iterations of this instance.
+    pub iterations: u32,
+    /// Distinct words the instance touched (exempt words excluded).
+    pub distinct_words: u64,
+    /// Total reads observed.
+    pub reads: u64,
+    /// Total writes observed.
+    pub writes: u64,
+    /// Accesses skipped by the cactus-stack (iteration-local frame) rule.
+    pub cactus_exempt: u64,
+    /// First disjointness violation, or `None` — the witness holds.
+    pub violation: Option<WitnessViolation>,
+}
+
+impl IndependenceWitness {
+    /// Whether this instance's iteration footprints were pairwise
+    /// disjoint.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// All witnesses gathered over one profiled run.
+#[derive(Debug, Clone, Default)]
+pub struct WitnessReport {
+    /// One entry per completed target loop instance, in completion order.
+    pub witnesses: Vec<IndependenceWitness>,
+}
+
+impl WitnessReport {
+    /// Whether `(func, loop_id)` is replay-safe: at least one instance
+    /// was observed and every instance's witness holds.
+    #[must_use]
+    pub fn loop_holds(&self, func: FuncId, loop_id: LoopId) -> bool {
+        let mut seen = false;
+        for w in &self.witnesses {
+            if w.func == func && w.loop_id == loop_id {
+                if !w.holds() {
+                    return false;
+                }
+                seen = true;
+            }
+        }
+        seen
+    }
+
+    /// The first violating witness for `(func, loop_id)`, if any.
+    #[must_use]
+    pub fn first_violation(&self, func: FuncId, loop_id: LoopId) -> Option<&IndependenceWitness> {
+        self.witnesses
+            .iter()
+            .find(|w| w.func == func && w.loop_id == loop_id && !w.holds())
+    }
+}
+
+/// Per-word access record: the iteration that last wrote it, the
+/// iteration that last read it, and whether reads came from more than
+/// one iteration.
+#[derive(Debug, Clone, Copy)]
+struct AccessRec {
+    writer: u32,
+    reader: u32,
+    multi_reader: bool,
+}
+
+/// One actively-tracked target loop instance.
+#[derive(Debug)]
+pub(crate) struct ActiveWitness {
+    /// Position of the instance on the profiler's loop stack.
+    depth: usize,
+    func: u32,
+    loop_id: u32,
+    accesses: FxHashMap<u64, AccessRec>,
+    reads: u64,
+    writes: u64,
+    cactus_exempt: u64,
+    violation: Option<WitnessViolation>,
+}
+
+impl ActiveWitness {
+    /// The instance's loop-stack position.
+    pub(crate) fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counts one cactus-exempt (iteration-local frame) access.
+    pub(crate) fn note_exempt(&mut self) {
+        self.cactus_exempt += 1;
+    }
+
+    /// Feeds one access from iteration `iter` through the disjointness
+    /// check.
+    pub(crate) fn observe(&mut self, addr: u64, iter: u32, is_store: bool) {
+        if is_store {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if self.violation.is_some() {
+            return; // first violation already pinned; stay cheap
+        }
+        let rec = self.accesses.entry(addr).or_insert(AccessRec {
+            writer: NO_ITER,
+            reader: NO_ITER,
+            multi_reader: false,
+        });
+        if is_store {
+            if rec.writer != NO_ITER && rec.writer != iter {
+                self.violation = Some(WitnessViolation {
+                    addr,
+                    earlier_iter: rec.writer,
+                    later_iter: iter,
+                    kind: ConflictKind::WriteWrite,
+                });
+                return;
+            }
+            if rec.reader != NO_ITER && (rec.multi_reader || rec.reader != iter) {
+                // Some reader iteration differs from the writer.
+                let earlier = if rec.reader == iter { 0 } else { rec.reader };
+                self.violation = Some(WitnessViolation {
+                    addr,
+                    earlier_iter: earlier,
+                    later_iter: iter,
+                    kind: ConflictKind::ReadWrite,
+                });
+                return;
+            }
+            rec.writer = iter;
+        } else {
+            if rec.writer != NO_ITER && rec.writer != iter {
+                self.violation = Some(WitnessViolation {
+                    addr,
+                    earlier_iter: rec.writer,
+                    later_iter: iter,
+                    kind: ConflictKind::ReadWrite,
+                });
+                return;
+            }
+            if rec.reader == NO_ITER {
+                rec.reader = iter;
+            } else if rec.reader != iter {
+                rec.multi_reader = true;
+                rec.reader = iter;
+            }
+        }
+    }
+}
+
+/// The witness engine the profiler drives: which loops to watch, the
+/// currently-active instances, and the finished evidence.
+#[derive(Debug, Default)]
+pub(crate) struct WitnessState {
+    /// Target loops, sorted for binary search.
+    targets: Vec<(u32, u32)>,
+    /// Sorted exempt word addresses ("reduction slots"; normally empty).
+    exempt: Vec<u64>,
+    /// Active instances, innermost last (stack discipline mirrors the
+    /// profiler's loop stack).
+    active: Vec<ActiveWitness>,
+    done: Vec<IndependenceWitness>,
+}
+
+impl WitnessState {
+    pub(crate) fn new(targets: &[(FuncId, LoopId)], mut exempt: Vec<u64>) -> WitnessState {
+        let mut targets: Vec<(u32, u32)> = targets.iter().map(|&(f, l)| (f.0, l.0)).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        exempt.sort_unstable();
+        exempt.dedup();
+        WitnessState {
+            targets,
+            exempt,
+            active: Vec::new(),
+            done: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_target(&self, func: u32, loop_id: u32) -> bool {
+        self.targets.binary_search(&(func, loop_id)).is_ok()
+    }
+
+    pub(crate) fn is_exempt(&self, addr: u64) -> bool {
+        self.exempt.binary_search(&addr).is_ok()
+    }
+
+    /// Whether any instance is currently being tracked (fast-path gate).
+    pub(crate) fn any_active(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Starts tracking the instance just pushed at `depth`.
+    pub(crate) fn activate(&mut self, depth: usize, func: u32, loop_id: u32) {
+        self.active.push(ActiveWitness {
+            depth,
+            func,
+            loop_id,
+            accesses: FxHashMap::default(),
+            reads: 0,
+            writes: 0,
+            cactus_exempt: 0,
+            violation: None,
+        });
+    }
+
+    /// Mutable view of the active instances (the profiler pairs each
+    /// with its loop-stack level when feeding accesses).
+    pub(crate) fn active_mut(&mut self) -> &mut [ActiveWitness] {
+        &mut self.active
+    }
+
+    /// Finishes the instance at loop-stack position `depth` (the one the
+    /// profiler just popped), if it was tracked.
+    pub(crate) fn deactivate(&mut self, depth: usize, iterations: u32) {
+        if self.active.last().is_none_or(|aw| aw.depth != depth) {
+            return;
+        }
+        let aw = self.active.pop().expect("checked above");
+        self.done.push(IndependenceWitness {
+            func: FuncId(aw.func),
+            loop_id: LoopId(aw.loop_id),
+            iterations,
+            distinct_words: aw.accesses.len() as u64,
+            reads: aw.reads,
+            writes: aw.writes,
+            cactus_exempt: aw.cactus_exempt,
+            violation: aw.violation,
+        });
+    }
+
+    pub(crate) fn into_report(self) -> WitnessReport {
+        debug_assert!(self.active.is_empty(), "witness instances left open");
+        WitnessReport {
+            witnesses: self.done,
+        }
+    }
+}
+
+/// Profiles `module` while gathering independence witnesses for
+/// `targets`, returning the profile, the run result, and the evidence.
+///
+/// # Errors
+/// Propagates interpreter traps.
+pub fn profile_module_witnessed(
+    module: &Module,
+    analysis: &ModuleAnalysis,
+    args: &[Value],
+    mut machine_config: MachineConfig,
+    targets: &[(FuncId, LoopId)],
+) -> Result<(Profile, RunResult, WitnessReport), InterpError> {
+    let mut profiler = Profiler::new(module, analysis);
+    profiler.enable_witness(targets, Vec::new());
+    machine_config.watched_values = profiler.watched_values();
+    let mut metered = MeteredSink::new(&mut profiler);
+    let result = Machine::with_config(module, &mut metered, machine_config).run(args)?;
+    let (profile, report) = profiler.finish_with_witness();
+    Ok((profile, result, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_analysis::analyze_module;
+    use lp_ir::builder::FunctionBuilder;
+    use lp_ir::{BlockId, Global, IcmpPred, Type};
+
+    /// `for i in 0..n { a[i] = i; extra(i) }` — `extra` injects the
+    /// hazard under test.
+    fn kernel(extra: impl FnOnce(&mut FunctionBuilder, lp_ir::ValueId, lp_ir::ValueId)) -> Module {
+        let mut m = Module::new("w");
+        let g = m.add_global(Global::zeroed("a", 64));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let n = fb.const_i64(32);
+        let zero = fb.const_i64(0);
+        let one = fb.const_i64(1);
+        let base = fb.global_addr(g);
+        let header = fb.create_block("header");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi(Type::I64);
+        let c = fb.icmp(IcmpPred::Slt, i, n);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.gep(base, i, 8, 0);
+        fb.store(i, addr);
+        extra(&mut fb, base, i);
+        let i2 = fb.add(i, one);
+        fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+        fb.add_phi_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(zero));
+        m.add_function(fb.finish().unwrap());
+        m
+    }
+
+    fn witness(m: &Module) -> (Profile, WitnessReport) {
+        let analysis = analyze_module(m);
+        let targets = vec![(lp_ir::FuncId(0), LoopId(0))];
+        let (p, _, r) =
+            profile_module_witnessed(m, &analysis, &[], MachineConfig::default(), &targets)
+                .unwrap();
+        (p, r)
+    }
+
+    #[test]
+    fn disjoint_stores_produce_a_holding_witness() {
+        let m = kernel(|_, _, _| {});
+        let (_, report) = witness(&m);
+        assert_eq!(report.witnesses.len(), 1);
+        let w = &report.witnesses[0];
+        assert!(w.holds());
+        assert_eq!(w.iterations, 32);
+        assert_eq!(w.distinct_words, 32);
+        assert_eq!(w.writes, 32);
+        assert!(report.loop_holds(lp_ir::FuncId(0), LoopId(0)));
+    }
+
+    #[test]
+    fn waw_only_conflict_is_caught_despite_clean_raw_profile() {
+        // Every iteration also stores to a[0]: no load ever observes the
+        // cross-iteration flow, so the RAW profiler sees nothing — but
+        // the footprints overlap and replay would be nondeterministic.
+        let m = kernel(|fb, base, i| {
+            fb.store(i, base);
+        });
+        let (profile, report) = witness(&m);
+        let (_, _, inst) = profile.loop_instances().next().unwrap();
+        assert!(
+            inst.mem_conflict_iters.is_empty(),
+            "RAW profiling must stay blind to the WAW hazard"
+        );
+        assert!(!report.loop_holds(lp_ir::FuncId(0), LoopId(0)));
+        let v = report
+            .first_violation(lp_ir::FuncId(0), LoopId(0))
+            .unwrap()
+            .violation
+            .unwrap();
+        assert_eq!(v.kind, ConflictKind::WriteWrite);
+        assert_eq!((v.earlier_iter, v.later_iter), (0, 1));
+        assert_eq!(v.addr, lp_interp::GLOBAL_BASE);
+    }
+
+    #[test]
+    fn cross_iteration_read_write_is_caught() {
+        // Iteration i reads a[i] *then* writes it — self-overlap is fine —
+        // but also reads a[0], which iteration 0 wrote.
+        let m = kernel(|fb, base, _| {
+            fb.load(Type::I64, base);
+        });
+        let (_, report) = witness(&m);
+        let v = report
+            .first_violation(lp_ir::FuncId(0), LoopId(0))
+            .unwrap()
+            .violation
+            .unwrap();
+        assert_eq!(v.kind, ConflictKind::ReadWrite);
+        assert_eq!(v.addr, lp_interp::GLOBAL_BASE);
+    }
+
+    #[test]
+    fn shared_reads_do_not_violate() {
+        // Every iteration reads the same loop-invariant cell (a[63],
+        // never written inside the loop): read–read sharing is allowed.
+        let m = kernel(|fb, base, _| {
+            let k = fb.const_i64(63);
+            let addr = fb.gep(base, k, 8, 0);
+            fb.load(Type::I64, addr);
+        });
+        let (_, report) = witness(&m);
+        assert!(report.loop_holds(lp_ir::FuncId(0), LoopId(0)));
+        assert_eq!(report.witnesses[0].reads, 32);
+    }
+
+    #[test]
+    fn untargeted_loops_are_ignored() {
+        let m = kernel(|fb, base, i| {
+            fb.store(i, base); // would violate, but nobody is watching
+        });
+        let analysis = analyze_module(&m);
+        let (_, _, report) =
+            profile_module_witnessed(&m, &analysis, &[], MachineConfig::default(), &[]).unwrap();
+        assert!(report.witnesses.is_empty());
+        assert!(!report.loop_holds(lp_ir::FuncId(0), LoopId(0)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Differential validation of the parallel DOALL replayer: every suite
+//! kernel with at least one certified loop must replay byte-identically
+//! to its serial run at 1, 2, and 8 workers, and a deliberately
+//! misclassified kernel (statically certifiable, but with a hidden
+//! cross-iteration store) must be rejected by the independence witness
+//! *before* any parallel execution.
+//!
+//! The property tests at the bottom probe the same soundness boundary
+//! from the generator side: known-independent kernels always certify and
+//! replay cleanly; injecting a loop-carried store flips the verdict to
+//! witness-rejected.
+
+use lp_analysis::{analyze_module, certify_module};
+use lp_ir::builder::FunctionBuilder;
+use lp_ir::{BlockId, Global, IcmpPred, Module, Type};
+use lp_runtime::{replay_module, ConflictKind, Jobs, RejectReason, WitnessViolation};
+use lp_suite::Scale;
+use proptest::prelude::*;
+
+/// Replaying any suite kernel must reproduce the serial execution
+/// exactly — memory image, output, return value, and dynamic cost — for
+/// every worker count, and the witness gate must account for every
+/// statically certified loop (replayed + rejected = certified).
+#[test]
+fn suite_kernels_replay_identically_at_1_2_8_workers() {
+    let mut replayed_any = false;
+    for b in lp_suite::registry() {
+        let module = b.build(Scale::Test);
+        let analysis = analyze_module(&module);
+        let certified = certify_module(&module, &analysis).len();
+        for jobs in [1usize, 2, 8] {
+            let r = replay_module(&module, &[], Jobs::new(jobs))
+                .unwrap_or_else(|e| panic!("{}: replay trap: {e}", b.name));
+            assert!(
+                r.divergence.is_none(),
+                "{} diverged at jobs={jobs}: {}",
+                b.name,
+                r.divergence.unwrap()
+            );
+            assert_eq!(
+                r.loops.len() + r.rejected.len(),
+                certified,
+                "{}: witness gate lost a certified loop",
+                b.name
+            );
+            replayed_any |= !r.loops.is_empty();
+        }
+    }
+    assert!(replayed_any, "no suite kernel replayed any loop");
+}
+
+/// A counted loop storing `i * mul + off` to `a[i]` and accumulating the
+/// stored values in a reduction; when `carried` is set, every iteration
+/// additionally stores to the fixed slot `a[carried]` — a hidden
+/// cross-iteration write-write conflict the static certifier cannot see.
+fn fill_kernel(n: i64, mul: i64, off: i64, carried: Option<i64>) -> Module {
+    let mut m = Module::new("gen_fill");
+    let g = m.add_global(Global::zeroed("a", 64));
+    let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+    let n = fb.const_i64(n);
+    let zero = fb.const_i64(0);
+    let one = fb.const_i64(1);
+    let mul = fb.const_i64(mul);
+    let off = fb.const_i64(off);
+    let base = fb.global_addr(g);
+    let header = fb.create_block("header");
+    let body = fb.create_block("body");
+    let exit = fb.create_block("exit");
+    fb.br(header);
+    fb.switch_to(header);
+    let i = fb.phi(Type::I64);
+    let s = fb.phi(Type::I64);
+    let c = fb.icmp(IcmpPred::Slt, i, n);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let scaled = fb.mul(i, mul);
+    let v = fb.add(scaled, off);
+    let addr = fb.gep(base, i, 8, 0);
+    fb.store(v, addr);
+    if let Some(slot) = carried {
+        let slot = fb.const_i64(slot);
+        let hidden = fb.gep(base, slot, 8, 0);
+        fb.store(i, hidden);
+    }
+    let s2 = fb.add(s, v);
+    let i2 = fb.add(i, one);
+    fb.add_phi_incoming(i, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(i, body, i2);
+    fb.add_phi_incoming(s, BlockId::ENTRY, zero);
+    fb.add_phi_incoming(s, body, s2);
+    fb.br(header);
+    fb.switch_to(exit);
+    fb.ret(Some(s));
+    m.add_function(fb.finish().unwrap());
+    m
+}
+
+/// The misclassification differential: the seeded kernel certifies
+/// statically (the certifier only sees shape), but the witness observes
+/// the repeated store to `a[3]` and keeps the loop off the threads —
+/// it is rejected, not executed, so there is nothing to diverge.
+#[test]
+fn misclassified_kernel_is_rejected_before_execution() {
+    let m = fill_kernel(32, 5, 7, Some(3));
+    let analysis = analyze_module(&m);
+    assert_eq!(
+        certify_module(&m, &analysis).len(),
+        1,
+        "the seeded kernel must look DOALL to the static certifier"
+    );
+    for jobs in [2usize, 8] {
+        let r = replay_module(&m, &[], Jobs::new(jobs)).unwrap();
+        assert!(r.loops.is_empty(), "false DOALL must not replay");
+        assert_eq!(r.rejected.len(), 1);
+        assert!(
+            matches!(
+                &r.rejected[0].reason,
+                RejectReason::Violation(WitnessViolation {
+                    kind: ConflictKind::WriteWrite,
+                    ..
+                })
+            ),
+            "want a write-write witness violation, got {:?}",
+            r.rejected[0].reason
+        );
+        assert!(r.divergence.is_none());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Witness completeness: a genuinely independent generated kernel is
+    /// never rejected, always replays, and never diverges.
+    #[test]
+    fn independent_kernels_certify_and_replay(
+        n in 2i64..60,
+        mul in 1i64..100,
+        off in 0i64..1000,
+        jobs in 1usize..8,
+    ) {
+        let m = fill_kernel(n, mul, off, None);
+        let r = replay_module(&m, &[], Jobs::new(jobs)).unwrap();
+        prop_assert_eq!(r.loops.len(), 1, "independent loop must certify and replay");
+        prop_assert!(r.rejected.is_empty(), "witness must not reject: {:?}", r.rejected);
+        prop_assert!(r.divergence.is_none(), "diverged: {:?}", r.divergence);
+        prop_assert_eq!(r.loops[0].iterations, n as u64);
+    }
+
+    /// Witness soundness: injecting one loop-carried store into the same
+    /// kernel flips the verdict to rejected — before any execution.
+    #[test]
+    fn carried_store_flips_to_rejected(
+        n in 2i64..60,
+        mul in 1i64..100,
+        off in 0i64..1000,
+        slot in 0i64..8,
+        jobs in 1usize..8,
+    ) {
+        let m = fill_kernel(n, mul, off, Some(slot));
+        let r = replay_module(&m, &[], Jobs::new(jobs)).unwrap();
+        prop_assert!(r.loops.is_empty(), "false DOALL replayed: {:?}", r.loops);
+        prop_assert_eq!(r.rejected.len(), 1);
+        prop_assert!(
+            matches!(&r.rejected[0].reason, RejectReason::Violation(_)),
+            "want a witness violation, got {:?}",
+            r.rejected[0].reason
+        );
+        prop_assert!(r.divergence.is_none());
+    }
+}
