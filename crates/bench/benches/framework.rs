@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lp_analysis::analyze_module;
-use lp_interp::{Machine, MachineConfig, NullSink};
+use lp_interp::{Engine, Exec, ExecUnit, MachineConfig};
 use lp_predict::HybridPredictor;
 use lp_runtime::{evaluate, profile_module_with, table2_rows, Profiler, ProfilerOptions};
 use lp_suite::Scale;
@@ -20,15 +20,18 @@ fn bench_interpreter(c: &mut Criterion) {
     let mut group = c.benchmark_group("interpreter");
     for name in ["181.mcf", "171.swim", "eembc.matrix01"] {
         let module = lp_suite::find(name).unwrap().build(Scale::Test);
-        let mut sink = NullSink;
-        let cost = Machine::new(&module, &mut sink).run(&[]).unwrap().cost;
+        let cost = {
+            let unit = ExecUnit::new(&module);
+            Exec::new(&unit).run(&[]).unwrap().result.cost
+        };
         group.throughput(Throughput::Elements(cost));
-        group.bench_with_input(BenchmarkId::new("run", name), &module, |b, m| {
-            b.iter(|| {
-                let mut sink = NullSink;
-                Machine::new(m, &mut sink).run(&[]).unwrap().cost
+        for engine in [Engine::Tree, Engine::Bc] {
+            // Compile once outside the timed loop, as every real caller does.
+            let unit = ExecUnit::with_engine(&module, engine);
+            group.bench_with_input(BenchmarkId::new(engine.name(), name), &unit, |b, unit| {
+                b.iter(|| Exec::new(unit).run(&[]).unwrap().result.cost);
             });
-        });
+        }
     }
     group.finish();
 }
@@ -38,8 +41,10 @@ fn bench_profiler(c: &mut Criterion) {
     for name in ["181.mcf", "171.swim"] {
         let module = lp_suite::find(name).unwrap().build(Scale::Test);
         let analysis = analyze_module(&module);
-        let mut sink = NullSink;
-        let cost = Machine::new(&module, &mut sink).run(&[]).unwrap().cost;
+        let cost = {
+            let unit = ExecUnit::new(&module);
+            Exec::new(&unit).run(&[]).unwrap().result.cost
+        };
         group.throughput(Throughput::Elements(cost));
         for cactus in [true, false] {
             let label = if cactus { "cactus" } else { "flat-stack" };
@@ -130,7 +135,10 @@ fn bench_obs_overhead(c: &mut Criterion) {
                         watched_values: profiler.watched_values(),
                         ..MachineConfig::default()
                     };
-                    Machine::with_config(m, &mut profiler, config)
+                    let unit = ExecUnit::new(m);
+                    Exec::new(&unit)
+                        .sink(&mut profiler)
+                        .config(config)
                         .run(&[])
                         .unwrap();
                     profiler.finish().total_cost

@@ -17,7 +17,6 @@
 
 use lp_analysis::analyze_module;
 use lp_bench::Cli;
-use lp_interp::MachineConfig;
 use lp_runtime::{
     evaluate_with, geomean, parallel_map, profile_module_cached, EvalOptions, ProfilerOptions,
 };
@@ -50,7 +49,7 @@ fn main() {
                 let (profile, _) = profile_module_cached(
                     &module,
                     &analysis,
-                    MachineConfig::default(),
+                    cli.machine_config(),
                     ProfilerOptions {
                         cactus_stack: cactus,
                     },
@@ -83,7 +82,7 @@ fn main() {
             let (profile, _) = profile_module_cached(
                 &module,
                 &analysis,
-                MachineConfig::default(),
+                cli.machine_config(),
                 ProfilerOptions::default(),
                 store,
             )

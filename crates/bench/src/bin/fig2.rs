@@ -24,6 +24,7 @@ fn main() {
         scale,
         jobs,
         store.as_ref(),
+        cli.engine,
     );
 
     println!("Figure 2 — GEOMEAN speedups, non-numeric benchmarks ({scale:?} scale)");

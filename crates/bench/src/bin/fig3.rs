@@ -20,7 +20,7 @@ fn main() {
     let jobs = cli.jobs();
     let store = cli.store();
     let suites = [SuiteId::Eembc, SuiteId::Cfp2000, SuiteId::Cfp2006];
-    let runs = run_suites(&suites, scale, jobs, store.as_ref());
+    let runs = run_suites(&suites, scale, jobs, store.as_ref(), cli.engine);
 
     println!("Figure 3 — GEOMEAN speedups, numeric benchmarks ({scale:?} scale)");
     println!(

@@ -26,7 +26,7 @@ fn main() {
         SuiteId::Cint2006,
         SuiteId::Cfp2006,
     ];
-    let runs = run_suites(&spec, scale, jobs, store.as_ref());
+    let runs = run_suites(&spec, scale, jobs, store.as_ref(), cli.engine);
 
     let (pd_model, pd_config) = best_pdoall();
     let (hx_model, hx_config) = best_helix();

@@ -22,7 +22,7 @@ fn main() {
     let jobs = cli.jobs();
     let store = cli.store();
     let suites = SuiteId::all();
-    let runs = run_suites(&suites, scale, jobs, store.as_ref());
+    let runs = run_suites(&suites, scale, jobs, store.as_ref(), cli.engine);
 
     let rows: [(&str, ExecModel, Config); 3] = [
         (

@@ -31,7 +31,7 @@
 
 use lp_analysis::analyze_module;
 use lp_bench::{run_benchmarks, Cli, SweepTable};
-use lp_interp::{Machine, MachineConfig, NullSink};
+use lp_interp::{Engine, Exec, ExecUnit, MachineConfig};
 use lp_obs::{lp_info, JsonWriter};
 use lp_suite::{Benchmark, Scale, SuiteId};
 use std::path::PathBuf;
@@ -134,31 +134,37 @@ fn timed<R>(f: impl FnOnce() -> R) -> (u64, R) {
     (reg.now_ns().saturating_sub(t0), r)
 }
 
-fn measure(bench: &Benchmark, scale: Scale, reps: u32) -> Row {
+fn measure(bench: &Benchmark, scale: Scale, reps: u32, engine: Engine) -> Row {
     let module = bench.build(scale);
     let analysis = analyze_module(&module);
+    let config = MachineConfig {
+        engine,
+        ..MachineConfig::default()
+    };
+    // Compile once, execute `reps` times: the ExecUnit lifecycle the
+    // plain-interpreter column measures (bytecode translation happens
+    // here, outside the timed region, exactly as a study run amortizes
+    // it across evaluations).
+    let unit = ExecUnit::with_engine(&module, engine);
     let mut insts = 0;
     let mut interp_reps = Vec::with_capacity(reps.max(1) as usize);
     let mut profile_reps = Vec::with_capacity(reps.max(1) as usize);
     let mut profile_nojournal_reps = Vec::with_capacity(reps.max(1) as usize);
     let journal = lp_obs::journal::global();
     for _ in 0..reps.max(1) {
-        let (ns, result) = timed(|| {
-            let mut sink = NullSink;
-            Machine::with_config(&module, &mut sink, MachineConfig::default()).run(&[])
-        });
+        let (ns, result) = timed(|| Exec::new(&unit).run(&[]));
         let result = result.unwrap_or_else(|e| panic!("benchmark {} failed: {e}", bench.name));
-        insts = result.cost;
+        insts = result.result.cost;
         interp_reps.push(ns);
 
         let (ns, result) =
-            timed(|| lp_runtime::profile_module(&module, &analysis, &[], MachineConfig::default()));
+            timed(|| lp_runtime::profile_module(&module, &analysis, &[], config.clone()));
         result.unwrap_or_else(|e| panic!("benchmark {} failed under profiling: {e}", bench.name));
         profile_reps.push(ns);
 
         journal.set_enabled(false);
         let (ns, result) =
-            timed(|| lp_runtime::profile_module(&module, &analysis, &[], MachineConfig::default()));
+            timed(|| lp_runtime::profile_module(&module, &analysis, &[], config.clone()));
         journal.set_enabled(true);
         result.unwrap_or_else(|e| panic!("benchmark {} failed under profiling: {e}", bench.name));
         profile_nojournal_reps.push(ns);
@@ -181,8 +187,9 @@ fn measure(bench: &Benchmark, scale: Scale, reps: u32) -> Row {
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: lpbench [test|small|default] [--bench NAME]... [--reps N] [--out FILE] \
-         [--baseline FILE] [--check FILE] [--trend FILE] [--label TEXT] [--jobs N] [--quiet]\n\
+        "usage: lpbench [test|small|default] [--engine tree|bc] [--bench NAME]... [--reps N] \
+         [--out FILE] [--baseline FILE] [--check FILE] [--trend FILE] [--label TEXT] [--jobs N] \
+         [--quiet]\n\
          \x20      lpbench trend [--ledger FILE] [--check] [--window N] [--min-history N]"
     );
     std::process::exit(2);
@@ -363,7 +370,7 @@ fn main() {
     let rows: Vec<Row> = picked
         .iter()
         .map(|b| {
-            let row = measure(b, cli.scale, reps);
+            let row = measure(b, cli.scale, reps, cli.engine);
             lp_info!(
                 "{:<18} {:>12} insts  interp {:>8.2} Mi/s  profile {:>8.2} Mi/s  ({:.2}x slowdown)",
                 row.name,
@@ -379,7 +386,7 @@ fn main() {
     // End-to-end: profile every picked benchmark once, evaluate the full
     // Table II row lattice against the shared profiles.
     let (sweep_ns, n_points) = timed(|| {
-        let runs = run_benchmarks(&picked, cli.scale, jobs, None);
+        let runs = run_benchmarks(&picked, cli.scale, jobs, None, cli.engine);
         let table_rows = lp_runtime::table2_rows();
         let table = SweepTable::build(&runs, &table_rows, jobs);
         runs.len() * table.rows().len()
@@ -425,6 +432,8 @@ fn main() {
     w.string("lpbench-v1");
     w.key("scale");
     w.string(scale_label(cli.scale));
+    w.key("engine");
+    w.string(cli.engine.name());
     w.key("reps");
     w.uint(u64::from(reps));
     w.key("jobs");
@@ -577,6 +586,34 @@ fn main() {
     }
 
     if let Some(path) = &check_path {
+        // Engine equivalence gate: profile every picked benchmark under
+        // both engines and byte-compare the serialized profile cache
+        // entries (profile + run result). Any divergence — result, cost,
+        // region tree, conflict census, LCD classes — flips a byte.
+        for b in &picked {
+            let module = b.build(cli.scale);
+            let analysis = analyze_module(&module);
+            let encoded = |engine: Engine| {
+                let config = MachineConfig {
+                    engine,
+                    ..MachineConfig::default()
+                };
+                let (p, r) = lp_runtime::profile_module(&module, &analysis, &[], config)
+                    .unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
+                lp_runtime::encode_entry(&p, &r)
+            };
+            if encoded(Engine::Tree) != encoded(Engine::Bc) {
+                eprintln!(
+                    "lpbench check FAILED: {} profiles diverge between --engine tree and bc",
+                    b.name
+                );
+                std::process::exit(1);
+            }
+        }
+        lp_info!(
+            "engine check passed: {} benchmark(s) profile byte-identically under tree and bc",
+            picked.len()
+        );
         let Some(base) = read_baseline(path) else {
             eprintln!("cannot read lpbench baseline {}", path.display());
             std::process::exit(2);

@@ -23,7 +23,6 @@
 
 use loopapalooza::Study;
 use lp_bench::{run_suites, write_explain, Cli, SweepTable};
-use lp_interp::MachineConfig;
 use lp_obs::{lp_info, span};
 use lp_runtime::{best_helix, best_pdoall, geomean, ExecModel, Export, RejectReason};
 use lp_suite::{Scale, SuiteId};
@@ -126,7 +125,7 @@ fn run_suite(cli: &Cli, name: &str) {
     };
     let jobs = cli.jobs();
     let store = cli.store();
-    let runs = run_suites(&[suite], cli.scale, jobs, store.as_ref());
+    let runs = run_suites(&[suite], cli.scale, jobs, store.as_ref(), cli.engine);
     let rows = lp_runtime::table2_rows();
     let table = SweepTable::build(&runs, &rows, jobs);
 
@@ -182,7 +181,7 @@ fn run_suite(cli: &Cli, name: &str) {
 fn run_explain(cli: &Cli, module: &lp_ir::Module) {
     let store = cli.store();
     let study =
-        Study::with_store(module, MachineConfig::default(), store.as_ref()).unwrap_or_else(|e| {
+        Study::with_store(module, cli.machine_config(), store.as_ref()).unwrap_or_else(|e| {
             eprintln!("study failed: {e}");
             std::process::exit(1);
         });
@@ -253,7 +252,7 @@ fn run_dispatch_heat(cli: &Cli, args: &[String]) {
     lp_obs::sampler::reset_pairs();
     let sampler = lp_obs::sampler::Sampler::start(hz);
     let store = cli.store();
-    let runs = run_suites(&[suite], cli.scale, cli.jobs(), store.as_ref());
+    let runs = run_suites(&[suite], cli.scale, cli.jobs(), store.as_ref(), cli.engine);
     let report = sampler.stop();
     let pairs = lp_obs::sampler::pair_counts();
     let total: u64 = pairs.iter().sum();
@@ -404,10 +403,11 @@ fn run_replay(cli: &Cli, args: &[String]) {
             let _span = span!("parse");
             b.build(cli.scale)
         };
-        let r = lp_runtime::replay_module(&module, &[], jobs).unwrap_or_else(|e| {
-            eprintln!("replay of {} failed: {e}", b.name);
-            std::process::exit(1);
-        });
+        let r =
+            lp_runtime::replay_module_with(&module, &[], jobs, cli.engine).unwrap_or_else(|e| {
+                eprintln!("replay of {} failed: {e}", b.name);
+                std::process::exit(1);
+            });
         println!(
             "\n{}: {} loop(s) replayed, {} rejected",
             b.name,
@@ -629,8 +629,8 @@ fn main() {
     };
 
     let store = cli.store();
-    let study = Study::with_store(&module, MachineConfig::default(), store.as_ref())
-        .unwrap_or_else(|e| {
+    let study =
+        Study::with_store(&module, cli.machine_config(), store.as_ref()).unwrap_or_else(|e| {
             eprintln!("study failed: {e}");
             std::process::exit(1);
         });

@@ -54,7 +54,7 @@ fn main() {
     let scale = cli.scale;
     let store = cli.store();
     let suites = SuiteId::all();
-    let runs = run_suites(&suites, scale, cli.jobs(), store.as_ref());
+    let runs = run_suites(&suites, scale, cli.jobs(), store.as_ref(), cli.engine);
 
     for (label, (model, config)) in [
         ("best HELIX (reduc1-dep1-fn2)", best_helix()),

@@ -49,8 +49,9 @@ fn main() {
             extra => {
                 eprintln!(
                     "unknown argument {extra:?} (expected test|small|default, --suite NAME, \
-                     --jobs N, --trace-out FILE, --profile-cache DIR, --flight-out FILE, \
-                     --metrics-out FILE, --snapshot-out FILE, --sample-hz N, --quiet)"
+                     --jobs N, --engine tree|bc, --trace-out FILE, --profile-cache DIR, \
+                     --flight-out FILE, --metrics-out FILE, --snapshot-out FILE, \
+                     --sample-hz N, --quiet)"
                 );
                 std::process::exit(2);
             }
@@ -61,7 +62,7 @@ fn main() {
     }
     let jobs = cli.jobs();
     let store = cli.store();
-    let runs = run_suites(&suites, cli.scale, jobs, store.as_ref());
+    let runs = run_suites(&suites, cli.scale, jobs, store.as_ref(), cli.engine);
 
     let reg = lp_obs::registry();
     let t0 = reg.now_ns();

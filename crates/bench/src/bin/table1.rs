@@ -16,7 +16,13 @@ fn main() {
     cli.enforce("table1");
     let scale = cli.scale;
     let store = cli.store();
-    let runs = run_suites(&SuiteId::all(), scale, cli.jobs(), store.as_ref());
+    let runs = run_suites(
+        &SuiteId::all(),
+        scale,
+        cli.jobs(),
+        store.as_ref(),
+        cli.engine,
+    );
 
     println!("Table I — ordering constraints and dependencies, quantified ({scale:?} scale)\n");
     for suite in SuiteId::all() {

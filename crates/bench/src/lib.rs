@@ -167,6 +167,10 @@ pub struct Cli {
     /// Explicit `--sample-hz N` self-profiler sampling rate, if given
     /// (consumed by `lpstudy dispatch-heat`).
     pub sample_hz: Option<u64>,
+    /// Interpreter engine (`--engine tree|bc`, default `tree`). Output is
+    /// byte-identical for either engine — `bc` only trades compile time
+    /// for dispatch speed.
+    pub engine: lp_interp::Engine,
     /// Arguments this parser did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -200,6 +204,7 @@ impl Cli {
             metrics_out: None,
             snapshot_out: None,
             sample_hz: None,
+            engine: lp_interp::Engine::default(),
             rest: Vec::new(),
         };
         let mut args = args.into_iter();
@@ -268,6 +273,17 @@ impl Cli {
                         std::process::exit(2);
                     }
                 },
+                "--engine" => match args.next().as_deref().map(lp_interp::Engine::parse) {
+                    Some(Ok(engine)) => cli.engine = engine,
+                    Some(Err(bad)) => {
+                        eprintln!("--engine {bad:?} is not an engine (expected tree|bc)");
+                        std::process::exit(2);
+                    }
+                    None => {
+                        eprintln!("--engine requires an argument (tree|bc)");
+                        std::process::exit(2);
+                    }
+                },
                 "test" => cli.scale = Scale::Test,
                 "small" => cli.scale = Scale::Small,
                 "default" => cli.scale = Scale::Default,
@@ -281,6 +297,16 @@ impl Cli {
             lp_obs::journal::arm(path);
         }
         cli
+    }
+
+    /// The machine configuration this command line asked for: defaults
+    /// plus the selected `--engine`.
+    #[must_use]
+    pub fn machine_config(&self) -> lp_interp::MachineConfig {
+        lp_interp::MachineConfig {
+            engine: self.engine,
+            ..lp_interp::MachineConfig::default()
+        }
     }
 
     /// The resolved sweep worker count: explicit `--jobs N`, else the
@@ -350,9 +376,9 @@ impl Cli {
         if let Some(extra) = self.rest.first() {
             eprintln!(
                 "unknown argument {extra:?} (expected test|small|default, --jobs N, \
-                 --trace-out FILE, --explain-out FILE, --profile-cache DIR, \
-                 --flight-out FILE, --metrics-out FILE, --snapshot-out FILE, \
-                 --sample-hz N, --quiet)"
+                 --engine tree|bc, --trace-out FILE, --explain-out FILE, \
+                 --profile-cache DIR, --flight-out FILE, --metrics-out FILE, \
+                 --snapshot-out FILE, --sample-hz N, --quiet)"
             );
             std::process::exit(2);
         }
@@ -513,6 +539,7 @@ pub fn run_benchmarks(
     scale: Scale,
     jobs: Jobs,
     store: Option<&ProfileStore>,
+    engine: lp_interp::Engine,
 ) -> Vec<SuiteRun> {
     let total = benchmarks.len();
     let reg = lp_obs::registry();
@@ -520,7 +547,11 @@ pub fn run_benchmarks(
         lp_debug!("profiling {} ({}/{})", b.name, i + 1, total);
         let t0 = reg.now_ns();
         let module = b.build(scale);
-        let study = Study::with_store(&module, lp_interp::MachineConfig::default(), store)
+        let config = lp_interp::MachineConfig {
+            engine,
+            ..lp_interp::MachineConfig::default()
+        };
+        let study = Study::with_store(&module, config, store)
             .unwrap_or_else(|e| panic!("benchmark {} failed: {e}", b.name));
         let secs = reg.now_ns().saturating_sub(t0) as f64 / 1e9;
         lp_info!(
@@ -546,12 +577,13 @@ pub fn run_suites(
     scale: Scale,
     jobs: Jobs,
     store: Option<&ProfileStore>,
+    engine: lp_interp::Engine,
 ) -> Vec<SuiteRun> {
     let benchmarks: Vec<Benchmark> = lp_suite::registry()
         .into_iter()
         .filter(|b| ids.contains(&b.suite))
         .collect();
-    run_benchmarks(&benchmarks, scale, jobs, store)
+    run_benchmarks(&benchmarks, scale, jobs, store, engine)
 }
 
 /// A precomputed `(run × row)` table of evaluation reports, built by one
@@ -702,6 +734,8 @@ mod tests {
                 "/tmp/s.json",
                 "--sample-hz",
                 "997",
+                "--engine",
+                "bc",
                 "--bench",
                 "x.lp",
             ]
@@ -709,6 +743,8 @@ mod tests {
         );
         assert!(cli.quiet);
         assert_eq!(cli.scale, Scale::Small);
+        assert_eq!(cli.engine, lp_interp::Engine::Bc);
+        assert_eq!(cli.machine_config().engine, lp_interp::Engine::Bc);
         assert_eq!(cli.jobs, Some(3));
         assert_eq!(cli.jobs().get(), 3);
         assert_eq!(
@@ -736,6 +772,7 @@ mod tests {
 
         let cli = Cli::parse_from(std::iter::empty());
         assert_eq!(cli.scale, Scale::Default);
+        assert_eq!(cli.engine, lp_interp::Engine::Tree);
         assert!(!cli.quiet && cli.trace_out.is_none() && cli.rest.is_empty());
         assert!(cli.explain_out.is_none());
         assert!(cli.jobs.is_none());
@@ -825,7 +862,13 @@ mod tests {
 
     #[test]
     fn harness_runs_one_suite() {
-        let runs = run_suites(&[SuiteId::Eembc], Scale::Test, Jobs::serial(), None);
+        let runs = run_suites(
+            &[SuiteId::Eembc],
+            Scale::Test,
+            Jobs::serial(),
+            None,
+            lp_interp::Engine::Bc,
+        );
         assert_eq!(runs.len(), 10);
         let (model, config) = lp_runtime::best_pdoall();
         let gm = suite_geomean_speedup(&runs, SuiteId::Eembc, model, config);
@@ -838,7 +881,13 @@ mod tests {
             .iter()
             .map(|n| lp_suite::find(n).unwrap())
             .collect();
-        let runs = run_benchmarks(&benchmarks, Scale::Test, Jobs::new(2), None);
+        let runs = run_benchmarks(
+            &benchmarks,
+            Scale::Test,
+            Jobs::new(2),
+            None,
+            lp_interp::Engine::default(),
+        );
         // Parallel profiling preserves input order.
         assert_eq!(runs[0].name, "eembc.matrix01");
         assert_eq!(runs[1].name, "eembc.rspeed01");

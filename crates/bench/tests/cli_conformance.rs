@@ -59,9 +59,9 @@ fn unknown_argument_exits_2_with_the_pinned_message() {
         assert_eq!(
             stderr_of(&out),
             "unknown argument \"--bogus\" (expected test|small|default, --jobs N, \
-             --trace-out FILE, --explain-out FILE, --profile-cache DIR, \
-             --flight-out FILE, --metrics-out FILE, --snapshot-out FILE, \
-             --sample-hz N, --quiet)\n",
+             --engine tree|bc, --trace-out FILE, --explain-out FILE, \
+             --profile-cache DIR, --flight-out FILE, --metrics-out FILE, \
+             --snapshot-out FILE, --sample-hz N, --quiet)\n",
             "{binary}"
         );
     }
@@ -97,8 +97,9 @@ fn sweep_rejects_extras_with_its_own_positional_list() {
     assert_eq!(
         stderr_of(&out),
         "unknown argument \"--bogus\" (expected test|small|default, --suite NAME, \
-         --jobs N, --trace-out FILE, --profile-cache DIR, --flight-out FILE, \
-         --metrics-out FILE, --snapshot-out FILE, --sample-hz N, --quiet)\n"
+         --jobs N, --engine tree|bc, --trace-out FILE, --profile-cache DIR, \
+         --flight-out FILE, --metrics-out FILE, --snapshot-out FILE, \
+         --sample-hz N, --quiet)\n"
     );
 }
 
@@ -141,6 +142,14 @@ fn flags_missing_their_operand_exit_2() {
         (
             &["--sample-hz", "fast"][..],
             "--sample-hz requires a positive integer argument\n",
+        ),
+        (
+            &["--engine"][..],
+            "--engine requires an argument (tree|bc)\n",
+        ),
+        (
+            &["--engine", "llvm"][..],
+            "--engine \"llvm\" is not an engine (expected tree|bc)\n",
         ),
     ] {
         let out = run("fig1", args);

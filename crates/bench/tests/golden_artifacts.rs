@@ -68,6 +68,41 @@ fn explain_quickstart_json_regenerates_byte_identically() {
     let _ = std::fs::remove_file(json.with_extension("collapsed"));
 }
 
+/// The bytecode engine pins to the *same* golden file: `--engine bc`
+/// must reproduce `results/explain-quickstart.*` byte-for-byte, because
+/// the engines are observationally identical and the explain pipeline
+/// is deterministic.
+#[test]
+fn explain_quickstart_json_is_engine_invariant() {
+    let dir = std::env::temp_dir();
+    let json = dir.join(format!("lp-golden-explain-bc-{}.json", std::process::id()));
+    lpstudy(&[
+        "explain",
+        "--quiet",
+        "--engine",
+        "bc",
+        "--explain-out",
+        json.to_str().unwrap(),
+    ]);
+    let fresh = std::fs::read_to_string(&json).unwrap();
+    let golden =
+        std::fs::read_to_string(repo_root().join("results/explain-quickstart.json")).unwrap();
+    assert_eq!(
+        fresh, golden,
+        "explain-quickstart.json differs under --engine bc — the bytecode \
+         engine must be observationally identical to the tree walk"
+    );
+    let fresh_collapsed = std::fs::read_to_string(json.with_extension("collapsed")).unwrap();
+    let golden_collapsed =
+        std::fs::read_to_string(repo_root().join("results/explain-quickstart.collapsed")).unwrap();
+    assert_eq!(
+        fresh_collapsed, golden_collapsed,
+        "explain-quickstart.collapsed differs under --engine bc"
+    );
+    let _ = std::fs::remove_file(&json);
+    let _ = std::fs::remove_file(json.with_extension("collapsed"));
+}
+
 /// The ordered `"name"` values of a Chrome trace — the structural
 /// skeleton that survives timing jitter.
 fn span_names(trace: &str) -> Vec<String> {
@@ -134,6 +169,35 @@ fn replay_quickstart_has_stable_schema_and_loop_structure() {
         mask_replay_timings(&golden),
         "replay-quickstart.json structure drifted — if the change is \
          intentional, regenerate it (see this test's module docs)"
+    );
+    let _ = std::fs::remove_file(&json);
+}
+
+/// As above, through the bytecode engine: everything but wall clock in
+/// `results/replay-quickstart.json` must match the committed tree-walk
+/// golden when the replay pipeline runs under `--engine bc`.
+#[test]
+fn replay_quickstart_is_engine_invariant() {
+    let dir = std::env::temp_dir();
+    let json = dir.join(format!("lp-golden-replay-bc-{}.json", std::process::id()));
+    lpstudy(&[
+        "replay",
+        "test",
+        "--quiet",
+        "--engine",
+        "bc",
+        "--jobs",
+        "2",
+        "--replay-out",
+        json.to_str().unwrap(),
+    ]);
+    let fresh = std::fs::read_to_string(&json).unwrap();
+    let golden =
+        std::fs::read_to_string(repo_root().join("results/replay-quickstart.json")).unwrap();
+    assert_eq!(
+        mask_replay_timings(&fresh),
+        mask_replay_timings(&golden),
+        "replay-quickstart.json structure differs under --engine bc"
     );
     let _ = std::fs::remove_file(&json);
 }

@@ -12,8 +12,115 @@ use crate::memory::MemStats;
 use crate::value::Value;
 use lp_ir::{BlockId, Builtin, FuncId, ValueId};
 
+/// How a sink wants to receive per-block execution events.
+///
+/// Declared by [`EventSink::fidelity`] and consulted once per run by the
+/// bytecode engine (the tree-walk reference engine always delivers
+/// per-instruction callbacks). The two modes are observationally
+/// equivalent: a [`Fidelity::Block`] sink receives the same events in
+/// the same order with the same `now` stamps, just grouped into one
+/// [`BlockBatch`] callback per executed block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Deliver `block_entered`/`phi_resolved`/`load`/`store`/
+    /// `value_defined` individually, as they happen.
+    PerInstruction,
+    /// Deliver one [`EventSink::block_batch`] call per executed block
+    /// (split at call boundaries so global event order is preserved).
+    Block,
+}
+
+/// The `block_entered` portion of a [`BlockBatch`]: the block's static
+/// cost and the cost counter at entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Static IR cost of the block (non-phi instructions + terminator).
+    pub cost: u64,
+    /// Cost counter at block entry.
+    pub now: u64,
+}
+
+/// One buffered per-instruction event inside a [`BlockBatch`].
+///
+/// Function-level events (`func_entered`, `func_exited`,
+/// `builtin_called`, `mem_stats`) are never batched: the engine flushes
+/// the pending batch before emitting them so the global event order is
+/// identical to the per-instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchEvent {
+    /// A phi of the batch's block resolved to `value` on entry.
+    Phi {
+        /// The phi's result value id.
+        phi: ValueId,
+        /// The resolved incoming value.
+        value: Value,
+        /// Cost counter at the edge (block entry).
+        now: u64,
+    },
+    /// A load from `addr` executed.
+    Load {
+        /// The loaded address.
+        addr: u64,
+        /// Cost counter after the load was charged.
+        now: u64,
+    },
+    /// A store to `addr` executed.
+    Store {
+        /// The stored address.
+        addr: u64,
+        /// Cost counter after the store was charged.
+        now: u64,
+    },
+    /// A watched value was defined.
+    Def {
+        /// The defined value id.
+        value: ValueId,
+        /// The defined value.
+        val: Value,
+        /// Cost counter after the defining instruction was charged.
+        now: u64,
+    },
+}
+
+/// One block's worth of buffered events, delivered through
+/// [`EventSink::block_batch`] by the bytecode engine when the sink
+/// declared [`Fidelity::Block`].
+///
+/// `entry` is `Some` when this batch opens the block; a block whose
+/// events were split by a call boundary delivers its continuation with
+/// `entry: None` so the shim never replays `block_entered` twice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockBatch {
+    /// Function owning the block.
+    pub func: FuncId,
+    /// The executed block.
+    pub block: BlockId,
+    /// Block-entry event, if this batch opens the block.
+    pub entry: Option<BlockEntry>,
+    /// Buffered per-instruction events, in execution order.
+    pub events: Vec<BatchEvent>,
+}
+
+impl Default for BlockBatch {
+    fn default() -> BlockBatch {
+        BlockBatch {
+            func: FuncId(0),
+            block: BlockId(0),
+            entry: None,
+            events: Vec::new(),
+        }
+    }
+}
+
 /// Receiver of instrumentation events.
 pub trait EventSink {
+    /// Statically promises that *every* callback on this sink is a
+    /// no-op (only [`NullSink`] qualifies). The bytecode engine uses
+    /// this to select a silent dispatch loop that skips event plumbing
+    /// entirely — observable semantics (results, costs, traps) are
+    /// unchanged because there is nothing listening. A sink that does
+    /// anything at all in any callback must leave this `false`.
+    const INERT: bool = false;
     /// A basic block was entered. `cost` is its static IR cost (non-phi
     /// instructions + terminator); `now` is the cost counter at entry
     /// (before any of the block's instructions are charged).
@@ -66,11 +173,44 @@ pub trait EventSink {
     fn mem_stats(&mut self, stats: MemStats) {
         let _ = stats;
     }
+
+    /// Whether this sink wants per-instruction callbacks or one
+    /// aggregated [`BlockBatch`] per executed block. Consulted once per
+    /// run by the bytecode engine; the tree-walk engine ignores it.
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::PerInstruction
+    }
+
+    /// One block's worth of events, delivered when [`EventSink::fidelity`]
+    /// returned [`Fidelity::Block`]. The default implementation is the
+    /// per-instruction compatibility shim: it replays the batch through
+    /// the individual callbacks in original order with original `now`
+    /// stamps, so a sink composed behind a batching decorator observes a
+    /// stream byte-identical to the per-instruction engine's.
+    fn block_batch(&mut self, batch: &BlockBatch) {
+        if let Some(entry) = &batch.entry {
+            self.block_entered(batch.func, batch.block, entry.cost, entry.now);
+        }
+        for ev in &batch.events {
+            match *ev {
+                BatchEvent::Phi { phi, value, now } => {
+                    self.phi_resolved(batch.func, batch.block, phi, value, now);
+                }
+                BatchEvent::Load { addr, now } => self.load(addr, now),
+                BatchEvent::Store { addr, now } => self.store(addr, now),
+                BatchEvent::Def { value, val, now } => {
+                    self.value_defined(batch.func, value, val, now);
+                }
+            }
+        }
+    }
 }
 
 /// Forwarding impl so decorators like `MeteredSink` can borrow a sink
 /// instead of owning it.
 impl<S: EventSink + ?Sized> EventSink for &mut S {
+    const INERT: bool = S::INERT;
+
     fn block_entered(&mut self, func: FuncId, block: BlockId, cost: u64, now: u64) {
         (**self).block_entered(func, block, cost, now);
     }
@@ -106,13 +246,23 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn mem_stats(&mut self, stats: MemStats) {
         (**self).mem_stats(stats);
     }
+
+    fn fidelity(&self) -> Fidelity {
+        (**self).fidelity()
+    }
+
+    fn block_batch(&mut self, batch: &BlockBatch) {
+        (**self).block_batch(batch);
+    }
 }
 
 /// A sink that ignores every event.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
-impl EventSink for NullSink {}
+impl EventSink for NullSink {
+    const INERT: bool = true;
+}
 
 /// A sink that tallies event counts — handy in tests and as the cheapest
 /// possible cost profiler.
@@ -165,5 +315,24 @@ impl EventSink for CountingSink {
 
     fn builtin_called(&mut self, _caller: FuncId, _builtin: Builtin, _now: u64) {
         self.builtins += 1;
+    }
+
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Block
+    }
+
+    fn block_batch(&mut self, batch: &BlockBatch) {
+        if let Some(entry) = &batch.entry {
+            self.cost += entry.cost;
+            self.blocks += 1;
+        }
+        for ev in &batch.events {
+            match ev {
+                BatchEvent::Phi { .. } => self.phis += 1,
+                BatchEvent::Load { .. } => self.loads += 1,
+                BatchEvent::Store { .. } => self.stores += 1,
+                BatchEvent::Def { .. } => {}
+            }
+        }
     }
 }

@@ -11,10 +11,16 @@
 //! no microarchitecture is modelled — so an interpreter is a faithful
 //! substitute for instrumented native execution.
 //!
+//! Two engines implement these semantics: the tree walk (the reference
+//! oracle) and the flat pre-resolved bytecode engine (`lp-bc`, the fast
+//! path — see [`bytecode`]). Both are driven through the compile-once /
+//! execute-many [`ExecUnit`]/[`Exec`] surface and are observationally
+//! identical: same results, same dynamic cost, same event stream.
+//!
 //! # Example
 //!
 //! ```
-//! use lp_interp::{Machine, NullSink, Value};
+//! use lp_interp::{Engine, Exec, ExecUnit, Value};
 //! use lp_ir::builder::FunctionBuilder;
 //! use lp_ir::{Module, Type};
 //!
@@ -26,14 +32,17 @@
 //! fb.ret(Some(y));
 //! module.add_function(fb.finish()?);
 //!
-//! let mut sink = NullSink;
-//! let result = Machine::new(&module, &mut sink).run(&[])?;
-//! assert_eq!(result.ret, Value::I(42));
+//! let unit = ExecUnit::with_engine(&module, Engine::Bc);
+//! let out = Exec::new(&unit).run(&[])?;
+//! assert_eq!(out.result.ret, Value::I(42));
 //! # Ok(())
 //! # }
 //! ```
 
+pub mod bytecode;
+mod compile;
 pub mod events;
+pub mod exec;
 pub mod machine;
 pub mod memory;
 pub mod metered;
@@ -41,8 +50,10 @@ pub mod replay;
 pub mod trace;
 pub mod value;
 
-pub use events::{CountingSink, EventSink, NullSink};
-pub use machine::{Machine, MachineConfig, RunResult};
+pub use bytecode::CompiledModule;
+pub use events::{BatchEvent, BlockBatch, BlockEntry, CountingSink, EventSink, Fidelity, NullSink};
+pub use exec::{Exec, ExecOut, ExecUnit};
+pub use machine::{Engine, Machine, MachineConfig, RunResult};
 pub use memory::{MemStats, Memory, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 pub use metered::{EventCounts, MeteredSink, TeeSink};
 pub use replay::{

@@ -21,11 +21,50 @@ use lp_ir::{
 /// self-profiler. When absent the hot loop pays one `Option` check per
 /// instruction and nothing else.
 #[derive(Debug)]
-struct Heat {
+pub(crate) struct Heat {
     /// Exact pair counts, `prev * OPCODE_LIMIT + cur`.
     pairs: Vec<u64>,
     /// Opcode of the previously dispatched instruction.
     prev: u8,
+}
+
+/// Which execution engine interprets the module.
+///
+/// Both engines implement identical semantics — same results, same
+/// dynamic cost, same event stream with the same `now` stamps — proven
+/// by the engine differential suite. The tree walk is the reference
+/// oracle; the bytecode engine is the fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk the `lp_ir` arena directly (reference oracle).
+    #[default]
+    Tree,
+    /// Execute flat pre-resolved bytecode compiled once per module
+    /// (see [`crate::bytecode`] and [`crate::ExecUnit`]).
+    Bc,
+}
+
+impl Engine {
+    /// Parses the `--engine` CLI spelling.
+    ///
+    /// # Errors
+    /// Returns the offending string for anything but `tree` or `bc`.
+    pub fn parse(s: &str) -> std::result::Result<Engine, String> {
+        match s {
+            "tree" => Ok(Engine::Tree),
+            "bc" => Ok(Engine::Bc),
+            other => Err(other.to_string()),
+        }
+    }
+
+    /// The CLI spelling (`tree` / `bc`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Bc => "bc",
+        }
+    }
 }
 
 /// Resource limits and reproducibility knobs.
@@ -44,6 +83,11 @@ pub struct MachineConfig {
     /// [`EventSink::value_defined`]. Loopapalooza registers the latch
     /// incoming values of traced register LCDs here.
     pub watched_values: Vec<(FuncId, ValueId)>,
+    /// Which engine executes the module. Engines are observationally
+    /// identical, so this never affects results or profiles — only
+    /// wall-clock speed (lp_runtime's `ProfileKey` excludes it for the
+    /// same reason).
+    pub engine: Engine,
 }
 
 impl Default for MachineConfig {
@@ -54,6 +98,7 @@ impl Default for MachineConfig {
             rng_seed: 0x5EED_1234_ABCD_0001,
             capture_output: false,
             watched_values: Vec::new(),
+            engine: Engine::Tree,
         }
     }
 }
@@ -75,33 +120,60 @@ pub struct RunResult {
 /// inspect. Globals are laid out and initialized at construction.
 #[derive(Debug)]
 pub struct Machine<'a, S> {
-    module: &'a Module,
-    sink: &'a mut S,
-    config: MachineConfig,
-    memory: Memory,
+    pub(crate) module: &'a Module,
+    pub(crate) sink: &'a mut S,
+    pub(crate) config: MachineConfig,
+    pub(crate) memory: Memory,
     global_bases: Vec<u64>,
-    cost: u64,
-    rng: u64,
-    output: Vec<String>,
-    depth: u32,
+    pub(crate) cost: u64,
+    pub(crate) rng: u64,
+    pub(crate) output: Vec<String>,
+    pub(crate) depth: u32,
     /// Per-function bitmap of watched value ids (empty vec = none).
-    watched: Vec<Vec<bool>>,
+    pub(crate) watched: Vec<Vec<bool>>,
     /// Per-function register-file template with every constant value
     /// (ints, floats, bools, null, global/function addresses) already
     /// materialized. A frame starts as a memcpy of its template, so
     /// operand evaluation is a plain indexed load with no `ValueKind`
     /// dispatch on the hot path.
-    reg_templates: Vec<Vec<Value>>,
+    pub(crate) reg_templates: Vec<Vec<Value>>,
     /// Reused scratch for two-phase phi resolution, so header re-entry
     /// (every loop iteration) does not allocate.
-    phi_scratch: Vec<(ValueId, Value)>,
+    pub(crate) phi_scratch: Vec<(ValueId, Value)>,
+    /// Recycled register files for the bytecode engine: a returning
+    /// frame parks its `Vec` here and the next call reuses the
+    /// allocation (`clone_from` the template), so call-heavy code does
+    /// not hit the allocator per frame.
+    pub(crate) frame_pool: Vec<Vec<Value>>,
+    /// Per-function recycled register files for the *silent* bytecode
+    /// loop. Constant slots are immutable during execution (no
+    /// instruction destination ever aliases one), so a frame recycled
+    /// for the same function needs no template copy at all: its stale
+    /// `Param`/`Inst` slots are dead under verified SSA's
+    /// define-before-use guarantee — the precondition both engines
+    /// already assume.
+    pub(crate) frame_pools: Vec<Vec<Vec<Value>>>,
+    /// Forces the bytecode engine onto the exact per-instruction
+    /// observing loop even for an inert sink. Set by `Exec::run` when it
+    /// re-executes a failed silent run to recover the exact error and
+    /// error point (the silent loop's fuel checks are block-granular).
+    pub(crate) force_exact: bool,
     /// Dispatch-heat collection, on only while a sampler is live.
-    heat: Option<Box<Heat>>,
+    pub(crate) heat: Option<Box<Heat>>,
     /// Parallel replay control: when armed, entering a planned certified
     /// loop header from outside the loop fans its iterations out through
     /// the executor instead of running them serially. One `Option` check
     /// per block entry when disarmed.
-    replay: Option<ReplayCtl<'a>>,
+    pub(crate) replay: Option<ReplayCtl<'a>>,
+    /// `true` while the bytecode engine is delivering block batches
+    /// (the sink declared [`crate::Fidelity::Block`]); always `false`
+    /// under the tree-walk engine.
+    pub(crate) batching: bool,
+    /// Reused block-batch buffer for the bytecode engine's batched
+    /// event path. At most one frame has a pending batch at a time
+    /// (batches are flushed before calls), so one buffer serves the
+    /// whole call stack.
+    pub(crate) batch: crate::events::BlockBatch,
 }
 
 impl<'a, S: EventSink> Machine<'a, S> {
@@ -183,6 +255,9 @@ impl<'a, S: EventSink> Machine<'a, S> {
             watched,
             reg_templates,
             phi_scratch: Vec::new(),
+            frame_pool: Vec::new(),
+            frame_pools: vec![Vec::new(); module.functions.len()],
+            force_exact: false,
             heat: lp_obs::sampler::collecting().then(|| {
                 Box::new(Heat {
                     pairs: vec![0; lp_obs::sampler::PAIR_SLOTS],
@@ -190,6 +265,8 @@ impl<'a, S: EventSink> Machine<'a, S> {
                 })
             }),
             replay: None,
+            batching: false,
+            batch: crate::events::BlockBatch::default(),
         }
     }
 
@@ -210,8 +287,9 @@ impl<'a, S: EventSink> Machine<'a, S> {
     /// # Errors
     /// Propagates traps and resource-limit failures, or an
     /// [`InterpError::TypeConfusion`] if the module has no `main`.
+    #[deprecated(note = "compile once with `ExecUnit` and run through the `Exec` builder")]
     pub fn run(self, args: &[Value]) -> Result<RunResult> {
-        self.run_keep_memory(args).map(|(result, _)| result)
+        self.run_entry(None, args, None).map(|(result, _)| result)
     }
 
     /// As [`Machine::run`], additionally returning the final memory
@@ -220,12 +298,54 @@ impl<'a, S: EventSink> Machine<'a, S> {
     ///
     /// # Errors
     /// As [`Machine::run`].
-    pub fn run_keep_memory(mut self, args: &[Value]) -> Result<(RunResult, Memory)> {
-        let entry = self
-            .module
-            .entry()
-            .map_err(|_| InterpError::TypeConfusion("missing main"))?;
-        let ret = self.call_function(entry, args);
+    #[deprecated(note = "use `Exec::new(&unit).keep_memory(true).run(args)`")]
+    pub fn run_keep_memory(self, args: &[Value]) -> Result<(RunResult, Memory)> {
+        self.run_entry(None, args, None)
+    }
+
+    /// Runs an arbitrary function by name (for tests and examples).
+    ///
+    /// # Errors
+    /// As [`Machine::run`].
+    #[deprecated(note = "use `Exec::new(&unit).function(name).run(args)`")]
+    pub fn run_function(self, name: &str, args: &[Value]) -> Result<RunResult> {
+        self.run_entry(Some(name), args, None)
+            .map(|(result, _)| result)
+    }
+
+    /// Shared run entry for both engines and every public surface (the
+    /// [`crate::Exec`] builder and the deprecated `run*` trio): resolves
+    /// the entry function, dispatches to the tree walk or — when `code`
+    /// is present — the bytecode loop, and finalizes heat/batch/memory
+    /// bookkeeping identically on both paths.
+    pub(crate) fn run_entry(
+        mut self,
+        function: Option<&str>,
+        args: &[Value],
+        code: Option<&crate::bytecode::CompiledModule>,
+    ) -> Result<(RunResult, Memory)> {
+        let entry = match function {
+            Some(name) => self
+                .module
+                .function_by_name(name)
+                .ok_or(InterpError::TypeConfusion("unknown function"))?,
+            None => self
+                .module
+                .entry()
+                .map_err(|_| InterpError::TypeConfusion("missing main"))?,
+        };
+        let ret = match code {
+            Some(code) => {
+                self.batching = self.sink.fidelity() == crate::events::Fidelity::Block;
+                let ret = self.call_function_bc(code, entry, args);
+                // Deliver any pending block batch even when the run
+                // trapped, so batched sinks observe exactly the events
+                // the per-instruction stream would have delivered.
+                self.flush_batch();
+                ret
+            }
+            None => self.call_function(entry, args),
+        };
         self.flush_heat();
         let ret = ret?;
         self.sink.mem_stats(self.memory.stats());
@@ -237,26 +357,6 @@ impl<'a, S: EventSink> Machine<'a, S> {
             },
             self.memory,
         ))
-    }
-
-    /// Runs an arbitrary function by name (for tests and examples).
-    ///
-    /// # Errors
-    /// As [`Machine::run`].
-    pub fn run_function(mut self, name: &str, args: &[Value]) -> Result<RunResult> {
-        let fid = self
-            .module
-            .function_by_name(name)
-            .ok_or(InterpError::TypeConfusion("unknown function"))?;
-        let ret = self.call_function(fid, args);
-        self.flush_heat();
-        let ret = ret?;
-        self.sink.mem_stats(self.memory.stats());
-        Ok(RunResult {
-            ret,
-            cost: self.cost,
-            output: self.output,
-        })
     }
 
     /// Dynamic cost so far.
@@ -276,7 +376,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
 
     /// Folds any collected dispatch-heat pair counts into the global
     /// table, even if the run errored mid-way.
-    fn flush_heat(&mut self) {
+    pub(crate) fn flush_heat(&mut self) {
         if let Some(heat) = self.heat.take() {
             lp_obs::sampler::merge_pairs(&heat.pairs);
         }
@@ -287,7 +387,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
     /// word for the sampling self-profiler. One `Option` check when no
     /// sampler is live.
     #[inline]
-    fn heat_tick(&mut self, fid: FuncId, block: BlockId, op: Opcode) {
+    pub(crate) fn heat_tick(&mut self, fid: FuncId, block: BlockId, op: Opcode) {
         let Some(heat) = self.heat.as_deref_mut() else {
             return;
         };
@@ -303,7 +403,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
         heat.prev = cur;
     }
 
-    fn charge(&mut self, c: u64) -> Result<()> {
+    pub(crate) fn charge(&mut self, c: u64) -> Result<()> {
         self.cost += c;
         if self.cost > self.config.max_cost {
             return Err(InterpError::FuelExhausted);
@@ -430,7 +530,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
     /// Falls through (leaving everything untouched) when the header is
     /// not planned, is being re-entered from its latch, or runs fewer
     /// than two iterations.
-    fn maybe_replay(
+    pub(crate) fn maybe_replay(
         &mut self,
         fid: FuncId,
         func: &lp_ir::Function,
@@ -504,6 +604,10 @@ impl<'a, S: EventSink> Machine<'a, S> {
             rng_seed: self.config.rng_seed,
             capture_output: false,
             watched_values: Vec::new(),
+            // Chunk workers always run the tree walk (`run_chunk` calls
+            // `exec_chunk` directly); both engines produce value-identical
+            // chunks, so this only labels the worker's config.
+            engine: Engine::Tree,
         };
         let request = ChunkRequest {
             module: self.module,
@@ -682,7 +786,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
         }
     }
 
-    fn exec_builtin(&mut self, b: Builtin, args: &[Value]) -> Result<Value> {
+    pub(crate) fn exec_builtin(&mut self, b: Builtin, args: &[Value]) -> Result<Value> {
         match b {
             Builtin::Malloc => {
                 let bytes = args[0].as_i64()?.max(0) as u64;
@@ -756,7 +860,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
     }
 }
 
-fn exec_bin(op: BinOp, l: Value, r: Value) -> Result<Value> {
+pub(crate) fn exec_bin(op: BinOp, l: Value, r: Value) -> Result<Value> {
     if op.is_float() {
         let (a, b) = (l.as_f64()?, r.as_f64()?);
         return Ok(Value::F(match op {
@@ -977,9 +1081,47 @@ mod tests {
     use lp_ir::builder::FunctionBuilder;
     use lp_ir::{Global, Type};
 
+    use crate::{Exec, ExecUnit};
+
+    /// Runs `m` on both engines with the same config and asserts the
+    /// results are identical — every machine test doubles as an engine
+    /// differential test.
+    fn run_both_cfg(m: &Module, cfg: &MachineConfig, args: &[Value]) -> RunResult {
+        let tree_unit = ExecUnit::with_engine(m, Engine::Tree);
+        let tree = Exec::new(&tree_unit)
+            .config(cfg.clone())
+            .run(args)
+            .unwrap()
+            .result;
+        let bc_unit = ExecUnit::with_engine(m, Engine::Bc);
+        let bc = Exec::new(&bc_unit)
+            .config(cfg.clone())
+            .run(args)
+            .unwrap()
+            .result;
+        assert_eq!(tree, bc, "tree and bc engines diverged");
+        tree
+    }
+
     fn run_main(m: &Module, args: &[Value]) -> RunResult {
-        let mut sink = NullSink;
-        Machine::new(m, &mut sink).run(args).unwrap()
+        run_both_cfg(m, &MachineConfig::default(), args)
+    }
+
+    /// As [`run_both_cfg`] for runs that must trap: both engines must
+    /// fail with the same error.
+    fn err_both(m: &Module, cfg: &MachineConfig, args: &[Value]) -> InterpError {
+        let tree_unit = ExecUnit::with_engine(m, Engine::Tree);
+        let tree = Exec::new(&tree_unit)
+            .config(cfg.clone())
+            .run(args)
+            .unwrap_err();
+        let bc_unit = ExecUnit::with_engine(m, Engine::Bc);
+        let bc = Exec::new(&bc_unit)
+            .config(cfg.clone())
+            .run(args)
+            .unwrap_err();
+        assert_eq!(tree, bc, "tree and bc engines trapped differently");
+        tree
     }
 
     /// sum of 0..n via loop.
@@ -1042,13 +1184,32 @@ mod tests {
         fb.ret(Some(y));
         m.add_function(fb.finish().unwrap());
         let mut sink = CountingSink::default();
-        let r = Machine::new(&m, &mut sink).run(&[]).unwrap();
+        let unit = ExecUnit::new(&m);
+        let r = Exec::new(&unit).sink(&mut sink).run(&[]).unwrap().result;
         assert_eq!(r.ret, Value::I(5));
         assert_eq!(sink.loads, 1);
         assert_eq!(sink.stores, 1);
         assert_eq!(sink.blocks, 1);
         assert_eq!(sink.calls, 1); // main itself
         assert_eq!(r.cost, sink.cost);
+        // The bc engine delivers the same events through the batched
+        // path (CountingSink declares block fidelity).
+        let mut bc_sink = CountingSink::default();
+        let bc_unit = ExecUnit::with_engine(&m, Engine::Bc);
+        let rb = Exec::new(&bc_unit)
+            .sink(&mut bc_sink)
+            .run(&[])
+            .unwrap()
+            .result;
+        assert_eq!(rb, r);
+        assert_eq!(
+            (bc_sink.cost, bc_sink.blocks, bc_sink.loads, bc_sink.stores),
+            (sink.cost, sink.blocks, sink.loads, sink.stores)
+        );
+        assert_eq!(
+            (bc_sink.calls, bc_sink.builtins, bc_sink.phis),
+            (sink.calls, sink.builtins, sink.phis)
+        );
     }
 
     #[test]
@@ -1068,21 +1229,27 @@ mod tests {
         fb.ret(Some(y));
         m.add_function(fb.finish().unwrap());
 
-        sampler::reset_pairs();
-        sampler::set_collecting(true);
-        let mut sink = CountingSink::default();
-        let r = Machine::new(&m, &mut sink).run(&[]).unwrap();
-        sampler::set_collecting(false);
-        assert_eq!(r.ret, Value::I(5));
+        for engine in [Engine::Tree, Engine::Bc] {
+            sampler::reset_pairs();
+            sampler::set_collecting(true);
+            let mut sink = CountingSink::default();
+            let unit = ExecUnit::with_engine(&m, engine);
+            let r = Exec::new(&unit).sink(&mut sink).run(&[]).unwrap().result;
+            sampler::set_collecting(false);
+            assert_eq!(r.ret, Value::I(5));
 
-        let pairs = sampler::pair_counts();
-        let load_dispatches: u64 = (0..sampler::OPCODE_LIMIT)
-            .map(|prev| pairs[prev * sampler::OPCODE_LIMIT + Opcode::Load as usize])
-            .sum();
-        assert!(load_dispatches >= sink.loads);
-        let idx = Opcode::Store as usize * sampler::OPCODE_LIMIT + Opcode::Load as usize;
-        assert!(pairs[idx] >= 1, "store->load pair missing from heat table");
-        sampler::reset_pairs();
+            let pairs = sampler::pair_counts();
+            let load_dispatches: u64 = (0..sampler::OPCODE_LIMIT)
+                .map(|prev| pairs[prev * sampler::OPCODE_LIMIT + Opcode::Load as usize])
+                .sum();
+            assert!(load_dispatches >= sink.loads, "{engine:?}");
+            let idx = Opcode::Store as usize * sampler::OPCODE_LIMIT + Opcode::Load as usize;
+            assert!(
+                pairs[idx] >= 1,
+                "store->load pair missing from {engine:?} heat table"
+            );
+            sampler::reset_pairs();
+        }
     }
 
     #[test]
@@ -1162,8 +1329,7 @@ mod tests {
         let r = fb.sdiv(x, n);
         fb.ret(Some(r));
         m.add_function(fb.finish().unwrap());
-        let mut sink = NullSink;
-        let e = Machine::new(&m, &mut sink).run(&[Value::I(0)]).unwrap_err();
+        let e = err_both(&m, &MachineConfig::default(), &[Value::I(0)]);
         assert_eq!(e, InterpError::DivByZero);
     }
 
@@ -1177,14 +1343,11 @@ mod tests {
         fb.br(l);
         // No phis needed: infinite empty loop.
         m.add_function(fb.finish().unwrap());
-        let mut sink = NullSink;
         let cfg = MachineConfig {
             max_cost: 1000,
             ..MachineConfig::default()
         };
-        let e = Machine::with_config(&m, &mut sink, cfg)
-            .run(&[])
-            .unwrap_err();
+        let e = err_both(&m, &cfg, &[]);
         assert_eq!(e, InterpError::FuelExhausted);
     }
 
@@ -1196,12 +1359,11 @@ mod tests {
         fb.call_builtin(Builtin::PrintI64, &[x]);
         fb.ret(Some(x));
         m.add_function(fb.finish().unwrap());
-        let mut sink = NullSink;
         let cfg = MachineConfig {
             capture_output: true,
             ..MachineConfig::default()
         };
-        let r = Machine::with_config(&m, &mut sink, cfg).run(&[]).unwrap();
+        let r = run_both_cfg(&m, &cfg, &[]);
         assert_eq!(r.output, vec!["7".to_string()]);
     }
 
@@ -1266,13 +1428,16 @@ mod tests {
         let r = fb.mul(v1, v2);
         fb.ret(Some(r));
         m.add_function(fb.finish().unwrap());
-        let mut sink = CountingSink::default();
-        let res = Machine::new(&m, &mut sink).run(&[]).unwrap();
-        assert_eq!(res.ret, Value::I(27));
-        // 4 memcpy loads + 2 explicit loads; 4 memcpy + 2 memset stores.
-        assert_eq!(sink.loads, 6);
-        assert_eq!(sink.stores, 6);
-        assert_eq!(sink.builtins, 2);
+        for engine in [Engine::Tree, Engine::Bc] {
+            let mut sink = CountingSink::default();
+            let unit = ExecUnit::with_engine(&m, engine);
+            let res = Exec::new(&unit).sink(&mut sink).run(&[]).unwrap().result;
+            assert_eq!(res.ret, Value::I(27), "{engine:?}");
+            // 4 memcpy loads + 2 explicit loads; 4 memcpy + 2 memset stores.
+            assert_eq!(sink.loads, 6, "{engine:?}");
+            assert_eq!(sink.stores, 6, "{engine:?}");
+            assert_eq!(sink.builtins, 2, "{engine:?}");
+        }
     }
 
     #[test]
@@ -1282,14 +1447,11 @@ mod tests {
         let r = fb.call(lp_ir::FuncId(0), Type::I64, &[]); // self-call
         fb.ret(Some(r));
         m.add_function(fb.finish().unwrap());
-        let mut sink = NullSink;
         let cfg = MachineConfig {
             max_call_depth: 64,
             ..MachineConfig::default()
         };
-        let e = Machine::with_config(&m, &mut sink, cfg)
-            .run(&[])
-            .unwrap_err();
+        let e = err_both(&m, &cfg, &[]);
         assert_eq!(e, InterpError::CallDepthExceeded);
     }
 
@@ -1302,12 +1464,7 @@ mod tests {
         let v = fb.load(Type::I64, p);
         fb.ret(Some(v));
         m.add_function(fb.finish().unwrap());
-        let run = |arg: i64| {
-            let mut sink = NullSink;
-            Machine::new(&m, &mut sink)
-                .run(&[Value::I(arg)])
-                .unwrap_err()
-        };
+        let run = |arg: i64| err_both(&m, &MachineConfig::default(), &[Value::I(arg)]);
         assert_eq!(run(0), InterpError::NullDeref(0));
         assert_eq!(run(0x1000_0004), InterpError::Unaligned(0x1000_0004));
     }
@@ -1350,23 +1507,48 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_trio_still_works() {
+        // Back-compat: the old entry points must stay observationally
+        // identical to the `Exec` builder they now wrap.
+        let m = sum_module();
+        let expect = run_main(&m, &[Value::I(10)]);
+        let mut sink = NullSink;
+        let r = Machine::new(&m, &mut sink).run(&[Value::I(10)]).unwrap();
+        assert_eq!(r, expect);
+        let mut sink = NullSink;
+        let (r, _mem) = Machine::new(&m, &mut sink)
+            .run_keep_memory(&[Value::I(10)])
+            .unwrap();
+        assert_eq!(r, expect);
+        let mut sink = NullSink;
+        let r = Machine::new(&m, &mut sink)
+            .run_function("main", &[Value::I(10)])
+            .unwrap();
+        assert_eq!(r, expect);
+    }
+
+    #[test]
     fn replayed_sum_matches_serial_result_and_cost() {
         use crate::replay::{ReplayPlan, SerialExec};
         let m = sum_module();
         for n in [0i64, 1, 2, 3, 10, 97] {
             let serial = run_main(&m, &[Value::I(n)]);
-            for jobs in [1usize, 2, 3, 8] {
-                let plan = ReplayPlan::new(vec![sum_shape(&m)], jobs);
-                let mut sink = NullSink;
-                let r = Machine::new(&m, &mut sink)
-                    .with_replay(&plan, &SerialExec)
-                    .run(&[Value::I(n)])
-                    .unwrap();
-                assert_eq!(r.ret, serial.ret, "n={n} jobs={jobs}");
-                assert_eq!(
-                    r.cost, serial.cost,
-                    "replay cost invariant n={n} jobs={jobs}"
-                );
+            for engine in [Engine::Tree, Engine::Bc] {
+                let unit = ExecUnit::with_engine(&m, engine);
+                for jobs in [1usize, 2, 3, 8] {
+                    let plan = ReplayPlan::new(vec![sum_shape(&m)], jobs);
+                    let r = Exec::new(&unit)
+                        .replay(&plan, &SerialExec)
+                        .run(&[Value::I(n)])
+                        .unwrap()
+                        .result;
+                    assert_eq!(r.ret, serial.ret, "{engine:?} n={n} jobs={jobs}");
+                    assert_eq!(
+                        r.cost, serial.cost,
+                        "replay cost invariant {engine:?} n={n} jobs={jobs}"
+                    );
+                }
             }
         }
     }
@@ -1404,20 +1586,34 @@ mod tests {
         fb.ret(Some(zero));
         m.add_function(fb.finish().unwrap());
 
-        let mut sink = NullSink;
-        let (_, mut serial_mem) = Machine::new(&m, &mut sink).run_keep_memory(&[]).unwrap();
-        let plan = ReplayPlan::new(vec![sum_shape(&m)], 4);
-        let mut sink = NullSink;
-        let (_, mut replay_mem) = Machine::new(&m, &mut sink)
-            .with_replay(&plan, &SerialExec)
-            .run_keep_memory(&[])
+        let serial_unit = ExecUnit::new(&m);
+        let mut serial_mem = Exec::new(&serial_unit)
+            .keep_memory(true)
+            .run(&[])
+            .unwrap()
+            .memory
             .unwrap();
-        assert_eq!(serial_mem.first_difference(&mut replay_mem), None);
-        assert_eq!(
-            replay_mem
-                .read(crate::memory::GLOBAL_BASE + 8 * 63)
-                .unwrap(),
-            189
-        );
+        for engine in [Engine::Tree, Engine::Bc] {
+            let unit = ExecUnit::with_engine(&m, engine);
+            let plan = ReplayPlan::new(vec![sum_shape(&m)], 4);
+            let mut replay_mem = Exec::new(&unit)
+                .replay(&plan, &SerialExec)
+                .keep_memory(true)
+                .run(&[])
+                .unwrap()
+                .memory
+                .unwrap();
+            assert_eq!(
+                serial_mem.first_difference(&mut replay_mem),
+                None,
+                "{engine:?}"
+            );
+            assert_eq!(
+                replay_mem
+                    .read(crate::memory::GLOBAL_BASE + 8 * 63)
+                    .unwrap(),
+                189
+            );
+        }
     }
 }

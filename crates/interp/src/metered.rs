@@ -7,7 +7,7 @@
 //! per event). [`TeeSink`] fans every event out to two sinks, letting a
 //! debugging trace ride along with the profiler, for example.
 
-use crate::events::EventSink;
+use crate::events::{BatchEvent, BlockBatch, EventSink, Fidelity};
 use crate::value::Value;
 use lp_ir::{BlockId, Builtin, FuncId, ValueId};
 
@@ -140,6 +140,30 @@ impl<S: EventSink> EventSink for MeteredSink<S> {
         );
         self.inner.mem_stats(stats);
     }
+
+    fn fidelity(&self) -> Fidelity {
+        // Counters only need per-block totals; the inner sink loses
+        // nothing either way because the whole batch is forwarded (and
+        // the per-instruction shim replays it verbatim if the inner sink
+        // has no batch handler of its own).
+        Fidelity::Block
+    }
+
+    fn block_batch(&mut self, batch: &BlockBatch) {
+        if let Some(entry) = &batch.entry {
+            self.counts.blocks += 1;
+            self.last_now = entry.now;
+        }
+        for ev in &batch.events {
+            match ev {
+                BatchEvent::Phi { .. } => self.counts.phis += 1,
+                BatchEvent::Load { .. } => self.counts.loads += 1,
+                BatchEvent::Store { .. } => self.counts.stores += 1,
+                BatchEvent::Def { .. } => self.counts.defs += 1,
+            }
+        }
+        self.inner.block_batch(batch);
+    }
 }
 
 /// Fans every event out to two sinks (`a` first, then `b`).
@@ -203,15 +227,38 @@ impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
         self.a.mem_stats(stats);
         self.b.mem_stats(stats);
     }
+
+    fn fidelity(&self) -> Fidelity {
+        // Batch only when both receivers asked for batches; otherwise
+        // stay per-instruction so a direct-delivery sink keeps its fast
+        // path instead of paying for buffering it never wanted.
+        if self.a.fidelity() == Fidelity::Block && self.b.fidelity() == Fidelity::Block {
+            Fidelity::Block
+        } else {
+            Fidelity::PerInstruction
+        }
+    }
+
+    fn block_batch(&mut self, batch: &BlockBatch) {
+        self.a.block_batch(batch);
+        self.b.block_batch(batch);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::events::CountingSink;
-    use crate::machine::Machine;
+    use crate::machine::{Engine, MachineConfig};
+    use crate::trace::TraceSink;
+    use crate::{Exec, ExecUnit};
     use lp_ir::builder::FunctionBuilder;
     use lp_ir::{Global, Module, Type};
+
+    fn run_with<S: EventSink>(m: &Module, engine: Engine, sink: &mut S) -> crate::RunResult {
+        let unit = ExecUnit::with_engine(m, engine);
+        Exec::new(&unit).sink(sink).run(&[]).unwrap().result
+    }
 
     fn sample_module() -> Module {
         let mut m = Module::new("metered");
@@ -233,10 +280,10 @@ mod tests {
     fn metering_preserves_inner_sink_state() {
         let m = sample_module();
         let mut plain = CountingSink::default();
-        let plain_result = Machine::new(&m, &mut plain).run(&[]).unwrap();
+        let plain_result = run_with(&m, Engine::Tree, &mut plain);
 
         let mut metered = MeteredSink::new(CountingSink::default());
-        let metered_result = Machine::new(&m, &mut metered).run(&[]).unwrap();
+        let metered_result = run_with(&m, Engine::Tree, &mut metered);
 
         assert_eq!(plain_result.ret, metered_result.ret);
         assert_eq!(plain_result.cost, metered_result.cost);
@@ -257,7 +304,7 @@ mod tests {
         let journal = lp_obs::journal::global();
         let (before, _) = journal.snapshot();
         let mut metered = MeteredSink::new(CountingSink::default());
-        Machine::new(&m, &mut metered).run(&[]).unwrap();
+        run_with(&m, Engine::Tree, &mut metered);
         let (after, records) = journal.snapshot();
         assert!(after > before, "run completion was not journaled");
         assert!(records
@@ -269,9 +316,20 @@ mod tests {
     fn tee_delivers_to_both_sinks() {
         let m = sample_module();
         let mut tee = TeeSink::new(CountingSink::default(), CountingSink::default());
-        Machine::new(&m, &mut tee).run(&[]).unwrap();
+        run_with(&m, Engine::Tree, &mut tee);
         assert_eq!(format!("{:?}", tee.a), format!("{:?}", tee.b));
         assert!(tee.a.loads > 0 && tee.a.stores > 0);
+        // Both children declare block fidelity, so under bc the tee
+        // forwards whole batches — with identical results.
+        let mut batched = TeeSink::new(CountingSink::default(), CountingSink::default());
+        assert_eq!(batched.fidelity(), Fidelity::Block);
+        run_with(&m, Engine::Bc, &mut batched);
+        assert_eq!(format!("{:?}", batched.a), format!("{:?}", tee.a));
+        // A per-instruction child demotes the whole tee.
+        assert_eq!(
+            TeeSink::new(CountingSink::default(), TraceSink::new(4)).fidelity(),
+            Fidelity::PerInstruction
+        );
     }
 
     #[test]
@@ -280,8 +338,52 @@ mod tests {
         let m = sample_module();
         let mut counting = CountingSink::default();
         let mut metered = MeteredSink::new(&mut counting);
-        Machine::new(&m, &mut metered).run(&[]).unwrap();
+        run_with(&m, Engine::Tree, &mut metered);
         let counts = metered.counts();
         assert_eq!(counts.loads, counting.loads);
+    }
+
+    #[test]
+    fn batched_and_per_instruction_metering_agree() {
+        // The satellite conformance test: a metered run must produce
+        // identical counter totals whether events arrive one by one
+        // (tree engine) or as block batches (bc engine) — and an inner
+        // per-instruction sink behind the batching decorator must see a
+        // byte-identical stream via the compatibility shim.
+        let mut m = Module::new("conformance");
+        let g = m.add_global(Global::zeroed("g", 4));
+        let mut fb = FunctionBuilder::new("main", &[], Type::I64);
+        let p = fb.global_addr(g);
+        let x = fb.const_i64(5);
+        fb.store(x, p);
+        let y = fb.load(Type::I64, p);
+        fb.ret(Some(y));
+        m.add_function(fb.finish().unwrap());
+        let fid = m.function_by_name("main").unwrap();
+        let cfg = MachineConfig {
+            watched_values: vec![(fid, y)],
+            ..MachineConfig::default()
+        };
+
+        let run = |engine: Engine| {
+            let unit = ExecUnit::with_engine(&m, engine);
+            let mut metered = MeteredSink::new(TraceSink::new(64));
+            let result = Exec::new(&unit)
+                .sink(&mut metered)
+                .config(cfg.clone())
+                .run(&[])
+                .unwrap()
+                .result;
+            let counts = metered.counts();
+            let trace = metered.inner().render();
+            (result, counts, trace)
+        };
+        let (tree_result, tree_counts, tree_trace) = run(Engine::Tree);
+        let (bc_result, bc_counts, bc_trace) = run(Engine::Bc);
+        assert_eq!(tree_result, bc_result);
+        assert_eq!(tree_counts, bc_counts, "counter totals diverged");
+        assert_eq!(tree_trace, bc_trace, "shim-replayed stream diverged");
+        assert_eq!(tree_counts.defs, 1, "watched def must be counted");
+        assert!(tree_counts.loads >= 1 && tree_counts.stores >= 1);
     }
 }

@@ -157,9 +157,17 @@ impl EventSink for TraceSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::Machine;
+    use crate::machine::Engine;
+    use crate::{Exec, ExecUnit};
     use lp_ir::builder::FunctionBuilder;
     use lp_ir::{Global, Module, Type};
+
+    fn trace(m: &Module, engine: Engine, capacity: usize) -> TraceSink {
+        let unit = ExecUnit::with_engine(m, engine);
+        let mut sink = TraceSink::new(capacity);
+        Exec::new(&unit).sink(&mut sink).run(&[]).unwrap();
+        sink
+    }
 
     fn traced_module() -> Module {
         let mut m = Module::new("t");
@@ -180,8 +188,7 @@ mod tests {
     #[test]
     fn records_and_renders_events_in_order() {
         let m = traced_module();
-        let mut sink = TraceSink::new(64);
-        Machine::new(&m, &mut sink).run(&[]).unwrap();
+        let sink = trace(&m, Engine::Tree, 64);
         let kinds: Vec<&str> = sink
             .events()
             .iter()
@@ -218,13 +225,16 @@ mod tests {
             })
             .collect();
         assert!(nows.windows(2).all(|w| w[0] <= w[1]), "{nows:?}");
+        // A per-instruction sink sees the identical stream from the
+        // bytecode engine (delivered direct, without batching).
+        let bc = trace(&m, Engine::Bc, 64);
+        assert_eq!(bc.render(), text);
     }
 
     #[test]
     fn ring_buffer_evicts_oldest() {
         let m = traced_module();
-        let mut sink = TraceSink::new(2);
-        Machine::new(&m, &mut sink).run(&[]).unwrap();
+        let sink = trace(&m, Engine::Tree, 2);
         assert_eq!(sink.events().len(), 2);
         assert_eq!(sink.total, 6);
         assert!(sink.render().starts_with("... 4 earlier event(s) evicted"));

@@ -209,6 +209,16 @@ impl Function {
         body + 1
     }
 
+    /// Returns every block's static cost ([`Function::block_cost`]) in
+    /// one pass, indexed by block id. Ahead-of-time consumers (the
+    /// bytecode compiler) use this so the per-entry cost lookup in the
+    /// dispatch loop is a plain indexed load instead of a phi-filtering
+    /// walk over the block body.
+    #[must_use]
+    pub fn block_costs(&self) -> Vec<u64> {
+        self.block_ids().map(|b| self.block_cost(b)).collect()
+    }
+
     /// Returns all direct user-function callees referenced by this function.
     #[must_use]
     pub fn callees(&self) -> Vec<crate::module::FuncId> {

@@ -52,8 +52,8 @@ pub use profile::{
     CallClass, LoopInstance, LoopMeta, MetaIndex, Profile, Region, RegionId, RegionKind,
 };
 pub use replay::{
-    prediction_config, replay_module, BenchReplay, Divergence, DivergenceKind, LoopReplay,
-    RejectReason, RejectedLoop, ReplayExport, ThreadedExec,
+    prediction_config, replay_module, replay_module_with, BenchReplay, Divergence, DivergenceKind,
+    LoopReplay, RejectReason, RejectedLoop, ReplayExport, ThreadedExec,
 };
 pub use report::{geomean, geomean_coverage, geomean_speedup, mean, ProgramResult};
 pub use store::{

@@ -43,8 +43,8 @@ use crate::sweep::{parallel_map, Jobs};
 use crate::witness::{profile_module_witnessed, WitnessViolation};
 use lp_analysis::{analyze_module, certify_module, CertPhi, CertifiedLoop};
 use lp_interp::{
-    run_chunk, ChunkOut, ChunkRequest, InterpError, LoopShape, Machine, MachineConfig, NullSink,
-    ParallelExec, PhiKind, ReplayPlan, StepExpr, Value,
+    run_chunk, ChunkOut, ChunkRequest, Engine, Exec, ExecUnit, InterpError, LoopShape,
+    MachineConfig, ParallelExec, PhiKind, ReplayPlan, StepExpr, Value,
 };
 use lp_ir::fx::FxHashMap;
 use lp_ir::{BlockId, Module};
@@ -284,7 +284,7 @@ fn shape_of(c: &CertifiedLoop) -> LoopShape {
 
 /// One replayed execution with `shapes` armed on `jobs` workers.
 fn run_with_plan(
-    module: &Module,
+    unit: &ExecUnit<'_>,
     shapes: Vec<LoopShape>,
     jobs: Jobs,
     args: &[Value],
@@ -292,11 +292,13 @@ fn run_with_plan(
 ) -> Result<(lp_interp::RunResult, lp_interp::Memory, ThreadedExec), InterpError> {
     let plan = ReplayPlan::new(shapes, jobs.get());
     let exec = ThreadedExec::new(jobs);
-    let mut sink = NullSink;
-    let (result, memory) = Machine::with_config(module, &mut sink, config.clone())
-        .with_replay(&plan, &exec)
-        .run_keep_memory(args)?;
-    Ok((result, memory, exec))
+    let out = Exec::new(unit)
+        .config(config.clone())
+        .keep_memory(true)
+        .replay(&plan, &exec)
+        .run(args)?;
+    let memory = out.memory.expect("keep_memory was requested");
+    Ok((out.result, memory, exec))
 }
 
 /// Compares one replayed run against the serial reference, returning the
@@ -342,7 +344,7 @@ fn compare(
 /// plans (`plans` pairs each shape with its display name); returns the
 /// first loop that reproduces a mismatch on its own.
 fn bisect_culprit(
-    module: &Module,
+    unit: &ExecUnit<'_>,
     plans: &[(LoopShape, String)],
     jobs: Jobs,
     args: &[Value],
@@ -351,7 +353,7 @@ fn bisect_culprit(
     serial_mem: &mut lp_interp::Memory,
 ) -> Option<String> {
     for (shape, name) in plans {
-        let Ok((res, mut mem, _)) = run_with_plan(module, vec![shape.clone()], jobs, args, config)
+        let Ok((res, mut mem, _)) = run_with_plan(unit, vec![shape.clone()], jobs, args, config)
         else {
             return Some(name.clone());
         };
@@ -380,6 +382,26 @@ pub fn replay_module(
     args: &[Value],
     jobs: Jobs,
 ) -> Result<BenchReplay, InterpError> {
+    replay_module_with(module, args, jobs, Engine::default())
+}
+
+/// As [`replay_module`] with an explicit top-level [`Engine`].
+///
+/// The engine drives the profiled, serial-reference, and replayed
+/// top-level runs; replay chunk *workers* always execute the tree walk
+/// (chunks bypass the per-function dispatch the bytecode accelerates).
+///
+/// # Errors
+/// See [`replay_module`].
+///
+/// # Panics
+/// See [`replay_module`].
+pub fn replay_module_with(
+    module: &Module,
+    args: &[Value],
+    jobs: Jobs,
+    engine: Engine,
+) -> Result<BenchReplay, InterpError> {
     let _span = span!("replay");
     let analysis = analyze_module(module);
     let candidates = certify_module(module, &analysis);
@@ -387,8 +409,10 @@ pub fn replay_module(
 
     let base_config = MachineConfig {
         capture_output: true,
+        engine,
         ..MachineConfig::default()
     };
+    let unit = ExecUnit::with_engine(module, engine);
     let (profile, _, witness) =
         profile_module_witnessed(module, &analysis, args, base_config.clone(), &targets)?;
 
@@ -423,9 +447,14 @@ pub fn replay_module(
     );
 
     // Serial reference: plain run, no replay, no profiling.
-    let mut sink = NullSink;
-    let (serial, mut serial_mem) =
-        Machine::with_config(module, &mut sink, base_config.clone()).run_keep_memory(args)?;
+    let serial_out = Exec::new(&unit)
+        .config(base_config.clone())
+        .keep_memory(true)
+        .run(args)?;
+    let (serial, mut serial_mem) = (
+        serial_out.result,
+        serial_out.memory.expect("keep_memory was requested"),
+    );
 
     // Replayed runs: 1 worker (timing baseline), then `jobs` workers.
     let plans: Vec<(LoopShape, String)> = gated
@@ -439,9 +468,9 @@ pub fn replay_module(
         .collect();
     let shapes: Vec<LoopShape> = plans.iter().map(|(s, _)| s.clone()).collect();
     let (res1, mut mem1, exec1) =
-        run_with_plan(module, shapes.clone(), Jobs::serial(), args, &base_config)?;
+        run_with_plan(&unit, shapes.clone(), Jobs::serial(), args, &base_config)?;
     let (res_n, mut mem_n, exec_n) =
-        run_with_plan(module, shapes.clone(), jobs, args, &base_config)?;
+        run_with_plan(&unit, shapes.clone(), jobs, args, &base_config)?;
 
     let mut divergence = None;
     for (run_jobs, res, mem) in [(1usize, &res1, &mut mem1), (jobs.get(), &res_n, &mut mem_n)] {
@@ -450,7 +479,7 @@ pub fn replay_module(
         }
         if let Some(kind) = compare(&serial, &mut serial_mem, res, mem) {
             let loop_name = bisect_culprit(
-                module,
+                &unit,
                 &plans,
                 Jobs::new(run_jobs),
                 args,

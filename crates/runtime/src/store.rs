@@ -116,7 +116,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// [`MachineConfig`], the [`ProfilerOptions`] knobs, and
 /// [`PROFILE_FORMAT_VERSION`]. `watched_values` is deliberately excluded:
 /// the profiler derives it from the module, so it carries no information
-/// the module text doesn't already.
+/// the module text doesn't already. `engine` is likewise excluded — the
+/// tree walk and the bytecode engine are observationally identical (the
+/// differential suite proves byte-identical profiles), so a profile
+/// cached under one engine is valid for the other.
 ///
 /// The key only addresses *argument-less* entry runs (how every study
 /// binary profiles); callers passing program arguments must bypass the
@@ -1327,6 +1330,13 @@ exit:
             ..MachineConfig::default()
         };
         assert_eq!(k1, ProfileKey::of(&module, &watched, &options));
+        // The engine must NOT affect the key either: both engines produce
+        // byte-identical profiles, so cache entries are engine-portable.
+        let bc = MachineConfig {
+            engine: lp_interp::Engine::Bc,
+            ..MachineConfig::default()
+        };
+        assert_eq!(k1, ProfileKey::of(&module, &bc, &options));
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::profile::{
 use crate::witness::{WitnessReport, WitnessState};
 use lp_analysis::{LcdClass, LoopId, ModuleAnalysis, Purity};
 use lp_interp::{
-    EventSink, Machine, MachineConfig, MemStats, MeteredSink, RunResult, Value, STACK_BASE,
+    EventSink, Exec, ExecUnit, MachineConfig, MemStats, MeteredSink, RunResult, Value, STACK_BASE,
 };
 use lp_ir::fx::FxHashMap;
 use lp_ir::{BlockId, Builtin, FuncId, Inst, Module, ValueId, ValueKind};
@@ -928,7 +928,14 @@ pub fn profile_module_with(
     let mut profiler = Profiler::with_options(module, analysis, options);
     machine_config.watched_values = profiler.watched_values();
     let mut metered = MeteredSink::new(&mut profiler);
-    let result = Machine::with_config(module, &mut metered, machine_config).run(args);
+    // The engine comes in through the machine config: one `ExecUnit`
+    // compiled here serves the whole profiling run.
+    let unit = ExecUnit::with_engine(module, machine_config.engine);
+    let result = Exec::new(&unit)
+        .sink(&mut metered)
+        .config(machine_config)
+        .run(args)
+        .map(|out| out.result);
     let counts = metered.counts();
     let c = lp_obs::counters();
     c.add(Counter::EventsConsumed, counts.total());
@@ -1111,7 +1118,10 @@ mod tests {
             ..Default::default()
         };
         let mut metered = MeteredSink::new(&mut profiler);
-        Machine::with_config(&m, &mut metered, cfg)
+        let unit = ExecUnit::new(&m);
+        Exec::new(&unit)
+            .sink(&mut metered)
+            .config(cfg)
             .run(&[])
             .unwrap();
         let _ = metered;

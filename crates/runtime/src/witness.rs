@@ -30,7 +30,7 @@
 use crate::profile::Profile;
 use crate::tracker::Profiler;
 use lp_analysis::{LoopId, ModuleAnalysis};
-use lp_interp::{InterpError, Machine, MachineConfig, MeteredSink, RunResult, Value};
+use lp_interp::{Exec, ExecUnit, InterpError, MachineConfig, MeteredSink, RunResult, Value};
 use lp_ir::fx::FxHashMap;
 use lp_ir::{FuncId, Module};
 
@@ -332,7 +332,12 @@ pub fn profile_module_witnessed(
     profiler.enable_witness(targets, Vec::new());
     machine_config.watched_values = profiler.watched_values();
     let mut metered = MeteredSink::new(&mut profiler);
-    let result = Machine::with_config(module, &mut metered, machine_config).run(args)?;
+    let unit = ExecUnit::with_engine(module, machine_config.engine);
+    let result = Exec::new(&unit)
+        .sink(&mut metered)
+        .config(machine_config)
+        .run(args)?
+        .result;
     let (profile, report) = profiler.finish_with_witness();
     Ok((profile, result, report))
 }

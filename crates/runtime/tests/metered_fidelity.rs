@@ -3,7 +3,7 @@
 //! derived from it) must be identical to an undecorated run's.
 
 use lp_analysis::analyze_module;
-use lp_interp::{Machine, MachineConfig, MeteredSink, Value};
+use lp_interp::{Exec, ExecUnit, MachineConfig, MeteredSink, Value};
 use lp_ir::builder::FunctionBuilder;
 use lp_ir::{Global, IcmpPred, Module, Type};
 use lp_runtime::{evaluate, profile_module, table2_rows, Profiler};
@@ -60,9 +60,13 @@ fn metered_profile_and_reports_are_identical() {
         watched_values: plain.watched_values(),
         ..MachineConfig::default()
     };
-    let plain_result = Machine::with_config(&m, &mut plain, config)
+    let unit = ExecUnit::new(&m);
+    let plain_result = Exec::new(&unit)
+        .sink(&mut plain)
+        .config(config)
         .run(&[])
-        .unwrap();
+        .unwrap()
+        .result;
     let plain_profile = plain.finish();
 
     // Decorated: `profile_module` wraps the profiler in a `MeteredSink`.
@@ -102,7 +106,10 @@ fn measure_observability_overhead() {
             watched_values: profiler.watched_values(),
             ..MachineConfig::default()
         };
-        Machine::with_config(&m, &mut profiler, config)
+        let unit = ExecUnit::new(&m);
+        Exec::new(&unit)
+            .sink(&mut profiler)
+            .config(config)
             .run(&[])
             .unwrap();
         let p = profiler.finish();
@@ -135,9 +142,13 @@ fn metered_counts_match_delivered_events() {
         ..MachineConfig::default()
     };
     let mut metered = MeteredSink::new(&mut profiler);
-    let result = Machine::with_config(&m, &mut metered, config)
+    let unit = ExecUnit::new(&m);
+    let result = Exec::new(&unit)
+        .sink(&mut metered)
+        .config(config)
         .run(&[])
-        .unwrap();
+        .unwrap()
+        .result;
     let counts = metered.counts();
     assert_eq!(result.ret, Value::I(10));
     // 10 iterations enter `bump`, plus main itself.

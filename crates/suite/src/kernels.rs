@@ -207,12 +207,12 @@ pub fn entry() -> BlockId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lp_interp::{Machine, NullSink, Value};
+    use lp_interp::{Exec, ExecUnit, Value};
     use lp_ir::{IcmpPred, Module};
 
     fn run(m: &Module) -> Value {
-        let mut sink = NullSink;
-        Machine::new(m, &mut sink).run(&[]).unwrap().ret
+        let unit = ExecUnit::new(m);
+        Exec::new(&unit).run(&[]).unwrap().result.ret
     }
 
     #[test]
@@ -299,11 +299,10 @@ mod tests {
         let v = if_else(&mut fb, c, Type::I64, |_| one, |_| two);
         fb.ret(Some(v));
         m.add_function(fb.finish().unwrap());
-        let mut sink = NullSink;
-        let r = Machine::new(&m, &mut sink).run(&[Value::I(3)]).unwrap();
+        let unit = ExecUnit::new(&m);
+        let r = Exec::new(&unit).run(&[Value::I(3)]).unwrap().result;
         assert_eq!(r.ret, Value::I(1));
-        let mut sink = NullSink;
-        let r = Machine::new(&m, &mut sink).run(&[Value::I(30)]).unwrap();
+        let r = Exec::new(&unit).run(&[Value::I(30)]).unwrap().result;
         assert_eq!(r.ret, Value::I(2));
     }
 

@@ -264,7 +264,7 @@ pub(crate) fn build_program(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lp_interp::{Machine, NullSink};
+    use lp_interp::{Engine, Exec, ExecUnit};
 
     #[test]
     fn registry_is_complete_and_unique() {
@@ -299,11 +299,19 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} fails verification: {e}", b.name));
             lp_analysis::verify_ssa(&m)
                 .unwrap_or_else(|e| panic!("{} fails SSA check: {e}", b.name));
-            let mut sink = NullSink;
-            let r = Machine::new(&m, &mut sink)
+            // Both engines must agree on every suite program.
+            let tree = ExecUnit::new(&m);
+            let r = Exec::new(&tree)
                 .run(&[])
-                .unwrap_or_else(|e| panic!("{} traps: {e}", b.name));
+                .unwrap_or_else(|e| panic!("{} traps: {e}", b.name))
+                .result;
             assert!(r.cost > 1000, "{} does almost nothing: {}", b.name, r.cost);
+            let bc = ExecUnit::with_engine(&m, Engine::Bc);
+            let rb = Exec::new(&bc)
+                .run(&[])
+                .unwrap_or_else(|e| panic!("{} traps under bc: {e}", b.name))
+                .result;
+            assert_eq!(r, rb, "{} diverges between engines", b.name);
         }
     }
 
@@ -311,10 +319,8 @@ mod tests {
     fn benchmarks_are_deterministic() {
         for b in [find("164.gzip").unwrap(), find("470.lbm").unwrap()] {
             let m = b.build(Scale::Test);
-            let run = || {
-                let mut sink = NullSink;
-                Machine::new(&m, &mut sink).run(&[]).unwrap()
-            };
+            let unit = ExecUnit::new(&m);
+            let run = || Exec::new(&unit).run(&[]).unwrap().result;
             let r1 = run();
             let r2 = run();
             assert_eq!(r1.ret, r2.ret);
@@ -327,8 +333,8 @@ mod tests {
         let b = find("171.swim").unwrap();
         let cost = |s: Scale| {
             let m = b.build(s);
-            let mut sink = NullSink;
-            Machine::new(&m, &mut sink).run(&[]).unwrap().cost
+            let unit = ExecUnit::new(&m);
+            Exec::new(&unit).run(&[]).unwrap().result.cost
         };
         let t = cost(Scale::Test);
         let d = cost(Scale::Default);

@@ -3,7 +3,7 @@
 //! satisfy the limit-study invariants under every model/configuration;
 //! the cost models and predictors must satisfy their algebraic bounds.
 
-use lp_interp::{Machine, NullSink};
+use lp_interp::{Exec, ExecUnit};
 use lp_ir::builder::FunctionBuilder;
 use lp_ir::{Global, Module, Type, ValueId};
 use lp_predict::{HybridPredictor, LastValue, Predictor, Stride};
@@ -130,8 +130,8 @@ proptest! {
         prop_assert!(lp_ir::verify_module(&module).is_ok());
         prop_assert!(lp_analysis::verify_ssa(&module).is_ok());
         let run = |m: &Module| {
-            let mut sink = NullSink;
-            Machine::new(m, &mut sink).run(&[]).unwrap()
+            let unit = ExecUnit::new(m);
+            Exec::new(&unit).run(&[]).unwrap().result
         };
         let r1 = run(&module);
         let r2 = run(&module);
@@ -362,7 +362,8 @@ proptest! {
 
         // Runtime check: the traced phi stream equals the closed form.
         let mut sink = lp_interp::TraceSink::new(4096);
-        let r = Machine::new(&module, &mut sink).run(&[]).unwrap();
+        let unit = ExecUnit::new(&module);
+        let r = Exec::new(&unit).sink(&mut sink).run(&[]).unwrap().result;
         prop_assert_eq!(
             r.ret,
             lp_interp::Value::I(start.wrapping_add(step.wrapping_mul(trips)))

@@ -4,7 +4,7 @@
 //! dynamic cost — i.e. the textual format loses nothing the limit study
 //! depends on.
 
-use lp_interp::{Machine, NullSink};
+use lp_interp::{Exec, ExecUnit};
 use lp_ir::parser::parse_module;
 use lp_ir::printer::print_module;
 use lp_suite::Scale;
@@ -24,10 +24,12 @@ fn every_benchmark_round_trips_through_text() {
         let text3 = print_module(&normalized);
         assert_eq!(text2, text3, "{}: printer/parser not a fixpoint", b.name);
 
-        let mut sink = NullSink;
-        let original = Machine::new(&module, &mut sink).run(&[]).unwrap();
-        let mut sink = NullSink;
-        let replayed = Machine::new(&reparsed, &mut sink).run(&[]).unwrap();
+        let run = |m: &lp_ir::Module| {
+            let unit = ExecUnit::new(m);
+            Exec::new(&unit).run(&[]).unwrap().result
+        };
+        let original = run(&module);
+        let replayed = run(&reparsed);
         assert_eq!(original.ret, replayed.ret, "{}: result changed", b.name);
         assert_eq!(original.cost, replayed.cost, "{}: cost changed", b.name);
     }

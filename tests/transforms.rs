@@ -4,7 +4,7 @@
 //! doubles as a differential test between `lp_ir::transform`'s folding
 //! arithmetic and `lp_interp`'s execution semantics.
 
-use lp_interp::{Machine, NullSink};
+use lp_interp::{Exec, ExecUnit};
 use lp_suite::Scale;
 
 #[test]
@@ -19,8 +19,8 @@ fn simplify_preserves_behaviour_and_never_increases_cost() {
             .unwrap_or_else(|e| panic!("{}: simplify broke SSA: {e}", b.name));
 
         let run = |m: &lp_ir::Module| {
-            let mut sink = NullSink;
-            Machine::new(m, &mut sink).run(&[]).unwrap()
+            let unit = ExecUnit::new(m);
+            Exec::new(&unit).run(&[]).unwrap().result
         };
         let before = run(&module);
         let after = run(&optimized);
@@ -62,14 +62,14 @@ fn simplify_finds_work_in_sloppy_code() {
     m.add_function(fb.finish().unwrap());
 
     let before_cost = {
-        let mut sink = NullSink;
-        Machine::new(&m, &mut sink).run(&[]).unwrap().cost
+        let unit = ExecUnit::new(&m);
+        Exec::new(&unit).run(&[]).unwrap().result.cost
     };
     let stats = lp_ir::simplify(&mut m);
     assert!(stats.folded >= 3, "{stats:?}");
     assert!(stats.removed >= 2, "{stats:?}");
-    let mut sink = NullSink;
-    let after = Machine::new(&m, &mut sink).run(&[]).unwrap();
+    let unit = ExecUnit::new(&m);
+    let after = Exec::new(&unit).run(&[]).unwrap().result;
     assert_eq!(after.ret, lp_interp::Value::I(42));
     assert!(after.cost < before_cost);
 }
