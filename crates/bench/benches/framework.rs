@@ -46,28 +46,37 @@ fn bench_profiler(c: &mut Criterion) {
             Exec::new(&unit).run(&[]).unwrap().result.cost
         };
         group.throughput(Throughput::Elements(cost));
-        for cactus in [true, false] {
-            let label = if cactus { "cactus" } else { "flat-stack" };
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &(&module, &analysis),
-                |b, (m, a)| {
-                    b.iter(|| {
-                        profile_module_with(
-                            m,
-                            a,
-                            &[],
-                            MachineConfig::default(),
-                            ProfilerOptions {
-                                cactus_stack: cactus,
-                            },
-                        )
-                        .unwrap()
-                        .0
-                        .total_cost
-                    });
-                },
-            );
+        // Engine × filter: tree delivers per-instruction callbacks
+        // (statically inlined), bc feeds the profiler's native
+        // block-batch decoder — the two profiled hot paths.
+        for engine in [Engine::Tree, Engine::Bc] {
+            for cactus in [true, false] {
+                let filter = if cactus { "cactus" } else { "flat-stack" };
+                let label = format!("{}-{filter}", engine.name());
+                group.bench_with_input(
+                    BenchmarkId::new(label, name),
+                    &(&module, &analysis),
+                    |b, (m, a)| {
+                        b.iter(|| {
+                            profile_module_with(
+                                m,
+                                a,
+                                &[],
+                                MachineConfig {
+                                    engine,
+                                    ..MachineConfig::default()
+                                },
+                                ProfilerOptions {
+                                    cactus_stack: cactus,
+                                },
+                            )
+                            .unwrap()
+                            .0
+                            .total_cost
+                        });
+                    },
+                );
+            }
         }
     }
     group.finish();

@@ -167,9 +167,11 @@ pub struct Cli {
     /// Explicit `--sample-hz N` self-profiler sampling rate, if given
     /// (consumed by `lpstudy dispatch-heat`).
     pub sample_hz: Option<u64>,
-    /// Interpreter engine (`--engine tree|bc`, default `tree`). Output is
-    /// byte-identical for either engine — `bc` only trades compile time
-    /// for dispatch speed.
+    /// Interpreter engine: explicit `--engine tree|bc` wins, else the
+    /// `LP_ENGINE` environment variable, else the default (`bc`).
+    /// Output is byte-identical for either engine — `tree` is the
+    /// reference oracle, `bc` only trades compile time for dispatch
+    /// speed.
     pub engine: lp_interp::Engine,
     /// Arguments this parser did not consume, in order.
     pub rest: Vec<String>,
@@ -207,6 +209,7 @@ impl Cli {
             engine: lp_interp::Engine::default(),
             rest: Vec::new(),
         };
+        let mut engine_explicit = false;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -274,7 +277,10 @@ impl Cli {
                     }
                 },
                 "--engine" => match args.next().as_deref().map(lp_interp::Engine::parse) {
-                    Some(Ok(engine)) => cli.engine = engine,
+                    Some(Ok(engine)) => {
+                        cli.engine = engine;
+                        engine_explicit = true;
+                    }
                     Some(Err(bad)) => {
                         eprintln!("--engine {bad:?} is not an engine (expected tree|bc)");
                         std::process::exit(2);
@@ -290,7 +296,31 @@ impl Cli {
                 _ => cli.rest.push(arg),
             }
         }
+        // Engine resolution: explicit `--engine` > `LP_ENGINE` > default
+        // (bc). The tree walk stays available as the reference oracle.
+        let mut engine_implicit_env = false;
+        if !engine_explicit {
+            if let Ok(spec) = std::env::var("LP_ENGINE") {
+                match lp_interp::Engine::parse(&spec) {
+                    Ok(engine) => {
+                        cli.engine = engine;
+                        engine_implicit_env = true;
+                    }
+                    Err(bad) => {
+                        eprintln!("LP_ENGINE={bad:?} is not an engine (expected tree|bc)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
         lp_obs::log::init(cli.quiet);
+        if engine_implicit_env && cli.engine == lp_interp::Engine::Tree {
+            // One-release deprecation notice: the default engine is now
+            // bc, so implicit tree selection deserves a heads-up (an
+            // explicit `--engine tree` stays silent — that's the
+            // reference-oracle spelling).
+            lp_warn!("engine tree selected implicitly via LP_ENGINE; the default engine is now bc — pass --engine tree for the reference oracle");
+        }
         if let Some(path) = &cli.flight_out {
             // Arms the panic hook and SIGUSR1 handler in addition to the
             // end-of-run dump in `Cli::finish`.
@@ -735,7 +765,7 @@ mod tests {
                 "--sample-hz",
                 "997",
                 "--engine",
-                "bc",
+                "tree",
                 "--bench",
                 "x.lp",
             ]
@@ -743,8 +773,8 @@ mod tests {
         );
         assert!(cli.quiet);
         assert_eq!(cli.scale, Scale::Small);
-        assert_eq!(cli.engine, lp_interp::Engine::Bc);
-        assert_eq!(cli.machine_config().engine, lp_interp::Engine::Bc);
+        assert_eq!(cli.engine, lp_interp::Engine::Tree);
+        assert_eq!(cli.machine_config().engine, lp_interp::Engine::Tree);
         assert_eq!(cli.jobs, Some(3));
         assert_eq!(cli.jobs().get(), 3);
         assert_eq!(
@@ -770,9 +800,11 @@ mod tests {
         assert_eq!(cli.sample_hz, Some(997));
         assert_eq!(cli.rest, vec!["--bench".to_string(), "x.lp".to_string()]);
 
+        // With no flag (and no LP_ENGINE in the test environment) the
+        // default engine is now the bytecode fast path.
         let cli = Cli::parse_from(std::iter::empty());
         assert_eq!(cli.scale, Scale::Default);
-        assert_eq!(cli.engine, lp_interp::Engine::Tree);
+        assert_eq!(cli.engine, lp_interp::Engine::Bc);
         assert!(!cli.quiet && cli.trace_out.is_none() && cli.rest.is_empty());
         assert!(cli.explain_out.is_none());
         assert!(cli.jobs.is_none());

@@ -20,7 +20,7 @@
 //! every block boundary and before any function-level event so global
 //! event order is preserved exactly.
 
-use crate::events::{BatchEvent, BlockEntry, EventSink};
+use crate::events::{BlockEntry, EventSink};
 use crate::machine::{exec_bin, Machine};
 use crate::value::Value;
 use crate::{InterpError, Result};
@@ -283,27 +283,45 @@ fn gep_addr(base: Value, index: Value, scale: i64, offset: i64) -> Result<u64> {
         .wrapping_add(offset) as u64)
 }
 
+/// Batch size cap, checked at block entry so blocks stay contiguous: a
+/// batch flushes before opening another block once it holds this many
+/// events. Large enough to amortize per-delivery bookkeeping (flush,
+/// metering, the consumer's hoisted preamble) over dozens of blocks,
+/// small enough to keep the working set inside L1.
+const BATCH_CAP: usize = 128;
+
 impl<'a, S: EventSink> Machine<'a, S> {
     /// Delivers the pending block batch, if any, and resets the buffer
     /// for the next one. `func`/`block` are left in place so a block
     /// continuation after a call boundary batches under the right block
     /// (with `entry: None`).
     pub(crate) fn flush_batch(&mut self) {
-        if self.batch.entry.is_some() || !self.batch.events.is_empty() {
+        if self.batch.entry.is_some() || !self.batch.is_empty() {
             self.sink.block_batch(&self.batch);
             self.batch.entry = None;
-            self.batch.events.clear();
+            self.batch.clear();
         }
     }
 
     /// Block-entry event: batched or direct, per the sink's fidelity.
+    /// A batched entry extends the pending batch with an in-stream
+    /// marker; only the size cap (or a call boundary, elsewhere) cuts a
+    /// delivery, so one batch spans a run of blocks.
     #[inline]
     fn enter_block(&mut self, fid: FuncId, block: BlockId, cost: u64, now: u64) {
         if self.batching {
-            self.flush_batch();
-            self.batch.func = fid;
-            self.batch.block = block;
-            self.batch.entry = Some(BlockEntry { cost, now });
+            if self.batch.len() >= BATCH_CAP {
+                self.flush_batch();
+            }
+            if self.batch.entry.is_none() && self.batch.is_empty() {
+                // Fresh batch (frame start, post-flush, or an eventless
+                // continuation): this entry opens it.
+                self.batch.func = fid;
+                self.batch.block = block;
+                self.batch.entry = Some(BlockEntry { cost, now });
+            } else {
+                self.batch.push_enter(block, cost, now);
+            }
         } else {
             self.sink.block_entered(fid, block, cost, now);
         }
@@ -312,7 +330,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
     #[inline]
     fn emit_phi(&mut self, fid: FuncId, block: BlockId, phi: ValueId, value: Value, now: u64) {
         if self.batching {
-            self.batch.events.push(BatchEvent::Phi { phi, value, now });
+            self.batch.push_phi(phi, value, now);
         } else {
             self.sink.phi_resolved(fid, block, phi, value, now);
         }
@@ -321,7 +339,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
     #[inline]
     fn emit_load(&mut self, addr: u64, now: u64) {
         if self.batching {
-            self.batch.events.push(BatchEvent::Load { addr, now });
+            self.batch.push_load(addr, now);
         } else {
             self.sink.load(addr, now);
         }
@@ -330,7 +348,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
     #[inline]
     fn emit_store(&mut self, addr: u64, now: u64) {
         if self.batching {
-            self.batch.events.push(BatchEvent::Store { addr, now });
+            self.batch.push_store(addr, now);
         } else {
             self.sink.store(addr, now);
         }
@@ -339,7 +357,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
     #[inline]
     fn emit_def(&mut self, fid: FuncId, value: ValueId, val: Value, now: u64) {
         if self.batching {
-            self.batch.events.push(BatchEvent::Def { value, val, now });
+            self.batch.push_def(value, val, now);
         } else {
             self.sink.value_defined(fid, value, val, now);
         }

@@ -44,7 +44,8 @@ pub struct ExecUnit<'m> {
 }
 
 impl<'m> ExecUnit<'m> {
-    /// Prepares `module` for the default engine ([`Engine::Tree`]).
+    /// Prepares `module` for the default engine ([`Engine::Bc`]),
+    /// compiling it to bytecode once up front.
     #[must_use]
     pub fn new(module: &'m Module) -> ExecUnit<'m> {
         ExecUnit::with_engine(module, Engine::default())

@@ -32,15 +32,16 @@ pub(crate) struct Heat {
 ///
 /// Both engines implement identical semantics — same results, same
 /// dynamic cost, same event stream with the same `now` stamps — proven
-/// by the engine differential suite. The tree walk is the reference
-/// oracle; the bytecode engine is the fast path.
+/// by the engine differential suite. The bytecode engine is the default
+/// fast path; the tree walk stays available as the reference oracle
+/// (`--engine tree` on every CLI, `LP_ENGINE=tree` in the environment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// Walk the `lp_ir` arena directly (reference oracle).
-    #[default]
     Tree,
     /// Execute flat pre-resolved bytecode compiled once per module
     /// (see [`crate::bytecode`] and [`crate::ExecUnit`]).
+    #[default]
     Bc,
 }
 
@@ -98,7 +99,7 @@ impl Default for MachineConfig {
             rng_seed: 0x5EED_1234_ABCD_0001,
             capture_output: false,
             watched_values: Vec::new(),
-            engine: Engine::Tree,
+            engine: Engine::Bc,
         }
     }
 }
@@ -172,8 +173,52 @@ pub struct Machine<'a, S> {
     /// Reused block-batch buffer for the bytecode engine's batched
     /// event path. At most one frame has a pending batch at a time
     /// (batches are flushed before calls), so one buffer serves the
-    /// whole call stack.
+    /// whole call stack. Taken from (and returned to) the per-thread
+    /// batch pool so repeated runs keep the grown event streams.
     pub(crate) batch: crate::events::BlockBatch,
+}
+
+thread_local! {
+    /// Recycled [`crate::events::BlockBatch`] buffers: `run_entry` parks
+    /// the machine's batch buffer here at end of run and the next
+    /// machine on this thread takes it back, so repeated profiled runs
+    /// (a sweep, a rep loop) reuse the grown event streams instead of
+    /// re-growing them from zero. Capped so idle threads hold at most a
+    /// few buffers.
+    static BATCH_POOL: std::cell::RefCell<Vec<crate::events::BlockBatch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Maximum parked batch buffers per thread.
+const BATCH_POOL_CAP: usize = 4;
+
+/// Takes a recycled batch buffer off this thread's pool (crediting its
+/// retained capacity to the `batch_bytes_reused` counter) or makes a
+/// fresh one.
+fn take_pooled_batch() -> crate::events::BlockBatch {
+    BATCH_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .inspect(|batch| {
+            let reused = batch.capacity_bytes();
+            if reused > 0 {
+                lp_obs::counters().add(lp_obs::Counter::BatchBytesReused, reused);
+            }
+        })
+        .unwrap_or_default()
+}
+
+/// Parks a finished batch buffer for reuse, dropping it when it holds
+/// no capacity worth keeping or the pool is full.
+fn park_pooled_batch(batch: crate::events::BlockBatch) {
+    if batch.capacity_bytes() == 0 {
+        return;
+    }
+    BATCH_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < BATCH_POOL_CAP {
+            pool.push(batch);
+        }
+    });
 }
 
 impl<'a, S: EventSink> Machine<'a, S> {
@@ -266,7 +311,7 @@ impl<'a, S: EventSink> Machine<'a, S> {
             }),
             replay: None,
             batching: false,
-            batch: crate::events::BlockBatch::default(),
+            batch: take_pooled_batch(),
         }
     }
 
@@ -347,6 +392,9 @@ impl<'a, S: EventSink> Machine<'a, S> {
             None => self.call_function(entry, args),
         };
         self.flush_heat();
+        // Park the (flushed, empty) batch buffer for the next machine on
+        // this thread — on error paths too, so trapped runs still recycle.
+        park_pooled_batch(std::mem::take(&mut self.batch));
         let ret = ret?;
         self.sink.mem_stats(self.memory.stats());
         Ok((

@@ -7,7 +7,7 @@
 //! per event). [`TeeSink`] fans every event out to two sinks, letting a
 //! debugging trace ride along with the profiler, for example.
 
-use crate::events::{BatchEvent, BlockBatch, EventSink, Fidelity};
+use crate::events::{BatchKind, BlockBatch, EventSink, Fidelity};
 use crate::value::Value;
 use lp_ir::{BlockId, Builtin, FuncId, ValueId};
 
@@ -154,13 +154,16 @@ impl<S: EventSink> EventSink for MeteredSink<S> {
             self.counts.blocks += 1;
             self.last_now = entry.now;
         }
-        for ev in &batch.events {
-            match ev {
-                BatchEvent::Phi { .. } => self.counts.phis += 1,
-                BatchEvent::Load { .. } => self.counts.loads += 1,
-                BatchEvent::Store { .. } => self.counts.stores += 1,
-                BatchEvent::Def { .. } => self.counts.defs += 1,
-            }
+        // Per-kind tallies are maintained by the batch on push, so the
+        // decorator meters a whole batch in O(1) — the inner sink is
+        // the only consumer that walks the stream.
+        self.counts.blocks += batch.count(BatchKind::Enter);
+        self.counts.phis += batch.count(BatchKind::Phi);
+        self.counts.loads += batch.count(BatchKind::Load);
+        self.counts.stores += batch.count(BatchKind::Store);
+        self.counts.defs += batch.count(BatchKind::Def);
+        if let Some(now) = batch.last_enter_now() {
+            self.last_now = now;
         }
         self.inner.block_batch(batch);
     }

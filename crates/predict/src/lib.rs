@@ -23,8 +23,8 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-/// Pass-through hasher for the FCM table: its keys are already FNV-1a
-/// context hashes, so the map has nothing left to mix. Rehashing a
+/// Pass-through hasher for the FCM table: its keys are already-mixed
+/// context hashes, so the map has nothing left to do. Rehashing a
 /// 64-bit hash through SipHash costs more than the table probe itself.
 #[derive(Debug, Default, Clone)]
 struct Prehashed {
@@ -176,16 +176,40 @@ impl Predictor for TwoDeltaStride {
 #[derive(Debug, Clone)]
 pub struct Fcm {
     order: usize,
+    /// Ring buffer of the last `order` values in *mixed* form (oldest at
+    /// `head`). Only the mixed form is ever read: the rolling context
+    /// hash needs the outgoing term, never the raw value.
     history: Vec<u64>,
+    head: usize,
     table: PrehashedMap,
     warm: usize,
-    /// FNV-1a hash of `history`, refreshed whenever the history shifts so
-    /// `predict` + `update` share one computation per observation.
+    /// Rolling polynomial hash of `history`, slid in O(1) per observation
+    /// so `predict` + `update` share one computation and the hash cost is
+    /// independent of the order.
     ctx: u64,
+    /// `FCM_BASE^(order - 1)`: the weight of the oldest term, subtracted
+    /// out when the window slides.
+    drop_pow: u64,
 }
 
 /// Default FCM context length used by [`Fcm::new`] and the hybrid.
 pub const DEFAULT_FCM_ORDER: usize = 3;
+
+/// Base of the rolling polynomial context hash (odd, so multiplying by it
+/// is a bijection on `u64`).
+const FCM_BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One splitmix64 finalization round. Induction values and trip counts
+/// are small integers; mixing each value before it enters the polynomial
+/// spreads contexts across the full 64-bit key space so the pass-through
+/// hashed table buckets stay uniform.
+#[inline]
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 impl Fcm {
     /// An FCM predictor with the default order.
@@ -204,22 +228,35 @@ impl Fcm {
         Fcm {
             order,
             history: Vec::with_capacity(order),
+            head: 0,
             table: PrehashedMap::default(),
             warm: 0,
             ctx: 0,
+            drop_pow: FCM_BASE.wrapping_pow(order as u32 - 1),
         }
     }
 
-    fn context_hash(&self) -> u64 {
-        // FNV-1a over the history values.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for v in &self.history {
-            for byte in v.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    /// Slides the context window over `actual`, rolling `ctx` in O(1):
+    /// `ctx' = (ctx - oldest·BASE^(order-1))·BASE + mix(actual)`.
+    #[inline]
+    fn push_value(&mut self, actual: u64) {
+        let m = mix(actual);
+        if self.history.len() < self.order {
+            self.history.push(m);
+            self.ctx = self.ctx.wrapping_mul(FCM_BASE).wrapping_add(m);
+        } else {
+            let old = std::mem::replace(&mut self.history[self.head], m);
+            self.head += 1;
+            if self.head == self.order {
+                self.head = 0;
             }
+            self.ctx = self
+                .ctx
+                .wrapping_sub(old.wrapping_mul(self.drop_pow))
+                .wrapping_mul(FCM_BASE)
+                .wrapping_add(m);
         }
-        h
+        self.warm += 1;
     }
 
     /// Fused predict-then-update: returns what [`Predictor::predict`]
@@ -239,14 +276,7 @@ impl Fcm {
         } else {
             None
         };
-        if self.history.len() == self.order {
-            self.history.remove(0);
-        }
-        self.history.push(actual);
-        self.warm += 1;
-        if self.warm >= self.order {
-            self.ctx = self.context_hash();
-        }
+        self.push_value(actual);
         predicted
     }
 }
@@ -269,14 +299,7 @@ impl Predictor for Fcm {
         if self.warm >= self.order {
             self.table.insert(self.ctx, actual);
         }
-        if self.history.len() == self.order {
-            self.history.remove(0);
-        }
-        self.history.push(actual);
-        self.warm += 1;
-        if self.warm >= self.order {
-            self.ctx = self.context_hash();
-        }
+        self.push_value(actual);
     }
 
     fn name(&self) -> &'static str {
@@ -327,7 +350,11 @@ pub struct HybridPredictor {
     two_delta: TwoDeltaStride,
     fcm: Fcm,
     stats: PredictorStats,
-    component_stats: [PredictorStats; 4],
+    /// Per-component correct counts; every component observes every
+    /// value, so the observed counts are all `stats.observed` and are
+    /// materialized on demand instead of incremented four extra times
+    /// per observation on the hot path.
+    component_correct: [u64; 4],
 }
 
 impl HybridPredictor {
@@ -340,7 +367,7 @@ impl HybridPredictor {
             two_delta: TwoDeltaStride::new(),
             fcm: Fcm::new(),
             stats: PredictorStats::default(),
-            component_stats: [PredictorStats::default(); 4],
+            component_correct: [0; 4],
         }
     }
 
@@ -355,9 +382,8 @@ impl HybridPredictor {
         ];
         let mut any = false;
         for (i, p) in predictions.iter().enumerate() {
-            self.component_stats[i].observed += 1;
             if *p == Some(actual) {
-                self.component_stats[i].correct += 1;
+                self.component_correct[i] += 1;
                 any = true;
             }
         }
@@ -380,8 +406,11 @@ impl HybridPredictor {
     /// Per-component statistics in `[last-value, stride, 2-delta, fcm]`
     /// order.
     #[must_use]
-    pub fn component_stats(&self) -> &[PredictorStats; 4] {
-        &self.component_stats
+    pub fn component_stats(&self) -> [PredictorStats; 4] {
+        self.component_correct.map(|correct| PredictorStats {
+            observed: self.stats.observed,
+            correct,
+        })
     }
 }
 

@@ -2,11 +2,13 @@
 //!
 //! This crate is the heart of the limit study (paper §III):
 //!
-//! - [`tracker::Profiler`] consumes the interpreter's instrumentation
-//!   call-backs and produces a [`profile::Profile`] — the dynamic region
-//!   tree with iteration stamps, memory RAW conflicts (with the
-//!   cactus-stack structural-hazard filter of §II-E), register-LCD value
-//!   prediction traces, and call classes;
+//! - [`tracker::Profiler`] consumes the interpreter's instrumentation —
+//!   per-instruction call-backs under the tree engine, natively decoded
+//!   block batches under the bytecode engine (DESIGN.md §15) — and
+//!   produces a [`profile::Profile`]: the dynamic region tree with
+//!   iteration stamps, memory RAW conflicts (with the cactus-stack
+//!   structural-hazard filter of §II-E), register-LCD value prediction
+//!   traces, and call classes;
 //! - [`config`] defines the `reduc/dep/fn` flag lattice (Table II) and
 //!   the DOALL / Partial-DOALL / HELIX execution models;
 //! - [`model`] implements the three parallel cost models of §III-B;

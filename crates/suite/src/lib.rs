@@ -299,8 +299,9 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} fails verification: {e}", b.name));
             lp_analysis::verify_ssa(&m)
                 .unwrap_or_else(|e| panic!("{} fails SSA check: {e}", b.name));
-            // Both engines must agree on every suite program.
-            let tree = ExecUnit::new(&m);
+            // Both engines must agree on every suite program (the tree
+            // walk is spelled out — `ExecUnit::new` defaults to bc).
+            let tree = ExecUnit::with_engine(&m, Engine::Tree);
             let r = Exec::new(&tree)
                 .run(&[])
                 .unwrap_or_else(|e| panic!("{} traps: {e}", b.name))
